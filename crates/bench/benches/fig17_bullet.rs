@@ -1,0 +1,103 @@
+//! Fig. 17 — "CrystalBall slows down Bullet' by less than 10% for a 20 MB
+//! file download" (49 instances; ≈3 kB compressed checkpoints, ≈30 kbps of
+//! checkpoint traffic per node).
+//!
+//! Two identical dissemination runs — bare and with per-node CrystalBall
+//! checkpointing — sharing seeds, mesh and topology; the checkpoint
+//! traffic competes for the same 1 Mbps uplinks. We print the download-time
+//! CDF of both runs and the relative slowdown.
+
+use cb_bench::harness::{fast_mode, fmt_bytes, preamble, section};
+use cb_model::{NodeId, PropertySet, SimDuration, SimTime};
+use cb_protocols::bullet::{self, Bullet, BulletBugs};
+use cb_runtime::{NoHook, SimConfig, Simulation, SnapshotRuntime};
+
+fn run(nodes: u32, blocks: u32, with_cb: bool) -> (Vec<f64>, u64, u64) {
+    let ids: Vec<NodeId> = (0..nodes).map(NodeId).collect();
+    let mut proto = Bullet::with_mesh(&ids, 3, blocks, BulletBugs::none());
+    proto.block_size = 16 * 1024;
+    let num_blocks = proto.num_blocks;
+    let mut sim = Simulation::new(
+        proto,
+        &ids,
+        PropertySet::new().with(bullet::properties::diff_coverage()),
+        NoHook,
+        SimConfig {
+            seed: 17,
+            snapshots: with_cb.then(SnapshotRuntime::default),
+            track_violations: false,
+            ..SimConfig::default()
+        },
+    );
+    let mut done: Vec<Option<SimTime>> = vec![None; ids.len()];
+    for _ in 0..1200 {
+        sim.run_for(SimDuration::from_secs(1));
+        for (i, n) in ids.iter().enumerate() {
+            if done[i].is_none() && sim.state(*n).is_some_and(|s| s.complete(num_blocks)) {
+                done[i] = Some(sim.now());
+            }
+        }
+        if done.iter().all(Option::is_some) {
+            break;
+        }
+    }
+    let mut secs: Vec<f64> = done
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != 0)
+        .filter_map(|(_, t)| t.map(|t| t.as_secs_f64()))
+        .collect();
+    secs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (secs, sim.stats.snapshot_bytes_sent, sim.stats.snapshots_completed)
+}
+
+fn main() {
+    preamble(
+        "Fig. 17 — Bullet' download-time CDF, baseline vs CrystalBall",
+        "<10% slowdown for a 20MB download across 49 instances; \
+         ≈3kB compressed checkpoints, ≈30 kbps checkpoint traffic",
+    );
+    let (nodes, blocks) = if fast_mode() { (8u32, 32u32) } else { (12, 64) };
+    println!(
+        "({nodes} nodes downloading {} of data in {} blocks)",
+        fmt_bytes(blocks as usize * 16 * 1024),
+        blocks
+    );
+
+    let (base, _, _) = run(nodes, blocks, false);
+    let (with_cb, snap_bytes, snaps) = run(nodes, blocks, true);
+
+    section("download-time CDF (seconds)");
+    println!("{:>10} {:>12} {:>14} {:>8}", "fraction", "baseline", "CrystalBall", "delta");
+    for pct in [10usize, 25, 50, 75, 90, 100] {
+        let pick = |v: &[f64]| -> Option<f64> {
+            if v.is_empty() {
+                return None;
+            }
+            let idx = ((pct as f64 / 100.0) * v.len() as f64).ceil() as usize;
+            Some(v[idx.clamp(1, v.len()) - 1])
+        };
+        if let (Some(b), Some(c)) = (pick(&base), pick(&with_cb)) {
+            println!(
+                "{:>9}% {:>11.1}s {:>13.1}s {:>+7.1}%",
+                pct,
+                b,
+                c,
+                (c - b) / b * 100.0
+            );
+        }
+    }
+
+    let med = |v: &[f64]| v.get(v.len() / 2).copied().unwrap_or(f64::NAN);
+    let slowdown = (med(&with_cb) - med(&base)) / med(&base) * 100.0;
+    section("overhead");
+    println!("median slowdown:          {slowdown:+.1}%   (paper: <10%)");
+    println!("snapshot gathers:         {snaps}");
+    println!("checkpoint bytes on wire: {}", fmt_bytes(snap_bytes as usize));
+    let dur = with_cb.last().copied().unwrap_or(1.0);
+    println!(
+        "checkpoint traffic/node:  {:.1} kbps   (paper: ≈30 kbps)",
+        snap_bytes as f64 * 8.0 / dur / nodes as f64 / 1000.0
+    );
+    assert!(slowdown < 25.0, "overhead should stay moderate");
+}

@@ -1,0 +1,122 @@
+//! §5.5 — "Performance Impact of CrystalBall": checkpoint sizes and
+//! checkpoint bandwidth.
+//!
+//! Paper: RandTree checkpoints average 176 B and Chord 1028 B; per-node
+//! checkpoint bandwidth at 100 nodes is 803 bps (RandTree) and 8224 bps
+//! (Chord); compressed Bullet' checkpoints ≈ 3 kB.
+
+use cb_bench::harness::{fast_mode, fmt_bytes, preamble, section};
+use cb_bench::scenarios;
+use cb_model::{Encode, NodeId, PropertySet, SimDuration};
+use cb_protocols::bullet::{Bullet, BulletBugs};
+use cb_protocols::chord::ChordBugs;
+use cb_protocols::randtree::{self, RandTreeBugs};
+use cb_runtime::{NoHook, Scenario, SimConfig, Simulation, SnapshotRuntime};
+use cb_snapshot::lzw;
+
+fn main() {
+    preamble(
+        "§5.5 — checkpoint sizes and checkpoint bandwidth",
+        "RandTree cp ≈ 176 B, Chord cp ≈ 1028 B; bandwidth 803 bps / 8224 bps \
+         per node (100 nodes); Bullet' cp ≈ 3 kB compressed",
+    );
+
+    section("checkpoint sizes (encoded node slots, plus LZW)");
+    println!(
+        "{:<10} {:>10} {:>12} {:>14}   paper",
+        "service", "raw", "compressed", "ratio"
+    );
+    {
+        let (_, gs) = scenarios::randtree_fig2(RandTreeBugs::none());
+        let slot = gs.slot(NodeId(9)).unwrap();
+        let raw = slot.to_bytes();
+        let comp = lzw::compress(&raw);
+        println!(
+            "{:<10} {:>10} {:>12} {:>13.0}%   176 B",
+            "RandTree",
+            fmt_bytes(raw.len()),
+            fmt_bytes(comp.len()),
+            100.0 * comp.len() as f64 / raw.len() as f64
+        );
+    }
+    {
+        let (_, gs) = scenarios::chord_ring(&[1, 5, 9, 12, 17, 23, 31, 40], ChordBugs::none());
+        let slot = gs.slot(NodeId(9)).unwrap();
+        let raw = slot.to_bytes();
+        let comp = lzw::compress(&raw);
+        println!(
+            "{:<10} {:>10} {:>12} {:>13.0}%   1028 B",
+            "Chord",
+            fmt_bytes(raw.len()),
+            fmt_bytes(comp.len()),
+            100.0 * comp.len() as f64 / raw.len() as f64
+        );
+    }
+    {
+        // A Bullet' node mid-download: file maps of a 1280-block file.
+        let ids: Vec<NodeId> = (0..8).map(NodeId).collect();
+        let proto = Bullet::with_mesh(&ids, 3, 1280, BulletBugs::none());
+        let mut st = proto.init(NodeId(1));
+        use cb_model::Protocol;
+        for b in 0..640 {
+            st.file_map.insert(b * 2);
+        }
+        st.known.insert(NodeId(0), (0..1280).collect());
+        let raw = st.to_bytes();
+        let comp = lzw::compress(&raw);
+        println!(
+            "{:<10} {:>10} {:>12} {:>13.0}%   ≈3 kB compressed",
+            "Bullet'",
+            fmt_bytes(raw.len()),
+            fmt_bytes(comp.len()),
+            100.0 * comp.len() as f64 / raw.len() as f64
+        );
+    }
+
+    section("checkpoint bandwidth per node (live RandTree under churn)");
+    let n_nodes: u32 = if fast_mode() { 10 } else { 25 };
+    let minutes = if fast_mode() { 2u64 } else { 5 };
+    let nodes: Vec<NodeId> = (0..n_nodes).map(NodeId).collect();
+    let proto = randtree::RandTree::new(2, vec![NodeId(0)], RandTreeBugs::none());
+    let mut sim = Simulation::new(
+        proto,
+        &nodes,
+        PropertySet::new(),
+        NoHook,
+        SimConfig {
+            seed: 55,
+            snapshots: Some(SnapshotRuntime {
+                checkpoint_interval: SimDuration::from_secs(10),
+                gather_interval: SimDuration::from_secs(10),
+                ..SnapshotRuntime::default()
+            }),
+            track_violations: false,
+            ..SimConfig::default()
+        },
+    );
+    sim.load_scenario(Scenario::churn(
+        &nodes,
+        |_| randtree::Action::Join { target: NodeId(0) },
+        SimDuration::from_secs(60),
+        SimDuration::from_secs(minutes * 60),
+        55,
+    ));
+    sim.run_for(SimDuration::from_secs(minutes * 60));
+    let secs = sim.now().as_secs_f64();
+    let per_node_bps = sim.stats.snapshot_bytes_sent as f64 * 8.0 / secs / n_nodes as f64;
+    println!("nodes: {n_nodes}, duration: {secs:.0}s");
+    println!("snapshots completed:       {}", sim.stats.snapshots_completed);
+    println!("checkpoint bytes on wire:  {}", fmt_bytes(sim.stats.snapshot_bytes_sent as usize));
+    println!("per-node checkpoint bw:    {per_node_bps:.0} bps   (paper: 803 bps at 100 nodes)");
+    let mgr = sim.manager(NodeId(0)).unwrap();
+    println!(
+        "node 0 manager: {} checkpoints taken ({} forced), {} stored ({}), {} dups suppressed, {} deltas",
+        mgr.stats.checkpoints_taken,
+        mgr.stats.forced_checkpoints,
+        mgr.stored_checkpoints(),
+        fmt_bytes(mgr.stored_bytes()),
+        mgr.stats.duplicates_suppressed,
+        mgr.stats.deltas_sent,
+    );
+    assert!(per_node_bps < 50_000.0, "checkpoint bandwidth stays modest");
+}

@@ -1,0 +1,66 @@
+//! Shared helpers for the paper-reproduction bench harnesses.
+//!
+//! Every bench binary regenerates one table or figure of the paper's
+//! evaluation (§5) and prints it in a fixed-width layout, with the paper's
+//! reported values alongside for comparison. Harnesses honor
+//! `CB_BENCH_FAST=1` to shrink workloads (used by CI smoke runs).
+
+use std::time::Duration;
+
+/// Prints a section header.
+pub fn section(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+/// Prints the standard "paper vs ours" preamble for a figure/table.
+pub fn preamble(id: &str, paper_says: &str) {
+    println!();
+    println!("──────────────────────────────────────────────────────────────");
+    println!("{id}");
+    println!("  paper: {paper_says}");
+    println!("──────────────────────────────────────────────────────────────");
+}
+
+/// True when the harness should shrink its workload.
+pub fn fast_mode() -> bool {
+    std::env::var("CB_BENCH_FAST").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Formats a duration in adaptive units.
+pub fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.0}µs", s * 1e6)
+    }
+}
+
+/// Formats a byte count in adaptive units.
+pub fn fmt_bytes(b: usize) -> String {
+    if b >= 1024 * 1024 {
+        format!("{:.2} MB", b as f64 / (1024.0 * 1024.0))
+    } else if b >= 1024 {
+        format!("{:.1} kB", b as f64 / 1024.0)
+    } else {
+        format!("{b} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.00ms");
+        assert_eq!(fmt_duration(Duration::from_micros(7)), "7µs");
+        assert_eq!(fmt_bytes(100), "100 B");
+        assert_eq!(fmt_bytes(2048), "2.0 kB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024), "3.00 MB");
+    }
+}

@@ -1,0 +1,11 @@
+//! # cb-bench — harnesses regenerating every table and figure of §5
+//!
+//! Each bench target (`cargo bench -p cb-bench --bench <name>`) rebuilds
+//! one artifact of the paper's evaluation and prints its rows next to the
+//! paper's reported values. Absolute numbers differ (the paper ran Mace on
+//! a ModelNet cluster of Pentium-4 Xeons; we run a simulator on whatever
+//! executes this binary) — the *shapes* are the reproduction target:
+//! who wins, by what factor, and where the curves bend. See EXPERIMENTS.md
+//! for the recorded comparison.
+pub mod harness;
+pub mod scenarios;

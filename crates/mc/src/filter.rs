@@ -1,0 +1,225 @@
+//! Event filters — the corrective actions of execution steering.
+//!
+//! "Upon noticing that running a certain handler can lead to an erroneous
+//! state, CrystalBall installs an event filter, which temporarily blocks the
+//! invocation of the state machine handler for messages from the relevant
+//! sender. ... In case of network messages, this filter contains a message
+//! type, message source and the destination. For other events, e.g., a
+//! local timer event or application call, the filter just contains the
+//! identity of the handler" (§3.3/§4).
+//!
+//! Filters are used in two places: the live runtime consults them before
+//! invoking handlers, and the checker consults them while exploring (to
+//! evaluate the safety of a candidate filter, §3.3 "Ensuring Safety of Event
+//! Filter Actions").
+
+use std::fmt;
+
+use cb_model::{EventKey, NodeId};
+
+/// One installable event filter.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum EventFilter {
+    /// Block delivery of messages of `kind` from `src` to `dst`. With
+    /// `reset_connection`, additionally break the TCP connection with the
+    /// sender ("an alternative to simple blocking is to additionally reset
+    /// the connection with the sender", §3.3).
+    Message {
+        /// `Protocol::message_kind` of the blocked message.
+        kind: &'static str,
+        /// Blocked sender.
+        src: NodeId,
+        /// Node on which the filter is installed.
+        dst: NodeId,
+        /// Whether the filter also resets the connection with `src`.
+        reset_connection: bool,
+    },
+    /// Block (reschedule, in the live runtime) an internal handler at
+    /// `node`. "Unlike the network messages that the filter drops when it
+    /// triggers, the timer events are rescheduled" (§4).
+    Handler {
+        /// `Protocol::action_kind` of the blocked handler.
+        kind: &'static str,
+        /// Node on which the filter is installed.
+        node: NodeId,
+    },
+}
+
+impl EventFilter {
+    /// Does this filter block an event with the given key?
+    pub fn matches(&self, key: &EventKey) -> bool {
+        match (self, key) {
+            (
+                EventFilter::Message { kind, src, dst, .. },
+                EventKey::Message { kind: k, src: s, dst: d },
+            ) => kind == k && src == s && dst == d,
+            (EventFilter::Handler { kind, node }, EventKey::Action { kind: k, node: n }) => {
+                kind == k && node == n
+            }
+            _ => false,
+        }
+    }
+
+    /// The node this filter protects (where it must be installed).
+    pub fn install_at(&self) -> NodeId {
+        match self {
+            EventFilter::Message { dst, .. } => *dst,
+            EventFilter::Handler { node, .. } => *node,
+        }
+    }
+
+    /// True if triggering the filter also resets the offending connection.
+    pub fn resets_connection(&self) -> bool {
+        matches!(self, EventFilter::Message { reset_connection: true, .. })
+    }
+
+    /// The peer whose connection is reset when the filter triggers, if any.
+    pub fn reset_peer(&self) -> Option<NodeId> {
+        match self {
+            EventFilter::Message { src, reset_connection: true, .. } => Some(*src),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for EventFilter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventFilter::Message { kind, src, dst, reset_connection } => write!(
+                f,
+                "block {kind} {src}→{dst}{}",
+                if *reset_connection { " +RST" } else { "" }
+            ),
+            EventFilter::Handler { kind, node } => write!(f, "block {kind}@{node}"),
+        }
+    }
+}
+
+/// A set of filters, checked together. "CrystalBall ... removes the filters
+/// from the runtime after every model checking run" (§3.3), so sets are
+/// cheap to build and discard.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FilterSet {
+    filters: Vec<EventFilter>,
+}
+
+impl FilterSet {
+    /// An empty set (blocks nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a set from an iterator of filters.
+    pub fn from_iter(filters: impl IntoIterator<Item = EventFilter>) -> Self {
+        FilterSet { filters: filters.into_iter().collect() }
+    }
+
+    /// Adds a filter if not already present.
+    pub fn install(&mut self, f: EventFilter) {
+        if !self.filters.contains(&f) {
+            self.filters.push(f);
+        }
+    }
+
+    /// Removes every filter.
+    pub fn clear(&mut self) {
+        self.filters.clear();
+    }
+
+    /// Number of installed filters.
+    pub fn len(&self) -> usize {
+        self.filters.len()
+    }
+
+    /// True if no filter is installed.
+    pub fn is_empty(&self) -> bool {
+        self.filters.is_empty()
+    }
+
+    /// The first filter blocking an event with this key, if any.
+    pub fn matching(&self, key: &EventKey) -> Option<&EventFilter> {
+        self.filters.iter().find(|f| f.matches(key))
+    }
+
+    /// Does any filter block an event with this key?
+    pub fn blocks(&self, key: &EventKey) -> bool {
+        self.matching(key).is_some()
+    }
+
+    /// Iterates over the installed filters.
+    pub fn iter(&self) -> impl Iterator<Item = &EventFilter> {
+        self.filters.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg_key(kind: &'static str, src: u32, dst: u32) -> EventKey {
+        EventKey::Message { kind, src: NodeId(src), dst: NodeId(dst) }
+    }
+
+    #[test]
+    fn message_filter_matches_exact_triple() {
+        let f = EventFilter::Message {
+            kind: "Join",
+            src: NodeId(13),
+            dst: NodeId(1),
+            reset_connection: true,
+        };
+        assert!(f.matches(&msg_key("Join", 13, 1)));
+        assert!(!f.matches(&msg_key("Join", 13, 2)));
+        assert!(!f.matches(&msg_key("Join", 12, 1)));
+        assert!(!f.matches(&msg_key("JoinReply", 13, 1)));
+        assert!(!f.matches(&EventKey::Reset { node: NodeId(13) }));
+        assert_eq!(f.install_at(), NodeId(1));
+        assert_eq!(f.reset_peer(), Some(NodeId(13)));
+        assert!(f.resets_connection());
+        assert_eq!(f.to_string(), "block Join n13→n1 +RST");
+    }
+
+    #[test]
+    fn handler_filter_matches_kind_and_node() {
+        let f = EventFilter::Handler { kind: "Stabilize", node: NodeId(5) };
+        assert!(f.matches(&EventKey::Action { kind: "Stabilize", node: NodeId(5) }));
+        assert!(!f.matches(&EventKey::Action { kind: "Stabilize", node: NodeId(6) }));
+        assert!(!f.matches(&EventKey::Action { kind: "Recovery", node: NodeId(5) }));
+        assert_eq!(f.install_at(), NodeId(5));
+        assert_eq!(f.reset_peer(), None);
+        assert!(!f.resets_connection());
+        assert_eq!(f.to_string(), "block Stabilize@n5");
+    }
+
+    #[test]
+    fn filter_set_dedups_and_clears() {
+        let mut set = FilterSet::new();
+        assert!(set.is_empty());
+        let f = EventFilter::Handler { kind: "T", node: NodeId(1) };
+        set.install(f.clone());
+        set.install(f.clone());
+        assert_eq!(set.len(), 1);
+        assert!(set.blocks(&EventKey::Action { kind: "T", node: NodeId(1) }));
+        assert_eq!(set.matching(&EventKey::Action { kind: "T", node: NodeId(1) }), Some(&f));
+        assert!(!set.blocks(&EventKey::Action { kind: "T", node: NodeId(2) }));
+        set.clear();
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn filter_set_from_iter_checks_all() {
+        let set = FilterSet::from_iter([
+            EventFilter::Handler { kind: "A", node: NodeId(1) },
+            EventFilter::Message {
+                kind: "M",
+                src: NodeId(2),
+                dst: NodeId(3),
+                reset_connection: false,
+            },
+        ]);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.iter().count(), 2);
+        assert!(set.blocks(&msg_key("M", 2, 3)));
+        assert!(set.blocks(&EventKey::Action { kind: "A", node: NodeId(1) }));
+    }
+}

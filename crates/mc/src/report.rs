@@ -1,0 +1,156 @@
+//! Search outcomes: predicted violations with their event paths.
+//!
+//! The model checker "reports any violation in the form of a sequence of
+//! events that leads to an erroneous state" (§3). That sequence is exactly
+//! what execution steering needs: its first steerable event determines the
+//! filter to install, and the whole path is kept for fast replay in later
+//! checker rounds (§4).
+
+use std::fmt;
+
+use cb_model::{Event, Protocol, TraceStep, Violation};
+
+use crate::stats::SearchStats;
+
+/// One step of a predicted error path: the abstract event plus what applying
+/// it did.
+#[derive(Clone, Debug)]
+pub struct PathStep<P: Protocol> {
+    /// The event, with indices valid relative to replaying the prefix.
+    pub event: Event<P>,
+    /// The concrete effect the event had when the path was discovered.
+    pub step: TraceStep,
+}
+
+impl<P: Protocol> fmt::Display for PathStep<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.step)
+    }
+}
+
+/// A violation discovered by a search, with the path that reaches it from
+/// the search's start state.
+#[derive(Clone, Debug)]
+pub struct FoundViolation<P: Protocol> {
+    /// The violated property and its message.
+    pub violation: Violation,
+    /// Events from the start state to the violating state, in order.
+    pub path: Vec<PathStep<P>>,
+    /// Depth (path length) at which the violation occurs.
+    pub depth: usize,
+}
+
+impl<P: Protocol> FoundViolation<P> {
+    /// Renders the path as a numbered scenario, in the style of the paper's
+    /// walk-throughs ("1. n13 resets, 2. n13 sends Join to n1, ...").
+    pub fn scenario(&self) -> String {
+        let mut s = format!("{}\n", self.violation);
+        for (i, step) in self.path.iter().enumerate() {
+            s.push_str(&format!("  {}. {}\n", i + 1, step));
+        }
+        s
+    }
+}
+
+/// Why a search stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// Every reachable state (under the configured events) was explored.
+    Exhausted,
+    /// The depth bound was reached.
+    DepthLimit,
+    /// The visited-state budget was exhausted.
+    StateLimit,
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The requested number of violations was found.
+    ViolationLimit,
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StopReason::Exhausted => "state space exhausted",
+            StopReason::DepthLimit => "depth limit",
+            StopReason::StateLimit => "state budget",
+            StopReason::Deadline => "deadline",
+            StopReason::ViolationLimit => "violation budget",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The complete result of one search run.
+#[derive(Clone, Debug)]
+pub struct SearchOutcome<P: Protocol> {
+    /// Violations discovered, in discovery order (BFS order: shallowest
+    /// first).
+    pub violations: Vec<FoundViolation<P>>,
+    /// Counters and memory accounting.
+    pub stats: SearchStats,
+    /// Why the search ended.
+    pub stopped: StopReason,
+}
+
+impl<P: Protocol> SearchOutcome<P> {
+    /// The first (shallowest) violation, if any.
+    pub fn first(&self) -> Option<&FoundViolation<P>> {
+        self.violations.first()
+    }
+
+    /// True if no violation was found.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cb_model::testproto::Ping;
+    use cb_model::NodeId;
+
+    #[test]
+    fn scenario_renders_numbered_steps() {
+        let fv: FoundViolation<Ping> = FoundViolation {
+            violation: Violation {
+                property: "P".into(),
+                node: Some(NodeId(9)),
+                message: "bad".into(),
+            },
+            path: vec![
+                PathStep {
+                    event: Event::Reset { node: NodeId(13), notify: false },
+                    step: TraceStep::ResetDone { node: NodeId(13), notify: false },
+                },
+                PathStep {
+                    event: Event::Deliver { index: 0 },
+                    step: TraceStep::Delivered { kind: "Join", src: NodeId(13), dst: NodeId(1) },
+                },
+            ],
+            depth: 2,
+        };
+        let s = fv.scenario();
+        assert!(s.contains("[P] at n9: bad"));
+        assert!(s.contains("1. n13 resets (silent)"));
+        assert!(s.contains("2. deliver Join n13→n1"));
+        assert_eq!(fv.path[1].to_string(), "deliver Join n13→n1");
+    }
+
+    #[test]
+    fn stop_reasons_render() {
+        assert_eq!(StopReason::Exhausted.to_string(), "state space exhausted");
+        assert_eq!(StopReason::Deadline.to_string(), "deadline");
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let out: SearchOutcome<Ping> = SearchOutcome {
+            violations: vec![],
+            stats: SearchStats::default(),
+            stopped: StopReason::Exhausted,
+        };
+        assert!(out.is_clean());
+        assert!(out.first().is_none());
+    }
+}

@@ -1,0 +1,487 @@
+//! Compact deterministic binary codec for checkpoints and wire messages.
+//!
+//! CrystalBall ships node checkpoints to snapshot neighbors and therefore
+//! cares about their encoded size (§5.5 reports 176 B for a RandTree
+//! checkpoint and 1028 B for Chord, and per-node checkpoint bandwidth of
+//! 803 bps / 8224 bps). We implement our own small codec instead of pulling
+//! a serde format crate: integers are LEB128 varints, collections are
+//! length-prefixed, and encoding is canonical (the same value always
+//! produces the same bytes), which the duplicate-checkpoint suppression and
+//! the diff encoder in `cb-snapshot` rely on.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+/// Types that can serialize themselves into a byte buffer.
+pub trait Encode {
+    /// Appends the canonical encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Convenience: encodes into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf
+    }
+
+    /// Size of the canonical encoding in bytes (the "checkpoint size" and
+    /// "message size" the bandwidth accounting uses).
+    fn encoded_len(&self) -> usize {
+        self.to_bytes().len()
+    }
+}
+
+/// Types that can deserialize themselves from a [`Reader`].
+pub trait Decode: Sized {
+    /// Reads one value from `r`, consuming exactly its encoding.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError>;
+
+    /// Convenience: decodes a value that must span the whole buffer.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(bytes);
+        let v = Self::decode(&mut r)?;
+        if r.is_empty() {
+            Ok(v)
+        } else {
+            Err(DecodeError::TrailingBytes(r.remaining()))
+        }
+    }
+}
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended in the middle of a value.
+    UnexpectedEof,
+    /// A varint ran past its maximum width.
+    VarintOverflow,
+    /// An enum discriminant was out of range.
+    BadTag(u8),
+    /// A string was not valid UTF-8.
+    BadUtf8,
+    /// A length prefix was implausibly large for the remaining input.
+    BadLength(usize),
+    /// `from_bytes` had bytes left over.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof => write!(f, "unexpected end of input"),
+            DecodeError::VarintOverflow => write!(f, "varint overflow"),
+            DecodeError::BadTag(t) => write!(f, "invalid enum tag {t}"),
+            DecodeError::BadUtf8 => write!(f, "invalid utf-8 in string"),
+            DecodeError::BadLength(n) => write!(f, "length prefix {n} exceeds input"),
+            DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Cursor over a byte slice being decoded.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Reads exactly `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a single byte.
+    pub fn byte(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads an LEB128-encoded unsigned integer.
+    pub fn varint(&mut self) -> Result<u64, DecodeError> {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.byte()?;
+            if shift >= 64 || (shift == 63 && b > 1) {
+                return Err(DecodeError::VarintOverflow);
+            }
+            value |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Reads a length prefix and validates it against the remaining input.
+    pub fn length(&mut self) -> Result<usize, DecodeError> {
+        let n = self.varint()? as usize;
+        if n > self.remaining() {
+            // Every element encodes to at least one byte, so a length prefix
+            // larger than the remaining byte count is always corrupt.
+            return Err(DecodeError::BadLength(n));
+        }
+        Ok(n)
+    }
+}
+
+/// Appends an LEB128 varint.
+pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(b);
+            return;
+        }
+        buf.push(b | 0x80);
+    }
+}
+
+macro_rules! impl_varint_codec {
+    ($($t:ty),*) => {$(
+        impl Encode for $t {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                put_varint(buf, u64::from(*self));
+            }
+        }
+        impl Decode for $t {
+            fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+                let v = r.varint()?;
+                <$t>::try_from(v).map_err(|_| DecodeError::VarintOverflow)
+            }
+        }
+    )*};
+}
+
+impl_varint_codec!(u16, u32, u64);
+
+impl Encode for u8 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(*self);
+    }
+}
+
+impl Decode for u8 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        r.byte()
+    }
+}
+
+impl Encode for usize {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, *self as u64);
+    }
+}
+
+impl Decode for usize {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(r.varint()? as usize)
+    }
+}
+
+impl Encode for bool {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(u8::from(*self));
+    }
+}
+
+impl Decode for bool {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.byte()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(DecodeError::BadTag(t)),
+        }
+    }
+}
+
+impl Encode for i64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        // ZigZag so small negative numbers stay small.
+        let z = ((*self << 1) ^ (*self >> 63)) as u64;
+        put_varint(buf, z);
+    }
+}
+
+impl Decode for i64 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let z = r.varint()?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, self.len() as u64);
+        buf.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl Decode for String {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let n = r.length()?;
+        let bytes = r.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8)
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => buf.push(0),
+            Some(v) => {
+                buf.push(1);
+                v.encode(buf);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.byte()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            t => Err(DecodeError::BadTag(t)),
+        }
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, self.len() as u64);
+        for v in self {
+            v.encode(buf);
+        }
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let n = r.length()?;
+        let mut out = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Encode> Encode for VecDeque<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, self.len() as u64);
+        for v in self {
+            v.encode(buf);
+        }
+    }
+}
+
+impl<T: Decode> Decode for VecDeque<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Vec::<T>::decode(r)?.into())
+    }
+}
+
+impl<T: Encode + Ord> Encode for BTreeSet<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, self.len() as u64);
+        for v in self {
+            v.encode(buf);
+        }
+    }
+}
+
+impl<T: Decode + Ord> Decode for BTreeSet<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let n = r.length()?;
+        let mut out = BTreeSet::new();
+        for _ in 0..n {
+            out.insert(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: Encode + Ord, V: Encode> Encode for BTreeMap<K, V> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, self.len() as u64);
+        for (k, v) in self {
+            k.encode(buf);
+            v.encode(buf);
+        }
+    }
+}
+
+impl<K: Decode + Ord, V: Decode> Decode for BTreeMap<K, V> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let n = r.length()?;
+        let mut out = BTreeMap::new();
+        for _ in 0..n {
+            let k = K::decode(r)?;
+            let v = V::decode(r)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+}
+
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl Encode for () {
+    fn encode(&self, _buf: &mut Vec<u8>) {}
+}
+
+impl Decode for () {
+    fn decode(_r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        assert_eq!(T::from_bytes(&bytes).unwrap(), v);
+        assert_eq!(bytes.len(), v.encoded_len());
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(0u64);
+        roundtrip(u64::MAX);
+        roundtrip(127u32);
+        roundtrip(128u32);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(-1i64);
+        roundtrip(i64::MIN);
+        roundtrip(i64::MAX);
+        roundtrip("hello".to_string());
+        roundtrip(String::new());
+        roundtrip(Some(17u32));
+        roundtrip(Option::<u32>::None);
+        roundtrip(());
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip(Vec::<u32>::new());
+        roundtrip(BTreeSet::from([1u32, 5, 9]));
+        roundtrip(BTreeMap::from([(1u32, "a".to_string()), (2, "b".to_string())]));
+        roundtrip(VecDeque::from([1u64, 2, 3]));
+        roundtrip((42u32, "pair".to_string()));
+    }
+
+    #[test]
+    fn varint_compactness() {
+        assert_eq!(127u64.to_bytes().len(), 1);
+        assert_eq!(128u64.to_bytes().len(), 2);
+        assert_eq!(16383u64.to_bytes().len(), 2);
+        assert_eq!(16384u64.to_bytes().len(), 3);
+    }
+
+    #[test]
+    fn errors_detected() {
+        assert_eq!(u32::from_bytes(&[]), Err(DecodeError::UnexpectedEof));
+        assert_eq!(bool::from_bytes(&[7]), Err(DecodeError::BadTag(7)));
+        assert_eq!(u8::from_bytes(&[1, 2]), Err(DecodeError::TrailingBytes(1)));
+        // Length prefix longer than buffer.
+        assert!(matches!(
+            Vec::<u8>::from_bytes(&[200, 1]),
+            Err(DecodeError::BadLength(_) | DecodeError::UnexpectedEof)
+        ));
+        // Varint that never terminates within 64 bits.
+        let overlong = [0xffu8; 11];
+        assert_eq!(u64::from_bytes(&overlong), Err(DecodeError::VarintOverflow));
+        // Invalid UTF-8 string body.
+        assert_eq!(String::from_bytes(&[2, 0xff, 0xfe]), Err(DecodeError::BadUtf8));
+    }
+
+    #[test]
+    fn canonical_encoding_is_deterministic() {
+        let a = BTreeMap::from([(3u32, 1u32), (1, 2), (2, 3)]);
+        let b = {
+            let mut m = BTreeMap::new();
+            m.insert(2u32, 3u32);
+            m.insert(1, 2);
+            m.insert(3, 1);
+            m
+        };
+        assert_eq!(a.to_bytes(), b.to_bytes());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_u64_roundtrip(v: u64) {
+            roundtrip(v);
+        }
+
+        #[test]
+        fn prop_i64_roundtrip(v: i64) {
+            roundtrip(v);
+        }
+
+        #[test]
+        fn prop_string_roundtrip(s in ".*") {
+            roundtrip(s);
+        }
+
+        #[test]
+        fn prop_vec_roundtrip(v in proptest::collection::vec(any::<u32>(), 0..64)) {
+            roundtrip(v);
+        }
+
+        #[test]
+        fn prop_map_roundtrip(m in proptest::collection::btree_map(any::<u16>(), any::<u32>(), 0..32)) {
+            roundtrip(m);
+        }
+
+        #[test]
+        fn prop_decode_arbitrary_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+            // Decoding garbage must fail gracefully, never panic.
+            let _ = Vec::<String>::from_bytes(&bytes);
+            let _ = BTreeMap::<u32, u64>::from_bytes(&bytes);
+            let _ = Option::<(u32, bool)>::from_bytes(&bytes);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Deterministic 64-bit state hashing.
+//!
+//! Both search algorithms in the paper store *hashes* of visited states
+//! rather than the states themselves ("the model checker does not cache
+//! previously visited states (it only stores their hashes)", §5.5), and
+//! consequence prediction additionally keys its `localExplored` set by
+//! `hash(n, s)` (Fig. 8). We use FNV-1a: it is fully deterministic (no
+//! per-process random keys like `std`'s default SipHash seeds), fast on the
+//! short buffers produced by hashing protocol states, and trivially
+//! portable.
+
+use std::hash::{Hash, Hasher};
+
+/// 64-bit FNV-1a hasher implementing [`std::hash::Hasher`].
+///
+/// Determinism matters: replaying a search must visit the same hash values,
+/// and the ablation benches compare explored-set sizes across runs.
+#[derive(Clone, Debug)]
+pub struct Fnv64(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+}
+
+impl Fnv64 {
+    /// Creates a hasher in the standard FNV-1a initial state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Hasher for Fnv64 {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// Convenience alias used by search code that parametrizes over hashers.
+pub type StableHasher = Fnv64;
+
+/// Hashes any `Hash` value with the deterministic FNV-1a hasher.
+///
+/// This is the `hash(state)` function of Fig. 5 line 9 and Fig. 8 lines
+/// 10/17/20.
+pub fn stable_hash<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = Fnv64::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// Combines two hashes order-*dependently* (for sequences).
+pub fn combine(a: u64, b: u64) -> u64 {
+    // Feed both operands through the byte pipeline; simply XOR-ing `a` into
+    // the initial state would collide with XOR-ing it into `b`'s first byte.
+    let mut h = Fnv64::new();
+    h.write(&a.to_le_bytes());
+    h.write(&b.to_le_bytes());
+    h.finish()
+}
+
+/// Combines element hashes order-*independently* (for multisets such as the
+/// in-flight message bag, whose Vec ordering is an implementation artifact
+/// and must not distinguish otherwise-identical global states).
+pub fn combine_unordered(hashes: impl IntoIterator<Item = u64>) -> u64 {
+    // Sum and xor of per-element mixes: commutative, associative, and
+    // resistant to the trivial "pairs cancel" failure of plain xor.
+    let (mut sum, mut xor, mut count) = (0u64, 0u64, 0u64);
+    for h in hashes {
+        let mixed = h.wrapping_mul(FNV_PRIME) ^ h.rotate_left(17);
+        sum = sum.wrapping_add(mixed);
+        xor ^= mixed;
+        count += 1;
+    }
+    combine(sum, combine(xor, count))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_known_vectors() {
+        // Reference vectors for FNV-1a 64-bit.
+        let mut h = Fnv64::new();
+        h.write(b"");
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = Fnv64::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fnv64::new();
+        h.write(b"foobar");
+        assert_eq!(h.finish(), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn stable_across_calls() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(stable_hash(&v), stable_hash(&v.clone()));
+        assert_ne!(stable_hash(&v), stable_hash(&vec![3u32, 2, 1]));
+    }
+
+    #[test]
+    fn unordered_combination_is_order_independent() {
+        let a = combine_unordered([1, 2, 3]);
+        let b = combine_unordered([3, 1, 2]);
+        assert_eq!(a, b);
+        // ...but multiset-sensitive:
+        assert_ne!(combine_unordered([1, 1, 2]), combine_unordered([1, 2, 2]));
+        // ...and not fooled by duplicate pairs cancelling out.
+        assert_ne!(combine_unordered([7, 7]), combine_unordered([] as [u64; 0]));
+        assert_ne!(combine_unordered([7, 7, 9]), combine_unordered([9]));
+    }
+
+    #[test]
+    fn ordered_combination_is_order_dependent() {
+        assert_ne!(combine(1, 2), combine(2, 1));
+    }
+}

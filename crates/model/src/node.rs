@@ -1,0 +1,169 @@
+//! Node identifiers and the live-address mapping.
+//!
+//! The paper's model checker "assumes node addresses of the form 0,1,2,3"
+//! while the deployed system uses live IP addresses; CrystalBall therefore
+//! "added a mapping from live IP addresses to model checker addresses" (§4).
+//! [`NodeId`] is the dense checker-side identifier and [`AddrMap`] is that
+//! mapping.
+
+use std::fmt;
+
+use crate::codec::{Decode, DecodeError, Encode, Reader};
+
+/// Identifier of a distributed-system node (the paper's set *N*).
+///
+/// Ordering matters to the protocols: RandTree elects the node with the
+/// numerically smallest address as root, and Chord orders nodes around the
+/// ring by an identifier derived from the address.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The placeholder node that stands in for every system participant
+    /// without a checkpoint in the current snapshot (§4: "we introduced a
+    /// dummy node ... the model checker does not consider the events of this
+    /// node during state exploration").
+    pub const DUMMY: NodeId = NodeId(u32::MAX);
+
+    /// Returns true if this is the dummy placeholder node.
+    pub fn is_dummy(self) -> bool {
+        self == Self::DUMMY
+    }
+
+    /// A synthetic "live" IPv4-style address for display purposes, mirroring
+    /// the ModelNet assignment of one virtual IP per participant.
+    pub fn ip(self) -> String {
+        let v = self.0;
+        format!("10.{}.{}.{}", (v >> 16) & 0xff, (v >> 8) & 0xff, v & 0xff)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_dummy() {
+            write!(f, "n⊥")
+        } else {
+            write!(f, "n{}", self.0)
+        }
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl Encode for NodeId {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+    }
+}
+
+impl Decode for NodeId {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(NodeId(u32::decode(r)?))
+    }
+}
+
+/// Bidirectional mapping between live addresses (strings such as
+/// `"10.0.0.7:5000"`) and dense checker-side [`NodeId`]s.
+///
+/// Live components register addresses as they are first seen; the checker
+/// side always works with the dense ids.
+#[derive(Debug, Default, Clone)]
+pub struct AddrMap {
+    to_id: std::collections::BTreeMap<String, NodeId>,
+    to_addr: Vec<String>,
+}
+
+impl AddrMap {
+    /// Creates an empty mapping.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id for `addr`, allocating the next dense id if the
+    /// address has not been seen before.
+    pub fn intern(&mut self, addr: &str) -> NodeId {
+        if let Some(&id) = self.to_id.get(addr) {
+            return id;
+        }
+        let id = NodeId(self.to_addr.len() as u32);
+        self.to_id.insert(addr.to_owned(), id);
+        self.to_addr.push(addr.to_owned());
+        id
+    }
+
+    /// Looks up a previously interned address.
+    pub fn id_of(&self, addr: &str) -> Option<NodeId> {
+        self.to_id.get(addr).copied()
+    }
+
+    /// Returns the live address for `id`, if registered.
+    pub fn addr_of(&self, id: NodeId) -> Option<&str> {
+        self.to_addr.get(id.0 as usize).map(String::as_str)
+    }
+
+    /// Number of registered addresses.
+    pub fn len(&self) -> usize {
+        self.to_addr.len()
+    }
+
+    /// True if no address has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.to_addr.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_display_and_ip() {
+        assert_eq!(NodeId(13).to_string(), "n13");
+        assert_eq!(NodeId(0x0102_0304).ip(), "10.2.3.4");
+        assert_eq!(NodeId::DUMMY.to_string(), "n⊥");
+        assert!(NodeId::DUMMY.is_dummy());
+        assert!(!NodeId(3).is_dummy());
+    }
+
+    #[test]
+    fn node_id_orders_numerically() {
+        // RandTree root election relies on this ordering.
+        assert!(NodeId(1) < NodeId(9));
+        assert!(NodeId(9) < NodeId(13));
+    }
+
+    #[test]
+    fn addr_map_interns_densely() {
+        let mut m = AddrMap::new();
+        let a = m.intern("10.0.0.1:5000");
+        let b = m.intern("10.0.0.2:5000");
+        let a2 = m.intern("10.0.0.1:5000");
+        assert_eq!(a, a2);
+        assert_eq!(a, NodeId(0));
+        assert_eq!(b, NodeId(1));
+        assert_eq!(m.addr_of(b), Some("10.0.0.2:5000"));
+        assert_eq!(m.id_of("10.0.0.2:5000"), Some(b));
+        assert_eq!(m.id_of("missing"), None);
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn node_id_codec_roundtrip() {
+        let mut buf = Vec::new();
+        NodeId(42).encode(&mut buf);
+        let mut r = Reader::new(&buf);
+        assert_eq!(NodeId::decode(&mut r).unwrap(), NodeId(42));
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,283 @@
+//! User-specified safety properties.
+//!
+//! CrystalBall checks "user- or developer-defined properties and reports any
+//! violation in the form of a sequence of events that leads to an erroneous
+//! state" (§3). A [`Property`] is a named predicate over [`GlobalState`];
+//! most real properties are node-local (RandTree's "children and siblings
+//! are disjoint") or pairwise (Chord's ordering constraint), so helper
+//! constructors are provided for both shapes.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::node::NodeId;
+use crate::protocol::Protocol;
+use crate::state::GlobalState;
+
+/// A detected (or predicted) safety violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Name of the violated property.
+    pub property: String,
+    /// The node whose local state exhibits the violation, when attributable.
+    pub node: Option<NodeId>,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.node {
+            Some(n) => write!(f, "[{}] at {}: {}", self.property, n, self.message),
+            None => write!(f, "[{}]: {}", self.property, self.message),
+        }
+    }
+}
+
+/// A named safety property over global states.
+pub trait Property<P: Protocol>: Send + Sync {
+    /// Stable property name (used in reports, filters, and benches).
+    fn name(&self) -> &str;
+
+    /// Returns the first violation found in `gs`, or `None` if `gs`
+    /// satisfies the property.
+    fn check(&self, gs: &GlobalState<P>) -> Option<Violation>;
+}
+
+struct FnProperty<P: Protocol, F> {
+    name: &'static str,
+    f: F,
+    _marker: std::marker::PhantomData<fn(&P)>,
+}
+
+impl<P, F> Property<P> for FnProperty<P, F>
+where
+    P: Protocol,
+    F: Fn(&GlobalState<P>) -> Option<Violation> + Send + Sync,
+{
+    fn name(&self) -> &str {
+        self.name
+    }
+    fn check(&self, gs: &GlobalState<P>) -> Option<Violation> {
+        (self.f)(gs)
+    }
+}
+
+/// Builds a property from a closure over the whole global state.
+pub fn global_property<P, F>(name: &'static str, f: F) -> impl Property<P>
+where
+    P: Protocol,
+    F: Fn(&GlobalState<P>) -> Result<(), Violation> + Send + Sync,
+{
+    FnProperty {
+        name,
+        f: move |gs: &GlobalState<P>| f(gs).err(),
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Builds a property checked independently on every node's local state.
+/// The closure returns `Err(message)` to signal a violation at that node.
+pub fn node_property<P, F>(name: &'static str, f: F) -> impl Property<P>
+where
+    P: Protocol,
+    F: Fn(NodeId, &P::State) -> Result<(), String> + Send + Sync,
+{
+    FnProperty {
+        name,
+        f: move |gs: &GlobalState<P>| {
+            for (&id, slot) in &gs.nodes {
+                if let Err(message) = f(id, &slot.state) {
+                    return Some(Violation { property: name.to_string(), node: Some(id), message });
+                }
+            }
+            None
+        },
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Builds a property over ordered pairs of distinct nodes (e.g. "node A's
+/// children and node B's view of A agree"). The closure returns
+/// `Err(message)` to signal a violation attributed to the first node.
+pub fn pairwise_property<P, F>(name: &'static str, f: F) -> impl Property<P>
+where
+    P: Protocol,
+    F: Fn(NodeId, &P::State, NodeId, &P::State) -> Result<(), String> + Send + Sync,
+{
+    FnProperty {
+        name,
+        f: move |gs: &GlobalState<P>| {
+            for (&a, sa) in &gs.nodes {
+                for (&b, sb) in &gs.nodes {
+                    if a == b {
+                        continue;
+                    }
+                    if let Err(message) = f(a, &sa.state, b, &sb.state) {
+                        return Some(Violation {
+                            property: name.to_string(),
+                            node: Some(a),
+                            message,
+                        });
+                    }
+                }
+            }
+            None
+        },
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// An owned, shareable collection of properties checked together — what the
+/// paper calls the "safety properties" installed into a CrystalBall node
+/// (Fig. 7).
+pub struct PropertySet<P: Protocol> {
+    props: Vec<Arc<dyn Property<P>>>,
+}
+
+impl<P: Protocol> Clone for PropertySet<P> {
+    fn clone(&self) -> Self {
+        PropertySet { props: self.props.clone() }
+    }
+}
+
+impl<P: Protocol> Default for PropertySet<P> {
+    fn default() -> Self {
+        PropertySet { props: Vec::new() }
+    }
+}
+
+impl<P: Protocol> PropertySet<P> {
+    /// An empty set (every state vacuously satisfies it).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a property (builder style).
+    pub fn with(mut self, p: impl Property<P> + 'static) -> Self {
+        self.props.push(Arc::new(p));
+        self
+    }
+
+    /// Adds a property in place.
+    pub fn push(&mut self, p: impl Property<P> + 'static) {
+        self.props.push(Arc::new(p));
+    }
+
+    /// Number of properties in the set.
+    pub fn len(&self) -> usize {
+        self.props.len()
+    }
+
+    /// True if no properties are installed.
+    pub fn is_empty(&self) -> bool {
+        self.props.is_empty()
+    }
+
+    /// Property names, in installation order.
+    pub fn names(&self) -> Vec<&str> {
+        self.props.iter().map(|p| p.name()).collect()
+    }
+
+    /// Checks every property; returns the first violation found.
+    pub fn check(&self, gs: &GlobalState<P>) -> Option<Violation> {
+        self.props.iter().find_map(|p| p.check(gs))
+    }
+
+    /// Checks every property; returns all violations.
+    pub fn check_all(&self, gs: &GlobalState<P>) -> Vec<Violation> {
+        self.props.iter().filter_map(|p| p.check(gs)).collect()
+    }
+}
+
+impl<P: Protocol> fmt::Debug for PropertySet<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PropertySet").field("names", &self.names()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::GlobalState;
+    use crate::testproto::{max_pings_property, Ping};
+
+    fn gs(pings: u32) -> GlobalState<Ping> {
+        let mut gs = GlobalState::init(&Ping::default(), [NodeId(0), NodeId(1)]);
+        gs.slot_mut(NodeId(1)).unwrap().state.pings_seen = pings;
+        gs
+    }
+
+    #[test]
+    fn node_property_reports_offending_node() {
+        let p = max_pings_property(3);
+        assert!(p.check(&gs(2)).is_none());
+        let v = p.check(&gs(3)).expect("violated");
+        assert_eq!(v.node, Some(NodeId(1)));
+        assert_eq!(v.property, "MaxPings");
+        assert!(v.to_string().contains("n1"));
+    }
+
+    #[test]
+    fn global_property_sees_whole_state() {
+        let p = global_property("TotalPings", |gs: &GlobalState<Ping>| {
+            let total: u32 = gs.nodes.values().map(|s| s.state.pings_seen).sum();
+            if total > 5 {
+                Err(Violation {
+                    property: "TotalPings".into(),
+                    node: None,
+                    message: format!("total {total}"),
+                })
+            } else {
+                Ok(())
+            }
+        });
+        assert!(p.check(&gs(5)).is_none());
+        let v = p.check(&gs(6)).unwrap();
+        assert_eq!(v.node, None);
+        assert!(v.to_string().starts_with("[TotalPings]"));
+    }
+
+    #[test]
+    fn pairwise_property_skips_self_pairs() {
+        let p = pairwise_property(
+            "NoPair",
+            |_a, sa: &crate::testproto::PingState, _b, sb: &crate::testproto::PingState| {
+                if sa.pings_seen > 0 && sb.pings_seen > 0 {
+                    Err("both nonzero".into())
+                } else {
+                    Ok(())
+                }
+            },
+        );
+        // Only one node nonzero: pairwise check passes (self pair ignored).
+        assert!(p.check(&gs(7)).is_none());
+        let mut both = gs(7);
+        both.slot_mut(NodeId(0)).unwrap().state.pings_seen = 1;
+        assert!(p.check(&both).is_some());
+    }
+
+    #[test]
+    fn property_set_checks_in_order() {
+        let set = PropertySet::new()
+            .with(max_pings_property(10))
+            .with(max_pings_property(3));
+        assert_eq!(set.len(), 2);
+        assert!(!set.is_empty());
+        assert_eq!(set.names(), vec!["MaxPings", "MaxPings"]);
+        let v = set.check(&gs(4)).unwrap();
+        assert!(v.message.contains("limit 3"));
+        assert_eq!(set.check_all(&gs(12)).len(), 2);
+        assert!(set.check(&gs(0)).is_none());
+        let cloned = set.clone();
+        assert_eq!(cloned.len(), 2);
+    }
+
+    #[test]
+    fn empty_set_accepts_everything() {
+        let set: PropertySet<Ping> = PropertySet::new();
+        assert!(set.is_empty());
+        assert!(set.check(&gs(1000)).is_none());
+        assert!(format!("{set:?}").contains("PropertySet"));
+    }
+}

@@ -1,0 +1,405 @@
+//! Global system state: the paper's `(L, I)` pair.
+//!
+//! `L` maps every node to its local state; `I` is the multiset of in-flight
+//! messages (Fig. 4). Two extensions beyond the paper's minimal model are
+//! needed to express its own bug scenarios:
+//!
+//! * **Incarnations** — every node slot carries an incarnation counter that
+//!   is bumped on reset. In-flight messages are stamped with the incarnation
+//!   of the destination *as known over the sender's connection*; delivering
+//!   a message to a node that has since reset produces a transport error
+//!   back to the sender instead (TCP RST semantics). This is what lets n9
+//!   keep believing a reset n13 is its child (Fig. 2) and what makes node A
+//!   "not observe the reset of C" in the Chord scenario (Fig. 10).
+//! * **Connection tables** — each slot records the peers it has an open
+//!   connection to and the peer incarnation it connected to. The table
+//!   doubles as the input of the snapshot-neighborhood heuristic (§3.1
+//!   "query the runtime to obtain the list of open connections").
+//!
+//! Messages addressed to nodes that are absent from the state (possible when
+//! the checker runs on a *partial* neighborhood snapshot) are parked on the
+//! paper's **dummy node** (§4): they are retained for trace display but are
+//! never delivered, never explored, and excluded from the state hash.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::hash::Hash;
+
+use crate::codec::Encode;
+use crate::hashing::{combine, combine_unordered, stable_hash};
+use crate::node::NodeId;
+use crate::protocol::{Outbox, Protocol};
+
+/// One node's entry in `L`: protocol state plus runtime-level connection
+/// bookkeeping.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct NodeSlot<S> {
+    /// The protocol state machine's local state.
+    pub state: S,
+    /// Bumped on every reset; distinguishes pre- and post-reset connections.
+    pub incarnation: u32,
+    /// Open connections: peer → incarnation of the peer at connect time.
+    pub conns: BTreeMap<NodeId, u32>,
+}
+
+impl<S> NodeSlot<S> {
+    /// A fresh slot for a node that has never reset.
+    pub fn new(state: S) -> Self {
+        NodeSlot { state, incarnation: 0, conns: BTreeMap::new() }
+    }
+}
+
+impl<S: Encode> Encode for NodeSlot<S> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.state.encode(buf);
+        self.incarnation.encode(buf);
+        self.conns.encode(buf);
+    }
+}
+
+impl<S: crate::codec::Decode> crate::codec::Decode for NodeSlot<S> {
+    fn decode(r: &mut crate::codec::Reader<'_>) -> Result<Self, crate::codec::DecodeError> {
+        Ok(NodeSlot {
+            state: S::decode(r)?,
+            incarnation: u32::decode(r)?,
+            conns: BTreeMap::decode(r)?,
+        })
+    }
+}
+
+/// The content of an in-flight network item.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Payload<M> {
+    /// An application message (the common case).
+    Msg(M),
+    /// A transport-error notification: the recipient's connection to the
+    /// item's source has failed (RST, broken pipe, close). "We assume that
+    /// transport errors are particular messages" (§2.1).
+    Error,
+}
+
+impl<M> Payload<M> {
+    /// True for [`Payload::Error`].
+    pub fn is_error(&self) -> bool {
+        matches!(self, Payload::Error)
+    }
+}
+
+/// An element of the network multiset `I`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct InFlight<M> {
+    /// Sending node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Sender's incarnation at send time (so replies and error
+    /// notifications can be matched to the right incarnation).
+    pub src_inc: u32,
+    /// Destination incarnation the sender's connection was established to;
+    /// a mismatch at delivery time means the connection is stale.
+    pub dst_inc: u32,
+    /// The message or error notification itself.
+    pub payload: Payload<M>,
+}
+
+/// The global state `(L, I)` of the distributed system.
+#[derive(Clone, Debug)]
+pub struct GlobalState<P: Protocol> {
+    /// `L`: local node states, keyed by node id (absent key = node unknown
+    /// to this — possibly partial — snapshot).
+    pub nodes: BTreeMap<NodeId, NodeSlot<P::State>>,
+    /// `I`: in-flight messages between known nodes. Vec order is an
+    /// implementation artifact; hashing treats it as a multiset.
+    pub inflight: Vec<InFlight<P::Message>>,
+    /// Messages redirected to the dummy node (§4). Never delivered, never
+    /// hashed.
+    pub parked: Vec<InFlight<P::Message>>,
+}
+
+impl<P: Protocol> GlobalState<P> {
+    /// A system of `nodes`, each in its protocol-initial state, with an
+    /// empty network.
+    pub fn init(config: &P, nodes: impl IntoIterator<Item = NodeId>) -> Self {
+        let nodes = nodes
+            .into_iter()
+            .map(|n| (n, NodeSlot::new(config.init(n))))
+            .collect();
+        GlobalState { nodes, inflight: Vec::new(), parked: Vec::new() }
+    }
+
+    /// Builds a state from externally collected `(node, slot)` checkpoints —
+    /// the entry point used when feeding a neighborhood snapshot to the
+    /// checker.
+    pub fn from_slots(slots: impl IntoIterator<Item = (NodeId, NodeSlot<P::State>)>) -> Self {
+        GlobalState {
+            nodes: slots.into_iter().collect(),
+            inflight: Vec::new(),
+            parked: Vec::new(),
+        }
+    }
+
+    /// Number of nodes with a known local state.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Immutable access to a node slot.
+    pub fn slot(&self, node: NodeId) -> Option<&NodeSlot<P::State>> {
+        self.nodes.get(&node)
+    }
+
+    /// Mutable access to a node slot.
+    pub fn slot_mut(&mut self, node: NodeId) -> Option<&mut NodeSlot<P::State>> {
+        self.nodes.get_mut(&node)
+    }
+
+    /// Deterministic hash of the whole global state, used by the checker's
+    /// `explored` set. Node map is hashed in key order; the in-flight bag is
+    /// hashed order-independently; parked (dummy-node) messages are
+    /// deliberately excluded.
+    pub fn state_hash(&self) -> u64 {
+        let mut h = 0u64;
+        for (id, slot) in &self.nodes {
+            h = combine(h, stable_hash(&(id, slot)));
+        }
+        let bag = combine_unordered(self.inflight.iter().map(stable_hash));
+        combine(h, bag)
+    }
+
+    /// Deterministic hash of `(n, s)` — the key of consequence prediction's
+    /// `localExplored` set (Fig. 8 lines 17/20).
+    pub fn local_hash(&self, node: NodeId) -> Option<u64> {
+        self.nodes.get(&node).map(|slot| stable_hash(&(node, slot)))
+    }
+
+    /// Applies the output of a handler execution at `from`: stamps each send
+    /// with connection incarnations (establishing connections lazily, as TCP
+    /// connect does) and turns requested closes into error notifications for
+    /// the affected peers.
+    pub fn apply_outbox(&mut self, from: NodeId, out: Outbox<P::Message>) {
+        let (sends, closes) = out.into_parts();
+        for (dst, msg) in sends {
+            self.push_payload(from, dst, Payload::Msg(msg));
+        }
+        for peer in closes {
+            // Close tears down our side immediately; the peer learns via an
+            // in-flight error notification about the connection *as it was*.
+            let (src_inc, stamp) = match self.nodes.get_mut(&from) {
+                Some(slot) => (slot.incarnation, slot.conns.remove(&peer)),
+                None => (0, None),
+            };
+            let dst_inc =
+                stamp.unwrap_or_else(|| self.nodes.get(&peer).map_or(0, |s| s.incarnation));
+            self.route_item(InFlight {
+                src: from,
+                dst: peer,
+                src_inc,
+                dst_inc,
+                payload: Payload::Error,
+            });
+        }
+    }
+
+    /// Queues one payload from `src` to `dst`, stamping connection
+    /// incarnations. Application messages establish a connection lazily;
+    /// error notifications are stamped with the existing connection (or the
+    /// peer's current incarnation) without establishing one. Items to
+    /// unknown nodes are parked on the dummy node.
+    pub fn push_payload(&mut self, src: NodeId, dst: NodeId, payload: Payload<P::Message>) {
+        let src_inc = self.nodes.get(&src).map_or(0, |s| s.incarnation);
+        let dst_cur = self.nodes.get(&dst).map_or(0, |s| s.incarnation);
+        let dst_inc = match self.nodes.get_mut(&src) {
+            Some(slot) => {
+                if payload.is_error() {
+                    slot.conns.get(&dst).copied().unwrap_or(dst_cur)
+                } else {
+                    *slot.conns.entry(dst).or_insert(dst_cur)
+                }
+            }
+            None => dst_cur,
+        };
+        self.route_item(InFlight { src, dst, src_inc, dst_inc, payload });
+    }
+
+    /// Places an already-stamped item into the network (or parks it on the
+    /// dummy node if the destination is unknown to this snapshot).
+    pub fn route_item(&mut self, item: InFlight<P::Message>) {
+        if self.nodes.contains_key(&item.dst) {
+            self.inflight.push(item);
+        } else {
+            self.parked.push(item);
+        }
+    }
+
+    /// Total encoded bytes of in-flight application messages (used by
+    /// bandwidth accounting in tests).
+    pub fn inflight_bytes(&self) -> usize {
+        self.inflight
+            .iter()
+            .filter_map(|m| match &m.payload {
+                Payload::Msg(msg) => Some(msg.encoded_len()),
+                Payload::Error => None,
+            })
+            .sum()
+    }
+
+    /// Summarizes the state for debugging output.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} nodes, {} in-flight, {} parked",
+            self.nodes.len(),
+            self.inflight.len(),
+            self.parked.len()
+        )
+    }
+}
+
+impl<P: Protocol> fmt::Display for GlobalState<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "GlobalState [{}]", self.summary())?;
+        for (id, slot) in &self.nodes {
+            writeln!(f, "  {id} (inc {}): {:?}", slot.incarnation, slot.state)?;
+        }
+        for m in &self.inflight {
+            writeln!(f, "  wire {} -> {}: {:?}", m.src, m.dst, m.payload)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testproto::{Ping, PingMsg};
+
+    fn two_nodes() -> GlobalState<Ping> {
+        GlobalState::init(&Ping::default(), [NodeId(0), NodeId(1)])
+    }
+
+    #[test]
+    fn init_builds_fresh_slots() {
+        let gs = two_nodes();
+        assert_eq!(gs.node_count(), 2);
+        assert_eq!(gs.slot(NodeId(0)).unwrap().incarnation, 0);
+        assert!(gs.inflight.is_empty());
+    }
+
+    #[test]
+    fn outbox_sends_become_inflight_with_stamps() {
+        let mut gs = two_nodes();
+        let mut out = Outbox::new();
+        out.send(NodeId(1), PingMsg::Ping);
+        gs.apply_outbox(NodeId(0), out);
+        assert_eq!(gs.inflight.len(), 1);
+        let m = &gs.inflight[0];
+        assert_eq!((m.src, m.dst, m.src_inc, m.dst_inc), (NodeId(0), NodeId(1), 0, 0));
+        // Connection was established lazily.
+        assert_eq!(gs.slot(NodeId(0)).unwrap().conns.get(&NodeId(1)), Some(&0));
+    }
+
+    #[test]
+    fn stale_connection_keeps_old_incarnation() {
+        let mut gs = two_nodes();
+        let mut out = Outbox::new();
+        out.send(NodeId(1), PingMsg::Ping);
+        gs.apply_outbox(NodeId(0), out);
+        // Node 1 resets: incarnation bumps.
+        gs.slot_mut(NodeId(1)).unwrap().incarnation = 1;
+        // Node 0 still has the old connection, so a second send is stamped
+        // with the stale incarnation 0.
+        let mut out = Outbox::new();
+        out.send(NodeId(1), PingMsg::Ping);
+        gs.apply_outbox(NodeId(0), out);
+        assert_eq!(gs.inflight[1].dst_inc, 0, "stale connection stamp");
+    }
+
+    #[test]
+    fn close_emits_error_and_drops_connection() {
+        let mut gs = two_nodes();
+        let mut out = Outbox::new();
+        out.send(NodeId(1), PingMsg::Ping);
+        gs.apply_outbox(NodeId(0), out);
+        let mut out = Outbox::new();
+        out.close(NodeId(1));
+        gs.apply_outbox(NodeId(0), out);
+        assert!(gs.slot(NodeId(0)).unwrap().conns.is_empty());
+        assert!(gs.inflight.iter().any(|m| m.payload.is_error() && m.dst == NodeId(1)));
+    }
+
+    #[test]
+    fn messages_to_unknown_nodes_are_parked() {
+        let mut gs = two_nodes();
+        let mut out = Outbox::new();
+        out.send(NodeId(99), PingMsg::Ping);
+        gs.apply_outbox(NodeId(0), out);
+        assert!(gs.inflight.is_empty());
+        assert_eq!(gs.parked.len(), 1);
+        // Parked messages do not affect the state hash (dummy node, §4).
+        let h1 = gs.state_hash();
+        let mut out = Outbox::new();
+        out.send(NodeId(99), PingMsg::Ping);
+        gs.apply_outbox(NodeId(0), out);
+        assert_eq!(gs.state_hash(), h1);
+    }
+
+    #[test]
+    fn state_hash_is_inflight_order_independent() {
+        let mk = |first: PingMsg, second: PingMsg| {
+            let mut gs = two_nodes();
+            let mut out = Outbox::new();
+            out.send(NodeId(1), first);
+            out.send(NodeId(1), second);
+            gs.apply_outbox(NodeId(0), out);
+            gs
+        };
+        // Same multiset of in-flight messages, inserted in opposite orders.
+        assert_eq!(
+            mk(PingMsg::Ping, PingMsg::Pong).state_hash(),
+            mk(PingMsg::Pong, PingMsg::Ping).state_hash()
+        );
+        // ...and a genuinely different multiset hashes differently.
+        assert_ne!(
+            mk(PingMsg::Ping, PingMsg::Ping).state_hash(),
+            mk(PingMsg::Pong, PingMsg::Ping).state_hash()
+        );
+    }
+
+    #[test]
+    fn from_slots_builds_partial_states() {
+        let full = two_nodes();
+        let partial: GlobalState<Ping> = GlobalState::from_slots(
+            full.nodes.iter().take(1).map(|(id, s)| (*id, s.clone())),
+        );
+        assert_eq!(partial.node_count(), 1);
+        assert!(partial.slot(NodeId(1)).is_none());
+    }
+
+    #[test]
+    fn state_hash_distinguishes_local_states() {
+        let gs = two_nodes();
+        let mut gs2 = two_nodes();
+        gs2.slot_mut(NodeId(0)).unwrap().state.pings_seen = 7;
+        assert_ne!(gs.state_hash(), gs2.state_hash());
+        assert_ne!(gs.local_hash(NodeId(0)), gs2.local_hash(NodeId(0)));
+        assert_eq!(gs.local_hash(NodeId(1)), gs2.local_hash(NodeId(1)));
+        assert_eq!(gs.local_hash(NodeId(42)), None);
+    }
+
+    #[test]
+    fn inflight_bytes_counts_only_messages() {
+        let mut gs = two_nodes();
+        let mut out = Outbox::new();
+        out.send(NodeId(1), PingMsg::Ping);
+        out.close(NodeId(1));
+        gs.apply_outbox(NodeId(0), out);
+        assert_eq!(gs.inflight_bytes(), 1);
+    }
+
+    #[test]
+    fn display_renders() {
+        let gs = two_nodes();
+        let s = gs.to_string();
+        assert!(s.contains("GlobalState"));
+        assert!(s.contains("n0"));
+    }
+}

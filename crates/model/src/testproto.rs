@@ -1,0 +1,182 @@
+//! A deliberately tiny protocol used by unit tests and doctests across the
+//! workspace.
+//!
+//! `Ping` nodes answer `Ping` with `Pong` and count pings seen; a `Kick`
+//! action (externally scheduled) makes a node ping a fixed target. The
+//! protocol also exposes an intentionally violable "saw fewer than N pings"
+//! property so checker tests have something to find.
+
+use crate::codec::{Decode, DecodeError, Encode, Reader};
+use crate::node::NodeId;
+use crate::property::{node_property, Property};
+use crate::protocol::{Outbox, Protocol, Schedule};
+use crate::time::SimDuration;
+
+/// Configuration of the test protocol: who `Kick` pings.
+#[derive(Clone, Debug)]
+pub struct Ping {
+    /// Target of the `Kick` action.
+    pub kick_target: NodeId,
+    /// Whether `Kick` is enabled at all (lets tests control branching).
+    pub kick_enabled: bool,
+}
+
+impl Default for Ping {
+    fn default() -> Self {
+        Ping { kick_target: NodeId(0), kick_enabled: false }
+    }
+}
+
+/// Local state: counters only.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PingState {
+    /// Pings received.
+    pub pings_seen: u32,
+    /// Pongs received.
+    pub pongs_seen: u32,
+    /// Transport errors observed.
+    pub errors_seen: u32,
+}
+
+impl Encode for PingState {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.pings_seen.encode(buf);
+        self.pongs_seen.encode(buf);
+        self.errors_seen.encode(buf);
+    }
+}
+
+impl Decode for PingState {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(PingState {
+            pings_seen: u32::decode(r)?,
+            pongs_seen: u32::decode(r)?,
+            errors_seen: u32::decode(r)?,
+        })
+    }
+}
+
+/// Wire messages.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum PingMsg {
+    /// Request; answered with [`PingMsg::Pong`].
+    Ping,
+    /// Response.
+    Pong,
+}
+
+impl Encode for PingMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(matches!(self, PingMsg::Pong) as u8);
+    }
+}
+
+impl Decode for PingMsg {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.byte()? {
+            0 => Ok(PingMsg::Ping),
+            1 => Ok(PingMsg::Pong),
+            t => Err(DecodeError::BadTag(t)),
+        }
+    }
+}
+
+/// Internal actions.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum PingAction {
+    /// Ping the configured target (externally scheduled).
+    Kick,
+}
+
+impl Protocol for Ping {
+    type State = PingState;
+    type Message = PingMsg;
+    type Action = PingAction;
+
+    fn name(&self) -> &'static str {
+        "ping"
+    }
+
+    fn init(&self, _node: NodeId) -> PingState {
+        PingState { pings_seen: 0, pongs_seen: 0, errors_seen: 0 }
+    }
+
+    fn on_message(
+        &self,
+        _node: NodeId,
+        state: &mut PingState,
+        from: NodeId,
+        msg: &PingMsg,
+        out: &mut Outbox<PingMsg>,
+    ) {
+        match msg {
+            PingMsg::Ping => {
+                state.pings_seen += 1;
+                out.send(from, PingMsg::Pong);
+            }
+            PingMsg::Pong => state.pongs_seen += 1,
+        }
+    }
+
+    fn on_error(
+        &self,
+        _node: NodeId,
+        state: &mut PingState,
+        _peer: NodeId,
+        _out: &mut Outbox<PingMsg>,
+    ) {
+        state.errors_seen += 1;
+    }
+
+    fn enabled_actions(&self, node: NodeId, _state: &PingState, acts: &mut Vec<PingAction>) {
+        if self.kick_enabled && node != self.kick_target {
+            acts.push(PingAction::Kick);
+        }
+    }
+
+    fn on_action(
+        &self,
+        _node: NodeId,
+        _state: &mut PingState,
+        action: &PingAction,
+        out: &mut Outbox<PingMsg>,
+    ) {
+        match action {
+            // Guarded in the handler too, so a "fixed" configuration stays
+            // fixed even when a recorded action is replayed directly.
+            PingAction::Kick if self.kick_enabled => out.send(self.kick_target, PingMsg::Ping),
+            PingAction::Kick => {}
+        }
+    }
+
+    fn schedule(&self, action: &PingAction) -> Schedule {
+        match action {
+            PingAction::Kick => Schedule::Periodic(SimDuration::from_secs(1)),
+        }
+    }
+
+    fn message_kind(msg: &PingMsg) -> &'static str {
+        match msg {
+            PingMsg::Ping => "Ping",
+            PingMsg::Pong => "Pong",
+        }
+    }
+
+    fn action_kind(action: &PingAction) -> &'static str {
+        match action {
+            PingAction::Kick => "Kick",
+        }
+    }
+}
+
+/// A property that is violated once any node has seen `limit` pings —
+/// a controllable "bug" for checker tests.
+pub fn max_pings_property(limit: u32) -> impl Property<Ping> {
+    node_property("MaxPings", move |_node, state: &PingState| {
+        if state.pings_seen >= limit {
+            Err(format!("saw {} pings (limit {})", state.pings_seen, limit))
+        } else {
+            Ok(())
+        }
+    })
+}

@@ -1,0 +1,225 @@
+//! # cb-net — the emulated wide-area network (ModelNet substitute)
+//!
+//! The paper's live experiments run on a ModelNet cluster emulating a
+//! 5,000-node INET topology: power-law degree distribution, generator
+//! latencies (average RTT ≈ 130 ms), 100 Mbps transit-transit links,
+//! 5 Mbps/1 Mbps access links, and random per-link drop probabilities in
+//! [0.001, 0.005] emulating cross traffic (§5.1).
+//!
+//! This crate rebuilds those ingredients as a deterministic discrete-time
+//! model:
+//!
+//! * [`Topology`] — a preferential-attachment (power-law) graph with
+//!   per-link latencies; participants are attached to one-degree stub
+//!   nodes, and pairwise path delay / loss are computed over shortest
+//!   paths, exactly the quantities ModelNet would impose per packet;
+//! * [`LinkModel`] — per-participant access-link bandwidth queues
+//!   (serialization delay + FIFO backlog) for inbound and outbound
+//!   directions;
+//! * [`NetworkModel`] — combines both: given `(now, src, dst, bytes)` it
+//!   returns the arrival time of a message, keeps per-connection FIFO
+//!   ordering (TCP semantics), and samples loss for unreliable traffic.
+//!
+//! Determinism: all randomness comes from the seeded [`rand`] PRNG owned by
+//! the model, so a simulation replays bit-identically from its seed.
+
+pub mod link;
+pub mod topology;
+
+pub use link::{LinkModel, LinkStats};
+pub use topology::{PathInfo, Topology, TopologyConfig};
+
+use cb_model::{NodeId, SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Delivery classes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transport {
+    /// Reliable, in-order per connection (TCP): loss shows up as added
+    /// latency (retransmission), never as message loss.
+    Tcp,
+    /// Best-effort datagrams (UDP): loss drops the message.
+    Udp,
+}
+
+/// The complete network model used by the live runtime.
+#[derive(Debug)]
+pub struct NetworkModel {
+    topo: Topology,
+    links: LinkModel,
+    rng: StdRng,
+    /// Per ordered pair: earliest time the next in-order delivery may
+    /// happen (TCP FIFO guarantee).
+    fifo_horizon: std::collections::HashMap<(NodeId, NodeId), SimTime>,
+    /// Retransmission penalty applied per lost transmission attempt (TCP).
+    rto: SimDuration,
+}
+
+impl NetworkModel {
+    /// Builds a network model over `topo` with the given seed.
+    pub fn new(topo: Topology, seed: u64) -> Self {
+        NetworkModel {
+            links: LinkModel::new(topo.participants().to_vec(), topo.config().clone()),
+            topo,
+            rng: StdRng::seed_from_u64(seed ^ 0x6e65_745f_6d6f_6465),
+            fifo_horizon: std::collections::HashMap::new(),
+            rto: SimDuration::from_millis(200),
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Link/bandwidth statistics (bytes through each access link).
+    pub fn stats(&self) -> &LinkStats {
+        self.links.stats()
+    }
+
+    /// Schedules a message of `bytes` from `src` to `dst` handed to the
+    /// network at `now`. Returns its arrival time, or `None` if the message
+    /// is lost (UDP only).
+    pub fn schedule(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: usize,
+        transport: Transport,
+    ) -> Option<SimTime> {
+        // Loopback messages skip the network entirely.
+        if src == dst {
+            return Some(now + SimDuration::from_micros(10));
+        }
+        let path = self.topo.path(src, dst);
+        let mut latency = path.delay;
+        match transport {
+            Transport::Tcp => {
+                // Cross-traffic loss causes retransmissions: each lost
+                // attempt adds an RTO worth of delay.
+                let mut attempts = 0;
+                while self.rng.gen::<f64>() < path.loss && attempts < 8 {
+                    latency = latency + self.rto;
+                    attempts += 1;
+                }
+            }
+            Transport::Udp => {
+                if self.rng.gen::<f64>() < path.loss {
+                    self.links.record_lost(src, bytes);
+                    return None;
+                }
+            }
+        }
+        // Serialize through src's uplink and dst's downlink.
+        let sent_at = self.links.egress(now, src, bytes);
+        let arrival = self.links.ingress(sent_at + latency, dst, bytes);
+        match transport {
+            Transport::Tcp => {
+                // Per-connection FIFO: never deliver before an earlier
+                // message of the same ordered pair.
+                let horizon = self.fifo_horizon.entry((src, dst)).or_insert(SimTime::ZERO);
+                let t = arrival.max(*horizon + SimDuration::from_micros(1));
+                *horizon = t;
+                Some(t)
+            }
+            Transport::Udp => Some(arrival),
+        }
+    }
+
+    /// Samples a uniformly random extra delay (used by scenario scripts for
+    /// jitter); deterministic per seed.
+    pub fn jitter(&mut self, max: SimDuration) -> SimDuration {
+        SimDuration::from_micros(self.rng.gen_range(0..=max.as_micros()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_net(seed: u64) -> NetworkModel {
+        let cfg = TopologyConfig { core_nodes: 60, participants: 8, ..TopologyConfig::default() };
+        NetworkModel::new(Topology::generate(cfg, seed), seed)
+    }
+
+    #[test]
+    fn tcp_preserves_per_connection_fifo_order() {
+        let mut net = small_net(7);
+        let (a, b) = (NodeId(0), NodeId(1));
+        let mut last = SimTime::ZERO;
+        for i in 0..50 {
+            let t = net
+                .schedule(SimTime(i * 10), a, b, 200, Transport::Tcp)
+                .expect("tcp never loses");
+            assert!(t > last, "FIFO violated at message {i}: {t} <= {last}");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn tcp_never_loses_udp_sometimes_does() {
+        let mut net = small_net(42);
+        let (a, b) = (NodeId(2), NodeId(3));
+        let mut udp_lost = 0;
+        for i in 0..4000 {
+            assert!(net.schedule(SimTime(i), a, b, 100, Transport::Tcp).is_some());
+            if net.schedule(SimTime(i), a, b, 100, Transport::Udp).is_none() {
+                udp_lost += 1;
+            }
+        }
+        assert!(udp_lost > 0, "with per-link loss in [0.001,0.005], 4000 datagrams lose some");
+        assert!(udp_lost < 400, "but not an implausible fraction ({udp_lost})");
+    }
+
+    #[test]
+    fn loopback_is_fast() {
+        let mut net = small_net(1);
+        let t = net.schedule(SimTime::ZERO, NodeId(4), NodeId(4), 100, Transport::Tcp).unwrap();
+        assert!(t.0 < 1_000, "loopback under 1ms");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut net = small_net(seed);
+            (0..100)
+                .map(|i| {
+                    net.schedule(SimTime(i * 7), NodeId(0), NodeId(5), 500, Transport::Tcp)
+                        .unwrap()
+                        .0
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10), "different seeds diverge");
+    }
+
+    #[test]
+    fn big_messages_serialize_slower() {
+        let mut net = small_net(3);
+        let t_small =
+            net.schedule(SimTime::ZERO, NodeId(6), NodeId(7), 100, Transport::Tcp).unwrap();
+        let mut net = small_net(3);
+        let t_big =
+            net.schedule(SimTime::ZERO, NodeId(6), NodeId(7), 100_000, Transport::Tcp).unwrap();
+        assert!(
+            t_big > t_small,
+            "100 kB through a 1 Mbps uplink must arrive later ({t_big} vs {t_small})"
+        );
+        // 100kB at 1 Mbps ≈ 0.8s of serialization alone.
+        assert!((t_big - t_small).as_secs_f64() > 0.5);
+    }
+
+    #[test]
+    fn jitter_bounded_and_deterministic() {
+        let mut a = small_net(5);
+        let mut b = small_net(5);
+        for _ in 0..100 {
+            let ja = a.jitter(SimDuration::from_secs(60));
+            assert!(ja <= SimDuration::from_secs(60));
+            assert_eq!(ja, b.jitter(SimDuration::from_secs(60)));
+        }
+    }
+}

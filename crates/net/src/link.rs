@@ -1,0 +1,172 @@
+//! Access-link bandwidth queues.
+//!
+//! ModelNet shapes every participant's access link (5 Mbps inbound /
+//! 1 Mbps outbound in §5.1). We model each direction as a FIFO serialization
+//! queue: a message of `b` bytes occupies the link for `8·b / rate`
+//! seconds, and transmission cannot begin before the link finished its
+//! previous message. The resulting backlog is exactly why CrystalBall
+//! bounds checkpoint bandwidth (§3.1 "Managing Bandwidth Consumption") and
+//! why Fig. 17's checkpoint traffic slows Bullet' down.
+
+use std::collections::HashMap;
+
+use cb_model::{NodeId, SimDuration, SimTime};
+
+use crate::topology::TopologyConfig;
+
+/// Per-node byte counters, used by the §5.5 bandwidth measurements.
+#[derive(Clone, Debug, Default)]
+pub struct LinkStats {
+    /// Bytes sent per node (egress).
+    pub sent: HashMap<NodeId, u64>,
+    /// Bytes received per node (ingress).
+    pub received: HashMap<NodeId, u64>,
+    /// Bytes lost to cross traffic per node.
+    pub lost: HashMap<NodeId, u64>,
+}
+
+impl LinkStats {
+    /// Total bytes node `n` pushed into its uplink.
+    pub fn sent_by(&self, n: NodeId) -> u64 {
+        self.sent.get(&n).copied().unwrap_or(0)
+    }
+
+    /// Total bytes delivered to node `n`.
+    pub fn received_by(&self, n: NodeId) -> u64 {
+        self.received.get(&n).copied().unwrap_or(0)
+    }
+
+    /// Average egress bits/s of node `n` over `elapsed`.
+    pub fn egress_bps(&self, n: NodeId, elapsed: SimDuration) -> f64 {
+        let secs = elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.sent_by(n) as f64 * 8.0 / secs
+        }
+    }
+}
+
+/// One FIFO serialization queue per participant per direction.
+#[derive(Debug)]
+pub struct LinkModel {
+    out_free_at: HashMap<NodeId, SimTime>,
+    in_free_at: HashMap<NodeId, SimTime>,
+    out_bps: u64,
+    in_bps: u64,
+    stats: LinkStats,
+}
+
+impl LinkModel {
+    /// Creates queues for `participants` with the config's access rates.
+    pub fn new(participants: Vec<NodeId>, config: TopologyConfig) -> Self {
+        let mut out_free_at = HashMap::new();
+        let mut in_free_at = HashMap::new();
+        for p in participants {
+            out_free_at.insert(p, SimTime::ZERO);
+            in_free_at.insert(p, SimTime::ZERO);
+        }
+        LinkModel {
+            out_free_at,
+            in_free_at,
+            out_bps: config.access_out_bps,
+            in_bps: config.access_in_bps,
+            stats: LinkStats::default(),
+        }
+    }
+
+    fn serialization(bytes: usize, bps: u64) -> SimDuration {
+        SimDuration::from_micros((bytes as u64 * 8).saturating_mul(1_000_000) / bps.max(1))
+    }
+
+    /// Pushes `bytes` into `src`'s uplink at `now`; returns when the last
+    /// bit leaves the link.
+    pub fn egress(&mut self, now: SimTime, src: NodeId, bytes: usize) -> SimTime {
+        *self.stats.sent.entry(src).or_insert(0) += bytes as u64;
+        let free = self.out_free_at.entry(src).or_insert(SimTime::ZERO);
+        let start = now.max(*free);
+        let done = start + Self::serialization(bytes, self.out_bps);
+        *free = done;
+        done
+    }
+
+    /// Pushes `bytes` into `dst`'s downlink arriving at `at`; returns when
+    /// the last bit is delivered.
+    pub fn ingress(&mut self, at: SimTime, dst: NodeId, bytes: usize) -> SimTime {
+        *self.stats.received.entry(dst).or_insert(0) += bytes as u64;
+        let free = self.in_free_at.entry(dst).or_insert(SimTime::ZERO);
+        let start = at.max(*free);
+        let done = start + Self::serialization(bytes, self.in_bps);
+        *free = done;
+        done
+    }
+
+    /// Records a datagram lost before reaching the destination.
+    pub fn record_lost(&mut self, src: NodeId, bytes: usize) {
+        *self.stats.lost.entry(src).or_insert(0) += bytes as u64;
+        // The bytes still crossed the sender's uplink.
+        *self.stats.sent.entry(src).or_insert(0) += bytes as u64;
+    }
+
+    /// Byte counters.
+    pub fn stats(&self) -> &LinkStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> LinkModel {
+        LinkModel::new(
+            vec![NodeId(0), NodeId(1)],
+            TopologyConfig { access_out_bps: 1_000_000, access_in_bps: 5_000_000, ..TopologyConfig::default() },
+        )
+    }
+
+    #[test]
+    fn serialization_delay_matches_rate() {
+        let mut m = model();
+        // 125000 bytes = 1 Mbit → exactly 1 s through a 1 Mbps uplink.
+        let done = m.egress(SimTime::ZERO, NodeId(0), 125_000);
+        assert_eq!(done, SimTime(1_000_000));
+        // Inbound at 5 Mbps: 0.2 s.
+        let done = m.ingress(SimTime::ZERO, NodeId(1), 125_000);
+        assert_eq!(done, SimTime(200_000));
+    }
+
+    #[test]
+    fn backlog_queues_fifo() {
+        let mut m = model();
+        let first = m.egress(SimTime::ZERO, NodeId(0), 125_000);
+        // Second message handed over at t=0 must wait for the first.
+        let second = m.egress(SimTime::ZERO, NodeId(0), 125_000);
+        assert_eq!(second, first + SimDuration::from_secs(1));
+        // A later idle period lets the queue drain.
+        let third = m.egress(SimTime(10_000_000), NodeId(0), 1_250);
+        assert_eq!(third, SimTime(10_000_000) + SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn per_node_queues_are_independent() {
+        let mut m = model();
+        m.egress(SimTime::ZERO, NodeId(0), 1_000_000);
+        let other = m.egress(SimTime::ZERO, NodeId(1), 125);
+        assert!(other.0 < 10_000, "node 1 unaffected by node 0's backlog");
+    }
+
+    #[test]
+    fn stats_account_sent_received_lost() {
+        let mut m = model();
+        m.egress(SimTime::ZERO, NodeId(0), 100);
+        m.ingress(SimTime::ZERO, NodeId(1), 100);
+        m.record_lost(NodeId(0), 50);
+        assert_eq!(m.stats().sent_by(NodeId(0)), 150);
+        assert_eq!(m.stats().received_by(NodeId(1)), 100);
+        assert_eq!(m.stats().lost.get(&NodeId(0)), Some(&50));
+        let bps = m.stats().egress_bps(NodeId(0), SimDuration::from_secs(1));
+        assert!((bps - 1200.0).abs() < 1e-6, "150 B over 1 s = 1200 bps, got {bps}");
+        assert_eq!(m.stats().egress_bps(NodeId(0), SimDuration::ZERO), 0.0);
+    }
+}

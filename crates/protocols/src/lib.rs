@@ -1,0 +1,30 @@
+//! # cb-protocols — the distributed systems CrystalBall is evaluated on
+//!
+//! Rust ports of the four Mace services from the paper's evaluation (§5),
+//! each with the paper's inconsistencies *re-injected* behind config flags:
+//!
+//! * [`randtree`] — the random overlay tree of §1.2/§5.2.1 (7 bugs, R1–R7),
+//! * [`chord`] — the Chord DHT of §5.2.2 (3 bugs, C1–C3),
+//! * [`bullet`] — the Bullet' file-distribution mesh of §5.2.3 (3 bugs,
+//!   B1–B3),
+//! * [`paxos`] — the Paxos consensus protocol of §5.4.2 (2 injected bugs,
+//!   P1–P2).
+//!
+//! Every protocol implements [`cb_model::Protocol`], so the *same handler
+//! code* runs under the live runtime (`cb-runtime`) and inside the model
+//! checker (`cb-mc`) — the property CrystalBall's online prediction relies
+//! on. Each module also exports the paper's safety properties for its
+//! protocol and a `*Bugs` struct; `Bugs::as_shipped()` reproduces the
+//! behaviour of the Mace implementations the paper studied, `Bugs::none()`
+//! is the corrected code (the "possible corrections" of §5.2).
+
+pub mod bullet;
+pub mod chord;
+pub mod paxos;
+pub mod randtree;
+pub mod ring;
+
+pub use bullet::{Bullet, BulletBugs};
+pub use chord::{Chord, ChordBugs};
+pub use paxos::{Paxos, PaxosBugs};
+pub use randtree::{RandTree, RandTreeBugs};

@@ -1,0 +1,61 @@
+//! Ring arithmetic shared by Chord and its properties.
+//!
+//! Chord identifiers live on a circle; the ubiquitous primitive is the
+//! half-open clockwise interval test `x ∈ (a, b]` / `x ∈ (a, b)`.
+
+/// Is `x` strictly inside the clockwise-open interval `(a, b)` on the ring?
+///
+/// Degenerate interval (`a == b`) denotes the whole ring minus `a` (a
+/// single-node ring "owns" everything else).
+pub fn between_open(a: u64, x: u64, b: u64) -> bool {
+    if a == b {
+        x != a
+    } else if a < b {
+        a < x && x < b
+    } else {
+        x > a || x < b
+    }
+}
+
+/// Is `x` inside the clockwise half-open interval `(a, b]`?
+pub fn between_right_closed(a: u64, x: u64, b: u64) -> bool {
+    x == b || between_open(a, x, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_interval_basic() {
+        assert!(between_open(1, 5, 9));
+        assert!(!between_open(1, 1, 9));
+        assert!(!between_open(1, 9, 9));
+        assert!(!between_open(1, 0, 9));
+    }
+
+    #[test]
+    fn open_interval_wraps() {
+        assert!(between_open(9, 0, 2), "wraps through zero");
+        assert!(between_open(9, 10, 2));
+        assert!(!between_open(9, 5, 2));
+        assert!(!between_open(9, 9, 2));
+        assert!(!between_open(9, 2, 2));
+    }
+
+    #[test]
+    fn degenerate_interval_is_everything_else() {
+        assert!(between_open(4, 5, 4));
+        assert!(between_open(4, 3, 4));
+        assert!(!between_open(4, 4, 4));
+    }
+
+    #[test]
+    fn right_closed_includes_bound() {
+        assert!(between_right_closed(1, 9, 9));
+        assert!(between_right_closed(9, 2, 2));
+        assert!(between_right_closed(9, 0, 2));
+        assert!(!between_right_closed(1, 1, 9));
+        assert!(!between_right_closed(1, 0, 9));
+    }
+}

@@ -1,0 +1,96 @@
+//! The interposition interface CrystalBall plugs into.
+//!
+//! The CrystalBall controller of Fig. 7 sits between the network/timers and
+//! the state machine: the runtime consults the hook *before* invoking any
+//! handler (where event filters block messages and the immediate safety
+//! check vetoes unsafe handlers, §3.3), notifies it after every applied
+//! step, and hands it every completed neighborhood snapshot (the input of
+//! consequence prediction).
+
+use cb_model::{GlobalState, InFlight, NodeId, Protocol, SimTime, TraceStep};
+use cb_snapshot::Snapshot;
+
+/// Outcome of a pre-handler check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// Run the handler normally.
+    Allow,
+    /// Suppress the event. Messages are dropped, timers are rescheduled
+    /// ("Unlike the network messages that the filter drops when it
+    /// triggers, the timer events are rescheduled", §4).
+    Block,
+    /// Suppress the event *and* reset the connection with the sender
+    /// ("an alternative to simple blocking is to additionally reset the
+    /// connection with the sender of the message", §3.3).
+    BlockAndReset,
+}
+
+/// Runtime interposition points. All methods default to no-ops, so tests
+/// and baseline runs can use [`NoHook`].
+pub trait Hook<P: Protocol> {
+    /// Consulted before a message (or transport-error notification) is
+    /// handed to the destination's handler.
+    fn filter_delivery(
+        &mut self,
+        _now: SimTime,
+        _gs: &GlobalState<P>,
+        _item: &InFlight<P::Message>,
+    ) -> Decision {
+        Decision::Allow
+    }
+
+    /// Consulted before an internal action (timer or scripted application
+    /// call) runs at `node`.
+    fn filter_action(
+        &mut self,
+        _now: SimTime,
+        _gs: &GlobalState<P>,
+        _node: NodeId,
+        _action: &P::Action,
+    ) -> Decision {
+        Decision::Allow
+    }
+
+    /// Called after every applied transition.
+    fn after_step(&mut self, _now: SimTime, _gs: &GlobalState<P>, _step: &TraceStep) {}
+
+    /// Called when `node`'s checkpoint manager completes a neighborhood
+    /// snapshot gather.
+    fn on_snapshot(&mut self, _now: SimTime, _node: NodeId, _snapshot: &Snapshot) {}
+}
+
+/// A hook that never interferes (baseline runs, unit tests).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoHook;
+
+impl<P: Protocol> Hook<P> for NoHook {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cb_model::testproto::Ping;
+
+    #[test]
+    fn no_hook_allows_everything() {
+        let mut h = NoHook;
+        let gs = GlobalState::init(&Ping::default(), [NodeId(0)]);
+        let item = InFlight {
+            src: NodeId(0),
+            dst: NodeId(0),
+            src_inc: 0,
+            dst_inc: 0,
+            payload: cb_model::Payload::Msg(cb_model::testproto::PingMsg::Ping),
+        };
+        assert_eq!(Hook::<Ping>::filter_delivery(&mut h, SimTime::ZERO, &gs, &item), Decision::Allow);
+        assert_eq!(
+            Hook::<Ping>::filter_action(
+                &mut h,
+                SimTime::ZERO,
+                &gs,
+                NodeId(0),
+                &cb_model::testproto::PingAction::Kick
+            ),
+            Decision::Allow
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Scripted environment events: the experiment scenarios of §5.
+//!
+//! Live experiments drive the system with joins, node resets ("one
+//! participant per minute leaves and enters the system on average",
+//! §5.4.1), and scripted partitions (the Fig. 13 Paxos schedule). A
+//! [`Scenario`] is a time-ordered list of such events, generated
+//! deterministically from a seed.
+
+use cb_model::{NodeId, Protocol, SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One scripted environment event.
+#[derive(Clone, Debug)]
+pub enum ScriptEvent<P: Protocol> {
+    /// Inject an external action (application call: join, propose, ...).
+    Action {
+        /// The acting node.
+        node: NodeId,
+        /// The protocol action.
+        action: P::Action,
+    },
+    /// Crash-and-restart the node (§1.2's "silent reset" when `notify` is
+    /// false).
+    Reset {
+        /// The node to reset.
+        node: NodeId,
+        /// Whether peers receive RSTs.
+        notify: bool,
+    },
+    /// Break the connection between two nodes, observed first at `node`.
+    PeerError {
+        /// Observing endpoint.
+        node: NodeId,
+        /// Other endpoint.
+        peer: NodeId,
+    },
+    /// Set bidirectional connectivity of the pair (false = partitioned,
+    /// messages silently lost — the Fig. 13 "X is disconnected" arrows).
+    Connectivity {
+        /// One endpoint.
+        a: NodeId,
+        /// Other endpoint.
+        b: NodeId,
+        /// True restores the link, false cuts it.
+        up: bool,
+    },
+}
+
+/// A deterministic, time-ordered event script.
+#[derive(Clone, Debug, Default)]
+pub struct Scenario<P: Protocol> {
+    events: Vec<(SimTime, ScriptEvent<P>)>,
+}
+
+impl<P: Protocol> Scenario<P> {
+    /// An empty scenario.
+    pub fn new() -> Self {
+        Scenario { events: Vec::new() }
+    }
+
+    /// Appends an event (builder style). Events may be added in any order;
+    /// the runtime sorts by time.
+    pub fn at(mut self, t: SimTime, ev: ScriptEvent<P>) -> Self {
+        self.events.push((t, ev));
+        self
+    }
+
+    /// Appends an event in place.
+    pub fn push(&mut self, t: SimTime, ev: ScriptEvent<P>) {
+        self.events.push((t, ev));
+    }
+
+    /// All events, sorted by time (stable for equal times).
+    pub fn into_sorted(mut self) -> Vec<(SimTime, ScriptEvent<P>)> {
+        self.events.sort_by_key(|(t, _)| *t);
+        self.events
+    }
+
+    /// Number of scripted events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no events are scripted.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The churn workload of §5.4.1: staggered initial joins, then "one
+    /// participant per minute leaves and enters the system on average" for
+    /// `duration`. `join_action` builds the protocol's join call for a
+    /// node; `mean_between_churn` is the average gap between churn events.
+    pub fn churn(
+        nodes: &[NodeId],
+        join_action: impl Fn(NodeId) -> P::Action,
+        mean_between_churn: SimDuration,
+        duration: SimDuration,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6368_7572_6e21);
+        let mut s = Scenario::new();
+        // Staggered initial joins over the first 10 seconds.
+        for (i, &n) in nodes.iter().enumerate() {
+            let t = SimTime::ZERO + SimDuration::from_millis(200 * i as u64 + rng.gen_range(0..200));
+            s.push(t, ScriptEvent::Action { node: n, action: join_action(n) });
+        }
+        // Churn: exponential-ish gaps around the mean, uniform node choice.
+        let mut t = SimTime::ZERO + SimDuration::from_secs(15);
+        let end = SimTime::ZERO + duration;
+        while t < end {
+            let node = nodes[rng.gen_range(0..nodes.len())];
+            let notify = rng.gen_bool(0.5);
+            s.push(t, ScriptEvent::Reset { node, notify });
+            // Rejoin a moment later.
+            let rejoin = t + SimDuration::from_millis(rng.gen_range(500..3_000));
+            s.push(rejoin, ScriptEvent::Action { node, action: join_action(node) });
+            let gap = mean_between_churn.mul_f64(rng.gen_range(0.3..1.7));
+            t = t + gap;
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cb_model::testproto::{Ping, PingAction};
+
+    #[test]
+    fn builder_orders_events() {
+        let s: Scenario<Ping> = Scenario::new()
+            .at(SimTime(500), ScriptEvent::Reset { node: NodeId(1), notify: false })
+            .at(SimTime(100), ScriptEvent::Action { node: NodeId(0), action: PingAction::Kick });
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        let sorted = s.into_sorted();
+        assert_eq!(sorted[0].0, SimTime(100));
+        assert_eq!(sorted[1].0, SimTime(500));
+    }
+
+    #[test]
+    fn churn_is_deterministic_and_covers_all_nodes() {
+        let nodes: Vec<NodeId> = (0..10).map(NodeId).collect();
+        let make = |seed| {
+            Scenario::<Ping>::churn(
+                &nodes,
+                |_| PingAction::Kick,
+                SimDuration::from_secs(60),
+                SimDuration::from_secs(600),
+                seed,
+            )
+            .into_sorted()
+        };
+        let a = make(1);
+        let b = make(1);
+        assert_eq!(a.len(), b.len());
+        // Initial joins: one per node.
+        let joins = a
+            .iter()
+            .filter(|(t, e)| *t < SimTime(12_000_000) && matches!(e, ScriptEvent::Action { .. }))
+            .count();
+        assert_eq!(joins, 10);
+        // ~600s at one churn per minute: roughly 10 resets (wide tolerance).
+        let resets = a.iter().filter(|(_, e)| matches!(e, ScriptEvent::Reset { .. })).count();
+        assert!((4..25).contains(&resets), "got {resets} resets");
+        // Every reset is followed by a rejoin action.
+        let actions = a.iter().filter(|(_, e)| matches!(e, ScriptEvent::Action { .. })).count();
+        assert_eq!(actions, 10 + resets);
+        assert_ne!(
+            make(2).iter().filter(|(_, e)| matches!(e, ScriptEvent::Reset { .. })).count()
+                .min(1000),
+            0,
+            "other seeds also generate churn"
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Simulation counters — the raw material of §5.4/§5.5's tables.
+
+use std::collections::BTreeMap;
+
+use cb_model::{NodeId, SimDuration, SimTime, Violation};
+
+/// Counters collected over one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct SimStats {
+    /// Handler executions (message deliveries + timer/application actions):
+    /// the denominator of §5.4.1's "2.77% of the total of 14956 actions".
+    pub actions_executed: u64,
+    /// Message deliveries that ran a handler.
+    pub messages_delivered: u64,
+    /// Transport-error notifications observed by handlers.
+    pub errors_observed: u64,
+    /// Messages that bounced off a reset incarnation.
+    pub stale_bounced: u64,
+    /// Messages lost to partitions or UDP drops.
+    pub messages_lost: u64,
+    /// Timer firings suppressed because the action was no longer enabled.
+    pub timers_lapsed: u64,
+    /// Deliveries suppressed by the hook (execution steering's filters).
+    pub deliveries_blocked: u64,
+    /// Actions suppressed (rescheduled) by the hook.
+    pub actions_blocked: u64,
+    /// Steps after which the installed safety properties were violated
+    /// (§5.4.1: "the system goes through a total of 121 states that contain
+    /// inconsistencies" without CrystalBall).
+    pub violating_states: u64,
+    /// Distinct violations seen, keyed by property name.
+    pub violations_by_property: BTreeMap<String, u64>,
+    /// First violation observed, with its time.
+    pub first_violation: Option<(SimTime, Violation)>,
+    /// Scripted resets applied.
+    pub resets_applied: u64,
+    /// Snapshot gathers completed across all nodes.
+    pub snapshots_completed: u64,
+    /// Snapshot-protocol bytes sent across all nodes.
+    pub snapshot_bytes_sent: u64,
+    /// Per-node join→joined latencies observed (filled by protocol-aware
+    /// probes; see `Simulation::probe_join_time`).
+    pub join_times: Vec<(NodeId, SimDuration)>,
+}
+
+impl SimStats {
+    /// Records a violating state.
+    pub fn record_violation(&mut self, now: SimTime, v: Violation) {
+        self.violating_states += 1;
+        *self.violations_by_property.entry(v.property.clone()).or_insert(0) += 1;
+        if self.first_violation.is_none() {
+            self.first_violation = Some((now, v));
+        }
+    }
+
+    /// Mean join time in seconds, if any were recorded.
+    pub fn mean_join_secs(&self) -> Option<f64> {
+        if self.join_times.is_empty() {
+            return None;
+        }
+        let sum: f64 = self.join_times.iter().map(|(_, d)| d.as_secs_f64()).sum();
+        Some(sum / self.join_times.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violation_recording() {
+        let mut s = SimStats::default();
+        assert!(s.first_violation.is_none());
+        let v = Violation { property: "P".into(), node: Some(NodeId(1)), message: "m".into() };
+        s.record_violation(SimTime(5), v.clone());
+        s.record_violation(SimTime(9), v.clone());
+        assert_eq!(s.violating_states, 2);
+        assert_eq!(s.violations_by_property["P"], 2);
+        assert_eq!(s.first_violation.as_ref().unwrap().0, SimTime(5));
+    }
+
+    #[test]
+    fn join_time_mean() {
+        let mut s = SimStats::default();
+        assert_eq!(s.mean_join_secs(), None);
+        s.join_times.push((NodeId(1), SimDuration::from_millis(800)));
+        s.join_times.push((NodeId(2), SimDuration::from_millis(1000)));
+        assert!((s.mean_join_secs().unwrap() - 0.9).abs() < 1e-9);
+    }
+}

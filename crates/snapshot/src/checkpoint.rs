@@ -1,0 +1,167 @@
+//! Checkpoint records and the per-node checkpoint store.
+//!
+//! "The checkpoint manager keeps track of checkpoints via their checkpoint
+//! numbers. ... Our approach to managing checkpoint storage is to enforce a
+//! per-node storage quota for checkpoints. Older checkpoints are removed
+//! first to make room." (§3.1)
+
+use std::collections::VecDeque;
+
+/// One local checkpoint: the node state encoded at logical time `cn`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// The checkpoint number (logical clock value) it was stamped with.
+    pub cn: u64,
+    /// Canonically encoded node state.
+    pub data: Vec<u8>,
+}
+
+impl Checkpoint {
+    /// Size of the stored (uncompressed) state.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the stored state is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// Bounded FIFO store of past checkpoints, newest last.
+#[derive(Clone, Debug)]
+pub struct CheckpointStore {
+    entries: VecDeque<Checkpoint>,
+    quota_bytes: usize,
+    bytes: usize,
+    /// Checkpoints discarded to stay under quota (for overhead reports).
+    pub pruned: u64,
+}
+
+impl CheckpointStore {
+    /// Creates a store holding at most `quota_bytes` of checkpoint data.
+    pub fn new(quota_bytes: usize) -> Self {
+        CheckpointStore { entries: VecDeque::new(), quota_bytes, bytes: 0, pruned: 0 }
+    }
+
+    /// Records a checkpoint, pruning the oldest entries if over quota. A
+    /// checkpoint for an already-stored `cn` replaces the old entry.
+    pub fn push(&mut self, cp: Checkpoint) {
+        if let Some(existing) = self.entries.iter_mut().find(|c| c.cn == cp.cn) {
+            self.bytes -= existing.data.len();
+            self.bytes += cp.data.len();
+            *existing = cp;
+        } else {
+            self.bytes += cp.data.len();
+            self.entries.push_back(cp);
+            self.entries.make_contiguous().sort_by_key(|c| c.cn);
+        }
+        while self.bytes > self.quota_bytes && self.entries.len() > 1 {
+            if let Some(old) = self.entries.pop_front() {
+                self.bytes -= old.data.len();
+                self.pruned += 1;
+            }
+        }
+    }
+
+    /// "Upon receiving the request, a node nj responds with ... the
+    /// earliest checkpoint C for which C.cn ≥ cri" (§2.3). `None` when every
+    /// such checkpoint has been pruned or never existed.
+    pub fn earliest_at_or_after(&self, cr: u64) -> Option<&Checkpoint> {
+        self.entries.iter().find(|c| c.cn >= cr)
+    }
+
+    /// The most recent checkpoint.
+    pub fn latest(&self) -> Option<&Checkpoint> {
+        self.entries.back()
+    }
+
+    /// Number of stored checkpoints.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total stored bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cp(cn: u64, size: usize) -> Checkpoint {
+        Checkpoint { cn, data: vec![cn as u8; size] }
+    }
+
+    #[test]
+    fn lookup_earliest_at_or_after() {
+        let mut s = CheckpointStore::new(10_000);
+        for n in [1u64, 3, 5] {
+            s.push(cp(n, 10));
+        }
+        assert_eq!(s.earliest_at_or_after(0).unwrap().cn, 1);
+        assert_eq!(s.earliest_at_or_after(2).unwrap().cn, 3);
+        assert_eq!(s.earliest_at_or_after(5).unwrap().cn, 5);
+        assert!(s.earliest_at_or_after(6).is_none());
+        assert_eq!(s.latest().unwrap().cn, 5);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.bytes(), 30);
+    }
+
+    #[test]
+    fn quota_prunes_oldest_first() {
+        let mut s = CheckpointStore::new(25);
+        s.push(cp(1, 10));
+        s.push(cp(2, 10));
+        s.push(cp(3, 10)); // 30 bytes > 25: prune cn=1
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.pruned, 1);
+        assert!(s.earliest_at_or_after(1).unwrap().cn >= 2, "cn=1 gone");
+    }
+
+    #[test]
+    fn quota_never_drops_the_last_checkpoint() {
+        let mut s = CheckpointStore::new(5);
+        s.push(cp(1, 100));
+        assert_eq!(s.len(), 1, "a single oversized checkpoint is kept");
+        s.push(cp(2, 100));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.latest().unwrap().cn, 2);
+    }
+
+    #[test]
+    fn same_cn_replaces() {
+        let mut s = CheckpointStore::new(1000);
+        s.push(cp(4, 10));
+        s.push(Checkpoint { cn: 4, data: vec![9; 20] });
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.bytes(), 20);
+        assert_eq!(s.latest().unwrap().data[0], 9);
+    }
+
+    #[test]
+    fn entries_kept_sorted_by_cn() {
+        let mut s = CheckpointStore::new(1000);
+        s.push(cp(5, 10));
+        s.push(cp(2, 10));
+        s.push(cp(9, 10));
+        assert_eq!(s.earliest_at_or_after(0).unwrap().cn, 2);
+        assert_eq!(s.latest().unwrap().cn, 9);
+    }
+
+    #[test]
+    fn checkpoint_len_helpers() {
+        let c = cp(1, 4);
+        assert_eq!(c.len(), 4);
+        assert!(!c.is_empty());
+        assert!(Checkpoint { cn: 0, data: vec![] }.is_empty());
+    }
+}

@@ -1,0 +1,188 @@
+//! Byte-level diffs between consecutive checkpoints.
+//!
+//! "To reduce the amount of checkpoint data we transmit, CrystalBall can
+//! use a number of techniques. First, it can employ 'diffs' that enable a
+//! node to transmit only parts of state that are different from the last
+//! sent checkpoint" (§3.1). The encoding is a list of `(offset, bytes)`
+//! patches against the previous checkpoint plus the new total length;
+//! senders fall back to a full transfer when the diff would be larger.
+
+use cb_model::{Decode, DecodeError, Encode, Reader};
+
+/// A patch set transforming one byte string into another.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diff {
+    /// Length of the new value.
+    pub new_len: usize,
+    /// Replacement runs: `(offset, bytes)`, non-overlapping, ascending.
+    pub patches: Vec<(usize, Vec<u8>)>,
+}
+
+impl Encode for Diff {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.new_len.encode(buf);
+        self.patches.len().encode(buf);
+        for (off, bytes) in &self.patches {
+            off.encode(buf);
+            bytes.len().encode(buf);
+            buf.extend_from_slice(bytes);
+        }
+    }
+}
+
+impl Decode for Diff {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let new_len = usize::decode(r)?;
+        let n = r.length()?;
+        let mut patches = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            let off = usize::decode(r)?;
+            let len = r.length()?;
+            patches.push((off, r.take(len)?.to_vec()));
+        }
+        Ok(Diff { new_len, patches })
+    }
+}
+
+/// Computes a patch set turning `old` into `new` by scanning for differing
+/// runs (gap-merged so close-by edits coalesce into one patch).
+pub fn encode_diff(old: &[u8], new: &[u8]) -> Diff {
+    const MERGE_GAP: usize = 8;
+    let common = old.len().min(new.len());
+    let mut patches: Vec<(usize, Vec<u8>)> = Vec::new();
+    let mut i = 0;
+    while i < common {
+        if old[i] == new[i] {
+            i += 1;
+            continue;
+        }
+        // Start of a differing run; extend until MERGE_GAP equal bytes.
+        let start = i;
+        let mut end = i + 1;
+        let mut equal_run = 0;
+        while end < common && equal_run < MERGE_GAP {
+            if old[end] == new[end] {
+                equal_run += 1;
+            } else {
+                equal_run = 0;
+            }
+            end += 1;
+        }
+        let end = end - equal_run;
+        patches.push((start, new[start..end].to_vec()));
+        i = end + equal_run;
+    }
+    if new.len() > common {
+        // Appended tail.
+        match patches.last_mut() {
+            Some((off, bytes)) if *off + bytes.len() == common => {
+                bytes.extend_from_slice(&new[common..]);
+            }
+            _ => patches.push((common, new[common..].to_vec())),
+        }
+    }
+    Diff { new_len: new.len(), patches }
+}
+
+/// Applies a patch set to `old`, producing the new value.
+///
+/// Returns `None` if the diff is inconsistent with `old` (e.g. a patch
+/// past the new length).
+pub fn apply_diff(old: &[u8], diff: &Diff) -> Option<Vec<u8>> {
+    let mut out = old.to_vec();
+    out.resize(diff.new_len, 0);
+    for (off, bytes) in &diff.patches {
+        let end = off.checked_add(bytes.len())?;
+        if end > out.len() {
+            return None;
+        }
+        out[*off..end].copy_from_slice(bytes);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(old: &[u8], new: &[u8]) -> Diff {
+        let d = encode_diff(old, new);
+        assert_eq!(apply_diff(old, &d).unwrap(), new);
+        // Wire roundtrip too.
+        assert_eq!(Diff::from_bytes(&d.to_bytes()).unwrap(), d);
+        d
+    }
+
+    #[test]
+    fn identical_inputs_produce_empty_diff() {
+        let d = roundtrip(b"same bytes", b"same bytes");
+        assert!(d.patches.is_empty());
+    }
+
+    #[test]
+    fn single_change_is_one_patch() {
+        let d = roundtrip(b"aaaaaaaaaaaaaaaaaaaaaaaa", b"aaaaaaaaaaaaXaaaaaaaaaaa");
+        assert_eq!(d.patches.len(), 1);
+        assert_eq!(d.patches[0].0, 12);
+    }
+
+    #[test]
+    fn nearby_changes_merge() {
+        let d = roundtrip(b"aaaaaaaaaaaaaaaaaaaaaaaa", b"aaXaaaaYaaaaaaaaaaaaaaaa");
+        assert_eq!(d.patches.len(), 1, "changes 5 bytes apart share one patch");
+    }
+
+    #[test]
+    fn distant_changes_stay_separate() {
+        let mut new = vec![b'a'; 100];
+        new[2] = b'X';
+        new[90] = b'Y';
+        let d = roundtrip(&vec![b'a'; 100], &new);
+        assert_eq!(d.patches.len(), 2);
+    }
+
+    #[test]
+    fn growth_and_shrink() {
+        roundtrip(b"short", b"short plus appended tail");
+        roundtrip(b"long original input", b"long");
+        roundtrip(b"", b"from empty");
+        roundtrip(b"to empty", b"");
+    }
+
+    #[test]
+    fn small_state_change_beats_full_transfer() {
+        // A realistic checkpoint evolution: one counter changed in 1 kB.
+        let old: Vec<u8> = (0..1024u32).map(|x| (x % 251) as u8).collect();
+        let mut new = old.clone();
+        new[512] = new[512].wrapping_add(1);
+        let d = encode_diff(&old, &new);
+        assert!(d.to_bytes().len() < 32, "tiny diff: {} bytes", d.to_bytes().len());
+    }
+
+    #[test]
+    fn corrupt_diff_rejected() {
+        let d = Diff { new_len: 4, patches: vec![(10, vec![1, 2, 3])] };
+        assert_eq!(apply_diff(b"abcd", &d), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(
+            old in proptest::collection::vec(any::<u8>(), 0..512),
+            new in proptest::collection::vec(any::<u8>(), 0..512),
+        ) {
+            let d = encode_diff(&old, &new);
+            prop_assert_eq!(apply_diff(&old, &d).unwrap(), new);
+        }
+
+        #[test]
+        fn prop_wire_roundtrip(
+            old in proptest::collection::vec(any::<u8>(), 0..256),
+            new in proptest::collection::vec(any::<u8>(), 0..256),
+        ) {
+            let d = encode_diff(&old, &new);
+            prop_assert_eq!(Diff::from_bytes(&d.to_bytes()).unwrap(), d);
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! LZW compression for checkpoints.
+//!
+//! "The checkpoint manager ... compresses the checkpoints using the LZW
+//! algorithm" (§4). This is a straightforward variable-width LZW over
+//! bytes: codes start at 9 bits and grow to 16; the dictionary resets when
+//! full. Compression shrinks the repetitive encodings of protocol states
+//! (Bullet' checkpoints compress to ≈3 kB in §5.5).
+
+/// Maximum code width in bits.
+const MAX_BITS: u32 = 16;
+/// First available code (256 literals + 1 reserved reset code).
+const FIRST_CODE: u32 = 257;
+/// Dictionary-reset marker.
+const RESET_CODE: u32 = 256;
+
+struct BitWriter {
+    out: Vec<u8>,
+    acc: u64,
+    nbits: u32,
+}
+
+impl BitWriter {
+    fn new() -> Self {
+        BitWriter { out: Vec::new(), acc: 0, nbits: 0 }
+    }
+    fn push(&mut self, code: u32, width: u32) {
+        self.acc |= u64::from(code) << self.nbits;
+        self.nbits += width;
+        while self.nbits >= 8 {
+            self.out.push((self.acc & 0xff) as u8);
+            self.acc >>= 8;
+            self.nbits -= 8;
+        }
+    }
+    fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            self.out.push((self.acc & 0xff) as u8);
+        }
+        self.out
+    }
+}
+
+struct BitReader<'a> {
+    inp: &'a [u8],
+    pos: usize,
+    acc: u64,
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(inp: &'a [u8]) -> Self {
+        BitReader { inp, pos: 0, acc: 0, nbits: 0 }
+    }
+    fn pull(&mut self, width: u32) -> Option<u32> {
+        while self.nbits < width {
+            if self.pos >= self.inp.len() {
+                return None;
+            }
+            self.acc |= u64::from(self.inp[self.pos]) << self.nbits;
+            self.pos += 1;
+            self.nbits += 8;
+        }
+        let v = (self.acc & ((1u64 << width) - 1)) as u32;
+        self.acc >>= width;
+        self.nbits -= width;
+        Some(v)
+    }
+}
+
+/// Compresses `data` with LZW. Empty input encodes to an empty output.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    if data.is_empty() {
+        return Vec::new();
+    }
+    // Dictionary: map from (prefix code, next byte) to code.
+    let mut dict: std::collections::HashMap<(u32, u8), u32> = std::collections::HashMap::new();
+    let mut next_code = FIRST_CODE;
+    let mut width = 9u32;
+    let mut w = BitWriter::new();
+
+    let mut current = u32::from(data[0]);
+    for &b in &data[1..] {
+        if let Some(&code) = dict.get(&(current, b)) {
+            current = code;
+        } else {
+            w.push(current, width);
+            dict.insert((current, b), next_code);
+            next_code += 1;
+            if next_code > (1 << width) && width < MAX_BITS {
+                width += 1;
+            }
+            if next_code >= (1 << MAX_BITS) {
+                w.push(RESET_CODE, width);
+                dict.clear();
+                next_code = FIRST_CODE;
+                width = 9;
+            }
+            current = u32::from(b);
+        }
+    }
+    w.push(current, width);
+    w.finish()
+}
+
+/// Decompression failure (corrupt stream).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LzwError;
+
+impl std::fmt::Display for LzwError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "corrupt LZW stream")
+    }
+}
+
+impl std::error::Error for LzwError {}
+
+/// Decompresses an LZW stream produced by [`compress`].
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>, LzwError> {
+    if data.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut table: Vec<Vec<u8>> = (0..=255u8).map(|b| vec![b]).collect();
+    table.push(Vec::new()); // RESET_CODE placeholder
+    let mut width = 9u32;
+    let mut r = BitReader::new(data);
+    let mut out = Vec::new();
+
+    let first = r.pull(width).ok_or(LzwError)?;
+    if first == RESET_CODE || first > 255 {
+        return Err(LzwError);
+    }
+    let mut prev: Vec<u8> = table[first as usize].clone();
+    out.extend_from_slice(&prev);
+
+    while let Some(code) = r.pull(width) {
+        if code == RESET_CODE {
+            table.truncate(257);
+            width = 9;
+            let Some(next) = r.pull(width) else { break };
+            if next > 255 {
+                return Err(LzwError);
+            }
+            prev = table[next as usize].clone();
+            out.extend_from_slice(&prev);
+            continue;
+        }
+        let entry = if (code as usize) < table.len() {
+            table[code as usize].clone()
+        } else if code as usize == table.len() {
+            // The classic KwKwK case.
+            let mut e = prev.clone();
+            e.push(prev[0]);
+            e
+        } else {
+            return Err(LzwError);
+        };
+        out.extend_from_slice(&entry);
+        let mut new_entry = prev.clone();
+        new_entry.push(entry[0]);
+        table.push(new_entry);
+        // Mirror the compressor's width growth: it widens after assigning
+        // code `next_code` when next_code+1 exceeds the current width.
+        if table.len() + 1 > (1 << width) && width < MAX_BITS {
+            width += 1;
+        }
+        prev = entry;
+    }
+    Ok(out)
+}
+
+/// Compression ratio helper (compressed/original, 1.0 when original empty).
+pub fn ratio(original: usize, compressed: usize) -> f64 {
+    if original == 0 {
+        1.0
+    } else {
+        compressed as f64 / original as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(data: &[u8]) {
+        let c = compress(data);
+        let d = decompress(&c).expect("decompress");
+        assert_eq!(d, data, "roundtrip failed for {} bytes", data.len());
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"ab");
+        roundtrip(b"aaa");
+        assert!(compress(b"").is_empty());
+    }
+
+    #[test]
+    fn classic_kwkwk_case() {
+        roundtrip(b"abababababab");
+        roundtrip(b"aaaaaaaaaaaaaaaaaaaaaaaa");
+    }
+
+    #[test]
+    fn repetitive_data_compresses_well() {
+        let data: Vec<u8> = std::iter::repeat(b"checkpoint-block-")
+            .take(200)
+            .flatten()
+            .copied()
+            .collect();
+        let c = compress(&data);
+        assert!(
+            c.len() * 3 < data.len(),
+            "repetitive input should compress >3x: {} -> {}",
+            data.len(),
+            c.len()
+        );
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn binary_data_roundtrips() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn large_input_exercises_dictionary_reset() {
+        // Enough distinct digrams to overflow the 16-bit dictionary.
+        let mut data = Vec::with_capacity(400_000);
+        let mut x: u32 = 1;
+        for _ in 0..400_000 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            data.push((x >> 24) as u8);
+        }
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn corrupt_streams_fail_gracefully() {
+        assert_eq!(decompress(&[0xff, 0xff, 0xff]), Err(LzwError));
+        // Truncations of a valid stream either succeed with a prefix or
+        // fail cleanly — they must not panic.
+        let c = compress(b"hello hello hello hello");
+        for cut in 0..c.len() {
+            let _ = decompress(&c[..cut]);
+        }
+    }
+
+    #[test]
+    fn ratio_helper() {
+        assert_eq!(ratio(0, 10), 1.0);
+        assert!((ratio(100, 50) - 0.5).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+            roundtrip(&data);
+        }
+
+        #[test]
+        fn prop_roundtrip_structured(
+            words in proptest::collection::vec(0u16..64, 0..512)
+        ) {
+            // Structured (small-alphabet) inputs mimic encoded checkpoints.
+            let data: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+            roundtrip(&data);
+        }
+
+        #[test]
+        fn prop_decompress_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let _ = decompress(&data);
+        }
+    }
+}

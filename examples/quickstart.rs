@@ -1,0 +1,80 @@
+//! Quickstart: CrystalBall predicts the paper's Figure 2 inconsistency.
+//!
+//! We build the RandTree state from §1.2 (n1 root of n9; n13 child of n9),
+//! hand it to consequence prediction as a node's neighborhood snapshot
+//! would be, and watch it predict the children/siblings violation — the one
+//! 17 hours of exhaustive search from the initial state could not reach.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use crystalball_suite::core::{Controller, ControllerConfig, Mode};
+use crystalball_suite::mc::SearchConfig;
+use crystalball_suite::model::{apply_event, Event, GlobalState, NodeId, SimTime};
+use crystalball_suite::protocols::randtree::{self, Action, RandTree, RandTreeBugs, Status};
+
+fn main() {
+    // The Mace implementation as the paper found it: bug R1 present
+    // (UpdateSibling keeps stale children).
+    let proto = RandTree::new(2, vec![NodeId(1)], RandTreeBugs::only("R1"));
+
+    // Recreate the first row of Figure 2 by running the real join protocol:
+    // n1 self-joins (root), n9 joins under it; n13 sits under n9 (the
+    // paper reaches this state after 13 steps of prior execution).
+    let mut gs = GlobalState::init(&proto, [NodeId(1), NodeId(9), NodeId(13)]);
+    for node in [1u32, 9] {
+        apply_event(
+            &proto,
+            &mut gs,
+            &Event::Action { node: NodeId(node), action: Action::Join { target: NodeId(1) } },
+        );
+        while !gs.inflight.is_empty() {
+            apply_event(&proto, &mut gs, &Event::Deliver { index: 0 });
+        }
+    }
+    gs.slot_mut(NodeId(9)).unwrap().state.children.insert(NodeId(13));
+    {
+        let s13 = &mut gs.slot_mut(NodeId(13)).unwrap().state;
+        s13.status = Status::Joined;
+        s13.parent = Some(NodeId(9));
+        s13.root = Some(NodeId(1));
+        s13.recovery_scheduled = true;
+    }
+
+    println!("== Current system state (the top row of Figure 2) ==");
+    for n in [1u32, 9, 13] {
+        println!("  {}", gs.slot(NodeId(n)).unwrap().state);
+    }
+
+    // A CrystalBall node in deep-online-debugging mode runs consequence
+    // prediction on this snapshot.
+    let mut controller = Controller::new(
+        proto,
+        randtree::properties::all(),
+        ControllerConfig {
+            mode: Mode::DeepOnlineDebugging,
+            search: SearchConfig {
+                max_states: Some(50_000),
+                max_depth: Some(7),
+                ..SearchConfig::default()
+            },
+            ..ControllerConfig::default()
+        },
+    );
+    let verdict = controller.run_round(SimTime::ZERO, NodeId(1), &gs);
+
+    match verdict {
+        Some(v) => {
+            let report = controller.reports.last().expect("report logged");
+            println!();
+            println!("== CrystalBall predicts a future inconsistency ==");
+            println!("  property : {}", v.property);
+            println!("  at node  : {}", v.node.map(|n| n.to_string()).unwrap_or_default());
+            println!("  depth    : {} events ahead of the live state", report.depth);
+            println!("  explored : {} states", report.states_visited);
+            println!();
+            println!("Predicted event path (the bottom rows of Figure 2):");
+            print!("{}", report.scenario);
+        }
+        None => println!("no violation predicted — is the bug flag enabled?"),
+    }
+}

@@ -1,0 +1,13 @@
+//! Facade crate for the CrystalBall reproduction workspace.
+//!
+//! Re-exports every sub-crate under one roof so the examples and the
+//! integration-test suite can use a single dependency. See `DESIGN.md` for
+//! the architecture and `EXPERIMENTS.md` for the paper-reproduction index.
+
+pub use cb_mc as mc;
+pub use cb_model as model;
+pub use cb_net as net;
+pub use cb_protocols as protocols;
+pub use cb_runtime as runtime;
+pub use cb_snapshot as snapshot;
+pub use crystalball as core;
