@@ -27,11 +27,18 @@ fn main() {
          'hardly lets it search deeper than 12-13 steps'",
     );
 
-    let budget = if fast_mode() { Duration::from_secs(5) } else { Duration::from_secs(15) };
+    let budget = if fast_mode() {
+        Duration::from_secs(5)
+    } else {
+        Duration::from_secs(15)
+    };
     let props = randtree::properties::all();
 
     section("elapsed time per depth (5 nodes)");
-    println!("{:>5} {:>12} {:>12} {:>9}", "depth", "states", "time", "growth");
+    println!(
+        "{:>5} {:>12} {:>12} {:>9}",
+        "depth", "states", "time", "growth"
+    );
     let (proto, gs) = fresh_system(5);
     let mut prev = None;
     for depth in 1..=16 {
@@ -52,7 +59,11 @@ fn main() {
         let elapsed = t0.elapsed();
         let growth = match prev {
             Some(p) if p > Duration::ZERO => {
-                format!("x{:.1}", elapsed.as_secs_f64() / Duration::max(p, Duration::from_micros(1)).as_secs_f64())
+                format!(
+                    "x{:.1}",
+                    elapsed.as_secs_f64()
+                        / Duration::max(p, Duration::from_micros(1)).as_secs_f64()
+                )
             }
             _ => "-".to_string(),
         };
@@ -65,7 +76,10 @@ fn main() {
         );
         prev = Some(elapsed);
         if out.stopped == StopReason::Deadline {
-            println!("      (budget {} exhausted — the exponential wall, as in Fig. 12)", fmt_duration(budget));
+            println!(
+                "      (budget {} exhausted — the exponential wall, as in Fig. 12)",
+                fmt_duration(budget)
+            );
             break;
         }
     }

@@ -30,20 +30,49 @@ fn scenario(gap_secs: u64, crash_b: bool) -> Scenario<Paxos> {
     let round2 = t0 + SimDuration::from_secs(5 + gap_secs);
     let mut s = Scenario::new()
         .at(t0, ScriptEvent::Connectivity { a, b: c, up: false })
-        .at(t0, ScriptEvent::Connectivity { a: b, b: c, up: false })
-        .at(t0 + SimDuration::from_millis(100), ScriptEvent::Action { node: a, action: Action::Propose })
-        .at(t0 + SimDuration::from_secs(4), ScriptEvent::Connectivity { a, b: c, up: true })
-        .at(t0 + SimDuration::from_secs(4), ScriptEvent::Connectivity { a: b, b: c, up: true })
+        .at(
+            t0,
+            ScriptEvent::Connectivity {
+                a: b,
+                b: c,
+                up: false,
+            },
+        )
+        .at(
+            t0 + SimDuration::from_millis(100),
+            ScriptEvent::Action {
+                node: a,
+                action: Action::Propose,
+            },
+        )
+        .at(
+            t0 + SimDuration::from_secs(4),
+            ScriptEvent::Connectivity { a, b: c, up: true },
+        )
+        .at(
+            t0 + SimDuration::from_secs(4),
+            ScriptEvent::Connectivity {
+                a: b,
+                b: c,
+                up: true,
+            },
+        )
         .at(round2, ScriptEvent::Connectivity { a, b, up: false })
         .at(round2, ScriptEvent::Connectivity { a, b: c, up: false })
         .at(
             round2 + SimDuration::from_millis(100),
-            ScriptEvent::Action { node: b, action: Action::Propose },
+            ScriptEvent::Action {
+                node: b,
+                action: Action::Propose,
+            },
         );
     if crash_b {
         s = s.at(
             round2 + SimDuration::from_millis(10),
-            ScriptEvent::Action { node: b, action: Action::Crash },
+            ScriptEvent::Action {
+                node: b,
+                action: Action::Crash,
+            },
         );
     }
     s
@@ -136,7 +165,9 @@ fn main() {
         println!(
             "=> avoided {avoided}/{} interventions ({}%), paper avoided 98%/95%",
             avoided + violations,
-            if avoided + violations > 0 { 100 * avoided / (avoided + violations) } else { 100 },
+            (100 * avoided)
+                .checked_div(avoided + violations)
+                .unwrap_or(100),
         );
     }
 }

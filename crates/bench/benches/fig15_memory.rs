@@ -45,7 +45,11 @@ fn main() {
             out.stats.states_visited,
             fmt_bytes(out.stats.tree_bytes),
             fmt_bytes(out.stats.peak_frontier_bytes),
-            if out.stats.tree_bytes < 1024 * 1024 { "yes (<1MB)" } else { "no" }
+            if out.stats.tree_bytes < 1024 * 1024 {
+                "yes (<1MB)"
+            } else {
+                "no"
+            }
         );
         rows.push(out.stats);
     }
@@ -53,7 +57,12 @@ fn main() {
     section("Fig. 16 — bytes per visited state");
     println!("{:>5} {:>10} {:>16}", "depth", "visited", "bytes per state");
     for (i, s) in rows.iter().enumerate() {
-        println!("{:>5} {:>10} {:>16}", i + 1, s.states_visited, s.bytes_per_state());
+        println!(
+            "{:>5} {:>10} {:>16}",
+            i + 1,
+            s.states_visited,
+            s.bytes_per_state()
+        );
     }
     let last = rows.last().expect("at least one depth");
     println!(

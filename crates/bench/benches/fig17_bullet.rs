@@ -48,7 +48,11 @@ fn run(nodes: u32, blocks: u32, with_cb: bool) -> (Vec<f64>, u64, u64) {
         .filter_map(|(_, t)| t.map(|t| t.as_secs_f64()))
         .collect();
     secs.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    (secs, sim.stats.snapshot_bytes_sent, sim.stats.snapshots_completed)
+    (
+        secs,
+        sim.stats.snapshot_bytes_sent,
+        sim.stats.snapshots_completed,
+    )
 }
 
 fn main() {
@@ -68,7 +72,10 @@ fn main() {
     let (with_cb, snap_bytes, snaps) = run(nodes, blocks, true);
 
     section("download-time CDF (seconds)");
-    println!("{:>10} {:>12} {:>14} {:>8}", "fraction", "baseline", "CrystalBall", "delta");
+    println!(
+        "{:>10} {:>12} {:>14} {:>8}",
+        "fraction", "baseline", "CrystalBall", "delta"
+    );
     for pct in [10usize, 25, 50, 75, 90, 100] {
         let pick = |v: &[f64]| -> Option<f64> {
             if v.is_empty() {
@@ -93,7 +100,10 @@ fn main() {
     section("overhead");
     println!("median slowdown:          {slowdown:+.1}%   (paper: <10%)");
     println!("snapshot gathers:         {snaps}");
-    println!("checkpoint bytes on wire: {}", fmt_bytes(snap_bytes as usize));
+    println!(
+        "checkpoint bytes on wire: {}",
+        fmt_bytes(snap_bytes as usize)
+    );
     let dur = with_cb.last().copied().unwrap_or(1.0);
     println!(
         "checkpoint traffic/node:  {:.1} kbps   (paper: ≈30 kbps)",

@@ -1,42 +1,44 @@
-//! Micro-benchmarks and the DESIGN.md ablations (Criterion).
+//! Micro-benchmarks and the DESIGN.md ablations.
 //!
 //! * `consequence_prediction` — states/second of the online checker;
 //! * `ablation/local_explored` — the one-line pruning of Fig. 8 vs plain
 //!   BFS (states visited to the same depth);
 //! * `lzw` / `diff` / `codec` — checkpoint-pipeline throughput;
 //! * `snapshot_gather` — full request/response round over the manager.
+//!
+//! Uses the in-repo timing harness (`cb_bench::harness::microbench`)
+//! rather than Criterion, which is unavailable offline.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 
+use cb_bench::harness::microbench;
 use cb_bench::scenarios;
 use cb_mc::{find_consequences, find_errors, SearchConfig};
 use cb_model::{Encode, ExploreOptions, NodeId};
 use cb_protocols::randtree::{self, RandTreeBugs};
 use cb_snapshot::{encode_diff, lzw, CheckpointManager, SnapshotConfig};
 
-fn bench_consequence_prediction(c: &mut Criterion) {
+fn bench_consequence_prediction() {
     let (proto, gs) = scenarios::randtree_fig2(RandTreeBugs::none());
     let props = randtree::properties::all();
-    c.bench_function("consequence_prediction/depth4", |b| {
-        b.iter(|| {
-            let out = find_consequences(
-                &proto,
-                &props,
-                black_box(&gs),
-                SearchConfig {
-                    max_depth: Some(4),
-                    max_states: Some(100_000),
-                    explore: ExploreOptions::default(),
-                    max_violations: usize::MAX,
-                    ..SearchConfig::default()
-                },
-            );
-            black_box(out.stats.states_visited)
-        })
+    microbench("consequence_prediction/depth4", || {
+        let out = find_consequences(
+            &proto,
+            &props,
+            black_box(&gs),
+            SearchConfig {
+                max_depth: Some(4),
+                max_states: Some(100_000),
+                explore: ExploreOptions::default(),
+                max_violations: usize::MAX,
+                ..SearchConfig::default()
+            },
+        );
+        black_box(out.stats.states_visited)
     });
 }
 
-fn bench_ablation_local_explored(c: &mut Criterion) {
+fn bench_ablation_local_explored() {
     let (proto, gs) = scenarios::randtree_fig2(RandTreeBugs::none());
     let props = randtree::properties::all();
     let mk = |prune| SearchConfig {
@@ -56,65 +58,67 @@ fn bench_ablation_local_explored(c: &mut Criterion) {
         bfs.stats.states_visited,
         bfs.stats.states_visited as f64 / cp.stats.states_visited.max(1) as f64
     );
-    let mut g = c.benchmark_group("ablation_local_explored");
-    g.sample_size(10);
-    g.bench_function("with_pruning", |b| {
-        b.iter(|| black_box(find_consequences(&proto, &props, &gs, mk(true)).stats.states_visited))
+    microbench("ablation_local_explored/with_pruning", || {
+        black_box(
+            find_consequences(&proto, &props, &gs, mk(true))
+                .stats
+                .states_visited,
+        )
     });
-    g.bench_function("without_pruning", |b| {
-        b.iter(|| black_box(find_errors(&proto, &props, &gs, mk(false)).stats.states_visited))
+    microbench("ablation_local_explored/without_pruning", || {
+        black_box(
+            find_errors(&proto, &props, &gs, mk(false))
+                .stats
+                .states_visited,
+        )
     });
-    g.finish();
 }
 
-fn bench_checkpoint_pipeline(c: &mut Criterion) {
-    let (_, gs) = scenarios::chord_ring(&[1, 5, 9, 12, 17, 23], cb_protocols::chord::ChordBugs::none());
+fn bench_checkpoint_pipeline() {
+    let (_, gs) = scenarios::chord_ring(
+        &[1, 5, 9, 12, 17, 23],
+        cb_protocols::chord::ChordBugs::none(),
+    );
     let raw = gs.slot(NodeId(9)).unwrap().to_bytes();
-    c.bench_function("codec/encode_chord_slot", |b| {
-        let slot = gs.slot(NodeId(9)).unwrap();
-        b.iter(|| black_box(slot.to_bytes()))
-    });
-    c.bench_function("lzw/compress_checkpoint", |b| {
-        b.iter(|| black_box(lzw::compress(black_box(&raw))))
+    let slot = gs.slot(NodeId(9)).unwrap();
+    microbench("codec/encode_chord_slot", || black_box(slot.to_bytes()));
+    microbench("lzw/compress_checkpoint", || {
+        black_box(lzw::compress(black_box(&raw)))
     });
     let compressed = lzw::compress(&raw);
-    c.bench_function("lzw/decompress_checkpoint", |b| {
-        b.iter(|| black_box(lzw::decompress(black_box(&compressed)).unwrap()))
+    microbench("lzw/decompress_checkpoint", || {
+        black_box(lzw::decompress(black_box(&compressed)).unwrap())
     });
     let mut changed = raw.clone();
     if let Some(x) = changed.get_mut(4) {
         *x = x.wrapping_add(1);
     }
-    c.bench_function("diff/encode_small_change", |b| {
-        b.iter(|| black_box(encode_diff(black_box(&raw), black_box(&changed))))
+    microbench("diff/encode_small_change", || {
+        black_box(encode_diff(black_box(&raw), black_box(&changed)))
     });
 }
 
-fn bench_snapshot_gather(c: &mut Criterion) {
-    c.bench_function("snapshot/gather_round_4_neighbors", |b| {
-        b.iter(|| {
-            let mut g = CheckpointManager::new(NodeId(0), SnapshotConfig::default());
-            let mut peers: Vec<CheckpointManager> =
-                (1..5).map(|i| CheckpointManager::new(NodeId(i), SnapshotConfig::default())).collect();
-            let state = vec![7u8; 200];
-            let reqs = g.start_gather(
-                &peers.iter().map(|m| m.node()).collect::<Vec<_>>(),
-                &state,
-            );
-            for (dst, req) in reqs {
-                let peer = peers.iter_mut().find(|m| m.node() == dst).unwrap();
-                for (_, reply) in peer.handle(cb_model::SimTime::ZERO, NodeId(0), &req, &state) {
-                    g.handle(cb_model::SimTime::ZERO, dst, &reply, &state);
-                }
+fn bench_snapshot_gather() {
+    microbench("snapshot/gather_round_4_neighbors", || {
+        let mut g = CheckpointManager::new(NodeId(0), SnapshotConfig::default());
+        let mut peers: Vec<CheckpointManager> = (1..5)
+            .map(|i| CheckpointManager::new(NodeId(i), SnapshotConfig::default()))
+            .collect();
+        let state = vec![7u8; 200];
+        let reqs = g.start_gather(&peers.iter().map(|m| m.node()).collect::<Vec<_>>(), &state);
+        for (dst, req) in reqs {
+            let peer = peers.iter_mut().find(|m| m.node() == dst).unwrap();
+            for (_, reply) in peer.handle(cb_model::SimTime::ZERO, NodeId(0), &req, &state) {
+                g.handle(cb_model::SimTime::ZERO, dst, &reply, &state);
             }
-            black_box(g.poll_snapshot().expect("complete").states.len())
-        })
+        }
+        black_box(g.poll_snapshot().expect("complete").states.len())
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_consequence_prediction, bench_ablation_local_explored, bench_checkpoint_pipeline, bench_snapshot_gather
+fn main() {
+    bench_consequence_prediction();
+    bench_ablation_local_explored();
+    bench_checkpoint_pipeline();
+    bench_snapshot_gather();
 }
-criterion_main!(benches);

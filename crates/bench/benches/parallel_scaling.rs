@@ -1,0 +1,149 @@
+//! Parallel checker scaling: consequence-prediction states/sec for
+//! 1/2/4/8 workers on a RandTree-under-churn live state.
+//!
+//! Checker throughput is CrystalBall's central performance metric — a
+//! prediction only matters if it lands before the erroneous event does
+//! (§4). This bench measures how the level-synchronous work-stealing
+//! engine scales, verifies the parallel runs reproduce the sequential
+//! engine's exact result content, and emits a JSON line per configuration
+//! so future PRs can track the trajectory
+//! (`CB_BENCH_JSON=scaling.json cargo bench -p cb-bench --bench
+//! parallel_scaling`).
+
+use std::io::Write;
+use std::time::Instant;
+
+use cb_bench::harness::{fast_mode, fmt_duration, preamble, section};
+use cb_mc::{find_consequences, find_consequences_parallel, ParallelConfig, SearchConfig};
+use cb_model::{NodeId, PropertySet, SimDuration};
+use cb_protocols::randtree::{self, Action as RtAction, RandTree, RandTreeBugs};
+use cb_runtime::{NoHook, Scenario, SimConfig, Simulation};
+
+/// A RandTree overlay that has lived through churn: joins, resets,
+/// rejoins — the "system that has been running for a significant amount
+/// of time" (§1.3) that online prediction actually starts from.
+fn randtree_under_churn() -> (RandTree, cb_model::GlobalState<RandTree>) {
+    let nodes: Vec<NodeId> = (0..8).map(NodeId).collect();
+    // Fixed protocol: the churned state satisfies the properties, so the
+    // search burns the whole state budget instead of stopping on an
+    // immediate violation — this bench measures throughput, not bugs.
+    let proto = RandTree::new(2, vec![NodeId(0)], RandTreeBugs::none());
+    let mut sim = Simulation::new(
+        proto.clone(),
+        &nodes,
+        randtree::properties::all(),
+        NoHook,
+        SimConfig {
+            seed: 1213,
+            track_violations: false,
+            ..SimConfig::default()
+        },
+    );
+    sim.load_scenario(Scenario::churn(
+        &nodes,
+        |_| RtAction::Join { target: NodeId(0) },
+        SimDuration::from_secs(20),
+        SimDuration::from_secs(120),
+        1213,
+    ));
+    sim.run_for(SimDuration::from_secs(130));
+    (proto, sim.gs.clone())
+}
+
+fn main() {
+    preamble(
+        "Parallel scaling — consequence prediction states/sec vs workers (RandTree under churn)",
+        "the checker runs 'as a separate thread'; throughput bounds how far ahead \
+         of the live system the predictions reach",
+    );
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("host parallelism: {cores} core(s)");
+    if cores < 2 {
+        println!("NOTE: single-core host — worker counts above 1 cannot beat sequential here;");
+        println!("      the speedup column measures engine overhead, not scaling.");
+    }
+
+    let (proto, gs) = randtree_under_churn();
+    let props: PropertySet<RandTree> = randtree::properties::all();
+    let budget = if fast_mode() { 20_000 } else { 120_000 };
+    let config = SearchConfig {
+        max_states: Some(budget),
+        max_depth: Some(12),
+        max_violations: usize::MAX,
+        ..SearchConfig::default()
+    };
+
+    section(&format!("states/sec over a {budget}-state budget"));
+    let t0 = Instant::now();
+    let seq = find_consequences(&proto, &props, &gs, config.clone());
+    let seq_elapsed = t0.elapsed();
+    let seq_rate = seq.stats.states_visited as f64 / seq_elapsed.as_secs_f64();
+    println!(
+        "{:>8} {:>10} {:>12} {:>14} {:>9}",
+        "workers", "states", "time", "states/sec", "speedup"
+    );
+    println!(
+        "{:>8} {:>10} {:>12} {:>14.0} {:>8.2}x",
+        "seq",
+        seq.stats.states_visited,
+        fmt_duration(seq_elapsed),
+        seq_rate,
+        1.0
+    );
+
+    let mut rows = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let t0 = Instant::now();
+        let par = find_consequences_parallel(
+            &proto,
+            &props,
+            &gs,
+            config.clone(),
+            &ParallelConfig { workers },
+        );
+        let elapsed = t0.elapsed();
+        assert_eq!(
+            (
+                par.stats.states_visited,
+                par.stats.states_enqueued,
+                par.violations.len()
+            ),
+            (
+                seq.stats.states_visited,
+                seq.stats.states_enqueued,
+                seq.violations.len()
+            ),
+            "parallel engine must reproduce the sequential result content"
+        );
+        let rate = par.stats.states_visited as f64 / elapsed.as_secs_f64();
+        let speedup = rate / seq_rate;
+        println!(
+            "{workers:>8} {:>10} {:>12} {rate:>14.0} {speedup:>8.2}x",
+            par.stats.states_visited,
+            fmt_duration(elapsed),
+        );
+        rows.push(format!(
+            "{{\"workers\":{workers},\"states\":{},\"elapsed_s\":{:.6},\"states_per_sec\":{rate:.0},\"speedup_vs_sequential\":{speedup:.3}}}",
+            par.stats.states_visited,
+            elapsed.as_secs_f64(),
+        ));
+    }
+
+    let json = format!(
+        "{{\"bench\":\"parallel_scaling\",\"scenario\":\"randtree_under_churn\",\"host_cores\":{cores},\"budget_states\":{budget},\
+         \"sequential\":{{\"states\":{},\"elapsed_s\":{:.6},\"states_per_sec\":{seq_rate:.0}}},\
+         \"parallel\":[{}]}}",
+        seq.stats.states_visited,
+        seq_elapsed.as_secs_f64(),
+        rows.join(",")
+    );
+    println!("\n{json}");
+    if let Ok(path) = std::env::var("CB_BENCH_JSON") {
+        let mut f = std::fs::File::create(&path).expect("open CB_BENCH_JSON output");
+        writeln!(f, "{json}").expect("write JSON");
+        println!("(written to {path})");
+    }
+}

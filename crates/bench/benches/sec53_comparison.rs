@@ -65,8 +65,7 @@ fn main() {
     for bug in ["R1", "R4", "R6", "R7"] {
         let (proto, live) = match bug {
             "R6" => {
-                let proto =
-                    randtree::RandTree::new(2, vec![NodeId(1)], RandTreeBugs::only(bug));
+                let proto = randtree::RandTree::new(2, vec![NodeId(1)], RandTreeBugs::only(bug));
                 let mut gs = GlobalState::init(&proto, [NodeId(1), NodeId(9)]);
                 cb_model::apply_event(
                     &proto,
@@ -116,7 +115,11 @@ fn main() {
             &chord::properties::all(),
             &live,
             &initial,
-            ExploreOptions { resets: true, peer_errors: true, drops: false },
+            ExploreOptions {
+                resets: true,
+                peer_errors: true,
+                drops: false,
+            },
             budget,
         ));
     }
@@ -169,6 +172,10 @@ fn main() {
          searches miss most (the interesting histories — resets of joined\n\
          nodes, stale lists — simply do not exist near the initial state)."
     );
-    assert_eq!(cp_total as usize, rows.len(), "CP finds every bug from its live state");
+    assert_eq!(
+        cp_total as usize,
+        rows.len(),
+        "CP finds every bug from its live state"
+    );
     assert!(bfs_total <= cp_total && walk_total <= cp_total);
 }

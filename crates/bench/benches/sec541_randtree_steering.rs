@@ -72,7 +72,11 @@ fn controller(isc_only: bool) -> Controller<RandTree> {
             replay_known_paths: !isc_only,
             search: if isc_only {
                 // Cripple prediction: only the ISC acts.
-                SearchConfig { max_states: Some(1), max_depth: Some(0), ..SearchConfig::default() }
+                SearchConfig {
+                    max_states: Some(1),
+                    max_depth: Some(0),
+                    ..SearchConfig::default()
+                }
             } else {
                 SearchConfig {
                     max_states: Some(10_000),
@@ -106,14 +110,26 @@ fn main() {
     section("configuration 2: immediate safety check only");
     let (isc_stats, ctl) = run(controller(true), &nodes, seed, minutes, true);
     println!("ISC engagements:             {}", ctl.stats.isc_vetoes);
-    println!("inconsistent states entered: {}", isc_stats.violating_states);
+    println!(
+        "inconsistent states entered: {}",
+        isc_stats.violating_states
+    );
 
     section("configuration 3: execution steering + ISC fallback");
     let (st, ctl) = run(controller(false), &nodes, seed, minutes, true);
     println!("checker runs:                {}", ctl.stats.mc_runs);
-    println!("future inconsistencies predicted: {}", ctl.stats.predictions);
-    println!("behavior changed (filters installed): {}", ctl.stats.filters_installed);
-    println!("steering judged unhelpful:   {}", ctl.stats.steering_unhelpful);
+    println!(
+        "future inconsistencies predicted: {}",
+        ctl.stats.predictions
+    );
+    println!(
+        "behavior changed (filters installed): {}",
+        ctl.stats.filters_installed
+    );
+    println!(
+        "steering judged unhelpful:   {}",
+        ctl.stats.steering_unhelpful
+    );
     println!("filter blocks:               {}", ctl.stats.filter_hits);
     println!("ISC fallback engagements:    {}", ctl.stats.isc_vetoes);
     println!("inconsistent states entered: {}", st.violating_states);
@@ -130,7 +146,11 @@ fn main() {
         "baseline {} > steering {} inconsistent states: {}",
         base.violating_states,
         st.violating_states,
-        if st.violating_states < base.violating_states { "REPRODUCED" } else { "NOT reproduced" }
+        if st.violating_states < base.violating_states {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
     if base.violating_states == 0 {
         println!("note: this seed's churn never triggered R1–R4; rerun with another seed");

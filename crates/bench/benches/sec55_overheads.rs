@@ -105,8 +105,14 @@ fn main() {
     let secs = sim.now().as_secs_f64();
     let per_node_bps = sim.stats.snapshot_bytes_sent as f64 * 8.0 / secs / n_nodes as f64;
     println!("nodes: {n_nodes}, duration: {secs:.0}s");
-    println!("snapshots completed:       {}", sim.stats.snapshots_completed);
-    println!("checkpoint bytes on wire:  {}", fmt_bytes(sim.stats.snapshot_bytes_sent as usize));
+    println!(
+        "snapshots completed:       {}",
+        sim.stats.snapshots_completed
+    );
+    println!(
+        "checkpoint bytes on wire:  {}",
+        fmt_bytes(sim.stats.snapshot_bytes_sent as usize)
+    );
     println!("per-node checkpoint bw:    {per_node_bps:.0} bps   (paper: 803 bps at 100 nodes)");
     let mgr = sim.manager(NodeId(0)).unwrap();
     println!(

@@ -89,14 +89,15 @@ fn main() {
             "R6" => {
                 let proto =
                     randtree::RandTree::new(2, vec![cb_model::NodeId(1)], RandTreeBugs::only(bug));
-                let mut gs =
-                    GlobalState::init(&proto, [cb_model::NodeId(1), cb_model::NodeId(9)]);
+                let mut gs = GlobalState::init(&proto, [cb_model::NodeId(1), cb_model::NodeId(9)]);
                 cb_model::apply_event(
                     &proto,
                     &mut gs,
                     &cb_model::Event::Action {
                         node: cb_model::NodeId(1),
-                        action: randtree::Action::Join { target: cb_model::NodeId(1) },
+                        action: randtree::Action::Join {
+                            target: cb_model::NodeId(1),
+                        },
                     },
                 );
                 scenarios::settle(&proto, &mut gs);
@@ -123,7 +124,11 @@ fn main() {
         let proto = randtree::RandTree::new(2, vec![cb_model::NodeId(1)], RandTreeBugs::only("R2"));
         let mut gs = GlobalState::init(
             &proto,
-            [cb_model::NodeId(1), cb_model::NodeId(3), cb_model::NodeId(5)],
+            [
+                cb_model::NodeId(1),
+                cb_model::NodeId(3),
+                cb_model::NodeId(5),
+            ],
         );
         for n in [1u32, 3] {
             cb_model::apply_event(
@@ -131,17 +136,37 @@ fn main() {
                 &mut gs,
                 &cb_model::Event::Action {
                     node: cb_model::NodeId(n),
-                    action: randtree::Action::Join { target: cb_model::NodeId(1) },
+                    action: randtree::Action::Join {
+                        target: cb_model::NodeId(1),
+                    },
                 },
             );
             scenarios::settle(&proto, &mut gs);
         }
-        gs.slot_mut(cb_model::NodeId(5)).unwrap().state.children.insert(cb_model::NodeId(3));
-        rows.push(predict(&proto, &randtree::properties::all(), &gs, ExploreOptions::minimal(), 4, "R2"));
+        gs.slot_mut(cb_model::NodeId(5))
+            .unwrap()
+            .state
+            .children
+            .insert(cb_model::NodeId(3));
+        rows.push(predict(
+            &proto,
+            &randtree::properties::all(),
+            &gs,
+            ExploreOptions::minimal(),
+            4,
+            "R2",
+        ));
     }
     {
         let (proto, gs) = scenarios::randtree_fig9(RandTreeBugs::only("R3"));
-        rows.push(predict(&proto, &randtree::properties::all(), &gs, ExploreOptions::default(), 7, "R3"));
+        rows.push(predict(
+            &proto,
+            &randtree::properties::all(),
+            &gs,
+            ExploreOptions::default(),
+            7,
+            "R3",
+        ));
     }
     {
         // R5: self-joined root without a timer.
@@ -152,10 +177,19 @@ fn main() {
             &mut gs,
             &cb_model::Event::Action {
                 node: cb_model::NodeId(5),
-                action: randtree::Action::Join { target: cb_model::NodeId(5) },
+                action: randtree::Action::Join {
+                    target: cb_model::NodeId(5),
+                },
             },
         );
-        rows.push(predict(&proto, &randtree::properties::all(), &gs, ExploreOptions::minimal(), 4, "R5"));
+        rows.push(predict(
+            &proto,
+            &randtree::properties::all(),
+            &gs,
+            ExploreOptions::minimal(),
+            4,
+            "R5",
+        ));
     }
     rows.sort_by_key(|r| r.bug);
     let rt_found = report(&rows);
@@ -168,7 +202,11 @@ fn main() {
             &proto,
             &chord::properties::all(),
             &gs,
-            ExploreOptions { resets: true, peer_errors: true, drops: false },
+            ExploreOptions {
+                resets: true,
+                peer_errors: true,
+                drops: false,
+            },
             6,
             "C1",
         ));
@@ -189,25 +227,38 @@ fn main() {
             );
         }
         // Deliver joins handshakes with Ai-2's UpdatePred first.
-        let deliver = |gs: &mut GlobalState<chord::Chord>, f: &dyn Fn(&cb_model::InFlight<chord::Msg>) -> bool| {
-            if let Some(i) = gs.inflight.iter().position(|m| f(m)) {
+        let deliver = |gs: &mut GlobalState<chord::Chord>,
+                       f: &dyn Fn(&cb_model::InFlight<chord::Msg>) -> bool| {
+            if let Some(i) = gs.inflight.iter().position(f) {
                 cb_model::apply_event(&proto, gs, &cb_model::Event::Deliver { index: i });
             }
         };
-        let kind = |m: &cb_model::InFlight<chord::Msg>, k: &str| {
-            matches!(&m.payload, cb_model::Payload::Msg(msg) if chord::Chord::message_kind(msg) == k)
-        };
+        let kind = |m: &cb_model::InFlight<chord::Msg>, k: &str| matches!(&m.payload, cb_model::Payload::Msg(msg) if chord::Chord::message_kind(msg) == k);
         deliver(&mut gs, &|m| kind(m, "FindPred"));
         deliver(&mut gs, &|m| kind(m, "FindPred"));
         deliver(&mut gs, &|m| kind(m, "FindPredReply"));
         deliver(&mut gs, &|m| kind(m, "FindPredReply"));
         deliver(&mut gs, &|m| m.src == NodeId(3) && kind(m, "UpdatePred"));
         deliver(&mut gs, &|m| m.src == NodeId(5) && kind(m, "UpdatePred"));
-        rows.push(predict(&proto, &chord::properties::all(), &gs, ExploreOptions::minimal(), 4, "C2"));
+        rows.push(predict(
+            &proto,
+            &chord::properties::all(),
+            &gs,
+            ExploreOptions::minimal(),
+            4,
+            "C2",
+        ));
     }
     {
         let (proto, gs) = scenarios::chord_ring(&[1, 5], ChordBugs::only("C3"));
-        rows.push(predict(&proto, &chord::properties::all(), &gs, ExploreOptions::default(), 4, "C3"));
+        rows.push(predict(
+            &proto,
+            &chord::properties::all(),
+            &gs,
+            ExploreOptions::default(),
+            4,
+            "C3",
+        ));
     }
     let ch_found = report(&rows);
 
@@ -226,12 +277,22 @@ fn main() {
     }
     {
         let (proto, gs) = scenarios::bullet_b3_live();
-        rows.push(predict(&proto, &bullet::properties::all(), &gs, ExploreOptions::minimal(), 3, "B3"));
+        rows.push(predict(
+            &proto,
+            &bullet::properties::all(),
+            &gs,
+            ExploreOptions::minimal(),
+            3,
+            "B3",
+        ));
     }
     let bl_found = report(&rows);
 
     section("Table 1 summary");
-    println!("{:<10} {:>12} {:>12}", "system", "bugs (ours)", "bugs (paper)");
+    println!(
+        "{:<10} {:>12} {:>12}",
+        "system", "bugs (ours)", "bugs (paper)"
+    );
     println!("{:<10} {:>12} {:>12}", "RandTree", rt_found, 7);
     println!("{:<10} {:>12} {:>12}", "Chord", ch_found, 3);
     println!("{:<10} {:>12} {:>12}", "Bullet'", bl_found, 3);

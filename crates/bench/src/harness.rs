@@ -24,7 +24,9 @@ pub fn preamble(id: &str, paper_says: &str) {
 
 /// True when the harness should shrink its workload.
 pub fn fast_mode() -> bool {
-    std::env::var("CB_BENCH_FAST").map(|v| v == "1").unwrap_or(false)
+    std::env::var("CB_BENCH_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Formats a duration in adaptive units.
@@ -48,6 +50,38 @@ pub fn fmt_bytes(b: usize) -> String {
     } else {
         format!("{b} B")
     }
+}
+
+/// Times `f` and prints a Criterion-style one-liner: median over a small
+/// sample set, each sample sized so the measurement dominates timer noise.
+/// Returns the median duration of one call.
+pub fn microbench<T>(name: &str, mut f: impl FnMut() -> T) -> Duration {
+    use std::time::Instant;
+    // Warm-up + calibration: target ≥ ~20ms per sample.
+    let t0 = Instant::now();
+    let _ = f();
+    let once = t0.elapsed().max(Duration::from_nanos(50));
+    let per_sample = (Duration::from_millis(20).as_nanos() / once.as_nanos()).clamp(1, 10_000);
+    let samples = if fast_mode() { 3 } else { 10 };
+    let mut medians: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        for _ in 0..per_sample {
+            let _ = f();
+        }
+        medians.push(t0.elapsed() / per_sample as u32);
+    }
+    medians.sort();
+    let med = medians[medians.len() / 2];
+    println!(
+        "{name:<45} {:>10}/iter  (min {}, max {}, {} samples x {} iters)",
+        fmt_duration(med),
+        fmt_duration(medians[0]),
+        fmt_duration(medians[medians.len() - 1]),
+        samples,
+        per_sample
+    );
+    med
 }
 
 #[cfg(test)]

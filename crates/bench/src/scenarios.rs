@@ -25,7 +25,10 @@ fn join_rt(proto: &RandTree, gs: &mut GlobalState<RandTree>, n: u32, t: u32) {
     apply_event(
         proto,
         gs,
-        &Event::Action { node: NodeId(n), action: randtree::Action::Join { target: NodeId(t) } },
+        &Event::Action {
+            node: NodeId(n),
+            action: randtree::Action::Join { target: NodeId(t) },
+        },
     );
     settle(proto, gs);
 }
@@ -39,7 +42,14 @@ pub fn randtree_fig2(bugs: RandTreeBugs) -> (RandTree, GlobalState<RandTree>) {
     for n in [1u32, 9, 21, 13] {
         join_rt(&proto, &mut gs, n, 1);
     }
-    apply_event(&proto, &mut gs, &Event::Reset { node: NodeId(21), notify: true });
+    apply_event(
+        &proto,
+        &mut gs,
+        &Event::Reset {
+            node: NodeId(21),
+            notify: true,
+        },
+    );
     settle(&proto, &mut gs);
     (proto, gs)
 }
@@ -94,7 +104,10 @@ pub fn chord_ring(ids: &[u32], bugs: ChordBugs) -> (Chord, GlobalState<Chord>) {
         apply_event(
             &proto,
             &mut gs,
-            &Event::Action { node: NodeId(i), action: chord::Action::Join { target: boot } },
+            &Event::Action {
+                node: NodeId(i),
+                action: chord::Action::Join { target: boot },
+            },
         );
         settle(&proto, &mut gs);
     }
@@ -103,7 +116,10 @@ pub fn chord_ring(ids: &[u32], bugs: ChordBugs) -> (Chord, GlobalState<Chord>) {
             apply_event(
                 &proto,
                 &mut gs,
-                &Event::Action { node: NodeId(i), action: chord::Action::Stabilize },
+                &Event::Action {
+                    node: NodeId(i),
+                    action: chord::Action::Stabilize,
+                },
             );
             settle(&proto, &mut gs);
         }
@@ -120,7 +136,10 @@ pub fn paxos_round1(bugs: PaxosBugs) -> (Paxos, GlobalState<Paxos>) {
     apply_event(
         &proto,
         &mut gs,
-        &Event::Action { node: NodeId(0), action: paxos::Action::Propose },
+        &Event::Action {
+            node: NodeId(0),
+            action: paxos::Action::Propose,
+        },
     );
     loop {
         if let Some(i) = gs
@@ -182,7 +201,10 @@ pub fn bullet_b3_live() -> (Bullet, GlobalState<Bullet>) {
     apply_event(
         &proto,
         &mut gs,
-        &Event::Action { node: NodeId(0), action: bullet::Action::SendDiff { peer: NodeId(2) } },
+        &Event::Action {
+            node: NodeId(0),
+            action: bullet::Action::SendDiff { peer: NodeId(2) },
+        },
     );
     let diff_idx = gs
         .inflight

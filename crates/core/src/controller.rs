@@ -1,18 +1,28 @@
 //! The CrystalBall controller: prediction, steering, and the immediate
 //! safety check.
+//!
+//! The checking half of the controller (replay, consequence prediction,
+//! filter derivation, the filter safety check) lives in
+//! [`crate::service::Predictor`]; this module owns the *live* half —
+//! installed filters, the immediate safety check, statistics, and the
+//! `Hook` wiring — and decides where prediction rounds run: inline
+//! ([`CheckerMode::Synchronous`]) or on the background
+//! [`crate::CheckerService`] thread ([`CheckerMode::Background`]), in
+//! which case the simulated system keeps executing while the checker
+//! works and the checker latency is measured rather than modeled.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
+use std::time::Duration;
 
-use cb_mc::{
-    find_consequences, replay_path, EventFilter, FilterSet, FoundViolation, PathStep,
-    SearchConfig,
-};
+use cb_mc::{Engine, EventFilter, SearchConfig};
 use cb_model::{
     apply_event, Decode, Event, EventKey, GlobalState, InFlight, NodeId, NodeSlot, Payload,
     PropertySet, Protocol, SimDuration, SimTime, TraceStep, Violation,
 };
 use cb_runtime::{Decision, Hook};
 use cb_snapshot::Snapshot;
+
+use crate::service::{CheckerMode, CheckerService, Predictor, RoundResult};
 
 /// Operating mode (§3): report-only or actively steering.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -34,10 +44,21 @@ pub struct ControllerConfig {
     pub mode: Mode,
     /// Budget and event options for each consequence-prediction run.
     pub search: SearchConfig,
-    /// Modeled wall-clock runtime of the asynchronous checker: a filter
-    /// derived from a snapshot at time T activates at T + `mc_latency`
-    /// ("After running the model checker for 6 seconds, C successfully
-    /// predicts...", §5.4.2). The immediate safety check covers the gap.
+    /// Which engine runs prediction: [`Engine::Sequential`] or the
+    /// parallel work-stealing engine ([`Engine::Parallel`]) — both produce
+    /// identical predictions; parallel produces them sooner.
+    pub engine: Engine,
+    /// Where rounds execute: inline (blocking, deterministic) or on the
+    /// background checker service.
+    pub checker: CheckerMode,
+    /// Modeled wall-clock runtime of the checker, used only in
+    /// [`CheckerMode::Synchronous`]: a filter derived from a snapshot at
+    /// time T activates at T + `mc_latency` ("After running the model
+    /// checker for 6 seconds, C successfully predicts...", §5.4.2). The
+    /// immediate safety check covers the gap. In
+    /// [`CheckerMode::Background`] the latency is whatever the checker
+    /// thread actually takes (recorded in
+    /// [`ControllerStats::measured_mc_latencies`]).
     pub mc_latency: SimDuration,
     /// Enable the immediate safety check (speculative handler execution).
     pub immediate_safety_check: bool,
@@ -64,6 +85,8 @@ impl Default for ControllerConfig {
                 max_depth: Some(8),
                 ..SearchConfig::default()
             },
+            engine: Engine::Sequential,
+            checker: CheckerMode::Synchronous,
             mc_latency: SimDuration::from_secs(6),
             immediate_safety_check: true,
             check_filter_safety: true,
@@ -116,12 +139,35 @@ pub struct ControllerStats {
     /// Violations that still appeared in the live state (false negatives;
     /// 0 in §5.4.1, 2%/5% in Fig. 14).
     pub uncaught_violations: u64,
+    /// Measured wall-clock duration of every completed checking round
+    /// (replay + prediction + safety check). In synchronous mode this is
+    /// the blocking time; in background mode, the actual prediction
+    /// latency the paper models as `mc_latency`.
+    pub measured_mc_latencies: Vec<Duration>,
+}
+
+impl ControllerStats {
+    /// Mean measured checking-round latency, if any round completed.
+    pub fn avg_mc_latency(&self) -> Option<Duration> {
+        if self.measured_mc_latencies.is_empty() {
+            return None;
+        }
+        let total: Duration = self.measured_mc_latencies.iter().sum();
+        Some(total / self.measured_mc_latencies.len() as u32)
+    }
 }
 
 struct InstalledFilter {
     owner: NodeId,
     active_from: SimTime,
     filter: EventFilter,
+}
+
+enum Backend<P: Protocol> {
+    /// Rounds run inline on the caller's thread.
+    Sync(Box<Predictor<P>>),
+    /// Rounds run on the background service thread.
+    Async(CheckerService<P>),
 }
 
 /// The per-deployment CrystalBall controller. One instance serves every
@@ -133,8 +179,8 @@ pub struct Controller<P: Protocol> {
     props: PropertySet<P>,
     config: ControllerConfig,
     filters: Vec<InstalledFilter>,
-    known_paths: VecDeque<Vec<PathStep<P>>>,
     last_snapshot_hash: HashMap<NodeId, u64>,
+    backend: Backend<P>,
     /// Prediction log (what deep online debugging prints).
     pub reports: Vec<PredictionReport>,
     /// Counters.
@@ -142,15 +188,21 @@ pub struct Controller<P: Protocol> {
 }
 
 impl<P: Protocol> Controller<P> {
-    /// Creates a controller checking `props` over `protocol`.
+    /// Creates a controller checking `props` over `protocol`. With
+    /// [`CheckerMode::Background`] this spawns the checker service thread.
     pub fn new(protocol: P, props: PropertySet<P>, config: ControllerConfig) -> Self {
+        let predictor = Predictor::new(protocol.clone(), props.clone(), config.clone());
+        let backend = match config.checker {
+            CheckerMode::Synchronous => Backend::Sync(Box::new(predictor)),
+            CheckerMode::Background => Backend::Async(CheckerService::spawn(predictor)),
+        };
         Controller {
             protocol,
             props,
             config,
             filters: Vec::new(),
-            known_paths: VecDeque::new(),
             last_snapshot_hash: HashMap::new(),
+            backend,
             reports: Vec::new(),
             stats: ControllerStats::default(),
         }
@@ -166,72 +218,126 @@ impl<P: Protocol> Controller<P> {
         self.filters.len()
     }
 
+    /// Checking rounds submitted to the background service and not yet
+    /// applied (always 0 in synchronous mode).
+    pub fn pending_predictions(&self) -> u64 {
+        match &self.backend {
+            Backend::Sync(_) => 0,
+            Backend::Async(svc) => svc.pending(),
+        }
+    }
+
     /// Decodes a gathered snapshot into a checker-ready global state.
     /// Nodes whose checkpoints failed to decode are dropped (they become
     /// the dummy node, §4).
     pub fn snapshot_to_state(snapshot: &Snapshot) -> GlobalState<P> {
         let slots = snapshot.states.iter().filter_map(|(&n, bytes)| {
-            NodeSlot::<P::State>::from_bytes(bytes).ok().map(|slot| (n, slot))
+            NodeSlot::<P::State>::from_bytes(bytes)
+                .ok()
+                .map(|slot| (n, slot))
         });
         GlobalState::from_slots(slots)
     }
 
-    /// Runs one full CrystalBall round for `node` on a decoded snapshot:
-    /// replay, consequence prediction, filter preparation, safety check,
-    /// installation. Returns the predicted violation, if any.
+    /// Runs one full CrystalBall round for `node` on a decoded snapshot.
+    ///
+    /// In synchronous mode this blocks through replay, consequence
+    /// prediction, filter preparation, safety check and installation, and
+    /// returns the predicted violation, if any. In background mode it
+    /// *submits* the round to the checker service and returns `None`
+    /// immediately; the result is applied when it completes (see
+    /// [`Controller::poll_predictions`]).
     pub fn run_round(
         &mut self,
         now: SimTime,
         node: NodeId,
         start: &GlobalState<P>,
     ) -> Option<Violation> {
-        self.stats.mc_runs += 1;
-        // "CrystalBall removes the filters from the runtime after every
-        // model checking run" (§3.3) — this node's previous filters expire
-        // now; replay below may immediately reinstate them.
-        self.filters.retain(|f| f.owner != node);
-
-        // Fast path: replay previously discovered error paths (§3.3/§4).
-        if self.config.replay_known_paths {
-            let paths: Vec<_> = self.known_paths.iter().cloned().collect();
-            for path in paths {
-                let outcome = replay_path(&self.protocol, &self.props, start, &path, 256);
-                if outcome.violates() {
-                    self.stats.replays_rediscovered += 1;
-                    if self.config.mode == Mode::ExecutionSteering {
-                        // "If the problem reappears, CrystalBall immediately
-                        // reinstalls the appropriate filter."
-                        if let Some(filter) = self.derive_filter(node, start, &path) {
-                            self.install(node, now, filter);
-                        }
-                    }
-                }
+        let steering = self.config.mode == Mode::ExecutionSteering;
+        match &mut self.backend {
+            Backend::Sync(predictor) => {
+                let result = predictor.run_round(now, node, start, steering);
+                // Filters activate once the (modeled) checker run
+                // completes; until then the ISC covers.
+                let activation = now + self.config.mc_latency;
+                self.apply_result(result, now, activation)
+            }
+            Backend::Async(service) => {
+                service.submit(now, node, start.clone(), steering);
+                None
             }
         }
+    }
 
-        // The main consequence-prediction run (Fig. 8).
-        let outcome = find_consequences(&self.protocol, &self.props, start, self.config.search.clone());
-        let found = outcome.first()?.clone();
+    /// Applies every checking round the background service has completed;
+    /// replay filters activate at `now`, predicted-violation filters at
+    /// `now` too (their latency has already elapsed for real). Returns the
+    /// number of rounds applied. No-op in synchronous mode.
+    pub fn poll_predictions(&mut self, now: SimTime) -> usize {
+        let results = match &mut self.backend {
+            Backend::Sync(_) => return 0,
+            Backend::Async(service) => service.try_results(),
+        };
+        let n = results.len();
+        for result in results {
+            self.apply_result(result, now, now);
+        }
+        n
+    }
+
+    /// Blocks until every submitted round has completed (or `timeout`
+    /// expires) and applies the results as of simulated time `now`.
+    /// Returns the number of rounds applied. No-op in synchronous mode.
+    pub fn drain_predictions(&mut self, now: SimTime, timeout: Duration) -> usize {
+        let results = match &mut self.backend {
+            Backend::Sync(_) => return 0,
+            Backend::Async(service) => service.wait_results(timeout),
+        };
+        let n = results.len();
+        for result in results {
+            self.apply_result(result, now, now);
+        }
+        n
+    }
+
+    /// Folds one completed round into the live state: expire the node's
+    /// previous filters ("CrystalBall removes the filters from the runtime
+    /// after every model checking run", §3.3), reinstate replay filters,
+    /// log the prediction, and install the corrective filter.
+    fn apply_result(
+        &mut self,
+        result: RoundResult<P>,
+        now: SimTime,
+        activation: SimTime,
+    ) -> Option<Violation> {
+        self.stats.mc_runs += 1;
+        self.stats.measured_mc_latencies.push(result.wall);
+        self.filters.retain(|f| f.owner != result.node);
+
+        self.stats.replays_rediscovered += result.replays_rediscovered;
+        for filter in result.replay_filters {
+            // "If the problem reappears, CrystalBall immediately
+            // reinstalls the appropriate filter."
+            self.install(result.node, now, filter);
+        }
+
+        let found = result.found?;
         self.stats.predictions += 1;
         self.reports.push(PredictionReport {
-            at: now,
-            node,
+            at: result.at,
+            node: result.node,
             violation: found.violation.clone(),
             scenario: found.scenario(),
             depth: found.depth,
-            states_visited: outcome.stats.states_visited,
+            states_visited: result.states_visited,
         });
-        self.remember_path(&found);
-
-        if self.config.mode == Mode::ExecutionSteering {
-            match self.derive_filter(node, start, &found.path) {
-                Some(filter) if self.filter_is_safe(start, &filter, found.depth) => {
-                    // The filter activates once the (modeled) checker run
-                    // completes; until then the ISC covers.
-                    self.install(node, now + self.config.mc_latency, filter);
+        if result.steering {
+            match result.filter {
+                Some(filter) => {
+                    self.install(result.node, activation, filter);
                     self.stats.filters_installed += 1;
                 }
-                _ => {
+                None => {
                     // "65 times concluding that changing the behavior is
                     // unhelpful" (§5.4.1).
                     self.stats.steering_unhelpful += 1;
@@ -242,81 +348,16 @@ impl<P: Protocol> Controller<P> {
     }
 
     fn install(&mut self, owner: NodeId, active_from: SimTime, filter: EventFilter) {
-        if !self.filters.iter().any(|f| f.owner == owner && f.filter == filter) {
-            self.filters.push(InstalledFilter { owner, active_from, filter });
-        }
-    }
-
-    fn remember_path(&mut self, found: &FoundViolation<P>) {
-        self.known_paths.push_back(found.path.clone());
-        while self.known_paths.len() > self.config.max_known_paths {
-            self.known_paths.pop_front();
-        }
-    }
-
-    /// Picks the corrective action: the earliest event on the predicted
-    /// path that `node`'s own runtime can intercept ("Our current policy is
-    /// to steer the execution as early as possible", §3.3).
-    fn derive_filter(
-        &self,
-        node: NodeId,
-        start: &GlobalState<P>,
-        path: &[PathStep<P>],
-    ) -> Option<EventFilter> {
-        // Walk the path, tracking intermediate states so event keys resolve.
-        // Paths remembered from earlier snapshots may not replay on this
-        // one (message indices go stale); stop at the first event that no
-        // longer resolves rather than applying it blindly.
-        let mut state = start.clone();
-        for step in path {
-            let key = match step.event.key(&state) {
-                Some(key) => key,
-                None => return None,
-            };
-            match key {
-                EventKey::Message { kind, src, dst } if dst == node => {
-                    return Some(EventFilter::Message {
-                        kind,
-                        src,
-                        dst,
-                        reset_connection: self.config.reset_connection_on_block,
-                    });
-                }
-                EventKey::Action { kind, node: n } if n == node => {
-                    return Some(EventFilter::Handler { kind, node });
-                }
-                _ => {}
-            }
-            apply_event(&self.protocol, &mut state, &step.event);
-        }
-        None
-    }
-
-    /// §3.3 "Checking Safety of Event Filters": re-run consequence
-    /// prediction with the filter applied. The filter is deemed safe when
-    /// the steered execution reaches no violation within the budget, or
-    /// none *sooner* than the unfiltered execution would — blocking an
-    /// event must not hasten an inconsistency, but it need not fix futures
-    /// that were already independently broken (e.g. a different node's
-    /// reset tripping the same protocol bug along a parallel path).
-    fn filter_is_safe(
-        &self,
-        start: &GlobalState<P>,
-        filter: &EventFilter,
-        unfiltered_depth: usize,
-    ) -> bool {
-        if !self.config.check_filter_safety {
-            return true;
-        }
-        let cfg = SearchConfig {
-            max_states: Some(self.config.safety_check_states),
-            filters: FilterSet::from_iter([filter.clone()]),
-            ..self.config.search.clone()
-        };
-        let outcome = find_consequences(&self.protocol, &self.props, start, cfg);
-        match outcome.first() {
-            None => true,
-            Some(found) => found.depth >= unfiltered_depth,
+        if !self
+            .filters
+            .iter()
+            .any(|f| f.owner == owner && f.filter == filter)
+        {
+            self.filters.push(InstalledFilter {
+                owner,
+                active_from,
+                filter,
+            });
         }
     }
 
@@ -362,7 +403,14 @@ impl<P: Protocol> Controller<P> {
             return false;
         }
         let mut spec = gs.clone();
-        apply_event(&self.protocol, &mut spec, &Event::Action { node, action: action.clone() });
+        apply_event(
+            &self.protocol,
+            &mut spec,
+            &Event::Action {
+                node,
+                action: action.clone(),
+            },
+        );
         if self.props.check(&spec).is_some() {
             self.stats.isc_vetoes += 1;
             true
@@ -379,13 +427,18 @@ impl<P: Protocol> Hook<P> for Controller<P> {
         gs: &GlobalState<P>,
         item: &InFlight<P::Message>,
     ) -> Decision {
+        // Completed background rounds activate before the next event runs.
+        self.poll_predictions(now);
         let key = match &item.payload {
             Payload::Msg(m) => EventKey::Message {
                 kind: P::message_kind(m),
                 src: item.src,
                 dst: item.dst,
             },
-            Payload::Error => EventKey::ErrorNotice { src: item.src, dst: item.dst },
+            Payload::Error => EventKey::ErrorNotice {
+                src: item.src,
+                dst: item.dst,
+            },
         };
         let decision = self.active_filter_decision(now, &key);
         if decision != Decision::Allow {
@@ -404,7 +457,11 @@ impl<P: Protocol> Hook<P> for Controller<P> {
         node: NodeId,
         action: &P::Action,
     ) -> Decision {
-        let key = EventKey::Action { kind: P::action_kind(action), node };
+        self.poll_predictions(now);
+        let key = EventKey::Action {
+            kind: P::action_kind(action),
+            node,
+        };
         let decision = self.active_filter_decision(now, &key);
         if decision != Decision::Allow {
             return decision;
@@ -415,7 +472,8 @@ impl<P: Protocol> Hook<P> for Controller<P> {
         Decision::Allow
     }
 
-    fn after_step(&mut self, _now: SimTime, gs: &GlobalState<P>, _step: &TraceStep) {
+    fn after_step(&mut self, now: SimTime, gs: &GlobalState<P>, _step: &TraceStep) {
+        self.poll_predictions(now);
         // Count violations that slipped past prediction and the ISC — the
         // paper's false negatives.
         if self.props.check(gs).is_some() {
@@ -424,6 +482,7 @@ impl<P: Protocol> Hook<P> for Controller<P> {
     }
 
     fn on_snapshot(&mut self, now: SimTime, node: NodeId, snapshot: &Snapshot) {
+        self.poll_predictions(now);
         let start = Self::snapshot_to_state(snapshot);
         if start.node_count() == 0 {
             return;
@@ -443,12 +502,16 @@ impl<P: Protocol> Hook<P> for Controller<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cb_mc::ParallelConfig;
     use cb_model::ExploreOptions;
     use cb_protocols::randtree::{self, Action as RtAction, Msg as RtMsg, RandTree, RandTreeBugs};
     use cb_runtime::{NoHook, Scenario, SimConfig, Simulation};
 
     fn fig2_sim_config(seed: u64) -> SimConfig {
-        SimConfig { seed, ..SimConfig::default() }
+        SimConfig {
+            seed,
+            ..SimConfig::default()
+        }
     }
 
     fn steering_config() -> ControllerConfig {
@@ -473,13 +536,24 @@ mod tests {
             (1u32, RtAction::Join { target: NodeId(1) }),
             (9, RtAction::Join { target: NodeId(1) }),
         ] {
-            apply_event(&proto, &mut gs, &Event::Action { node: NodeId(node), action });
+            apply_event(
+                &proto,
+                &mut gs,
+                &Event::Action {
+                    node: NodeId(node),
+                    action,
+                },
+            );
             while !gs.inflight.is_empty() {
                 apply_event(&proto, &mut gs, &Event::Deliver { index: 0 });
             }
         }
         // Graft n13 under n9 (the paper's 13-step history compressed).
-        gs.slot_mut(NodeId(9)).unwrap().state.children.insert(NodeId(13));
+        gs.slot_mut(NodeId(9))
+            .unwrap()
+            .state
+            .children
+            .insert(NodeId(13));
         {
             let s13 = &mut gs.slot_mut(NodeId(13)).unwrap().state;
             s13.status = randtree::Status::Joined;
@@ -496,34 +570,85 @@ mod tests {
         let mut ctl = Controller::new(
             proto,
             randtree::properties::all(),
-            ControllerConfig { mode: Mode::DeepOnlineDebugging, ..steering_config() },
+            ControllerConfig {
+                mode: Mode::DeepOnlineDebugging,
+                ..steering_config()
+            },
         );
         let v = ctl.run_round(SimTime::ZERO, NodeId(1), &gs);
         let v = v.expect("Fig. 2 violation predicted");
         assert_eq!(v.property, "ChildrenSiblingsDisjoint");
         assert_eq!(ctl.stats.predictions, 1);
-        assert_eq!(ctl.installed_filters(), 0, "debugging mode installs nothing");
+        assert_eq!(
+            ctl.installed_filters(),
+            0,
+            "debugging mode installs nothing"
+        );
         let report = &ctl.reports[0];
-        assert!(report.scenario.contains("reset"), "path shows the reset:\n{}", report.scenario);
+        assert!(
+            report.scenario.contains("reset"),
+            "path shows the reset:\n{}",
+            report.scenario
+        );
         assert!(report.depth >= 3, "nontrivial depth {}", report.depth);
+        assert_eq!(
+            ctl.stats.measured_mc_latencies.len(),
+            1,
+            "round latency measured"
+        );
+        assert!(ctl.stats.avg_mc_latency().is_some());
     }
 
     #[test]
     fn steering_mode_installs_a_safe_filter() {
         let (proto, gs) = fig2_snapshot(RandTreeBugs::only("R1"));
-        let mut ctl =
-            Controller::new(proto, randtree::properties::all(), steering_config());
+        let mut ctl = Controller::new(proto, randtree::properties::all(), steering_config());
         let v = ctl.run_round(SimTime::ZERO, NodeId(1), &gs);
         assert!(v.is_some());
-        assert_eq!(ctl.stats.filters_installed, 1, "filter installed at the join receiver");
+        assert_eq!(
+            ctl.stats.filters_installed, 1,
+            "filter installed at the join receiver"
+        );
         assert_eq!(ctl.installed_filters(), 1);
+    }
+
+    #[test]
+    fn parallel_engine_predicts_the_same_violation() {
+        let (proto, gs) = fig2_snapshot(RandTreeBugs::only("R1"));
+        let seq = {
+            let mut ctl = Controller::new(
+                proto.clone(),
+                randtree::properties::all(),
+                steering_config(),
+            );
+            ctl.run_round(SimTime::ZERO, NodeId(1), &gs);
+            ctl.reports.pop().expect("prediction")
+        };
+        let par = {
+            let mut ctl = Controller::new(
+                proto,
+                randtree::properties::all(),
+                ControllerConfig {
+                    engine: Engine::Parallel(ParallelConfig { workers: 4 }),
+                    ..steering_config()
+                },
+            );
+            ctl.run_round(SimTime::ZERO, NodeId(1), &gs);
+            ctl.reports.pop().expect("prediction")
+        };
+        assert_eq!(seq.violation, par.violation);
+        assert_eq!(seq.scenario, par.scenario, "identical canonical path");
+        assert_eq!(seq.depth, par.depth);
     }
 
     #[test]
     fn installed_filter_blocks_matching_delivery_after_activation() {
         let (proto, gs) = fig2_snapshot(RandTreeBugs::only("R1"));
-        let mut ctl =
-            Controller::new(proto.clone(), randtree::properties::all(), steering_config());
+        let mut ctl = Controller::new(
+            proto.clone(),
+            randtree::properties::all(),
+            steering_config(),
+        );
         ctl.run_round(SimTime::ZERO, NodeId(1), &gs);
         // Find what was installed; make a matching delivery.
         let f = ctl.filters.first().expect("installed");
@@ -533,7 +658,10 @@ mod tests {
         };
         assert_eq!(dst, NodeId(1), "filter owned by the predicting node");
         let msg = match kind {
-            "Join" => RtMsg::Join { joiner: src, forwarded_down: false },
+            "Join" => RtMsg::Join {
+                joiner: src,
+                forwarded_down: false,
+            },
             other => panic!("unexpected kind {other}"),
         };
         let item = InFlight {
@@ -561,14 +689,19 @@ mod tests {
         let mut ctl = Controller::new(
             proto,
             randtree::properties::all(),
-            ControllerConfig { mc_latency: SimDuration::from_secs(3600), ..steering_config() },
+            ControllerConfig {
+                mc_latency: SimDuration::from_secs(3600),
+                ..steering_config()
+            },
         );
         let item = InFlight {
             src: NodeId(1),
             dst: NodeId(9),
             src_inc: 0,
             dst_inc: 0,
-            payload: Payload::Msg(RtMsg::UpdateSibling { sibling: NodeId(13) }),
+            payload: Payload::Msg(RtMsg::UpdateSibling {
+                sibling: NodeId(13),
+            }),
         };
         let d = ctl.filter_delivery(SimTime::ZERO, &gs, &item);
         assert_eq!(d, Decision::Block, "immediate safety check veto");
@@ -578,8 +711,7 @@ mod tests {
     #[test]
     fn replay_reinstalls_filter_quickly() {
         let (proto, gs) = fig2_snapshot(RandTreeBugs::only("R1"));
-        let mut ctl =
-            Controller::new(proto, randtree::properties::all(), steering_config());
+        let mut ctl = Controller::new(proto, randtree::properties::all(), steering_config());
         ctl.run_round(SimTime::ZERO, NodeId(1), &gs);
         assert_eq!(ctl.stats.filters_installed, 1);
         // Second round on the same snapshot: filters were cleared, replay
@@ -593,12 +725,51 @@ mod tests {
     #[test]
     fn fixed_protocol_yields_no_predictions() {
         let (proto, gs) = fig2_snapshot(RandTreeBugs::none());
-        let mut ctl =
-            Controller::new(proto, randtree::properties::all(), steering_config());
+        let mut ctl = Controller::new(proto, randtree::properties::all(), steering_config());
         let v = ctl.run_round(SimTime::ZERO, NodeId(1), &gs);
-        assert!(v.is_none(), "no violation predicted for the fixed code: {v:?}");
+        assert!(
+            v.is_none(),
+            "no violation predicted for the fixed code: {v:?}"
+        );
         assert_eq!(ctl.stats.predictions, 0);
         assert!(ctl.reports.is_empty());
+    }
+
+    /// The background service runs the same round the synchronous backend
+    /// does: submit the Fig. 2 snapshot, wait for the result, and verify
+    /// the same filter gets installed and actually blocks.
+    #[test]
+    fn background_checker_predicts_and_installs_asynchronously() {
+        let (proto, gs) = fig2_snapshot(RandTreeBugs::only("R1"));
+        let mut ctl = Controller::new(
+            proto,
+            randtree::properties::all(),
+            ControllerConfig {
+                checker: CheckerMode::Background,
+                ..steering_config()
+            },
+        );
+        // Submission never blocks and reports nothing yet.
+        let v = ctl.run_round(SimTime::ZERO, NodeId(1), &gs);
+        assert!(v.is_none(), "async submission returns immediately");
+        assert_eq!(ctl.pending_predictions(), 1);
+        // Wait for the round and apply it at t=1s.
+        let applied = ctl.drain_predictions(
+            SimTime::ZERO + SimDuration::from_secs(1),
+            Duration::from_secs(60),
+        );
+        assert_eq!(applied, 1);
+        assert_eq!(ctl.pending_predictions(), 0);
+        assert_eq!(ctl.stats.predictions, 1);
+        assert_eq!(ctl.stats.filters_installed, 1);
+        assert_eq!(
+            ctl.stats.measured_mc_latencies.len(),
+            1,
+            "latency measured, not modeled"
+        );
+        // The installed filter is active (its latency already elapsed).
+        let f = ctl.filters.first().expect("installed");
+        assert!(f.active_from <= SimTime::ZERO + SimDuration::from_secs(1));
     }
 
     /// End-to-end: buggy RandTree under churn; steering avoids the

@@ -35,5 +35,7 @@
 //! ```
 
 pub mod controller;
+pub mod service;
 
 pub use controller::{Controller, ControllerConfig, ControllerStats, Mode, PredictionReport};
+pub use service::CheckerMode;

@@ -1,0 +1,352 @@
+//! The asynchronous checker service and the shared prediction round.
+//!
+//! "We run the model checker as a separate thread that communicates future
+//! inconsistencies to the runtime. ... On a multi-core machine this
+//! CPU-intensive process will likely be scheduled on a separate core" (§4).
+//!
+//! [`Predictor`] is one full CrystalBall checking round — known-path
+//! replay, consequence prediction (on any `cb_mc::Engine`, including the
+//! parallel work-stealing one), corrective-filter derivation, and the
+//! filter safety check — packaged so the *same* code runs either inline on
+//! the caller's thread (synchronous mode, deterministic, used by tests and
+//! modeled-latency experiments) or on the [`CheckerService`] background
+//! thread, where the live system keeps executing while prediction runs and
+//! the checker latency is *measured* instead of modeled.
+//!
+//! The service is a thread plus two channels: snapshots in, round results
+//! out. The controller drains results opportunistically from its hook
+//! entry points, so no simulation step ever blocks on the checker.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use cb_mc::{
+    replay_path, EventFilter, FilterSet, FoundViolation, PathStep, SearchConfig, Searcher,
+};
+use cb_model::{apply_event, EventKey, GlobalState, NodeId, PropertySet, Protocol, SimTime};
+
+use crate::controller::ControllerConfig;
+
+/// Where prediction rounds execute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CheckerMode {
+    /// Rounds run inline in [`crate::Controller::run_round`] and block the
+    /// caller; filters activate after the *modeled* `mc_latency`.
+    /// Deterministic — the right mode for tests and repeatable
+    /// experiments.
+    #[default]
+    Synchronous,
+    /// Rounds run on the background [`CheckerService`] thread; the live
+    /// system keeps stepping, results are drained from the controller's
+    /// hook entry points, and filters activate when their round actually
+    /// completes — `mc_latency` becomes a measurement, not a model.
+    Background,
+}
+
+/// The outcome of one checking round, ready for the controller to apply.
+pub(crate) struct RoundResult<P: Protocol> {
+    /// When the snapshot that fed the round completed (simulated time).
+    pub at: SimTime,
+    /// The node whose snapshot was checked.
+    pub node: NodeId,
+    /// Whether this round was asked to steer (vs debug-only).
+    pub steering: bool,
+    /// Known-path replays that re-discovered their violation.
+    pub replays_rediscovered: u64,
+    /// Filters reinstated by replay (active immediately on application).
+    pub replay_filters: Vec<EventFilter>,
+    /// The shallowest predicted violation, if any.
+    pub found: Option<FoundViolation<P>>,
+    /// States the prediction run visited.
+    pub states_visited: usize,
+    /// The derived, safety-checked corrective filter, if steering found
+    /// one.
+    pub filter: Option<EventFilter>,
+    /// Measured wall-clock time of the whole round (replay + prediction +
+    /// safety check) — the paper's "model checker runs for n seconds",
+    /// observed rather than assumed.
+    pub wall: Duration,
+}
+
+/// One CrystalBall checking round: the checker-side half of the
+/// controller, holding the state that belongs to checking (the remembered
+/// error paths) and none of the live-side state (installed filters, ISC).
+pub(crate) struct Predictor<P: Protocol> {
+    protocol: P,
+    props: PropertySet<P>,
+    config: ControllerConfig,
+    known_paths: VecDeque<Vec<PathStep<P>>>,
+}
+
+impl<P: Protocol> Predictor<P> {
+    pub(crate) fn new(protocol: P, props: PropertySet<P>, config: ControllerConfig) -> Self {
+        Predictor {
+            protocol,
+            props,
+            config,
+            known_paths: VecDeque::new(),
+        }
+    }
+
+    /// Runs one full round against a decoded snapshot state: replay,
+    /// consequence prediction, filter preparation, safety check.
+    pub(crate) fn run_round(
+        &mut self,
+        at: SimTime,
+        node: NodeId,
+        start: &GlobalState<P>,
+        steering: bool,
+    ) -> RoundResult<P> {
+        let t0 = Instant::now();
+
+        // Fast path: replay previously discovered error paths (§3.3/§4).
+        // "If the problem reappears, CrystalBall immediately reinstalls
+        // the appropriate filter."
+        let mut replays_rediscovered = 0;
+        let mut replay_filters = Vec::new();
+        if self.config.replay_known_paths {
+            let paths: Vec<_> = self.known_paths.iter().cloned().collect();
+            for path in paths {
+                let outcome = replay_path(&self.protocol, &self.props, start, &path, 256);
+                if outcome.violates() {
+                    replays_rediscovered += 1;
+                    if steering {
+                        if let Some(filter) = self.derive_filter(node, start, &path) {
+                            replay_filters.push(filter);
+                        }
+                    }
+                }
+            }
+        }
+
+        // The main consequence-prediction run (Fig. 8), on whichever
+        // engine the controller was configured with.
+        let search = SearchConfig {
+            prune_local: true,
+            ..self.config.search.clone()
+        };
+        let outcome =
+            Searcher::new(&self.protocol, &self.props, search).search(start, &self.config.engine);
+        let found = outcome.first().cloned();
+
+        let mut filter = None;
+        if let Some(found) = &found {
+            self.remember_path(found);
+            if steering {
+                filter = self
+                    .derive_filter(node, start, &found.path)
+                    .filter(|f| self.filter_is_safe(start, f, found.depth));
+            }
+        }
+
+        RoundResult {
+            at,
+            node,
+            steering,
+            replays_rediscovered,
+            replay_filters,
+            found,
+            states_visited: outcome.stats.states_visited,
+            filter,
+            wall: t0.elapsed(),
+        }
+    }
+
+    fn remember_path(&mut self, found: &FoundViolation<P>) {
+        self.known_paths.push_back(found.path.clone());
+        while self.known_paths.len() > self.config.max_known_paths {
+            self.known_paths.pop_front();
+        }
+    }
+
+    /// Picks the corrective action: the earliest event on the predicted
+    /// path that `node`'s own runtime can intercept ("Our current policy is
+    /// to steer the execution as early as possible", §3.3).
+    fn derive_filter(
+        &self,
+        node: NodeId,
+        start: &GlobalState<P>,
+        path: &[PathStep<P>],
+    ) -> Option<EventFilter> {
+        // Walk the path, tracking intermediate states so event keys resolve.
+        // Paths remembered from earlier snapshots may not replay on this
+        // one (message indices go stale); stop at the first event that no
+        // longer resolves rather than applying it blindly.
+        let mut state = start.clone();
+        for step in path {
+            let key = step.event.key(&state)?;
+            match key {
+                EventKey::Message { kind, src, dst } if dst == node => {
+                    return Some(EventFilter::Message {
+                        kind,
+                        src,
+                        dst,
+                        reset_connection: self.config.reset_connection_on_block,
+                    });
+                }
+                EventKey::Action { kind, node: n } if n == node => {
+                    return Some(EventFilter::Handler { kind, node });
+                }
+                _ => {}
+            }
+            apply_event(&self.protocol, &mut state, &step.event);
+        }
+        None
+    }
+
+    /// §3.3 "Checking Safety of Event Filters": re-run consequence
+    /// prediction with the filter applied. The filter is deemed safe when
+    /// the steered execution reaches no violation within the budget, or
+    /// none *sooner* than the unfiltered execution would — blocking an
+    /// event must not hasten an inconsistency, but it need not fix futures
+    /// that were already independently broken (e.g. a different node's
+    /// reset tripping the same protocol bug along a parallel path).
+    fn filter_is_safe(
+        &self,
+        start: &GlobalState<P>,
+        filter: &EventFilter,
+        unfiltered_depth: usize,
+    ) -> bool {
+        if !self.config.check_filter_safety {
+            return true;
+        }
+        let cfg = SearchConfig {
+            max_states: Some(self.config.safety_check_states),
+            filters: FilterSet::from_iter([filter.clone()]),
+            prune_local: true,
+            ..self.config.search.clone()
+        };
+        let outcome =
+            Searcher::new(&self.protocol, &self.props, cfg).search(start, &self.config.engine);
+        match outcome.first() {
+            None => true,
+            Some(found) => found.depth >= unfiltered_depth,
+        }
+    }
+}
+
+struct Job<P: Protocol> {
+    at: SimTime,
+    node: NodeId,
+    start: GlobalState<P>,
+    steering: bool,
+}
+
+/// The background checker: a service thread owning a [`Predictor`],
+/// consuming snapshot jobs and producing round results. Channels decouple
+/// it completely from the live system — submission never blocks, and
+/// results are polled.
+pub(crate) struct CheckerService<P: Protocol> {
+    jobs: mpsc::Sender<Job<P>>,
+    results: mpsc::Receiver<RoundResult<P>>,
+    handle: Option<thread::JoinHandle<()>>,
+    shutdown: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    submitted: u64,
+    drained: u64,
+}
+
+impl<P: Protocol> CheckerService<P> {
+    /// Spawns the service thread around `predictor`.
+    pub(crate) fn spawn(mut predictor: Predictor<P>) -> Self {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let (job_tx, job_rx) = mpsc::channel::<Job<P>>();
+        let (res_tx, res_rx) = mpsc::channel::<RoundResult<P>>();
+        let shutdown = std::sync::Arc::new(AtomicBool::new(false));
+        let stop = shutdown.clone();
+        let handle = thread::Builder::new()
+            .name("crystalball-checker".into())
+            .spawn(move || {
+                while let Ok(job) = job_rx.recv() {
+                    // A closed job channel still delivers its backlog;
+                    // the flag lets Drop skip queued rounds instead of
+                    // grinding through every buffered search.
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let result = predictor.run_round(job.at, job.node, &job.start, job.steering);
+                    if res_tx.send(result).is_err() {
+                        break; // controller dropped; stop checking
+                    }
+                }
+            })
+            .expect("spawn checker thread");
+        CheckerService {
+            jobs: job_tx,
+            results: res_rx,
+            handle: Some(handle),
+            shutdown,
+            submitted: 0,
+            drained: 0,
+        }
+    }
+
+    /// Queues one round. Never blocks.
+    pub(crate) fn submit(
+        &mut self,
+        at: SimTime,
+        node: NodeId,
+        start: GlobalState<P>,
+        steering: bool,
+    ) {
+        self.submitted += 1;
+        let _ = self.jobs.send(Job {
+            at,
+            node,
+            start,
+            steering,
+        });
+    }
+
+    /// Rounds submitted but not yet drained.
+    pub(crate) fn pending(&self) -> u64 {
+        self.submitted - self.drained
+    }
+
+    /// Takes every completed round without blocking.
+    pub(crate) fn try_results(&mut self) -> Vec<RoundResult<P>> {
+        let mut out = Vec::new();
+        while let Ok(r) = self.results.try_recv() {
+            self.drained += 1;
+            out.push(r);
+        }
+        out
+    }
+
+    /// Blocks (up to `timeout`) until every submitted round has completed,
+    /// returning all results drained along the way.
+    pub(crate) fn wait_results(&mut self, timeout: Duration) -> Vec<RoundResult<P>> {
+        let deadline = Instant::now() + timeout;
+        let mut out = self.try_results();
+        while self.pending() > 0 {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            match self.results.recv_timeout(left) {
+                Ok(r) => {
+                    self.drained += 1;
+                    out.push(r);
+                }
+                Err(_) => break,
+            }
+        }
+        out
+    }
+}
+
+impl<P: Protocol> Drop for CheckerService<P> {
+    fn drop(&mut self) {
+        // Tell the thread to abandon any backlog, then close the job
+        // channel so `recv` wakes; join completes after at most one
+        // in-flight round.
+        self.shutdown
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+        let (tx, _) = mpsc::channel();
+        drop(std::mem::replace(&mut self.jobs, tx));
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}

@@ -51,7 +51,11 @@ impl EventFilter {
         match (self, key) {
             (
                 EventFilter::Message { kind, src, dst, .. },
-                EventKey::Message { kind: k, src: s, dst: d },
+                EventKey::Message {
+                    kind: k,
+                    src: s,
+                    dst: d,
+                },
             ) => kind == k && src == s && dst == d,
             (EventFilter::Handler { kind, node }, EventKey::Action { kind: k, node: n }) => {
                 kind == k && node == n
@@ -70,13 +74,23 @@ impl EventFilter {
 
     /// True if triggering the filter also resets the offending connection.
     pub fn resets_connection(&self) -> bool {
-        matches!(self, EventFilter::Message { reset_connection: true, .. })
+        matches!(
+            self,
+            EventFilter::Message {
+                reset_connection: true,
+                ..
+            }
+        )
     }
 
     /// The peer whose connection is reset when the filter triggers, if any.
     pub fn reset_peer(&self) -> Option<NodeId> {
         match self {
-            EventFilter::Message { src, reset_connection: true, .. } => Some(*src),
+            EventFilter::Message {
+                src,
+                reset_connection: true,
+                ..
+            } => Some(*src),
             _ => None,
         }
     }
@@ -85,7 +99,12 @@ impl EventFilter {
 impl fmt::Display for EventFilter {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            EventFilter::Message { kind, src, dst, reset_connection } => write!(
+            EventFilter::Message {
+                kind,
+                src,
+                dst,
+                reset_connection,
+            } => write!(
                 f,
                 "block {kind} {src}→{dst}{}",
                 if *reset_connection { " +RST" } else { "" }
@@ -103,15 +122,18 @@ pub struct FilterSet {
     filters: Vec<EventFilter>,
 }
 
+impl FromIterator<EventFilter> for FilterSet {
+    fn from_iter<I: IntoIterator<Item = EventFilter>>(filters: I) -> Self {
+        FilterSet {
+            filters: filters.into_iter().collect(),
+        }
+    }
+}
+
 impl FilterSet {
     /// An empty set (blocks nothing).
     pub fn new() -> Self {
         Self::default()
-    }
-
-    /// Builds a set from an iterator of filters.
-    pub fn from_iter(filters: impl IntoIterator<Item = EventFilter>) -> Self {
-        FilterSet { filters: filters.into_iter().collect() }
     }
 
     /// Adds a filter if not already present.
@@ -157,7 +179,11 @@ mod tests {
     use super::*;
 
     fn msg_key(kind: &'static str, src: u32, dst: u32) -> EventKey {
-        EventKey::Message { kind, src: NodeId(src), dst: NodeId(dst) }
+        EventKey::Message {
+            kind,
+            src: NodeId(src),
+            dst: NodeId(dst),
+        }
     }
 
     #[test]
@@ -181,10 +207,22 @@ mod tests {
 
     #[test]
     fn handler_filter_matches_kind_and_node() {
-        let f = EventFilter::Handler { kind: "Stabilize", node: NodeId(5) };
-        assert!(f.matches(&EventKey::Action { kind: "Stabilize", node: NodeId(5) }));
-        assert!(!f.matches(&EventKey::Action { kind: "Stabilize", node: NodeId(6) }));
-        assert!(!f.matches(&EventKey::Action { kind: "Recovery", node: NodeId(5) }));
+        let f = EventFilter::Handler {
+            kind: "Stabilize",
+            node: NodeId(5),
+        };
+        assert!(f.matches(&EventKey::Action {
+            kind: "Stabilize",
+            node: NodeId(5)
+        }));
+        assert!(!f.matches(&EventKey::Action {
+            kind: "Stabilize",
+            node: NodeId(6)
+        }));
+        assert!(!f.matches(&EventKey::Action {
+            kind: "Recovery",
+            node: NodeId(5)
+        }));
         assert_eq!(f.install_at(), NodeId(5));
         assert_eq!(f.reset_peer(), None);
         assert!(!f.resets_connection());
@@ -195,13 +233,28 @@ mod tests {
     fn filter_set_dedups_and_clears() {
         let mut set = FilterSet::new();
         assert!(set.is_empty());
-        let f = EventFilter::Handler { kind: "T", node: NodeId(1) };
+        let f = EventFilter::Handler {
+            kind: "T",
+            node: NodeId(1),
+        };
         set.install(f.clone());
         set.install(f.clone());
         assert_eq!(set.len(), 1);
-        assert!(set.blocks(&EventKey::Action { kind: "T", node: NodeId(1) }));
-        assert_eq!(set.matching(&EventKey::Action { kind: "T", node: NodeId(1) }), Some(&f));
-        assert!(!set.blocks(&EventKey::Action { kind: "T", node: NodeId(2) }));
+        assert!(set.blocks(&EventKey::Action {
+            kind: "T",
+            node: NodeId(1)
+        }));
+        assert_eq!(
+            set.matching(&EventKey::Action {
+                kind: "T",
+                node: NodeId(1)
+            }),
+            Some(&f)
+        );
+        assert!(!set.blocks(&EventKey::Action {
+            kind: "T",
+            node: NodeId(2)
+        }));
         set.clear();
         assert!(set.is_empty());
     }
@@ -209,7 +262,10 @@ mod tests {
     #[test]
     fn filter_set_from_iter_checks_all() {
         let set = FilterSet::from_iter([
-            EventFilter::Handler { kind: "A", node: NodeId(1) },
+            EventFilter::Handler {
+                kind: "A",
+                node: NodeId(1),
+            },
             EventFilter::Message {
                 kind: "M",
                 src: NodeId(2),
@@ -220,6 +276,9 @@ mod tests {
         assert_eq!(set.len(), 2);
         assert_eq!(set.iter().count(), 2);
         assert!(set.blocks(&msg_key("M", 2, 3)));
-        assert!(set.blocks(&EventKey::Action { kind: "A", node: NodeId(1) }));
+        assert!(set.blocks(&EventKey::Action {
+            kind: "A",
+            node: NodeId(1)
+        }));
     }
 }

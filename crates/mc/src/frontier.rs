@@ -1,0 +1,284 @@
+//! Exploration frontiers and the concurrent explored-set.
+//!
+//! The search engines share three building blocks:
+//!
+//! * [`Frontier`] — the queue discipline that decides which reached state
+//!   is expanded next. The sequential engine uses [`FifoFrontier`] (plain
+//!   BFS, the order of Fig. 5/Fig. 8); the parallel engine processes one
+//!   BFS level at a time and distributes it over [`StealQueues`].
+//! * [`ShardedExplored`] — the `explored` set of Fig. 5, split into
+//!   mutex-guarded shards keyed by state hash so that many workers can
+//!   insert concurrently without a global lock. Exactly one inserter wins
+//!   any given hash, which is what guarantees a state is never expanded
+//!   twice no matter how threads race.
+//! * [`StealQueues`] — per-worker deques of work-item indices with
+//!   work stealing: a worker drains its own deque from the front and, when
+//!   empty, steals from the back of a sibling, so stragglers with cheap
+//!   items finish the level instead of idling.
+
+use std::collections::{HashSet, VecDeque};
+use std::sync::Mutex;
+
+use cb_model::{GlobalState, Protocol};
+
+/// One reached-but-unexpanded state: the payload queued on a frontier.
+pub struct FrontierItem<P: Protocol> {
+    /// The reached global state.
+    pub state: GlobalState<P>,
+    /// Arena index of the edge that reached it (`None` for the start state).
+    pub rec: Option<usize>,
+    /// Path length from the start state.
+    pub depth: usize,
+}
+
+/// The order in which reached states are expanded.
+pub trait Frontier<P: Protocol> {
+    /// Queues a newly reached state.
+    fn push(&mut self, item: FrontierItem<P>);
+    /// Takes the next state to expand, or `None` when exploration is done.
+    fn pop(&mut self) -> Option<FrontierItem<P>>;
+    /// Number of states waiting for expansion.
+    fn len(&self) -> usize;
+    /// True if nothing is waiting.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// First-in-first-out frontier: breadth-first order, the discipline of
+/// Fig. 5 and Fig. 8. Expansion order doubles as the *canonical* order —
+/// the parallel engine reproduces exactly the violation set and paths this
+/// order yields.
+#[derive(Default)]
+pub struct FifoFrontier<P: Protocol> {
+    items: VecDeque<FrontierItem<P>>,
+}
+
+impl<P: Protocol> FifoFrontier<P> {
+    /// An empty frontier.
+    pub fn new() -> Self {
+        FifoFrontier {
+            items: VecDeque::new(),
+        }
+    }
+}
+
+impl<P: Protocol> Frontier<P> for FifoFrontier<P> {
+    fn push(&mut self, item: FrontierItem<P>) {
+        self.items.push_back(item);
+    }
+    fn pop(&mut self) -> Option<FrontierItem<P>> {
+        self.items.pop_front()
+    }
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+}
+
+/// The `explored` hash set, sharded for concurrent insertion.
+///
+/// Shard choice mixes the hash once more so that structured state hashes
+/// still spread evenly. Every operation touches exactly one shard, so
+/// throughput scales with the shard count until the memory bus saturates.
+pub struct ShardedExplored {
+    shards: Box<[Mutex<HashSet<u64>>]>,
+    mask: u64,
+}
+
+impl ShardedExplored {
+    /// Creates a set with at least `shards` shards (rounded up to a power
+    /// of two).
+    pub fn new(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        ShardedExplored {
+            shards: (0..n).map(|_| Mutex::new(HashSet::new())).collect(),
+            mask: (n - 1) as u64,
+        }
+    }
+
+    fn shard(&self, h: u64) -> &Mutex<HashSet<u64>> {
+        // Fibonacci mixing decorrelates shard choice from set-bucket choice.
+        let ix = (h.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) & self.mask;
+        &self.shards[ix as usize]
+    }
+
+    /// Inserts `h`; returns true iff it was not present. Exactly one of
+    /// any set of concurrent inserters of the same hash gets `true`.
+    pub fn insert(&self, h: u64) -> bool {
+        self.shard(h)
+            .lock()
+            .expect("explored shard poisoned")
+            .insert(h)
+    }
+
+    /// True if `h` has been inserted.
+    pub fn contains(&self, h: u64) -> bool {
+        self.shard(h)
+            .lock()
+            .expect("explored shard poisoned")
+            .contains(&h)
+    }
+
+    /// Total number of distinct hashes inserted.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("explored shard poisoned").len())
+            .sum()
+    }
+
+    /// True if nothing has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Per-worker work queues with stealing, distributing indices `0..n`.
+pub struct StealQueues {
+    queues: Vec<Mutex<VecDeque<usize>>>,
+}
+
+impl StealQueues {
+    /// Splits `0..n` into `workers` contiguous chunks (locality within a
+    /// worker, stealing across workers when load skews).
+    pub fn split(workers: usize, n: usize) -> Self {
+        let workers = workers.max(1);
+        let mut queues: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
+        let chunk = n.div_ceil(workers).max(1);
+        for i in 0..n {
+            queues[(i / chunk).min(workers - 1)].push_back(i);
+        }
+        StealQueues {
+            queues: queues.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    /// Next index for worker `w`: its own queue front first, then a steal
+    /// from the back of the first non-empty sibling.
+    pub fn next(&self, w: usize) -> Option<usize> {
+        if let Some(i) = self.queues[w]
+            .lock()
+            .expect("work queue poisoned")
+            .pop_front()
+        {
+            return Some(i);
+        }
+        let n = self.queues.len();
+        for off in 1..n {
+            let victim = (w + off) % n;
+            if let Some(i) = self.queues[victim]
+                .lock()
+                .expect("work queue poisoned")
+                .pop_back()
+            {
+                return Some(i);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cb_model::testproto::Ping;
+    use cb_model::NodeId;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn fifo_frontier_is_fifo() {
+        let cfg = Ping {
+            kick_target: NodeId(0),
+            kick_enabled: false,
+        };
+        let gs = GlobalState::init(&cfg, [NodeId(0)]);
+        let mut f: FifoFrontier<Ping> = FifoFrontier::new();
+        assert!(f.is_empty());
+        for depth in 0..4 {
+            f.push(FrontierItem {
+                state: gs.clone(),
+                rec: None,
+                depth,
+            });
+        }
+        assert_eq!(f.len(), 4);
+        for depth in 0..4 {
+            assert_eq!(f.pop().expect("item").depth, depth);
+        }
+        assert!(f.pop().is_none());
+    }
+
+    #[test]
+    fn sharded_set_basic() {
+        let s = ShardedExplored::new(8);
+        assert!(s.is_empty());
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+        assert!(s.contains(7));
+        assert!(!s.contains(8));
+        assert!(s.insert(8));
+        assert_eq!(s.len(), 2);
+    }
+
+    /// The property the parallel engine's correctness rests on: under
+    /// concurrent insertion of overlapping hash streams, every hash is won
+    /// by exactly one inserter — a state can never be expanded twice.
+    #[test]
+    fn sharded_set_never_double_admits_under_concurrency() {
+        let set = ShardedExplored::new(16);
+        let wins = AtomicUsize::new(0);
+        let threads = 8;
+        let per_thread = 10_000u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let set = &set;
+                let wins = &wins;
+                s.spawn(move || {
+                    // Every thread tries the same hash universe, shifted so
+                    // contention patterns differ per thread.
+                    for k in 0..per_thread {
+                        let h = (k + t * 37) % per_thread;
+                        if set.insert(h) {
+                            wins.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            wins.load(Ordering::Relaxed),
+            per_thread as usize,
+            "each hash admitted exactly once across {threads} racing threads"
+        );
+        assert_eq!(set.len(), per_thread as usize);
+    }
+
+    #[test]
+    fn steal_queues_cover_all_work_exactly_once() {
+        let q = StealQueues::split(4, 103);
+        let seen = Mutex::new(vec![0usize; 103]);
+        std::thread::scope(|s| {
+            for w in 0..4 {
+                let q = &q;
+                let seen = &seen;
+                s.spawn(move || {
+                    while let Some(i) = q.next(w) {
+                        seen.lock().unwrap()[i] += 1;
+                    }
+                });
+            }
+        });
+        assert!(seen.lock().unwrap().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn steal_queues_let_idle_workers_steal() {
+        // All work lands in worker 0's chunk range when n < workers.
+        let q = StealQueues::split(8, 3);
+        // Worker 7 owns nothing but can still obtain work.
+        assert!(q.next(7).is_some());
+        assert!(q.next(7).is_some());
+        assert!(q.next(7).is_some());
+        assert!(q.next(0).is_none());
+    }
+}

@@ -31,13 +31,17 @@
 //!   block, shared with the `crystalball` controller.
 
 pub mod filter;
+pub mod frontier;
+pub mod parallel;
 pub mod replay;
 pub mod report;
 pub mod search;
 pub mod stats;
 
 pub use filter::{EventFilter, FilterSet};
+pub use frontier::{FifoFrontier, Frontier, FrontierItem, ShardedExplored, StealQueues};
+pub use parallel::{find_consequences_parallel, find_errors_parallel, ParallelConfig};
 pub use replay::{replay_path, ReplayOutcome};
 pub use report::{FoundViolation, PathStep, SearchOutcome, StopReason};
-pub use search::{find_consequences, find_errors, random_walk, SearchConfig, Searcher};
+pub use search::{find_consequences, find_errors, random_walk, Engine, SearchConfig, Searcher};
 pub use stats::SearchStats;

@@ -1,0 +1,618 @@
+//! The parallel work-stealing search engine.
+//!
+//! CrystalBall's checker runs *concurrently with the deployed system*; its
+//! usefulness is bounded by how many states per second it can explore
+//! before the erroneous event arrives (§4, Fig. 12). This engine fans the
+//! hot path of the search — state cloning, handler execution, hashing and
+//! property checks — out over a worker pool while keeping the *content* of
+//! the result (violation set, counterexample paths, visit counts)
+//! bit-identical to the sequential engine, even though thread scheduling
+//! is nondeterministic.
+//!
+//! # Design: level-synchronous BFS with a deterministic merge
+//!
+//! The engine processes the state graph one BFS level at a time. Each
+//! level runs four phases:
+//!
+//! 1. **Check** (parallel): property-check every state of the level.
+//!    Workers pull item indices from [`StealQueues`].
+//! 2. **Visit** (sequential, cheap): walk the level in canonical order
+//!    (the order the sequential engine would dequeue), applying stop
+//!    criteria, recording violations, and — under consequence prediction —
+//!    performing the `localExplored` claims of Fig. 8 in exactly the order
+//!    the sequential loop would, which pins down *which* state gets to
+//!    expand each fresh local state. Produces the list of expansion jobs.
+//! 3. **Expand** (parallel): workers execute each job — enumerate events,
+//!    clone the state, run the handler, hash the successor — and race to
+//!    insert successor hashes into the [`ShardedExplored`] set. Exactly
+//!    one worker wins any hash; the winner keeps the successor state, the
+//!    losers emit a hash-only edge. Two states with equal hashes are the
+//!    same state, so it does not matter *whose* clone survives.
+//! 4. **Merge** (sequential, cheap): iterate all emitted edges in
+//!    canonical order (job order × event order) and assign each
+//!    newly admitted hash its *first* edge in that order as the parent.
+//!    This is the same parent the sequential engine's enqueue-time dedup
+//!    would record, so reconstructed paths — including the canonical
+//!    shallowest counterexample, tie-broken by (depth, path-lexicographic
+//!    order) — match the sequential engine exactly.
+//!
+//! The expensive work (phases 1 and 3) scales with workers; the
+//! sequential phases are hash-set bookkeeping. Wall-clock-dependent
+//! outcomes (deadline stops) are the only nondeterminism that survives.
+//!
+//! Differences from the sequential engine, all stats-level: `elapsed` and
+//! `peak_frontier_bytes` reflect this engine's level-at-a-time residency
+//! (the per-level sum of state footprints) rather than a sliding window.
+
+use std::collections::HashMap;
+use std::mem::size_of;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use cb_model::{apply_event, Event, GlobalState, NodeId, Protocol, TraceStep, Violation};
+
+use crate::frontier::{ShardedExplored, StealQueues};
+use crate::report::{FoundViolation, SearchOutcome, StopReason};
+use crate::search::{
+    approx_state_bytes, enumerate_gated, reconstruct, ArenaRec, SearchConfig, Searcher,
+};
+use crate::stats::SearchStats;
+
+/// Tuning for the parallel engine.
+#[derive(Clone, Debug)]
+pub struct ParallelConfig {
+    /// Worker threads for the check and expand phases. 1 runs the same
+    /// algorithm inline (useful as a determinism control in tests).
+    pub workers: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(8),
+        }
+    }
+}
+
+/// One successor edge emitted by the expand phase.
+struct EdgeOut<P: Protocol> {
+    /// The successor state — carried only by the edge whose worker won the
+    /// explored-set insertion race for `hash`.
+    state: Option<GlobalState<P>>,
+    hash: u64,
+    event: Event<P>,
+    step: TraceStep,
+}
+
+/// Everything a worker produced for one expansion job.
+struct JobOut<P: Protocol> {
+    edges: Vec<EdgeOut<P>>,
+    filtered: usize,
+}
+
+/// An expansion job: level-item index plus, under consequence prediction,
+/// the nodes whose local-action block this item claimed (Fig. 8's
+/// `localExplored` gate, resolved during the sequential visit phase).
+struct ExpandJob {
+    item: usize,
+    allowed: Option<Vec<NodeId>>,
+}
+
+impl<P: Protocol> Searcher<'_, P> {
+    /// Runs the level-synchronous parallel search. Same violation set and
+    /// canonical counterexample paths as [`Searcher::run`] for any worker
+    /// count; scheduling only affects wall-clock numbers.
+    pub fn run_parallel(&self, start: &GlobalState<P>, par: &ParallelConfig) -> SearchOutcome<P> {
+        let workers = par.workers.max(1);
+        // Per-level phase timing on stderr, for perf investigation:
+        // CB_PAR_TRACE=1 cargo bench -p cb-bench --bench parallel_scaling
+        let trace = std::env::var_os("CB_PAR_TRACE").is_some();
+        let t0 = Instant::now();
+        let mut stats = SearchStats::default();
+        let mut violations: Vec<FoundViolation<P>> = Vec::new();
+        let mut arena: Vec<ArenaRec<P>> = Vec::new();
+        let explored = ShardedExplored::new(workers * 8);
+        let mut local_explored = std::collections::HashSet::new();
+        let mut depth_truncated = false;
+        let mut stopped: Option<StopReason> = None;
+
+        explored.insert(start.state_hash());
+        // (state, parent arena rec) — all items of one level share a depth.
+        let mut level: Vec<(GlobalState<P>, Option<usize>)> = vec![(start.clone(), None)];
+        stats.states_enqueued = 1;
+        let mut depth = 0usize;
+
+        'levels: while !level.is_empty() {
+            let over_deadline =
+                |deadline: Option<std::time::Duration>| deadline.is_some_and(|d| t0.elapsed() >= d);
+            if over_deadline(self.config.deadline) {
+                stopped = Some(StopReason::Deadline);
+                break 'levels;
+            }
+            stats.peak_frontier_bytes = stats
+                .peak_frontier_bytes
+                .max(level.iter().map(|(s, _)| approx_state_bytes(s)).sum());
+
+            // Phase 1: parallel property check. Only the prefix the
+            // visit loop can still afford to dequeue is checked — the
+            // final BFS level is typically the largest, and checking
+            // states beyond the budget would be discarded work.
+            let budget_left = self
+                .config
+                .max_states
+                .map_or(level.len(), |max| max.saturating_sub(stats.states_visited))
+                .min(level.len());
+            let pt = Instant::now();
+            let (checks, deadline_hit) = self.check_level(&level[..budget_left], workers, t0);
+            let t_check = pt.elapsed();
+            if deadline_hit {
+                stopped = Some(StopReason::Deadline);
+                break 'levels;
+            }
+
+            // Phase 2: sequential visit — stop criteria, violations, and
+            // localExplored claims, all in canonical (sequential-dequeue)
+            // order.
+            let mut jobs: Vec<ExpandJob> = Vec::with_capacity(budget_left);
+            for (i, (state, rec)) in level.iter().enumerate() {
+                if i >= budget_left {
+                    // Exactly the states the budget admitted were checked
+                    // and visited; the rest of the level is cut off, as in
+                    // the sequential engine.
+                    stopped = Some(StopReason::StateLimit);
+                    break;
+                }
+                stats.record_visit(depth);
+                if let Some(v) = &checks[i] {
+                    stats.violations_found += 1;
+                    violations.push(FoundViolation {
+                        violation: v.clone(),
+                        path: reconstruct(&arena, *rec),
+                        depth,
+                    });
+                    if violations.len() >= self.config.max_violations {
+                        stopped = Some(StopReason::ViolationLimit);
+                        break;
+                    }
+                    continue; // violating states are not expanded
+                }
+                if self.config.max_depth.is_some_and(|d| depth >= d) {
+                    depth_truncated = true;
+                    continue;
+                }
+                let allowed = if self.config.prune_local {
+                    let mut fresh = Vec::new();
+                    for &node in state.nodes.keys() {
+                        let lh = state.local_hash(node).expect("node exists");
+                        if local_explored.insert(lh) {
+                            fresh.push(node);
+                        } else {
+                            stats.local_prunes += 1;
+                        }
+                    }
+                    Some(fresh)
+                } else {
+                    None
+                };
+                jobs.push(ExpandJob { item: i, allowed });
+            }
+
+            // Phase 3: parallel expansion with work stealing.
+            let pt = Instant::now();
+            let (results, deadline_hit) = self.expand_level(&level, &jobs, &explored, workers, t0);
+            let t_expand = pt.elapsed();
+            let pt = Instant::now();
+            if deadline_hit {
+                stopped = Some(StopReason::Deadline);
+                break 'levels;
+            }
+
+            // Phase 4: deterministic merge. Collect the states won in the
+            // insertion race, then assign parents in canonical order.
+            let mut fresh: HashMap<u64, GlobalState<P>> = HashMap::new();
+            let mut ordered: Vec<(Option<usize>, Vec<EdgeOut<P>>)> = Vec::with_capacity(jobs.len());
+            for (job, out) in jobs.iter().zip(results) {
+                let mut out = out.expect("every job produces output");
+                stats.filtered_events += out.filtered;
+                for edge in &mut out.edges {
+                    if let Some(state) = edge.state.take() {
+                        fresh.insert(edge.hash, state);
+                    }
+                }
+                ordered.push((level[job.item].1, out.edges));
+            }
+            let mut next_level: Vec<(GlobalState<P>, Option<usize>)> =
+                Vec::with_capacity(fresh.len());
+            for (parent_rec, edges) in ordered {
+                for edge in edges {
+                    // The canonically-first edge to a hash admitted this
+                    // level becomes its parent; everything else (later
+                    // edges, edges to hashes from earlier levels) is a
+                    // duplicate — the same accounting the sequential
+                    // engine's enqueue-time `insert` performs.
+                    if let Some(state) = fresh.remove(&edge.hash) {
+                        arena.push(ArenaRec {
+                            parent: parent_rec,
+                            event: edge.event,
+                            step: edge.step,
+                        });
+                        next_level.push((state, Some(arena.len() - 1)));
+                        stats.states_enqueued += 1;
+                    } else {
+                        stats.duplicates_hit += 1;
+                    }
+                }
+            }
+
+            if trace {
+                eprintln!(
+                    "level d={} items={} jobs={} check={:?} expand={:?} merge={:?}",
+                    depth,
+                    level.len(),
+                    jobs.len(),
+                    t_check,
+                    t_expand,
+                    pt.elapsed()
+                );
+            }
+            if stopped.is_some() {
+                break 'levels;
+            }
+            level = next_level;
+            depth += 1;
+        }
+
+        let stopped = match stopped {
+            Some(r) => r,
+            None if depth_truncated => StopReason::DepthLimit,
+            None => StopReason::Exhausted,
+        };
+        stats.elapsed = t0.elapsed();
+        stats.tree_bytes = arena.len() * size_of::<ArenaRec<P>>()
+            + (explored.len() + local_explored.len()) * 2 * size_of::<u64>();
+        SearchOutcome {
+            violations,
+            stats,
+            stopped,
+        }
+    }
+
+    /// Phase 1: property-checks every level item, fanning out over
+    /// `workers` threads (inline when 1). `search_t0` is the clock the
+    /// whole search runs on; returns the checks plus whether the
+    /// deadline fired mid-phase.
+    fn check_level(
+        &self,
+        level: &[(GlobalState<P>, Option<usize>)],
+        workers: usize,
+        search_t0: Instant,
+    ) -> (Vec<Option<Violation>>, bool) {
+        let over =
+            |limit: Option<std::time::Duration>| limit.is_some_and(|d| search_t0.elapsed() >= d);
+        if workers == 1 || level.len() <= 1 {
+            let mut checks = Vec::with_capacity(level.len());
+            for (s, _) in level {
+                if over(self.config.deadline) {
+                    return (checks, true);
+                }
+                checks.push(self.props.check(s));
+            }
+            return (checks, false);
+        }
+        let slots: Vec<Mutex<Option<Option<Violation>>>> =
+            level.iter().map(|_| Mutex::new(None)).collect();
+        let queues = StealQueues::split(workers, level.len());
+        let deadline_hit = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let queues = &queues;
+                let slots = &slots;
+                let deadline_hit = &deadline_hit;
+                scope.spawn(move || {
+                    while let Some(i) = queues.next(w) {
+                        if over(self.config.deadline) {
+                            deadline_hit.store(true, Ordering::Relaxed);
+                            return;
+                        }
+                        let v = self.props.check(&level[i].0);
+                        *slots[i].lock().expect("check slot poisoned") = Some(v);
+                    }
+                });
+            }
+        });
+        if deadline_hit.load(Ordering::Relaxed) {
+            return (Vec::new(), true);
+        }
+        (
+            slots
+                .into_iter()
+                .map(|s| {
+                    s.into_inner()
+                        .expect("check slot poisoned")
+                        .expect("checked")
+                })
+                .collect(),
+            false,
+        )
+    }
+
+    /// Phase 3: expands every job, workers racing successor hashes into
+    /// the sharded explored set. Returns per-job outputs (in job order)
+    /// and whether the deadline fired mid-phase.
+    fn expand_level(
+        &self,
+        level: &[(GlobalState<P>, Option<usize>)],
+        jobs: &[ExpandJob],
+        explored: &ShardedExplored,
+        workers: usize,
+        search_t0: Instant,
+    ) -> (Vec<Option<JobOut<P>>>, bool) {
+        let expand_one = |job: &ExpandJob| -> JobOut<P> {
+            let state = &level[job.item].0;
+            let mut filtered = 0usize;
+            let events = match &job.allowed {
+                Some(nodes) => enumerate_gated(
+                    self.protocol,
+                    &self.config,
+                    state,
+                    |n| nodes.contains(&n),
+                    &mut filtered,
+                ),
+                None => {
+                    enumerate_gated(self.protocol, &self.config, state, |_| true, &mut filtered)
+                }
+            };
+            let mut edges = Vec::with_capacity(events.len());
+            for event in events {
+                let mut next = state.clone();
+                let step = apply_event(self.protocol, &mut next, &event);
+                let hash = next.state_hash();
+                let state = explored.insert(hash).then_some(next);
+                edges.push(EdgeOut {
+                    state,
+                    hash,
+                    event,
+                    step,
+                });
+            }
+            JobOut { edges, filtered }
+        };
+
+        if workers == 1 || jobs.len() == 1 {
+            let mut outs = Vec::with_capacity(jobs.len());
+            for job in jobs {
+                if self
+                    .config
+                    .deadline
+                    .is_some_and(|d| search_t0.elapsed() >= d)
+                {
+                    return (outs, true);
+                }
+                outs.push(Some(expand_one(job)));
+            }
+            return (outs, false);
+        }
+
+        let slots: Vec<Mutex<Option<JobOut<P>>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+        let queues = StealQueues::split(workers, jobs.len());
+        let deadline_hit = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let queues = &queues;
+                let slots = &slots;
+                let deadline_hit = &deadline_hit;
+                scope.spawn(move || {
+                    while let Some(j) = queues.next(w) {
+                        if self
+                            .config
+                            .deadline
+                            .is_some_and(|d| search_t0.elapsed() >= d)
+                        {
+                            deadline_hit.store(true, Ordering::Relaxed);
+                            return;
+                        }
+                        *slots[j].lock().expect("expand slot poisoned") =
+                            Some(expand_one(&jobs[j]));
+                    }
+                });
+            }
+        });
+        if deadline_hit.load(Ordering::Relaxed) {
+            return (Vec::new(), true);
+        }
+        (
+            slots
+                .into_iter()
+                .map(|s| s.into_inner().expect("expand slot poisoned"))
+                .collect(),
+            false,
+        )
+    }
+}
+
+/// Runs the exhaustive search of Fig. 5 on the parallel engine.
+pub fn find_errors_parallel<P: Protocol>(
+    protocol: &P,
+    props: &cb_model::PropertySet<P>,
+    start: &GlobalState<P>,
+    config: SearchConfig,
+    par: &ParallelConfig,
+) -> SearchOutcome<P> {
+    Searcher::new(
+        protocol,
+        props,
+        SearchConfig {
+            prune_local: false,
+            ..config
+        },
+    )
+    .run_parallel(start, par)
+}
+
+/// Runs consequence prediction (Fig. 8) on the parallel engine.
+pub fn find_consequences_parallel<P: Protocol>(
+    protocol: &P,
+    props: &cb_model::PropertySet<P>,
+    start: &GlobalState<P>,
+    config: SearchConfig,
+    par: &ParallelConfig,
+) -> SearchOutcome<P> {
+    Searcher::new(
+        protocol,
+        props,
+        SearchConfig {
+            prune_local: true,
+            ..config
+        },
+    )
+    .run_parallel(start, par)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{find_consequences, find_errors};
+    use crate::SearchConfig;
+    use cb_model::testproto::{max_pings_property, Ping};
+    use cb_model::{ExploreOptions, NodeId, PropertySet};
+
+    fn sys(n: u32) -> (Ping, GlobalState<Ping>) {
+        let cfg = Ping {
+            kick_target: NodeId(0),
+            kick_enabled: true,
+        };
+        let gs = GlobalState::init(&cfg, (0..n).map(NodeId));
+        (cfg, gs)
+    }
+
+    fn props(limit: u32) -> PropertySet<Ping> {
+        PropertySet::new().with(max_pings_property(limit))
+    }
+
+    fn cfg() -> SearchConfig {
+        SearchConfig {
+            explore: ExploreOptions::minimal(),
+            ..SearchConfig::default()
+        }
+    }
+
+    fn outcome_fingerprint<P: Protocol>(
+        out: &SearchOutcome<P>,
+    ) -> (Vec<String>, usize, usize, usize) {
+        (
+            out.violations.iter().map(|v| v.scenario()).collect(),
+            out.stats.states_visited,
+            out.stats.states_enqueued,
+            out.stats.duplicates_hit,
+        )
+    }
+
+    #[test]
+    fn parallel_bfs_matches_sequential_exactly() {
+        let (p, gs) = sys(3);
+        let pr = props(2);
+        let seq = find_errors(&p, &pr, &gs, cfg());
+        for workers in [1, 2, 4, 7] {
+            let par = find_errors_parallel(&p, &pr, &gs, cfg(), &ParallelConfig { workers });
+            assert_eq!(
+                outcome_fingerprint(&seq),
+                outcome_fingerprint(&par),
+                "workers={workers}"
+            );
+            assert_eq!(seq.stopped, par.stopped);
+        }
+    }
+
+    #[test]
+    fn parallel_cp_matches_sequential_exactly() {
+        let (p, gs) = sys(4);
+        let pr = props(3);
+        let base = SearchConfig {
+            max_depth: Some(6),
+            ..cfg()
+        };
+        let seq = find_consequences(&p, &pr, &gs, base.clone());
+        for workers in [1, 4] {
+            let par =
+                find_consequences_parallel(&p, &pr, &gs, base.clone(), &ParallelConfig { workers });
+            assert_eq!(
+                outcome_fingerprint(&seq),
+                outcome_fingerprint(&par),
+                "workers={workers}"
+            );
+            assert_eq!(seq.stats.local_prunes, par.stats.local_prunes);
+        }
+    }
+
+    #[test]
+    fn parallel_exhaustion_matches_without_violations() {
+        let (p, gs) = sys(4);
+        let pr = props(u32::MAX);
+        let base = SearchConfig {
+            max_depth: Some(5),
+            max_states: Some(1_000_000),
+            ..cfg()
+        };
+        let seq = find_errors(&p, &pr, &gs, base.clone());
+        let par = find_errors_parallel(&p, &pr, &gs, base, &ParallelConfig { workers: 4 });
+        assert_eq!(outcome_fingerprint(&seq), outcome_fingerprint(&par));
+        assert_eq!(seq.stopped, par.stopped);
+        assert_eq!(seq.stats.per_depth, par.stats.per_depth);
+    }
+
+    #[test]
+    fn parallel_state_budget_matches_sequential() {
+        let (p, gs) = sys(4);
+        let pr = props(u32::MAX);
+        let base = SearchConfig {
+            max_states: Some(100),
+            ..cfg()
+        };
+        let seq = find_errors(&p, &pr, &gs, base.clone());
+        let par = find_errors_parallel(&p, &pr, &gs, base, &ParallelConfig { workers: 4 });
+        assert_eq!(seq.stopped, StopReason::StateLimit);
+        assert_eq!(outcome_fingerprint(&seq), outcome_fingerprint(&par));
+    }
+
+    #[test]
+    fn parallel_multi_violation_budget_matches() {
+        let (p, gs) = sys(3);
+        let pr = props(2);
+        let base = SearchConfig {
+            max_violations: 5,
+            max_depth: Some(6),
+            ..cfg()
+        };
+        let seq = find_errors(&p, &pr, &gs, base.clone());
+        let par = find_errors_parallel(&p, &pr, &gs, base, &ParallelConfig { workers: 4 });
+        assert!(seq.violations.len() > 1, "multiple violations in budget");
+        assert_eq!(outcome_fingerprint(&seq), outcome_fingerprint(&par));
+    }
+
+    #[test]
+    fn parallel_deadline_stops() {
+        let (p, gs) = sys(6);
+        let pr = props(u32::MAX);
+        let out = find_errors_parallel(
+            &p,
+            &pr,
+            &gs,
+            SearchConfig {
+                deadline: Some(std::time::Duration::from_millis(0)),
+                max_states: None,
+                ..cfg()
+            },
+            &ParallelConfig { workers: 4 },
+        );
+        assert_eq!(out.stopped, StopReason::Deadline);
+    }
+
+    #[test]
+    fn default_config_has_workers() {
+        assert!(ParallelConfig::default().workers >= 1);
+    }
+}

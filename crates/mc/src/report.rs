@@ -120,12 +120,22 @@ mod tests {
             },
             path: vec![
                 PathStep {
-                    event: Event::Reset { node: NodeId(13), notify: false },
-                    step: TraceStep::ResetDone { node: NodeId(13), notify: false },
+                    event: Event::Reset {
+                        node: NodeId(13),
+                        notify: false,
+                    },
+                    step: TraceStep::ResetDone {
+                        node: NodeId(13),
+                        notify: false,
+                    },
                 },
                 PathStep {
                     event: Event::Deliver { index: 0 },
-                    step: TraceStep::Delivered { kind: "Join", src: NodeId(13), dst: NodeId(1) },
+                    step: TraceStep::Delivered {
+                        kind: "Join",
+                        src: NodeId(13),
+                        dst: NodeId(1),
+                    },
                 },
             ],
             depth: 2,

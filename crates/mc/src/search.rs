@@ -1,30 +1,45 @@
 //! The search engines: exhaustive BFS (Fig. 5), consequence prediction
-//! (Fig. 8) and the random-walk baseline.
+//! (Fig. 8), the random-walk baseline, and the parallel work-stealing
+//! engine (`crate::parallel`).
 //!
 //! Both BFS variants share one loop; the *only* semantic difference is the
 //! `localExplored` test, exactly as in the paper: "if we omitted the test in
-//! Line 16, the algorithm would reduce precisely to Figure 5" (§3.2).
+//! Line 16, the algorithm would reduce precisely to Figure 5" (§3.2). That
+//! one-line difference survives every engine: the sequential loop gates
+//! per-node expansion through a `localExplored` claim, and the parallel
+//! engine performs the same claims in the same canonical order during its
+//! per-level sequential phase (see `crate::parallel` for the phase
+//! breakdown), so Fig. 5 vs Fig. 8 remains exactly the presence or absence
+//! of that gate.
 //!
 //! Deviations from the pseudocode, called out for reviewers:
 //!
 //! * `explored` hashes are recorded at **enqueue** time rather than dequeue
 //!   time, so the frontier never holds duplicates (Fig. 5 as written may
 //!   re-enqueue a state reached along two paths before either is popped;
-//!   semantics are unchanged, memory is strictly better).
+//!   semantics are unchanged, memory is strictly better). The sequential
+//!   engine keeps one `HashSet`; the parallel engine uses the sharded
+//!   concurrent set ([`crate::ShardedExplored`]) with the same enqueue-time
+//!   discipline — workers race to insert successor hashes, exactly one
+//!   wins, and a deterministic per-level merge assigns each newly admitted
+//!   state its canonical (first-in-BFS-order) parent, so the recorded
+//!   paths match the sequential engine's bit for bit.
 //! * States that violate a property are reported but **not expanded**:
 //!   CrystalBall consumes the shallowest path to a violation (for steering
 //!   and replay), and spending the runtime budget on post-violation suffixes
 //!   would only delay finding distinct violations.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::HashSet;
 use std::mem::size_of;
 use std::time::{Duration, Instant};
 
 use cb_model::{
-    apply_event, Event, ExploreOptions, GlobalState, PropertySet, Protocol, TraceStep,
+    apply_event, Event, ExploreOptions, GlobalState, NodeId, PropertySet, Protocol, TraceStep,
 };
 
 use crate::filter::FilterSet;
+use crate::frontier::{FifoFrontier, Frontier, FrontierItem};
+use crate::parallel::ParallelConfig;
 use crate::report::{FoundViolation, PathStep, SearchOutcome, StopReason};
 use crate::stats::SearchStats;
 
@@ -103,26 +118,130 @@ impl SearchConfig {
     }
 }
 
+/// Which exploration engine drives a search run.
+#[derive(Clone, Debug, Default)]
+pub enum Engine {
+    /// The single-threaded FIFO loop of Fig. 5 / Fig. 8.
+    #[default]
+    Sequential,
+    /// The level-synchronous work-stealing engine: same violation set and
+    /// canonical paths, expansion fanned out over a worker pool.
+    Parallel(ParallelConfig),
+    /// The MaceMC random-walk baseline (§5.3).
+    RandomWalk {
+        /// PRNG seed (runs replay bit-identically per seed).
+        seed: u64,
+        /// Maximum events per walk before restarting from the start state.
+        max_walk_len: usize,
+    },
+}
+
 /// Parent-pointer record for path reconstruction.
-struct ArenaRec<P: Protocol> {
-    parent: Option<usize>,
-    event: Event<P>,
-    step: TraceStep,
+pub(crate) struct ArenaRec<P: Protocol> {
+    pub(crate) parent: Option<usize>,
+    pub(crate) event: Event<P>,
+    pub(crate) step: TraceStep,
 }
 
 /// A reusable search driver binding a protocol, its safety properties, and
 /// a configuration.
 pub struct Searcher<'a, P: Protocol> {
-    protocol: &'a P,
-    props: &'a PropertySet<P>,
+    pub(crate) protocol: &'a P,
+    pub(crate) props: &'a PropertySet<P>,
     /// The active configuration (mutable between runs).
     pub config: SearchConfig,
+}
+
+/// Enumerates the events to explore from `state` under `config`, in the
+/// canonical deterministic order every engine shares: in-flight items by
+/// index (delivery before drop), then nodes in id order (actions in
+/// `enabled_actions` order, then resets, then peer errors).
+///
+/// `allow_node` is the `localExplored` gate of Fig. 8: when it returns
+/// false for a node, that node's *entire* per-node block (actions, resets,
+/// peer errors) is skipped. Exhaustive search passes a constant-true gate.
+/// Events suppressed by installed filters are tallied into `filtered`.
+pub(crate) fn enumerate_gated<P: Protocol>(
+    protocol: &P,
+    config: &SearchConfig,
+    state: &GlobalState<P>,
+    mut allow_node: impl FnMut(NodeId) -> bool,
+    filtered: &mut usize,
+) -> Vec<Event<P>> {
+    let mut events: Vec<Event<P>> = Vec::new();
+    let mut push = |ev: Event<P>, filtered: &mut usize| {
+        if let Some(key) = ev.key(state) {
+            if config.filters.blocks(&key) {
+                *filtered += 1;
+                return;
+            }
+        }
+        events.push(ev);
+    };
+
+    // Message deliveries are always explored (Fig. 8 line 13).
+    for index in 0..state.inflight.len() {
+        push(Event::Deliver { index }, filtered);
+        if config.explore.drops {
+            push(Event::Drop { index }, filtered);
+        }
+    }
+
+    // Local actions: only for fresh local states under consequence
+    // prediction (Fig. 8 lines 17–20).
+    let mut acts = Vec::new();
+    for (&node, slot) in &state.nodes {
+        if !allow_node(node) {
+            continue;
+        }
+        acts.clear();
+        protocol.enabled_actions(node, &slot.state, &mut acts);
+        for action in acts.drain(..) {
+            push(Event::Action { node, action }, filtered);
+        }
+        if config.explore.resets {
+            push(
+                Event::Reset {
+                    node,
+                    notify: false,
+                },
+                filtered,
+            );
+            if !slot.conns.is_empty() {
+                push(Event::Reset { node, notify: true }, filtered);
+            }
+        }
+        if config.explore.peer_errors {
+            for &peer in slot.conns.keys() {
+                push(Event::PeerError { node, peer }, filtered);
+            }
+        }
+    }
+    events
 }
 
 impl<'a, P: Protocol> Searcher<'a, P> {
     /// Creates a searcher.
     pub fn new(protocol: &'a P, props: &'a PropertySet<P>, config: SearchConfig) -> Self {
-        Searcher { protocol, props, config }
+        Searcher {
+            protocol,
+            props,
+            config,
+        }
+    }
+
+    /// Runs the search with the given engine. All engines agree on the
+    /// violation set and on the canonical (shallowest, path-lexicographic
+    /// first) counterexample paths, except the random walk, which is a
+    /// sampling baseline.
+    pub fn search(&self, start: &GlobalState<P>, engine: &Engine) -> SearchOutcome<P> {
+        match engine {
+            Engine::Sequential => self.run(start),
+            Engine::Parallel(par) => self.run_parallel(start, par),
+            Engine::RandomWalk { seed, max_walk_len } => {
+                self.random_walk(start, *seed, *max_walk_len)
+            }
+        }
     }
 
     /// Runs the breadth-first search from `start`: Fig. 5 when
@@ -136,19 +255,23 @@ impl<'a, P: Protocol> Searcher<'a, P> {
         let mut arena: Vec<ArenaRec<P>> = Vec::new();
         let mut explored: HashSet<u64> = HashSet::new();
         let mut local_explored: HashSet<u64> = HashSet::new();
-        let mut frontier: VecDeque<(GlobalState<P>, Option<usize>, usize)> = VecDeque::new();
+        let mut frontier: FifoFrontier<P> = FifoFrontier::new();
         let mut frontier_bytes = 0usize;
         let mut depth_truncated = false;
 
         explored.insert(start.state_hash());
         frontier_bytes += approx_state_bytes(start);
         stats.peak_frontier_bytes = frontier_bytes;
-        frontier.push_back((start.clone(), None, 0));
+        frontier.push(FrontierItem {
+            state: start.clone(),
+            rec: None,
+            depth: 0,
+        });
         stats.states_enqueued += 1;
 
         let mut stopped = StopReason::Exhausted;
 
-        'search: while let Some((state, rec, depth)) = frontier.pop_front() {
+        'search: while let Some(FrontierItem { state, rec, depth }) = frontier.pop() {
             frontier_bytes = frontier_bytes.saturating_sub(approx_state_bytes(&state));
             if let Some(deadline) = self.config.deadline {
                 if t0.elapsed() >= deadline {
@@ -187,7 +310,29 @@ impl<'a, P: Protocol> Searcher<'a, P> {
 
             // Expand: enumerate events, honoring filters and (optionally)
             // the localExplored pruning of Fig. 8.
-            let events = self.expand(&state, &mut local_explored, &mut stats);
+            let mut filtered = 0usize;
+            let mut prunes = 0usize;
+            let events = if self.config.prune_local {
+                enumerate_gated(
+                    self.protocol,
+                    &self.config,
+                    &state,
+                    |node| {
+                        let lh = state.local_hash(node).expect("node exists");
+                        if local_explored.insert(lh) {
+                            true
+                        } else {
+                            prunes += 1;
+                            false
+                        }
+                    },
+                    &mut filtered,
+                )
+            } else {
+                enumerate_gated(self.protocol, &self.config, &state, |_| true, &mut filtered)
+            };
+            stats.filtered_events += filtered;
+            stats.local_prunes += prunes;
             for event in events {
                 let mut next = state.clone();
                 let step = apply_event(self.protocol, &mut next, &event);
@@ -196,11 +341,19 @@ impl<'a, P: Protocol> Searcher<'a, P> {
                     stats.duplicates_hit += 1;
                     continue;
                 }
-                arena.push(ArenaRec { parent: rec, event, step });
+                arena.push(ArenaRec {
+                    parent: rec,
+                    event,
+                    step,
+                });
                 let child_rec = Some(arena.len() - 1);
                 frontier_bytes += approx_state_bytes(&next);
                 stats.peak_frontier_bytes = stats.peak_frontier_bytes.max(frontier_bytes);
-                frontier.push_back((next, child_rec, depth + 1));
+                frontier.push(FrontierItem {
+                    state: next,
+                    rec: child_rec,
+                    depth: depth + 1,
+                });
                 stats.states_enqueued += 1;
             }
         }
@@ -211,64 +364,11 @@ impl<'a, P: Protocol> Searcher<'a, P> {
         stats.elapsed = t0.elapsed();
         stats.tree_bytes = arena.len() * size_of::<ArenaRec<P>>()
             + (explored.len() + local_explored.len()) * 2 * size_of::<u64>();
-        SearchOutcome { violations, stats, stopped }
-    }
-
-    /// Enumerates the events to explore from `state`.
-    fn expand(
-        &self,
-        state: &GlobalState<P>,
-        local_explored: &mut HashSet<u64>,
-        stats: &mut SearchStats,
-    ) -> Vec<Event<P>> {
-        let mut events: Vec<Event<P>> = Vec::new();
-        let mut push = |ev: Event<P>, stats: &mut SearchStats| {
-            if let Some(key) = ev.key(state) {
-                if self.config.filters.blocks(&key) {
-                    stats.filtered_events += 1;
-                    return;
-                }
-            }
-            events.push(ev);
-        };
-
-        // Message deliveries are always explored (Fig. 8 line 13).
-        for index in 0..state.inflight.len() {
-            push(Event::Deliver { index }, stats);
-            if self.config.explore.drops {
-                push(Event::Drop { index }, stats);
-            }
+        SearchOutcome {
+            violations,
+            stats,
+            stopped,
         }
-
-        // Local actions: only for fresh local states under consequence
-        // prediction (Fig. 8 lines 17–20).
-        let mut acts = Vec::new();
-        for (&node, slot) in &state.nodes {
-            if self.config.prune_local {
-                let lh = state.local_hash(node).expect("node exists");
-                if !local_explored.insert(lh) {
-                    stats.local_prunes += 1;
-                    continue;
-                }
-            }
-            acts.clear();
-            self.protocol.enabled_actions(node, &slot.state, &mut acts);
-            for action in acts.drain(..) {
-                push(Event::Action { node, action }, stats);
-            }
-            if self.config.explore.resets {
-                push(Event::Reset { node, notify: false }, stats);
-                if !slot.conns.is_empty() {
-                    push(Event::Reset { node, notify: true }, stats);
-                }
-            }
-            if self.config.explore.peer_errors {
-                for &peer in slot.conns.keys() {
-                    push(Event::PeerError { node, peer }, stats);
-                }
-            }
-        }
-        events
     }
 
     /// The MaceMC random-walk baseline (§5.3): repeatedly walks a random
@@ -302,23 +402,16 @@ impl<'a, P: Protocol> Searcher<'a, P> {
                         break 'outer;
                     }
                 }
-                let mut events: Vec<Event<P>> = Vec::new();
-                {
-                    // Reuse expand() without local pruning: random walk is
-                    // the unpruned baseline.
-                    let mut dummy = HashSet::new();
-                    let saved = self.config.prune_local;
-                    let this = Searcher {
-                        protocol: self.protocol,
-                        props: self.props,
-                        config: SearchConfig { prune_local: false, ..self.config.clone() },
-                    };
-                    events.extend(this.expand(&state, &mut dummy, &mut stats));
-                    let _ = saved;
-                }
+                // The random walk is the unpruned baseline: constant-true
+                // gate, no `localExplored`.
+                let mut filtered = 0usize;
+                let events =
+                    enumerate_gated(self.protocol, &self.config, &state, |_| true, &mut filtered);
+                stats.filtered_events += filtered;
                 if events.is_empty() {
                     break; // dead end; restart the walk
                 }
+                let mut events = events;
                 let event = events.swap_remove((rng.next() as usize) % events.len());
                 let step = apply_event(self.protocol, &mut state, &event);
                 path.push(PathStep { event, step });
@@ -339,7 +432,11 @@ impl<'a, P: Protocol> Searcher<'a, P> {
             }
         }
         stats.elapsed = t0.elapsed();
-        SearchOutcome { violations, stats, stopped }
+        SearchOutcome {
+            violations,
+            stats,
+            stopped,
+        }
     }
 }
 
@@ -350,7 +447,15 @@ pub fn find_errors<P: Protocol>(
     start: &GlobalState<P>,
     config: SearchConfig,
 ) -> SearchOutcome<P> {
-    Searcher::new(protocol, props, SearchConfig { prune_local: false, ..config }).run(start)
+    Searcher::new(
+        protocol,
+        props,
+        SearchConfig {
+            prune_local: false,
+            ..config
+        },
+    )
+    .run(start)
 }
 
 /// Runs consequence prediction (Fig. 8) — CrystalBall's online algorithm.
@@ -360,7 +465,15 @@ pub fn find_consequences<P: Protocol>(
     start: &GlobalState<P>,
     config: SearchConfig,
 ) -> SearchOutcome<P> {
-    Searcher::new(protocol, props, SearchConfig { prune_local: true, ..config }).run(start)
+    Searcher::new(
+        protocol,
+        props,
+        SearchConfig {
+            prune_local: true,
+            ..config
+        },
+    )
+    .run(start)
 }
 
 /// Runs the random-walk baseline of §5.3.
@@ -375,11 +488,17 @@ pub fn random_walk<P: Protocol>(
     Searcher::new(protocol, props, config).random_walk(start, seed, max_walk_len)
 }
 
-fn reconstruct<P: Protocol>(arena: &[ArenaRec<P>], mut rec: Option<usize>) -> Vec<PathStep<P>> {
+pub(crate) fn reconstruct<P: Protocol>(
+    arena: &[ArenaRec<P>],
+    mut rec: Option<usize>,
+) -> Vec<PathStep<P>> {
     let mut path = Vec::new();
     while let Some(i) = rec {
         let r = &arena[i];
-        path.push(PathStep { event: r.event.clone(), step: r.step.clone() });
+        path.push(PathStep {
+            event: r.event.clone(),
+            step: r.step.clone(),
+        });
         rec = r.parent;
     }
     path.reverse();
@@ -387,7 +506,7 @@ fn reconstruct<P: Protocol>(arena: &[ArenaRec<P>], mut rec: Option<usize>) -> Ve
 }
 
 /// Rough heap footprint of a global state held on the frontier.
-fn approx_state_bytes<P: Protocol>(gs: &GlobalState<P>) -> usize {
+pub(crate) fn approx_state_bytes<P: Protocol>(gs: &GlobalState<P>) -> usize {
     let per_node = size_of::<cb_model::NodeSlot<P::State>>() + 2 * size_of::<u64>();
     let conns: usize = gs.nodes.values().map(|s| s.conns.len() * 12).sum();
     size_of::<GlobalState<P>>()
@@ -420,7 +539,10 @@ mod tests {
     use cb_model::NodeId;
 
     fn sys(n: u32, kick_enabled: bool) -> (Ping, GlobalState<Ping>) {
-        let cfg = Ping { kick_target: NodeId(0), kick_enabled };
+        let cfg = Ping {
+            kick_target: NodeId(0),
+            kick_enabled,
+        };
         let gs = GlobalState::init(&cfg, (0..n).map(NodeId));
         (cfg, gs)
     }
@@ -514,7 +636,10 @@ mod tests {
         for step in &v.path {
             apply_event(&cfg, &mut state, &step.event);
         }
-        assert!(props.check(&state).is_some(), "path reproduces the violation");
+        assert!(
+            props.check(&state).is_some(),
+            "path reproduces the violation"
+        );
     }
 
     #[test]
@@ -525,7 +650,11 @@ mod tests {
             &cfg,
             &props,
             &gs,
-            SearchConfig { max_depth: Some(2), explore: ExploreOptions::minimal(), ..quiet() },
+            SearchConfig {
+                max_depth: Some(2),
+                explore: ExploreOptions::minimal(),
+                ..quiet()
+            },
         );
         assert_eq!(out.stopped, StopReason::DepthLimit);
         assert!(out.stats.max_depth <= 2);
@@ -609,9 +738,16 @@ mod tests {
         ]);
         // Consequence prediction + a state cap keeps this bounded: with the
         // deliveries blocked, BFS would chase ever-growing in-flight bags.
-        let out =
-            find_consequences(&cfg, &props, &gs, quiet().with_states(5_000).with_filters(filters));
-        assert!(out.is_clean(), "filtered events make the violation unreachable");
+        let out = find_consequences(
+            &cfg,
+            &props,
+            &gs,
+            quiet().with_states(5_000).with_filters(filters),
+        );
+        assert!(
+            out.is_clean(),
+            "filtered events make the violation unreachable"
+        );
         assert!(out.stats.filtered_events > 0);
     }
 
@@ -667,5 +803,26 @@ mod tests {
         assert_eq!(c.max_states, Some(10));
         assert_eq!(c.max_violations, 1, "clamped to at least one");
         assert!(c.explore.drops);
+    }
+
+    #[test]
+    fn engine_dispatch_matches_direct_calls() {
+        let (cfg, gs) = sys(3, true);
+        let props = props(2);
+        let searcher = Searcher::new(&cfg, &props, quiet());
+        let seq = searcher.search(&gs, &Engine::Sequential);
+        let par = searcher.search(&gs, &Engine::Parallel(ParallelConfig { workers: 2 }));
+        let walk = searcher.search(
+            &gs,
+            &Engine::RandomWalk {
+                seed: 7,
+                max_walk_len: 20,
+            },
+        );
+        assert_eq!(
+            seq.first().map(|v| v.scenario()),
+            par.first().map(|v| v.scenario())
+        );
+        assert!(!walk.is_clean());
     }
 }

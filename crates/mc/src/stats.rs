@@ -42,11 +42,9 @@ impl SearchStats {
     /// Bytes per visited state (Fig. 16's metric); 0 when nothing was
     /// visited.
     pub fn bytes_per_state(&self) -> usize {
-        if self.states_visited == 0 {
-            0
-        } else {
-            self.tree_bytes / self.states_visited
-        }
+        self.tree_bytes
+            .checked_div(self.states_visited)
+            .unwrap_or(0)
     }
 
     /// Visited states per second of wall time.

@@ -374,7 +374,8 @@ impl Decode for () {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(v: T) {
         let bytes = v.to_bytes();
@@ -407,7 +408,10 @@ mod tests {
         roundtrip(vec![1u32, 2, 3]);
         roundtrip(Vec::<u32>::new());
         roundtrip(BTreeSet::from([1u32, 5, 9]));
-        roundtrip(BTreeMap::from([(1u32, "a".to_string()), (2, "b".to_string())]));
+        roundtrip(BTreeMap::from([
+            (1u32, "a".to_string()),
+            (2, "b".to_string()),
+        ]));
         roundtrip(VecDeque::from([1u64, 2, 3]));
         roundtrip((42u32, "pair".to_string()));
     }
@@ -434,7 +438,10 @@ mod tests {
         let overlong = [0xffu8; 11];
         assert_eq!(u64::from_bytes(&overlong), Err(DecodeError::VarintOverflow));
         // Invalid UTF-8 string body.
-        assert_eq!(String::from_bytes(&[2, 0xff, 0xfe]), Err(DecodeError::BadUtf8));
+        assert_eq!(
+            String::from_bytes(&[2, 0xff, 0xfe]),
+            Err(DecodeError::BadUtf8)
+        );
     }
 
     #[test]
@@ -450,34 +457,53 @@ mod tests {
         assert_eq!(a.to_bytes(), b.to_bytes());
     }
 
-    proptest! {
-        #[test]
-        fn prop_u64_roundtrip(v: u64) {
+    // Randomized roundtrips over seeded pseudo-random inputs (stand-ins
+    // for the original property-based tests; proptest is unavailable
+    // offline, and a fixed seed makes failures directly reproducible).
+
+    #[test]
+    fn random_u64_i64_roundtrip() {
+        let mut r = StdRng::seed_from_u64(0xc0dec);
+        for _ in 0..512 {
+            roundtrip(r.gen::<u64>());
+            roundtrip(r.gen::<u64>() as i64);
+        }
+        roundtrip(u64::MAX);
+        roundtrip(i64::MIN);
+    }
+
+    #[test]
+    fn random_string_roundtrip() {
+        let mut r = StdRng::seed_from_u64(0x57617);
+        for _ in 0..256 {
+            let len = r.gen_range(0usize..64);
+            let bytes: Vec<u8> = (0..len).map(|_| (r.gen::<u32>() & 0xff) as u8).collect();
+            // Arbitrary (possibly multi-byte) valid UTF-8.
+            roundtrip(String::from_utf8_lossy(&bytes).into_owned());
+        }
+    }
+
+    #[test]
+    fn random_vec_and_map_roundtrip() {
+        let mut r = StdRng::seed_from_u64(0xc011ec7);
+        for _ in 0..256 {
+            let v: Vec<u32> = (0..r.gen_range(0usize..64))
+                .map(|_| r.gen::<u32>())
+                .collect();
             roundtrip(v);
-        }
-
-        #[test]
-        fn prop_i64_roundtrip(v: i64) {
-            roundtrip(v);
-        }
-
-        #[test]
-        fn prop_string_roundtrip(s in ".*") {
-            roundtrip(s);
-        }
-
-        #[test]
-        fn prop_vec_roundtrip(v in proptest::collection::vec(any::<u32>(), 0..64)) {
-            roundtrip(v);
-        }
-
-        #[test]
-        fn prop_map_roundtrip(m in proptest::collection::btree_map(any::<u16>(), any::<u32>(), 0..32)) {
+            let m: BTreeMap<u16, u32> = (0..r.gen_range(0usize..32))
+                .map(|_| ((r.gen::<u32>() & 0xffff) as u16, r.gen::<u32>()))
+                .collect();
             roundtrip(m);
         }
+    }
 
-        #[test]
-        fn prop_decode_arbitrary_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+    #[test]
+    fn decode_arbitrary_bytes_never_panics() {
+        let mut r = StdRng::seed_from_u64(0xdec0de);
+        for _ in 0..512 {
+            let len = r.gen_range(0usize..128);
+            let bytes: Vec<u8> = (0..len).map(|_| (r.gen::<u32>() & 0xff) as u8).collect();
             // Decoding garbage must fail gracefully, never panic.
             let _ = Vec::<String>::from_bytes(&bytes);
             let _ = BTreeMap::<u32, u64>::from_bytes(&bytes);

@@ -156,14 +156,21 @@ impl<P: Protocol> Event<P> {
                         src: item.src,
                         dst: item.dst,
                     },
-                    Payload::Error => EventKey::ErrorNotice { src: item.src, dst: item.dst },
+                    Payload::Error => EventKey::ErrorNotice {
+                        src: item.src,
+                        dst: item.dst,
+                    },
                 }
             }
-            Event::Action { node, action } => {
-                EventKey::Action { kind: P::action_kind(action), node: *node }
-            }
+            Event::Action { node, action } => EventKey::Action {
+                kind: P::action_kind(action),
+                node: *node,
+            },
             Event::Reset { node, .. } => EventKey::Reset { node: *node },
-            Event::PeerError { node, peer } => EventKey::PeerError { node: *node, peer: *peer },
+            Event::PeerError { node, peer } => EventKey::PeerError {
+                node: *node,
+                peer: *peer,
+            },
         })
     }
 }
@@ -239,7 +246,11 @@ impl fmt::Display for TraceStep {
             TraceStep::Lost { src, dst } => write!(f, "network loses {src}→{dst}"),
             TraceStep::ActionRun { node, kind } => write!(f, "{kind} fires at {node}"),
             TraceStep::ResetDone { node, notify } => {
-                write!(f, "{node} resets ({})", if *notify { "with RSTs" } else { "silent" })
+                write!(
+                    f,
+                    "{node} resets ({})",
+                    if *notify { "with RSTs" } else { "silent" }
+                )
             }
             TraceStep::ConnectionBroke { node, peer } => {
                 write!(f, "connection {node}~{peer} breaks")
@@ -265,19 +276,31 @@ impl Default for ExploreOptions {
         // Resets are the low-probability events behind most of the paper's
         // bugs; they are on by default. Drops and spontaneous breaks widen
         // the space and are opt-in.
-        ExploreOptions { resets: true, peer_errors: false, drops: false }
+        ExploreOptions {
+            resets: true,
+            peer_errors: false,
+            drops: false,
+        }
     }
 }
 
 impl ExploreOptions {
     /// Deliveries and internal actions only.
     pub fn minimal() -> Self {
-        ExploreOptions { resets: false, peer_errors: false, drops: false }
+        ExploreOptions {
+            resets: false,
+            peer_errors: false,
+            drops: false,
+        }
     }
 
     /// Everything on (widest search).
     pub fn full() -> Self {
-        ExploreOptions { resets: true, peer_errors: true, drops: true }
+        ExploreOptions {
+            resets: true,
+            peer_errors: true,
+            drops: true,
+        }
     }
 }
 
@@ -303,7 +326,10 @@ pub fn enumerate_events<P: Protocol>(
             events.push(Event::Action { node, action });
         }
         if opts.resets {
-            events.push(Event::Reset { node, notify: false });
+            events.push(Event::Reset {
+                node,
+                notify: false,
+            });
             if !slot.conns.is_empty() {
                 events.push(Event::Reset { node, notify: true });
             }
@@ -335,7 +361,10 @@ pub fn apply_event<P: Protocol>(
         }
         Event::Drop { index } => {
             let item = take_inflight(gs, *index);
-            TraceStep::Lost { src: item.src, dst: item.dst }
+            TraceStep::Lost {
+                src: item.src,
+                dst: item.dst,
+            }
         }
         Event::Action { node, action } => {
             let mut out = Outbox::new();
@@ -343,7 +372,10 @@ pub fn apply_event<P: Protocol>(
                 config.on_action(*node, &mut slot.state, action, &mut out);
             }
             gs.apply_outbox(*node, out);
-            TraceStep::ActionRun { node: *node, kind: P::action_kind(action) }
+            TraceStep::ActionRun {
+                node: *node,
+                kind: P::action_kind(action),
+            }
         }
         Event::Reset { node, notify } => {
             let mut rsts = Vec::new();
@@ -367,7 +399,10 @@ pub fn apply_event<P: Protocol>(
             for rst in rsts {
                 route(gs, rst);
             }
-            TraceStep::ResetDone { node: *node, notify: *notify }
+            TraceStep::ResetDone {
+                node: *node,
+                notify: *notify,
+            }
         }
         Event::PeerError { node, peer } => {
             let mut out = Outbox::new();
@@ -394,7 +429,10 @@ pub fn apply_event<P: Protocol>(
                     },
                 );
             }
-            TraceStep::ConnectionBroke { node: *node, peer: *peer }
+            TraceStep::ConnectionBroke {
+                node: *node,
+                peer: *peer,
+            }
         }
     }
 }
@@ -448,7 +486,11 @@ fn deliver<P: Protocol>(
             config.on_message(item.dst, &mut slot.state, item.src, &msg, &mut out);
             let kind = P::message_kind(&msg);
             gs.apply_outbox(item.dst, out);
-            TraceStep::Delivered { kind, src: item.src, dst: item.dst }
+            TraceStep::Delivered {
+                kind,
+                src: item.src,
+                dst: item.dst,
+            }
         }
         Payload::Error => {
             if item.dst_inc != slot.incarnation {
@@ -465,7 +507,10 @@ fn deliver<P: Protocol>(
             let mut out = Outbox::new();
             config.on_error(item.dst, &mut slot.state, item.src, &mut out);
             gs.apply_outbox(item.dst, out);
-            TraceStep::ErrorObserved { node: item.dst, peer: item.src }
+            TraceStep::ErrorObserved {
+                node: item.dst,
+                peer: item.src,
+            }
         }
     }
 }
@@ -476,7 +521,10 @@ mod tests {
     use crate::testproto::{Ping, PingAction, PingMsg};
 
     fn setup() -> (Ping, GlobalState<Ping>) {
-        let cfg = Ping { kick_target: NodeId(0), kick_enabled: true };
+        let cfg = Ping {
+            kick_target: NodeId(0),
+            kick_enabled: true,
+        };
         let gs = GlobalState::init(&cfg, [NodeId(0), NodeId(1), NodeId(2)]);
         (cfg, gs)
     }
@@ -494,7 +542,11 @@ mod tests {
         let step = apply_event(&cfg, &mut gs, &Event::Deliver { index: 0 });
         assert_eq!(
             step,
-            TraceStep::Delivered { kind: "Ping", src: NodeId(1), dst: NodeId(0) }
+            TraceStep::Delivered {
+                kind: "Ping",
+                src: NodeId(1),
+                dst: NodeId(0)
+            }
         );
         assert_eq!(gs.slot(NodeId(0)).unwrap().state.pings_seen, 1);
         // Reply is now in flight.
@@ -509,14 +561,33 @@ mod tests {
         let (cfg, mut gs) = setup();
         send_ping(&mut gs, NodeId(1), NodeId(0));
         // Destination resets before delivery.
-        apply_event(&cfg, &mut gs, &Event::Reset { node: NodeId(0), notify: false });
+        apply_event(
+            &cfg,
+            &mut gs,
+            &Event::Reset {
+                node: NodeId(0),
+                notify: false,
+            },
+        );
         let step = apply_event(&cfg, &mut gs, &Event::Deliver { index: 0 });
-        assert_eq!(step, TraceStep::Bounced { src: NodeId(1), dst: NodeId(0) });
+        assert_eq!(
+            step,
+            TraceStep::Bounced {
+                src: NodeId(1),
+                dst: NodeId(0)
+            }
+        );
         // Handler did NOT run on the new incarnation.
         assert_eq!(gs.slot(NodeId(0)).unwrap().state.pings_seen, 0);
         // The sender gets the RST and observes the failure.
         let step = apply_event(&cfg, &mut gs, &Event::Deliver { index: 0 });
-        assert_eq!(step, TraceStep::ErrorObserved { node: NodeId(1), peer: NodeId(0) });
+        assert_eq!(
+            step,
+            TraceStep::ErrorObserved {
+                node: NodeId(1),
+                peer: NodeId(0)
+            }
+        );
         assert_eq!(gs.slot(NodeId(1)).unwrap().state.errors_seen, 1);
         // And its stale connection entry is gone.
         assert!(!gs.slot(NodeId(1)).unwrap().conns.contains_key(&NodeId(0)));
@@ -529,10 +600,21 @@ mod tests {
         apply_event(&cfg, &mut gs, &Event::Deliver { index: 0 }); // ping + pong queued
         apply_event(&cfg, &mut gs, &Event::Deliver { index: 0 }); // pong delivered
         assert!(gs.inflight.is_empty());
-        apply_event(&cfg, &mut gs, &Event::Reset { node: NodeId(1), notify: false });
+        apply_event(
+            &cfg,
+            &mut gs,
+            &Event::Reset {
+                node: NodeId(1),
+                notify: false,
+            },
+        );
         assert!(gs.inflight.is_empty(), "silent reset queues nothing");
         assert_eq!(gs.slot(NodeId(1)).unwrap().incarnation, 1);
-        assert_eq!(gs.slot(NodeId(1)).unwrap().state.pongs_seen, 0, "state wiped");
+        assert_eq!(
+            gs.slot(NodeId(1)).unwrap().state.pongs_seen,
+            0,
+            "state wiped"
+        );
     }
 
     #[test]
@@ -541,11 +623,24 @@ mod tests {
         send_ping(&mut gs, NodeId(1), NodeId(0));
         apply_event(&cfg, &mut gs, &Event::Deliver { index: 0 });
         apply_event(&cfg, &mut gs, &Event::Deliver { index: 0 });
-        apply_event(&cfg, &mut gs, &Event::Reset { node: NodeId(1), notify: true });
+        apply_event(
+            &cfg,
+            &mut gs,
+            &Event::Reset {
+                node: NodeId(1),
+                notify: true,
+            },
+        );
         assert_eq!(gs.inflight.len(), 1);
         assert!(gs.inflight[0].payload.is_error());
         let step = apply_event(&cfg, &mut gs, &Event::Deliver { index: 0 });
-        assert_eq!(step, TraceStep::ErrorObserved { node: NodeId(0), peer: NodeId(1) });
+        assert_eq!(
+            step,
+            TraceStep::ErrorObserved {
+                node: NodeId(0),
+                peer: NodeId(1)
+            }
+        );
         assert_eq!(gs.slot(NodeId(0)).unwrap().state.errors_seen, 1);
     }
 
@@ -553,10 +648,24 @@ mod tests {
     fn rst_to_reset_sender_is_stale() {
         let (cfg, mut gs) = setup();
         send_ping(&mut gs, NodeId(1), NodeId(0));
-        apply_event(&cfg, &mut gs, &Event::Reset { node: NodeId(0), notify: false });
+        apply_event(
+            &cfg,
+            &mut gs,
+            &Event::Reset {
+                node: NodeId(0),
+                notify: false,
+            },
+        );
         apply_event(&cfg, &mut gs, &Event::Deliver { index: 0 }); // bounce queued to n1
-        // n1 itself resets before the RST arrives.
-        apply_event(&cfg, &mut gs, &Event::Reset { node: NodeId(1), notify: false });
+                                                                  // n1 itself resets before the RST arrives.
+        apply_event(
+            &cfg,
+            &mut gs,
+            &Event::Reset {
+                node: NodeId(1),
+                notify: false,
+            },
+        );
         let step = apply_event(&cfg, &mut gs, &Event::Deliver { index: 0 });
         assert_eq!(step, TraceStep::Stale);
         assert_eq!(gs.slot(NodeId(1)).unwrap().state.errors_seen, 0);
@@ -568,9 +677,21 @@ mod tests {
         send_ping(&mut gs, NodeId(1), NodeId(0));
         apply_event(&cfg, &mut gs, &Event::Deliver { index: 0 });
         apply_event(&cfg, &mut gs, &Event::Deliver { index: 0 });
-        let step =
-            apply_event(&cfg, &mut gs, &Event::PeerError { node: NodeId(1), peer: NodeId(0) });
-        assert_eq!(step, TraceStep::ConnectionBroke { node: NodeId(1), peer: NodeId(0) });
+        let step = apply_event(
+            &cfg,
+            &mut gs,
+            &Event::PeerError {
+                node: NodeId(1),
+                peer: NodeId(0),
+            },
+        );
+        assert_eq!(
+            step,
+            TraceStep::ConnectionBroke {
+                node: NodeId(1),
+                peer: NodeId(0)
+            }
+        );
         assert_eq!(gs.slot(NodeId(1)).unwrap().state.errors_seen, 1);
         assert!(!gs.slot(NodeId(1)).unwrap().conns.contains_key(&NodeId(0)));
         // Notification to the other endpoint is in flight.
@@ -584,7 +705,14 @@ mod tests {
     fn peer_error_without_connection_is_a_noop() {
         let (cfg, mut gs) = setup();
         let before = gs.state_hash();
-        apply_event(&cfg, &mut gs, &Event::PeerError { node: NodeId(1), peer: NodeId(2) });
+        apply_event(
+            &cfg,
+            &mut gs,
+            &Event::PeerError {
+                node: NodeId(1),
+                peer: NodeId(2),
+            },
+        );
         assert_eq!(gs.state_hash(), before);
         assert_eq!(gs.slot(NodeId(1)).unwrap().state.errors_seen, 0);
     }
@@ -594,7 +722,13 @@ mod tests {
         let (cfg, mut gs) = setup();
         send_ping(&mut gs, NodeId(1), NodeId(0));
         let step = apply_event(&cfg, &mut gs, &Event::Drop { index: 0 });
-        assert_eq!(step, TraceStep::Lost { src: NodeId(1), dst: NodeId(0) });
+        assert_eq!(
+            step,
+            TraceStep::Lost {
+                src: NodeId(1),
+                dst: NodeId(0)
+            }
+        );
         assert!(gs.inflight.is_empty());
         assert_eq!(gs.slot(NodeId(0)).unwrap().state.pings_seen, 0);
     }
@@ -605,9 +739,18 @@ mod tests {
         let step = apply_event(
             &cfg,
             &mut gs,
-            &Event::Action { node: NodeId(2), action: PingAction::Kick },
+            &Event::Action {
+                node: NodeId(2),
+                action: PingAction::Kick,
+            },
         );
-        assert_eq!(step, TraceStep::ActionRun { node: NodeId(2), kind: "Kick" });
+        assert_eq!(
+            step,
+            TraceStep::ActionRun {
+                node: NodeId(2),
+                kind: "Kick"
+            }
+        );
         assert_eq!(gs.inflight.len(), 1);
         assert_eq!(gs.inflight[0].dst, NodeId(0));
     }
@@ -633,7 +776,10 @@ mod tests {
 
     #[test]
     fn enumerated_actions_are_enabled_ones() {
-        let cfg = Ping { kick_target: NodeId(0), kick_enabled: false };
+        let cfg = Ping {
+            kick_target: NodeId(0),
+            kick_enabled: false,
+        };
         let gs = GlobalState::init(&cfg, [NodeId(0), NodeId(1)]);
         let evs = enumerate_events(&cfg, &gs, &ExploreOptions::minimal());
         assert!(evs.is_empty(), "nothing enabled, nothing in flight");
@@ -646,13 +792,29 @@ mod tests {
         let ev: Event<Ping> = Event::Deliver { index: 0 };
         assert_eq!(
             ev.key(&gs),
-            Some(EventKey::Message { kind: "Ping", src: NodeId(1), dst: NodeId(0) })
+            Some(EventKey::Message {
+                kind: "Ping",
+                src: NodeId(1),
+                dst: NodeId(0)
+            })
         );
         let ev: Event<Ping> = Event::Deliver { index: 9 };
         assert_eq!(ev.key(&gs), None, "stale index");
-        let ev = Event::Action { node: NodeId(2), action: PingAction::Kick };
-        assert_eq!(ev.key(&gs), Some(EventKey::Action { kind: "Kick", node: NodeId(2) }));
-        let ev: Event<Ping> = Event::Reset { node: NodeId(1), notify: true };
+        let ev = Event::Action {
+            node: NodeId(2),
+            action: PingAction::Kick,
+        };
+        assert_eq!(
+            ev.key(&gs),
+            Some(EventKey::Action {
+                kind: "Kick",
+                node: NodeId(2)
+            })
+        );
+        let ev: Event<Ping> = Event::Reset {
+            node: NodeId(1),
+            notify: true,
+        };
         assert_eq!(ev.key(&gs), Some(EventKey::Reset { node: NodeId(1) }));
         assert_eq!(ev.local_node(), Some(NodeId(1)));
         assert_eq!(Event::<Ping>::Deliver { index: 0 }.local_node(), None);
@@ -662,12 +824,20 @@ mod tests {
     #[test]
     fn trace_steps_render() {
         assert_eq!(
-            TraceStep::Delivered { kind: "Join", src: NodeId(13), dst: NodeId(1) }.to_string(),
+            TraceStep::Delivered {
+                kind: "Join",
+                src: NodeId(13),
+                dst: NodeId(1)
+            }
+            .to_string(),
             "deliver Join n13→n1"
         );
-        assert!(TraceStep::ResetDone { node: NodeId(13), notify: false }
-            .to_string()
-            .contains("silent"));
+        assert!(TraceStep::ResetDone {
+            node: NodeId(13),
+            notify: false
+        }
+        .to_string()
+        .contains("silent"));
         assert!(TraceStep::Stale.to_string().contains("stale"));
     }
 }

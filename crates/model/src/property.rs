@@ -88,7 +88,11 @@ where
         f: move |gs: &GlobalState<P>| {
             for (&id, slot) in &gs.nodes {
                 if let Err(message) = f(id, &slot.state) {
-                    return Some(Violation { property: name.to_string(), node: Some(id), message });
+                    return Some(Violation {
+                        property: name.to_string(),
+                        node: Some(id),
+                        message,
+                    });
                 }
             }
             None
@@ -137,7 +141,9 @@ pub struct PropertySet<P: Protocol> {
 
 impl<P: Protocol> Clone for PropertySet<P> {
     fn clone(&self) -> Self {
-        PropertySet { props: self.props.clone() }
+        PropertySet {
+            props: self.props.clone(),
+        }
     }
 }
 
@@ -192,7 +198,9 @@ impl<P: Protocol> PropertySet<P> {
 
 impl<P: Protocol> fmt::Debug for PropertySet<P> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("PropertySet").field("names", &self.names()).finish()
+        f.debug_struct("PropertySet")
+            .field("names", &self.names())
+            .finish()
     }
 }
 

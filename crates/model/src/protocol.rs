@@ -51,7 +51,10 @@ pub struct Outbox<M> {
 
 impl<M> Default for Outbox<M> {
     fn default() -> Self {
-        Outbox { sends: Vec::new(), closes: Vec::new() }
+        Outbox {
+            sends: Vec::new(),
+            closes: Vec::new(),
+        }
     }
 }
 
@@ -99,15 +102,23 @@ impl<M> Outbox<M> {
 /// The implementing type is the *configuration* (bug flags, fan-out limits,
 /// timer intervals, bootstrap addresses); it is cloned freely and shared
 /// between the live runtime and checker.
-pub trait Protocol: Clone + Debug + 'static {
+///
+/// `Send + Sync` bounds (on the configuration and every associated type)
+/// let global states cross threads: the parallel search engine in `cb-mc`
+/// fans state expansion out over a worker pool, and the asynchronous
+/// checker service runs consequence prediction on a background thread
+/// while the live system keeps executing — the deployment model of §4
+/// ("we run the model checker as a separate thread"). Handlers are pure
+/// state-machine transitions, so the bounds cost implementations nothing.
+pub trait Protocol: Clone + Debug + Send + Sync + 'static {
     /// Per-node local state (the paper's *S*). `Hash` feeds the checker's
     /// explored sets; `Encode`/`Decode` make it checkpointable.
-    type State: Clone + Eq + Hash + Debug + Encode + Decode + 'static;
+    type State: Clone + Eq + Hash + Debug + Encode + Decode + Send + Sync + 'static;
     /// Network message content (the paper's *M*).
-    type Message: Clone + Eq + Hash + Debug + Encode + Decode + 'static;
+    type Message: Clone + Eq + Hash + Debug + Encode + Decode + Send + Sync + 'static;
     /// Internal node actions (the paper's *A*): timers and application
     /// calls, enumerable from the state.
-    type Action: Clone + Eq + Hash + Debug + 'static;
+    type Action: Clone + Eq + Hash + Debug + Send + Sync + 'static;
 
     /// Human-readable protocol name (used in reports and benches).
     fn name(&self) -> &'static str;

@@ -45,7 +45,11 @@ pub struct NodeSlot<S> {
 impl<S> NodeSlot<S> {
     /// A fresh slot for a node that has never reset.
     pub fn new(state: S) -> Self {
-        NodeSlot { state, incarnation: 0, conns: BTreeMap::new() }
+        NodeSlot {
+            state,
+            incarnation: 0,
+            conns: BTreeMap::new(),
+        }
     }
 }
 
@@ -124,7 +128,11 @@ impl<P: Protocol> GlobalState<P> {
             .into_iter()
             .map(|n| (n, NodeSlot::new(config.init(n))))
             .collect();
-        GlobalState { nodes, inflight: Vec::new(), parked: Vec::new() }
+        GlobalState {
+            nodes,
+            inflight: Vec::new(),
+            parked: Vec::new(),
+        }
     }
 
     /// Builds a state from externally collected `(node, slot)` checkpoints —
@@ -218,7 +226,13 @@ impl<P: Protocol> GlobalState<P> {
             }
             None => dst_cur,
         };
-        self.route_item(InFlight { src, dst, src_inc, dst_inc, payload });
+        self.route_item(InFlight {
+            src,
+            dst,
+            src_inc,
+            dst_inc,
+            payload,
+        });
     }
 
     /// Places an already-stamped item into the network (or parks it on the
@@ -292,7 +306,10 @@ mod tests {
         gs.apply_outbox(NodeId(0), out);
         assert_eq!(gs.inflight.len(), 1);
         let m = &gs.inflight[0];
-        assert_eq!((m.src, m.dst, m.src_inc, m.dst_inc), (NodeId(0), NodeId(1), 0, 0));
+        assert_eq!(
+            (m.src, m.dst, m.src_inc, m.dst_inc),
+            (NodeId(0), NodeId(1), 0, 0)
+        );
         // Connection was established lazily.
         assert_eq!(gs.slot(NodeId(0)).unwrap().conns.get(&NodeId(1)), Some(&0));
     }
@@ -323,7 +340,10 @@ mod tests {
         out.close(NodeId(1));
         gs.apply_outbox(NodeId(0), out);
         assert!(gs.slot(NodeId(0)).unwrap().conns.is_empty());
-        assert!(gs.inflight.iter().any(|m| m.payload.is_error() && m.dst == NodeId(1)));
+        assert!(gs
+            .inflight
+            .iter()
+            .any(|m| m.payload.is_error() && m.dst == NodeId(1)));
     }
 
     #[test]
@@ -367,9 +387,8 @@ mod tests {
     #[test]
     fn from_slots_builds_partial_states() {
         let full = two_nodes();
-        let partial: GlobalState<Ping> = GlobalState::from_slots(
-            full.nodes.iter().take(1).map(|(id, s)| (*id, s.clone())),
-        );
+        let partial: GlobalState<Ping> =
+            GlobalState::from_slots(full.nodes.iter().take(1).map(|(id, s)| (*id, s.clone())));
         assert_eq!(partial.node_count(), 1);
         assert!(partial.slot(NodeId(1)).is_none());
     }

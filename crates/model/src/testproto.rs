@@ -23,7 +23,10 @@ pub struct Ping {
 
 impl Default for Ping {
     fn default() -> Self {
-        Ping { kick_target: NodeId(0), kick_enabled: false }
+        Ping {
+            kick_target: NodeId(0),
+            kick_enabled: false,
+        }
     }
 }
 
@@ -98,7 +101,11 @@ impl Protocol for Ping {
     }
 
     fn init(&self, _node: NodeId) -> PingState {
-        PingState { pings_seen: 0, pongs_seen: 0, errors_seen: 0 }
+        PingState {
+            pings_seen: 0,
+            pongs_seen: 0,
+            errors_seen: 0,
+        }
     }
 
     fn on_message(

@@ -151,7 +151,10 @@ mod tests {
     fn conversions() {
         assert_eq!(SimDuration::from_secs_f64(0.5).as_micros(), 500_000);
         assert!((SimDuration::from_secs(2).as_secs_f64() - 2.0).abs() < 1e-9);
-        assert_eq!(SimDuration::from_secs(1).mul_f64(0.25), SimDuration::from_millis(250));
+        assert_eq!(
+            SimDuration::from_secs(1).mul_f64(0.25),
+            SimDuration::from_millis(250)
+        );
         assert!((SimTime(1_500_000).as_secs_f64() - 1.5).abs() < 1e-9);
     }
 

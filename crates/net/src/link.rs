@@ -121,7 +121,11 @@ mod tests {
     fn model() -> LinkModel {
         LinkModel::new(
             vec![NodeId(0), NodeId(1)],
-            TopologyConfig { access_out_bps: 1_000_000, access_in_bps: 5_000_000, ..TopologyConfig::default() },
+            TopologyConfig {
+                access_out_bps: 1_000_000,
+                access_in_bps: 5_000_000,
+                ..TopologyConfig::default()
+            },
         )
     }
 
@@ -166,7 +170,10 @@ mod tests {
         assert_eq!(m.stats().received_by(NodeId(1)), 100);
         assert_eq!(m.stats().lost.get(&NodeId(0)), Some(&50));
         let bps = m.stats().egress_bps(NodeId(0), SimDuration::from_secs(1));
-        assert!((bps - 1200.0).abs() < 1e-6, "150 B over 1 s = 1200 bps, got {bps}");
+        assert!(
+            (bps - 1200.0).abs() < 1e-6,
+            "150 B over 1 s = 1200 bps, got {bps}"
+        );
         assert_eq!(m.stats().egress_bps(NodeId(0), SimDuration::ZERO), 0.0);
     }
 }

@@ -292,10 +292,16 @@ impl Encode for Msg {
 impl Decode for Msg {
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
         Ok(match r.byte()? {
-            0 => Msg::Diff { blocks: Vec::decode(r)? },
+            0 => Msg::Diff {
+                blocks: Vec::decode(r)?,
+            },
             1 => Msg::DiffAck,
-            2 => Msg::Request { block: u32::decode(r)? },
-            3 => Msg::Data { block: u32::decode(r)? },
+            2 => Msg::Request {
+                block: u32::decode(r)?,
+            },
+            3 => Msg::Data {
+                block: u32::decode(r)?,
+            },
             t => return Err(DecodeError::BadTag(t)),
         })
     }
@@ -535,7 +541,11 @@ impl Bullet {
         for b in &blocks {
             shadow.remove(b);
         }
-        state.told.entry(peer).or_default().extend(blocks.iter().copied());
+        state
+            .told
+            .entry(peer)
+            .or_default()
+            .extend(blocks.iter().copied());
         *state.pending_diffs.entry(peer).or_insert(0) += 1;
         out.send(peer, Msg::Diff { blocks });
     }
@@ -568,8 +578,10 @@ pub mod properties {
         node_property("DiffCoverage", |_n, s: &BulletState| {
             for (r, shadow) in &s.shadow {
                 let told = s.told.get(r).cloned().unwrap_or_default();
-                if let Some(missing) =
-                    s.file_map.iter().find(|b| !shadow.contains(b) && !told.contains(b))
+                if let Some(missing) = s
+                    .file_map
+                    .iter()
+                    .find(|b| !shadow.contains(b) && !told.contains(b))
                 {
                     return Err(format!(
                         "block {missing} for receiver {r} is neither pending nor told"
@@ -648,7 +660,14 @@ mod tests {
     }
 
     fn act(cfg: &Bullet, gs: &mut GlobalState<Bullet>, node: u32, action: Action) {
-        apply_event(cfg, gs, &Event::Action { node: NodeId(node), action });
+        apply_event(
+            cfg,
+            gs,
+            &Event::Action {
+                node: NodeId(node),
+                action,
+            },
+        );
     }
 
     /// Runs diff/request rounds until nothing changes, with acks flowing.
@@ -671,7 +690,11 @@ mod tests {
         let (_cfg, gs) = line_mesh(BulletBugs::none());
         let s0 = &gs.slot(NodeId(0)).unwrap().state;
         assert_eq!(s0.file_map.len(), 6);
-        assert_eq!(s0.shadow.get(&NodeId(1)).unwrap().len(), 6, "all blocks pending");
+        assert_eq!(
+            s0.shadow.get(&NodeId(1)).unwrap().len(),
+            6,
+            "all blocks pending"
+        );
         let s1 = &gs.slot(NodeId(1)).unwrap().state;
         assert!(s1.file_map.is_empty());
         assert_eq!(s1.shadow.get(&NodeId(2)).unwrap().len(), 0);
@@ -694,7 +717,10 @@ mod tests {
         let (cfg, mut gs) = line_mesh(BulletBugs::only("B1"));
         // First diff fills the window (2 of 6 blocks announced).
         act(&cfg, &mut gs, 0, Action::SendDiff { peer: NodeId(1) });
-        assert_eq!(gs.slot(NodeId(0)).unwrap().state.pending_diffs[&NodeId(1)], 1);
+        assert_eq!(
+            gs.slot(NodeId(0)).unwrap().state.pending_diffs[&NodeId(1)],
+            1
+        );
         assert!(properties::all().check(&gs).is_none());
         // Second diff before the ack: the transport refuses and the buggy
         // code clears the shadow map → 4 blocks lost forever.
@@ -724,7 +750,10 @@ mod tests {
         // Ack flows back; the next diff announces the rest.
         settle(&cfg, &mut gs);
         run_to_completion(&cfg, &mut gs, 30);
-        assert!(gs.slot(NodeId(2)).unwrap().state.complete(6), "download completes");
+        assert!(
+            gs.slot(NodeId(2)).unwrap().state.complete(6),
+            "download completes"
+        );
     }
 
     #[test]
@@ -797,7 +826,10 @@ mod tests {
         apply_event(&cfg, &mut gs, &Event::Deliver { index: 0 });
         let s1 = &gs.slot(NodeId(1)).unwrap().state;
         assert!(s1.file_map.contains(&3));
-        assert!(s1.shadow[&NodeId(2)].contains(&3), "new block pending for n2");
+        assert!(
+            s1.shadow[&NodeId(2)].contains(&3),
+            "new block pending for n2"
+        );
         assert!(properties::all().check(&gs).is_none());
     }
 
@@ -809,8 +841,18 @@ mod tests {
         act(&cfg, &mut gs, 0, Action::SendDiff { peer: NodeId(1) });
         act(&cfg, &mut gs, 0, Action::SendDiff { peer: NodeId(1) });
         assert!(properties::all().check(&gs).is_some());
-        apply_event(&cfg, &mut gs, &Event::PeerError { node: NodeId(0), peer: NodeId(1) });
-        assert!(properties::all().check(&gs).is_none(), "dead receiver exempt");
+        apply_event(
+            &cfg,
+            &mut gs,
+            &Event::PeerError {
+                node: NodeId(0),
+                peer: NodeId(1),
+            },
+        );
+        assert!(
+            properties::all().check(&gs).is_none(),
+            "dead receiver exempt"
+        );
     }
 
     #[test]
@@ -835,7 +877,11 @@ mod tests {
         let (cfg, _) = line_mesh(BulletBugs::none());
         assert_eq!(cfg.wire_size(&Msg::Data { block: 1 }), 1024 + 8);
         assert!(cfg.wire_size(&Msg::DiffAck) < 4);
-        assert!(cfg.wire_size(&Msg::Diff { blocks: vec![1, 2, 3] }) < 16);
+        assert!(
+            cfg.wire_size(&Msg::Diff {
+                blocks: vec![1, 2, 3]
+            }) < 16
+        );
     }
 
     #[test]
@@ -860,7 +906,10 @@ mod tests {
         assert_eq!(cfg.name(), "bullet");
         assert_eq!(Bullet::message_kind(&Msg::DiffAck), "DiffAck");
         assert_eq!(Bullet::action_kind(&Action::RequestBlocks), "RequestBlocks");
-        assert!(matches!(cfg.schedule(&Action::RequestBlocks), Schedule::Periodic(_)));
+        assert!(matches!(
+            cfg.schedule(&Action::RequestBlocks),
+            Schedule::Periodic(_)
+        ));
         assert!(matches!(
             cfg.schedule(&Action::SendDiff { peer: NodeId(1) }),
             Schedule::Periodic(_)

@@ -111,7 +111,11 @@ impl Default for Chord {
 impl Chord {
     /// Convenience constructor.
     pub fn new(bootstrap: Vec<NodeId>, bugs: ChordBugs) -> Self {
-        Chord { bootstrap, bugs, ..Chord::default() }
+        Chord {
+            bootstrap,
+            bugs,
+            ..Chord::default()
+        }
     }
 }
 
@@ -267,11 +271,18 @@ impl Encode for Msg {
 impl Decode for Msg {
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
         Ok(match r.byte()? {
-            0 => Msg::FindPred { joiner: NodeId::decode(r)? },
-            1 => Msg::FindPredReply { succs: Vec::decode(r)? },
+            0 => Msg::FindPred {
+                joiner: NodeId::decode(r)?,
+            },
+            1 => Msg::FindPredReply {
+                succs: Vec::decode(r)?,
+            },
             2 => Msg::UpdatePred,
             3 => Msg::GetPred,
-            4 => Msg::GetPredReply { pred: Option::decode(r)?, succs: Vec::decode(r)? },
+            4 => Msg::GetPredReply {
+                pred: Option::decode(r)?,
+                succs: Vec::decode(r)?,
+            },
             t => return Err(DecodeError::BadTag(t)),
         })
     }
@@ -300,7 +311,12 @@ impl Protocol for Chord {
     }
 
     fn init(&self, node: NodeId) -> ChordState {
-        ChordState { me: node, status: Status::Init, predecessor: None, successors: Vec::new() }
+        ChordState {
+            me: node,
+            status: Status::Init,
+            predecessor: None,
+            successors: Vec::new(),
+        }
     }
 
     fn on_message(
@@ -449,14 +465,21 @@ impl Chord {
         if state.status != Status::Joined || joiner == state.me {
             return;
         }
-        let Some(succ) = state.successor() else { return };
+        let Some(succ) = state.successor() else {
+            return;
+        };
         if succ == state.me || between_right_closed(state.id(), chord_id(joiner), chord_id(succ)) {
             // The joiner slots in between us and our successor: we are its
             // predecessor. Reply with our successor list as-is — the ring
             // pointers only move when the joiner's UpdatePred arrives,
             // which is why two concurrent joiners get "exactly the same
             // information" (Fig. 11).
-            out.send(joiner, Msg::FindPredReply { succs: state.successors.clone() });
+            out.send(
+                joiner,
+                Msg::FindPredReply {
+                    succs: state.successors.clone(),
+                },
+            );
         } else {
             // Route the query onward around the ring.
             out.send(succ, Msg::FindPred { joiner });
@@ -528,11 +551,10 @@ impl Chord {
         }
         // A brand-new ring member may also become our successor (one-node
         // ring accepting its first peer).
-        if state.successors.is_empty() || state.successor() == Some(state.me) {
-            if from != state.me {
-                state.successors.insert(0, from);
-                state.trim_successors(self.succ_list_len);
-            }
+        if (state.successors.is_empty() || state.successor() == Some(state.me)) && from != state.me
+        {
+            state.successors.insert(0, from);
+            state.trim_successors(self.succ_list_len);
         }
     }
 
@@ -605,7 +627,10 @@ pub mod properties {
     pub fn pred_self_implies_succ_self() -> impl cb_model::Property<Chord> {
         node_property("PredSelfImpliesSuccSelf", |_n, s: &ChordState| {
             if s.predecessor == Some(s.me) && s.successors.iter().any(|x| *x != s.me) {
-                Err(format!("pred is self but successors are {:?}", s.successors))
+                Err(format!(
+                    "pred is self but successors are {:?}",
+                    s.successors
+                ))
             } else {
                 Ok(())
             }
@@ -669,12 +694,26 @@ mod tests {
     }
 
     fn join(cfg: &Chord, gs: &mut GlobalState<Chord>, node: NodeId, target: NodeId) {
-        apply_event(cfg, gs, &Event::Action { node, action: Action::Join { target } });
+        apply_event(
+            cfg,
+            gs,
+            &Event::Action {
+                node,
+                action: Action::Join { target },
+            },
+        );
         settle(cfg, gs);
     }
 
     fn stabilize(cfg: &Chord, gs: &mut GlobalState<Chord>, node: NodeId) {
-        apply_event(cfg, gs, &Event::Action { node, action: Action::Stabilize });
+        apply_event(
+            cfg,
+            gs,
+            &Event::Action {
+                node,
+                action: Action::Stabilize,
+            },
+        );
         settle(cfg, gs);
     }
 
@@ -730,7 +769,11 @@ mod tests {
         gs: &mut GlobalState<Chord>,
         pred: impl Fn(&cb_model::InFlight<Msg>) -> bool,
     ) {
-        let index = gs.inflight.iter().position(pred).expect("matching message in flight");
+        let index = gs
+            .inflight
+            .iter()
+            .position(pred)
+            .expect("matching message in flight");
         apply_event(cfg, gs, &Event::Deliver { index });
     }
 
@@ -768,19 +811,41 @@ mod tests {
         // B resets with RSTs; "node A removes B from its internal data
         // structures. As a consequence, Node A considers C as its immediate
         // successor."
-        apply_event(&c, &mut gs, &Event::Reset { node: NodeId(5), notify: true });
+        apply_event(
+            &c,
+            &mut gs,
+            &Event::Reset {
+                node: NodeId(5),
+                notify: true,
+            },
+        );
         settle(&c, &mut gs);
         let s1 = &gs.slot(NodeId(1)).unwrap().state;
-        assert_eq!(s1.successor(), Some(NodeId(9)), "A sees C as successor: {}", s1.view());
+        assert_eq!(
+            s1.successor(),
+            Some(NodeId(9)),
+            "A sees C as successor: {}",
+            s1.view()
+        );
 
         // C resets silently ("nodes A and C did not have an established TCP
         // connection, [so] A does not observe the reset of C") and rejoins
         // via A.
-        apply_event(&c, &mut gs, &Event::Reset { node: NodeId(9), notify: false });
         apply_event(
             &c,
             &mut gs,
-            &Event::Action { node: NodeId(9), action: Action::Join { target: NodeId(1) } },
+            &Event::Reset {
+                node: NodeId(9),
+                notify: false,
+            },
+        );
+        apply_event(
+            &c,
+            &mut gs,
+            &Event::Action {
+                node: NodeId(9),
+                action: Action::Join { target: NodeId(1) },
+            },
         );
         deliver_where(&c, &mut gs, |m| is_kind(m, "FindPred"));
         // "Node A replies to C by a FindPredReply message that shows A's
@@ -789,18 +854,37 @@ mod tests {
         deliver_where(&c, &mut gs, |m| is_kind(m, "FindPredReply"));
         let s9 = &gs.slot(NodeId(9)).unwrap().state;
         assert_eq!(s9.predecessor, Some(NodeId(1)));
-        assert_eq!(s9.successor(), Some(NodeId(9)), "A's reply named C itself: {}", s9.view());
+        assert_eq!(
+            s9.successor(),
+            Some(NodeId(9)),
+            "A's reply named C itself: {}",
+            s9.view()
+        );
         // "After sending this message, C receives a transport error from A
         // and removes A from all of its internal structures including the
         // predecessor pointer."
-        apply_event(&c, &mut gs, &Event::PeerError { node: NodeId(9), peer: NodeId(1) });
+        apply_event(
+            &c,
+            &mut gs,
+            &Event::PeerError {
+                node: NodeId(9),
+                peer: NodeId(1),
+            },
+        );
         assert_eq!(gs.slot(NodeId(9)).unwrap().state.predecessor, None);
         // "Upon receiving the (loopback) message to itself, C observes that
         // the predecessor is unset and then sets it to the sender ... which
         // is C."
-        deliver_where(&c, &mut gs, |m| m.src == NodeId(9) && is_kind(m, "UpdatePred"));
+        deliver_where(&c, &mut gs, |m| {
+            m.src == NodeId(9) && is_kind(m, "UpdatePred")
+        });
         let s9 = &gs.slot(NodeId(9)).unwrap().state;
-        assert_eq!(s9.predecessor, Some(NodeId(9)), "C's pred is itself: {}", s9.view());
+        assert_eq!(
+            s9.predecessor,
+            Some(NodeId(9)),
+            "C's pred is itself: {}",
+            s9.view()
+        );
         let v = properties::all().check(&gs).expect("Fig. 10 violation");
         assert_eq!(v.property, "PredSelfImpliesSuccSelf");
         assert_eq!(v.node, Some(NodeId(9)));
@@ -810,13 +894,30 @@ mod tests {
     fn fig10_scenario_clean_with_fix() {
         let c = Chord::new(vec![NodeId(1)], ChordBugs::none());
         let mut gs = ring_of_four(&c);
-        apply_event(&c, &mut gs, &Event::Reset { node: NodeId(5), notify: true });
-        settle(&c, &mut gs);
-        apply_event(&c, &mut gs, &Event::Reset { node: NodeId(9), notify: false });
         apply_event(
             &c,
             &mut gs,
-            &Event::Action { node: NodeId(9), action: Action::Join { target: NodeId(1) } },
+            &Event::Reset {
+                node: NodeId(5),
+                notify: true,
+            },
+        );
+        settle(&c, &mut gs);
+        apply_event(
+            &c,
+            &mut gs,
+            &Event::Reset {
+                node: NodeId(9),
+                notify: false,
+            },
+        );
+        apply_event(
+            &c,
+            &mut gs,
+            &Event::Action {
+                node: NodeId(9),
+                action: Action::Join { target: NodeId(1) },
+            },
         );
         deliver_where(&c, &mut gs, |m| is_kind(m, "FindPred"));
         deliver_where(&c, &mut gs, |m| is_kind(m, "FindPredReply"));
@@ -825,9 +926,19 @@ mod tests {
             !gs.inflight.iter().any(|m| is_kind(m, "UpdatePred")),
             "no loopback UpdatePred under the fix"
         );
-        apply_event(&c, &mut gs, &Event::PeerError { node: NodeId(9), peer: NodeId(1) });
+        apply_event(
+            &c,
+            &mut gs,
+            &Event::PeerError {
+                node: NodeId(9),
+                peer: NodeId(1),
+            },
+        );
         settle(&c, &mut gs);
-        assert!(properties::all().check(&gs).is_none(), "fixed code avoids self-pred");
+        assert!(
+            properties::all().check(&gs).is_none(),
+            "fixed code avoids self-pred"
+        );
     }
 
     /// The Fig. 11 scenario: two nodes join through the same node and get
@@ -846,22 +957,42 @@ mod tests {
             apply_event(
                 &c,
                 &mut gs,
-                &Event::Action { node: NodeId(n), action: Action::Join { target: NodeId(9) } },
+                &Event::Action {
+                    node: NodeId(n),
+                    action: Action::Join { target: NodeId(9) },
+                },
             );
         }
-        deliver_where(&c, &mut gs, |m| m.dst == NodeId(9) && is_kind(m, "FindPred"));
-        deliver_where(&c, &mut gs, |m| m.dst == NodeId(9) && is_kind(m, "FindPred"));
-        deliver_where(&c, &mut gs, |m| m.dst == NodeId(5) && is_kind(m, "FindPredReply"));
-        deliver_where(&c, &mut gs, |m| m.dst == NodeId(3) && is_kind(m, "FindPredReply"));
+        deliver_where(&c, &mut gs, |m| {
+            m.dst == NodeId(9) && is_kind(m, "FindPred")
+        });
+        deliver_where(&c, &mut gs, |m| {
+            m.dst == NodeId(9) && is_kind(m, "FindPred")
+        });
+        deliver_where(&c, &mut gs, |m| {
+            m.dst == NodeId(5) && is_kind(m, "FindPredReply")
+        });
+        deliver_where(&c, &mut gs, |m| {
+            m.dst == NodeId(3) && is_kind(m, "FindPredReply")
+        });
         // "Finally, Node Ai sets its predecessor to Ai−1 and successor to
         // Ai−2" — Ai-2's UpdatePred is processed first.
-        deliver_where(&c, &mut gs, |m| m.src == NodeId(3) && is_kind(m, "UpdatePred"));
-        deliver_where(&c, &mut gs, |m| m.src == NodeId(5) && is_kind(m, "UpdatePred"));
+        deliver_where(&c, &mut gs, |m| {
+            m.src == NodeId(3) && is_kind(m, "UpdatePred")
+        });
+        deliver_where(&c, &mut gs, |m| {
+            m.src == NodeId(5) && is_kind(m, "UpdatePred")
+        });
         let s9 = &gs.slot(NodeId(9)).unwrap().state;
         assert_eq!(s9.predecessor, Some(NodeId(5)), "Ai: {}", s9.view());
         assert_eq!(s9.successor(), Some(NodeId(3)), "Ai: {}", s9.view());
         let s5 = &gs.slot(NodeId(5)).unwrap().state;
-        assert_eq!(s5.predecessor, Some(NodeId(9)), "Ai-1's pred is Ai: {}", s5.view());
+        assert_eq!(
+            s5.predecessor,
+            Some(NodeId(9)),
+            "Ai-1's pred is Ai: {}",
+            s5.view()
+        );
         assert!(properties::all().check(&gs).is_none());
         // "Stabilizer timer of Ai−1 fires": the GetPredReply brings Ai-2
         // into Ai-1's successor list while its pred still points at Ai.
@@ -880,17 +1011,35 @@ mod tests {
             apply_event(
                 &c,
                 &mut gs,
-                &Event::Action { node: NodeId(n), action: Action::Join { target: NodeId(9) } },
+                &Event::Action {
+                    node: NodeId(n),
+                    action: Action::Join { target: NodeId(9) },
+                },
             );
         }
-        deliver_where(&c, &mut gs, |m| m.dst == NodeId(9) && is_kind(m, "FindPred"));
-        deliver_where(&c, &mut gs, |m| m.dst == NodeId(9) && is_kind(m, "FindPred"));
-        deliver_where(&c, &mut gs, |m| m.dst == NodeId(5) && is_kind(m, "FindPredReply"));
-        deliver_where(&c, &mut gs, |m| m.dst == NodeId(3) && is_kind(m, "FindPredReply"));
-        deliver_where(&c, &mut gs, |m| m.src == NodeId(3) && is_kind(m, "UpdatePred"));
-        deliver_where(&c, &mut gs, |m| m.src == NodeId(5) && is_kind(m, "UpdatePred"));
+        deliver_where(&c, &mut gs, |m| {
+            m.dst == NodeId(9) && is_kind(m, "FindPred")
+        });
+        deliver_where(&c, &mut gs, |m| {
+            m.dst == NodeId(9) && is_kind(m, "FindPred")
+        });
+        deliver_where(&c, &mut gs, |m| {
+            m.dst == NodeId(5) && is_kind(m, "FindPredReply")
+        });
+        deliver_where(&c, &mut gs, |m| {
+            m.dst == NodeId(3) && is_kind(m, "FindPredReply")
+        });
+        deliver_where(&c, &mut gs, |m| {
+            m.src == NodeId(3) && is_kind(m, "UpdatePred")
+        });
+        deliver_where(&c, &mut gs, |m| {
+            m.src == NodeId(5) && is_kind(m, "UpdatePred")
+        });
         stabilize(&c, &mut gs, NodeId(5));
-        assert!(properties::all().check(&gs).is_none(), "fix updates pred during merge");
+        assert!(
+            properties::all().check(&gs).is_none(),
+            "fix updates pred during merge"
+        );
     }
 
     #[test]
@@ -902,7 +1051,14 @@ mod tests {
         assert!(properties::all().check(&gs).is_none());
         // n1 dies with RSTs; n5's successor list was exactly [n1] and the
         // buggy cleanup leaves it empty.
-        apply_event(&c, &mut gs, &Event::Reset { node: NodeId(1), notify: true });
+        apply_event(
+            &c,
+            &mut gs,
+            &Event::Reset {
+                node: NodeId(1),
+                notify: true,
+            },
+        );
         settle(&c, &mut gs);
         let v = properties::all().check(&gs).expect("C3 violation");
         assert_eq!(v.property, "SuccessorsNonEmpty");
@@ -915,7 +1071,14 @@ mod tests {
         let mut gs = GlobalState::init(&c, [NodeId(1), NodeId(5)]);
         join(&c, &mut gs, NodeId(1), NodeId(1));
         join(&c, &mut gs, NodeId(5), NodeId(1));
-        apply_event(&c, &mut gs, &Event::Reset { node: NodeId(1), notify: true });
+        apply_event(
+            &c,
+            &mut gs,
+            &Event::Reset {
+                node: NodeId(1),
+                notify: true,
+            },
+        );
         settle(&c, &mut gs);
         let s5 = &gs.slot(NodeId(5)).unwrap().state;
         assert_eq!(s5.successors, vec![NodeId(5)], "falls back to self-ring");
@@ -954,10 +1117,15 @@ mod tests {
         assert_eq!(ChordState::from_bytes(&s.to_bytes()).unwrap(), s);
         for m in [
             Msg::FindPred { joiner: NodeId(7) },
-            Msg::FindPredReply { succs: vec![NodeId(1), NodeId(2)] },
+            Msg::FindPredReply {
+                succs: vec![NodeId(1), NodeId(2)],
+            },
             Msg::UpdatePred,
             Msg::GetPred,
-            Msg::GetPredReply { pred: None, succs: vec![] },
+            Msg::GetPredReply {
+                pred: None,
+                succs: vec![],
+            },
         ] {
             assert_eq!(Msg::from_bytes(&m.to_bytes()).unwrap(), m);
         }
@@ -969,8 +1137,14 @@ mod tests {
         assert_eq!(c.name(), "chord");
         assert_eq!(Chord::message_kind(&Msg::UpdatePred), "UpdatePred");
         assert_eq!(Chord::action_kind(&Action::Stabilize), "Stabilize");
-        assert!(matches!(c.schedule(&Action::Stabilize), Schedule::Periodic(_)));
-        assert_eq!(c.schedule(&Action::Join { target: NodeId(0) }), Schedule::External);
+        assert!(matches!(
+            c.schedule(&Action::Stabilize),
+            Schedule::Periodic(_)
+        ));
+        assert_eq!(
+            c.schedule(&Action::Join { target: NodeId(0) }),
+            Schedule::External
+        );
         let s = ChordState {
             me: NodeId(5),
             status: Status::Joined,

@@ -40,12 +40,18 @@ pub struct PaxosBugs {
 impl PaxosBugs {
     /// Both bugs present.
     pub fn as_shipped() -> Self {
-        PaxosBugs { p1_last_promise_value: true, p2_promise_not_persisted: true }
+        PaxosBugs {
+            p1_last_promise_value: true,
+            p2_promise_not_persisted: true,
+        }
     }
 
     /// Correct implementation.
     pub fn none() -> Self {
-        PaxosBugs { p1_last_promise_value: false, p2_promise_not_persisted: false }
+        PaxosBugs {
+            p1_last_promise_value: false,
+            p2_promise_not_persisted: false,
+        }
     }
 
     /// Only the named bug (`"P1"` or `"P2"`) enabled.
@@ -77,7 +83,11 @@ pub struct Paxos {
 impl Paxos {
     /// Creates a configuration for `members`.
     pub fn new(members: Vec<NodeId>, bugs: PaxosBugs) -> Self {
-        Paxos { members, bugs, crash_action: false }
+        Paxos {
+            members,
+            bugs,
+            crash_action: false,
+        }
     }
 
     /// Enables the crash action (needed to expose P2).
@@ -252,10 +262,21 @@ impl Encode for Msg {
 impl Decode for Msg {
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
         Ok(match r.byte()? {
-            0 => Msg::Prepare { round: u64::decode(r)? },
-            1 => Msg::Promise { round: u64::decode(r)?, last: Option::decode(r)? },
-            2 => Msg::Accept { round: u64::decode(r)?, value: u64::decode(r)? },
-            3 => Msg::Learn { round: u64::decode(r)?, value: u64::decode(r)? },
+            0 => Msg::Prepare {
+                round: u64::decode(r)?,
+            },
+            1 => Msg::Promise {
+                round: u64::decode(r)?,
+                last: Option::decode(r)?,
+            },
+            2 => Msg::Accept {
+                round: u64::decode(r)?,
+                value: u64::decode(r)?,
+            },
+            3 => Msg::Learn {
+                round: u64::decode(r)?,
+                value: u64::decode(r)?,
+            },
             t => return Err(DecodeError::BadTag(t)),
         })
     }
@@ -316,7 +337,13 @@ impl Protocol for Paxos {
                     if !self.bugs.p2_promise_not_persisted {
                         state.disk_promised = Some(*round);
                     }
-                    out.send(from, Msg::Promise { round: *round, last: state.accepted });
+                    out.send(
+                        from,
+                        Msg::Promise {
+                            round: *round,
+                            last: state.accepted,
+                        },
+                    );
                 }
             }
             Msg::Promise { round, last } => self.handle_promise(state, from, *round, *last, out),
@@ -334,7 +361,13 @@ impl Protocol for Paxos {
                         state.disk_accepted = state.accepted;
                     }
                     for &m in &self.members {
-                        out.send(m, Msg::Learn { round: *round, value: *value });
+                        out.send(
+                            m,
+                            Msg::Learn {
+                                round: *round,
+                                value: *value,
+                            },
+                        );
                     }
                 }
             }
@@ -438,7 +471,13 @@ impl Protocol for Paxos {
     }
 
     fn neighborhood(&self, node: NodeId, _state: &PaxosState) -> Option<Vec<NodeId>> {
-        Some(self.members.iter().copied().filter(|m| *m != node).collect())
+        Some(
+            self.members
+                .iter()
+                .copied()
+                .filter(|m| *m != node)
+                .collect(),
+        )
     }
 
     fn message_kind(msg: &Msg) -> &'static str {
@@ -559,7 +598,14 @@ mod tests {
     }
 
     fn propose(cfg: &Paxos, gs: &mut GlobalState<Paxos>, node: NodeId) {
-        apply_event(cfg, gs, &Event::Action { node, action: Action::Propose });
+        apply_event(
+            cfg,
+            gs,
+            &Event::Action {
+                node,
+                action: Action::Propose,
+            },
+        );
     }
 
     /// Drops every in-flight message whose src or dst is `node` (a network
@@ -634,7 +680,10 @@ mod tests {
         // Round 1: C is disconnected; A's proposal completes on {A, B}.
         propose(&cfg, &mut gs, a);
         settle_partitioned(&cfg, &mut gs, c);
-        assert!(gs.slot(a).unwrap().state.chosen.contains(&0), "0 chosen in round 1");
+        assert!(
+            gs.slot(a).unwrap().state.chosen.contains(&0),
+            "0 chosen in round 1"
+        );
         // Round 2: A is disconnected; B proposes to {B, C}.
         propose(&cfg, &mut gs, b);
         // Deliver B's Prepare to C first, then to B, so that B's own
@@ -670,7 +719,9 @@ mod tests {
             .unwrap();
         apply_event(&cfg, &mut gs, &Event::Deliver { index: idx });
         settle_partitioned(&cfg, &mut gs, a);
-        let v = properties::all().check(&gs).expect("P1 violation: two values chosen");
+        let v = properties::all()
+            .check(&gs)
+            .expect("P1 violation: two values chosen");
         assert_eq!(v.property, "AtMostOneChosen");
     }
 
@@ -680,7 +731,11 @@ mod tests {
         gs: &mut GlobalState<Paxos>,
         pred: impl Fn(&cb_model::InFlight<Msg>) -> bool,
     ) {
-        let index = gs.inflight.iter().position(pred).expect("matching message in flight");
+        let index = gs
+            .inflight
+            .iter()
+            .position(pred)
+            .expect("matching message in flight");
         apply_event(cfg, gs, &Event::Deliver { index });
     }
 
@@ -731,14 +786,26 @@ mod tests {
                 (m.src == b || m.src == c) && (m.dst == b || m.dst == c) && is_kind(m, "Learn")
             });
         }
-        assert!(gs.slot(c).unwrap().state.chosen.contains(&2), "round r_c chose C's value");
+        assert!(
+            gs.slot(c).unwrap().state.chosen.contains(&2),
+            "round r_c chose C's value"
+        );
         assert!(properties::all().check(&gs).is_none(), "still safe");
         // B crashes and reboots: under P2 the promise to r_c is forgotten.
-        apply_event(&cfg, &mut gs, &Event::Action { node: b, action: Action::Crash });
+        apply_event(
+            &cfg,
+            &mut gs,
+            &Event::Action {
+                node: b,
+                action: Action::Crash,
+            },
+        );
         assert_eq!(gs.slot(b).unwrap().state.promised, None, "promise lost");
         // The stale Accept(3, 0) finally arrives at B, which — having
         // forgotten its promise — accepts and broadcasts Learn(3, 0).
-        deliver_where(&cfg, &mut gs, |m| m.dst == b && m.src == a && is_kind(m, "Accept"));
+        deliver_where(&cfg, &mut gs, |m| {
+            m.dst == b && m.src == a && is_kind(m, "Accept")
+        });
         // A collects Learn(3,0) from B; with its own earlier report the old
         // round reaches a majority at A. (B also still has a Learn(5,2) to
         // A in flight — match on the round to pick the right one.)
@@ -747,7 +814,9 @@ mod tests {
                 && m.dst == a
                 && matches!(&m.payload, Payload::Msg(Msg::Learn { round: 3, .. }))
         });
-        let v = properties::all().check(&gs).expect("P2 violation: two values chosen");
+        let v = properties::all()
+            .check(&gs)
+            .expect("P2 violation: two values chosen");
         assert_eq!(v.property, "AtMostOneChosen");
     }
 
@@ -786,11 +855,26 @@ mod tests {
                 (m.src == b || m.src == c) && (m.dst == b || m.dst == c) && is_kind(m, "Learn")
             });
         }
-        apply_event(&cfg, &mut gs, &Event::Action { node: b, action: Action::Crash });
-        assert!(gs.slot(b).unwrap().state.promised.is_some(), "promise survives reboot");
-        deliver_where(&cfg, &mut gs, |m| m.dst == b && m.src == a && is_kind(m, "Accept"));
+        apply_event(
+            &cfg,
+            &mut gs,
+            &Event::Action {
+                node: b,
+                action: Action::Crash,
+            },
+        );
+        assert!(
+            gs.slot(b).unwrap().state.promised.is_some(),
+            "promise survives reboot"
+        );
+        deliver_where(&cfg, &mut gs, |m| {
+            m.dst == b && m.src == a && is_kind(m, "Accept")
+        });
         settle(&cfg, &mut gs);
-        assert!(properties::all().check(&gs).is_none(), "fixed Paxos stays safe");
+        assert!(
+            properties::all().check(&gs).is_none(),
+            "fixed Paxos stays safe"
+        );
     }
 
     #[test]
@@ -804,7 +888,14 @@ mod tests {
         }
         let before = gs.slot(NodeId(1)).unwrap().state.promised;
         assert!(before.is_some());
-        apply_event(&cfg, &mut gs, &Event::Action { node: NodeId(1), action: Action::Crash });
+        apply_event(
+            &cfg,
+            &mut gs,
+            &Event::Action {
+                node: NodeId(1),
+                action: Action::Crash,
+            },
+        );
         let s1 = &gs.slot(NodeId(1)).unwrap().state;
         assert_eq!(s1.promised, before, "promise restored from disk");
         assert_eq!(s1.attempt, 0, "volatile proposer state wiped");
@@ -819,7 +910,10 @@ mod tests {
         cfg.handle_promise(&mut st, NodeId(1), 3, None, &mut out);
         cfg.handle_promise(&mut st, NodeId(1), 3, None, &mut out);
         assert_eq!(st.promises.len(), 1);
-        assert!(!st.accept_sent, "one distinct promise is not a majority of 3");
+        assert!(
+            !st.accept_sent,
+            "one distinct promise is not a majority of 3"
+        );
         cfg.handle_promise(&mut st, NodeId(2), 3, None, &mut out);
         assert!(st.accept_sent);
     }
@@ -850,12 +944,16 @@ mod tests {
         st.promised = Some(9);
         st.accepted = Some((9, 42));
         st.promises.push((NodeId(2), Some((3, 7))));
-        st.learns.insert((9, 42), BTreeSet::from([NodeId(0), NodeId(2)]));
+        st.learns
+            .insert((9, 42), BTreeSet::from([NodeId(0), NodeId(2)]));
         st.chosen.insert(42);
         assert_eq!(PaxosState::from_bytes(&st.to_bytes()).unwrap(), st);
         for m in [
             Msg::Prepare { round: 1 },
-            Msg::Promise { round: 1, last: Some((0, 5)) },
+            Msg::Promise {
+                round: 1,
+                last: Some((0, 5)),
+            },
             Msg::Accept { round: 1, value: 5 },
             Msg::Learn { round: 1, value: 5 },
         ] {

@@ -128,7 +128,12 @@ impl Default for RandTree {
 impl RandTree {
     /// Convenience constructor.
     pub fn new(max_children: usize, bootstrap: Vec<NodeId>, bugs: RandTreeBugs) -> Self {
-        RandTree { max_children, bootstrap, bugs, ..RandTree::default() }
+        RandTree {
+            max_children,
+            bootstrap,
+            bugs,
+            ..RandTree::default()
+        }
     }
 }
 
@@ -293,7 +298,10 @@ pub enum Msg {
 impl Encode for Msg {
     fn encode(&self, buf: &mut Vec<u8>) {
         match self {
-            Msg::Join { joiner, forwarded_down } => {
+            Msg::Join {
+                joiner,
+                forwarded_down,
+            } => {
                 buf.push(0);
                 joiner.encode(buf);
                 forwarded_down.encode(buf);
@@ -320,10 +328,20 @@ impl Encode for Msg {
 impl Decode for Msg {
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
         Ok(match r.byte()? {
-            0 => Msg::Join { joiner: NodeId::decode(r)?, forwarded_down: bool::decode(r)? },
-            1 => Msg::JoinReply { root: NodeId::decode(r)?, siblings: Vec::decode(r)? },
-            2 => Msg::UpdateSibling { sibling: NodeId::decode(r)? },
-            3 => Msg::NewRoot { root: NodeId::decode(r)? },
+            0 => Msg::Join {
+                joiner: NodeId::decode(r)?,
+                forwarded_down: bool::decode(r)?,
+            },
+            1 => Msg::JoinReply {
+                root: NodeId::decode(r)?,
+                siblings: Vec::decode(r)?,
+            },
+            2 => Msg::UpdateSibling {
+                sibling: NodeId::decode(r)?,
+            },
+            3 => Msg::NewRoot {
+                root: NodeId::decode(r)?,
+            },
             4 => Msg::Probe,
             5 => Msg::ProbeReply,
             t => return Err(DecodeError::BadTag(t)),
@@ -376,9 +394,10 @@ impl Protocol for RandTree {
     ) {
         debug_assert_eq!(node, state.me);
         match msg {
-            Msg::Join { joiner, forwarded_down } => {
-                self.handle_join(state, *joiner, *forwarded_down, out)
-            }
+            Msg::Join {
+                joiner,
+                forwarded_down,
+            } => self.handle_join(state, *joiner, *forwarded_down, out),
             Msg::JoinReply { root, siblings } => {
                 self.handle_join_reply(state, from, *root, siblings, out)
             }
@@ -389,7 +408,13 @@ impl Protocol for RandTree {
         }
     }
 
-    fn on_error(&self, node: NodeId, state: &mut RandTreeState, peer: NodeId, out: &mut Outbox<Msg>) {
+    fn on_error(
+        &self,
+        node: NodeId,
+        state: &mut RandTreeState,
+        peer: NodeId,
+        out: &mut Outbox<Msg>,
+    ) {
         debug_assert_eq!(node, state.me);
         let _ = out;
         state.children.remove(&peer);
@@ -403,7 +428,12 @@ impl Protocol for RandTree {
             Status::Joined if state.parent == Some(peer) => {
                 // Parent died (§5.2.1 "Root Has No Siblings" scenario):
                 // promote if we have no better-suited subtree, else rejoin.
-                let better_child = state.children.iter().next().copied().filter(|c| *c < state.me);
+                let better_child = state
+                    .children
+                    .iter()
+                    .next()
+                    .copied()
+                    .filter(|c| *c < state.me);
                 if better_child.is_some() {
                     // A smaller node lives below us: rejoin rather than
                     // usurp the root role; the subtree is kept.
@@ -483,7 +513,13 @@ impl Protocol for RandTree {
                 }
                 state.status = Status::Joining(*target);
                 state.join_attempts += 1;
-                out.send(*target, Msg::Join { joiner: state.me, forwarded_down: false });
+                out.send(
+                    *target,
+                    Msg::Join {
+                        joiner: state.me,
+                        forwarded_down: false,
+                    },
+                );
             }
             Action::RecoveryTimer => {
                 for peer in state.peers() {
@@ -558,7 +594,13 @@ impl RandTree {
                         // more eligible and selects it as the new root and
                         // sends it a Join."
                         state.root = Some(joiner);
-                        out.send(joiner, Msg::Join { joiner: state.me, forwarded_down: false });
+                        out.send(
+                            joiner,
+                            Msg::Join {
+                                joiner: state.me,
+                                forwarded_down: false,
+                            },
+                        );
                     } else {
                         self.accept_or_delegate(state, joiner, out);
                     }
@@ -567,7 +609,13 @@ impl RandTree {
                 } else if let Some(root) = state.root {
                     // "If the node receiving the join request is not the
                     // root, it forwards the request to the root."
-                    out.send(root, Msg::Join { joiner, forwarded_down: false });
+                    out.send(
+                        root,
+                        Msg::Join {
+                            joiner,
+                            forwarded_down: false,
+                        },
+                    );
                 }
             }
         }
@@ -588,7 +636,13 @@ impl RandTree {
             // the overlay."
             let child = state.children.iter().find(|c| **c != joiner).copied();
             match child {
-                Some(c) => out.send(c, Msg::Join { joiner, forwarded_down: true }),
+                Some(c) => out.send(
+                    c,
+                    Msg::Join {
+                        joiner,
+                        forwarded_down: true,
+                    },
+                ),
                 None => self.accept_child(state, joiner, out),
             }
         }
@@ -611,7 +665,12 @@ impl RandTree {
 
     fn send_join_reply(&self, state: &RandTreeState, joiner: NodeId, out: &mut Outbox<Msg>) {
         let siblings: Vec<NodeId> = if state.is_root() {
-            state.children.iter().copied().filter(|c| *c != joiner).collect()
+            state
+                .children
+                .iter()
+                .copied()
+                .filter(|c| *c != joiner)
+                .collect()
         } else {
             Vec::new()
         };
@@ -632,7 +691,11 @@ impl RandTree {
                 state.status = Status::Joined;
                 state.parent = Some(from);
                 state.root = Some(root);
-                state.siblings = siblings.iter().copied().filter(|s| *s != state.me).collect();
+                state.siblings = siblings
+                    .iter()
+                    .copied()
+                    .filter(|s| *s != state.me)
+                    .collect();
                 if !self.bugs.r2_join_reply_keeps_children {
                     // Correction for R2: a node that kept its subtree while
                     // re-joining must purge new siblings from its stale
@@ -649,7 +712,11 @@ impl RandTree {
                 // receiving a JoinReply from 9, 61 informs its children
                 // about the new root (9) by sending NewRoot packets."
                 state.parent = Some(from);
-                state.siblings = siblings.iter().copied().filter(|s| *s != state.me).collect();
+                state.siblings = siblings
+                    .iter()
+                    .copied()
+                    .filter(|s| *s != state.me)
+                    .collect();
                 if !self.bugs.r2_join_reply_keeps_children {
                     for s in siblings {
                         state.children.remove(s);
@@ -704,11 +771,13 @@ pub mod properties {
 
     /// "Children and siblings are disjoint lists" (Fig. 2).
     pub fn children_siblings_disjoint() -> impl cb_model::Property<RandTree> {
-        node_property("ChildrenSiblingsDisjoint", |_n, s: &RandTreeState| {
-            match s.children.intersection(&s.siblings).next() {
-                Some(x) => Err(format!("{x} is both child and sibling")),
-                None => Ok(()),
-            }
+        node_property("ChildrenSiblingsDisjoint", |_n, s: &RandTreeState| match s
+            .children
+            .intersection(&s.siblings)
+            .next()
+        {
+            Some(x) => Err(format!("{x} is both child and sibling")),
+            None => Ok(()),
         })
     }
 
@@ -737,12 +806,9 @@ pub mod properties {
 
     /// A root must not retain a parent pointer.
     pub fn root_has_no_parent() -> impl cb_model::Property<RandTree> {
-        node_property("RootHasNoParent", |_n, s: &RandTreeState| {
-            if s.is_root() && s.parent.is_some() {
-                Err(format!("root keeps parent {}", s.parent.unwrap()))
-            } else {
-                Ok(())
-            }
+        node_property("RootHasNoParent", |_n, s: &RandTreeState| match s.parent {
+            Some(parent) if s.is_root() => Err(format!("root keeps parent {parent}")),
+            _ => Ok(()),
         })
     }
 
@@ -807,7 +873,14 @@ mod tests {
     }
 
     fn join(cfg: &RandTree, gs: &mut GlobalState<RandTree>, node: NodeId, target: NodeId) {
-        apply_event(cfg, gs, &Event::Action { node, action: Action::Join { target } });
+        apply_event(
+            cfg,
+            gs,
+            &Event::Action {
+                node,
+                action: Action::Join { target },
+            },
+        );
         settle(cfg, gs);
     }
 
@@ -846,11 +919,19 @@ mod tests {
         let s9 = &gs.slot(NodeId(9)).unwrap().state;
         let s13 = &gs.slot(NodeId(13)).unwrap().state;
         assert!(s1.is_root());
-        assert_eq!(s1.children.len(), 2, "root has both children: {}", s1.view());
+        assert_eq!(
+            s1.children.len(),
+            2,
+            "root has both children: {}",
+            s1.view()
+        );
         assert_eq!(s9.parent, Some(NodeId(1)));
         assert_eq!(s13.parent, Some(NodeId(1)));
         assert!(s9.siblings.contains(&NodeId(13)), "n9 learned its sibling");
-        assert!(s13.siblings.contains(&NodeId(9)), "n13 got siblings in JoinReply");
+        assert!(
+            s13.siblings.contains(&NodeId(9)),
+            "n13 got siblings in JoinReply"
+        );
         assert!(properties::all().check(&gs).is_none());
     }
 
@@ -863,7 +944,11 @@ mod tests {
         join(&c, &mut gs, NodeId(13), NodeId(1)); // root full → delegated to n9
         let s9 = &gs.slot(NodeId(9)).unwrap().state;
         let s13 = &gs.slot(NodeId(13)).unwrap().state;
-        assert!(s9.children.contains(&NodeId(13)), "delegated to n9: {}", s9.view());
+        assert!(
+            s9.children.contains(&NodeId(13)),
+            "delegated to n9: {}",
+            s9.view()
+        );
         assert_eq!(s13.parent, Some(NodeId(9)));
         assert_eq!(s13.root, Some(NodeId(1)));
         assert!(properties::all().check(&gs).is_none());
@@ -878,11 +963,23 @@ mod tests {
         join(&c, &mut gs, NodeId(1), NodeId(1));
         join(&c, &mut gs, NodeId(9), NodeId(1));
         join(&c, &mut gs, NodeId(13), NodeId(1)); // n13 becomes child of n9
-        assert!(gs.slot(NodeId(9)).unwrap().state.children.contains(&NodeId(13)));
+        assert!(gs
+            .slot(NodeId(9))
+            .unwrap()
+            .state
+            .children
+            .contains(&NodeId(13)));
         assert!(properties::all().check(&gs).is_none());
 
         // Silent reset of n13 (power failure; no RSTs).
-        apply_event(&c, &mut gs, &Event::Reset { node: NodeId(13), notify: false });
+        apply_event(
+            &c,
+            &mut gs,
+            &Event::Reset {
+                node: NodeId(13),
+                notify: false,
+            },
+        );
         // n13 rejoins via n1. Root n1 now has capacity 1 with one child n9
         // → delegates down? No: max_children=1, child n9 exists, so the
         // join is delegated to n9... which would dedup. Fig. 2 has the
@@ -908,9 +1005,19 @@ mod tests {
         join(&c, &mut gs, NodeId(1), NodeId(1));
         join(&c, &mut gs, NodeId(9), NodeId(1));
         join(&c, &mut gs, NodeId(13), NodeId(1));
-        apply_event(&c, &mut gs, &Event::Reset { node: NodeId(13), notify: false });
+        apply_event(
+            &c,
+            &mut gs,
+            &Event::Reset {
+                node: NodeId(13),
+                notify: false,
+            },
+        );
         join(&c, &mut gs, NodeId(13), NodeId(1));
-        assert!(properties::all().check(&gs).is_none(), "fixed handler removes stale child");
+        assert!(
+            properties::all().check(&gs).is_none(),
+            "fixed handler removes stale child"
+        );
     }
 
     /// Builds the first row of Fig. 9 directly: n61 root with children n65
@@ -956,7 +1063,14 @@ mod tests {
 
         // "Node 9 resets, but its TCP RST packet to its parent (69) is
         // lost" — a silent reset.
-        apply_event(&c, &mut gs, &Event::Reset { node: NodeId(9), notify: false });
+        apply_event(
+            &c,
+            &mut gs,
+            &Event::Reset {
+                node: NodeId(9),
+                notify: false,
+            },
+        );
         // "9 sends a Join request to 61. Based on 9's identifier, 61
         // considers 9 more eligible and selects it as the new root."
         join(&c, &mut gs, NodeId(9), NodeId(61));
@@ -964,7 +1078,12 @@ mod tests {
         let s9 = &gs.slot(NodeId(9)).unwrap().state;
         assert!(s9.is_root(), "n9 assumed the root role: {}", s9.view());
         let s61 = &gs.slot(NodeId(61)).unwrap().state;
-        assert_eq!(s61.root, Some(NodeId(9)), "n61 relinquished: {}", s61.view());
+        assert_eq!(
+            s61.root,
+            Some(NodeId(9)),
+            "n61 relinquished: {}",
+            s61.view()
+        );
         // "However, 69 still thinks 9 is its child, which causes the
         // inconsistency."
         let v = properties::all().check(&gs).expect("Fig. 9 violation");
@@ -976,7 +1095,14 @@ mod tests {
     fn fig9_scenario_clean_with_fix() {
         let c = RandTree::new(2, vec![NodeId(61)], RandTreeBugs::none());
         let mut gs = fig9_state(&c);
-        apply_event(&c, &mut gs, &Event::Reset { node: NodeId(9), notify: false });
+        apply_event(
+            &c,
+            &mut gs,
+            &Event::Reset {
+                node: NodeId(9),
+                notify: false,
+            },
+        );
         join(&c, &mut gs, NodeId(9), NodeId(61));
         assert!(
             properties::all().check(&gs).is_none(),
@@ -997,7 +1123,14 @@ mod tests {
         join(&c, &mut gs, NodeId(9), NodeId(1));
         assert!(properties::all().check(&gs).is_none());
         // Root n1 resets and resets the TCP connections with its children.
-        apply_event(&c, &mut gs, &Event::Reset { node: NodeId(1), notify: true });
+        apply_event(
+            &c,
+            &mut gs,
+            &Event::Reset {
+                node: NodeId(1),
+                notify: true,
+            },
+        );
         settle(&c, &mut gs);
         // n5 (leaf, no smaller child) promoted itself but kept {n9} as
         // siblings.
@@ -1012,7 +1145,14 @@ mod tests {
         join(&c, &mut gs, NodeId(1), NodeId(1));
         join(&c, &mut gs, NodeId(5), NodeId(1));
         join(&c, &mut gs, NodeId(9), NodeId(1));
-        apply_event(&c, &mut gs, &Event::Reset { node: NodeId(1), notify: true });
+        apply_event(
+            &c,
+            &mut gs,
+            &Event::Reset {
+                node: NodeId(1),
+                notify: true,
+            },
+        );
         settle(&c, &mut gs);
         assert!(properties::all().check(&gs).is_none());
         let s5 = &gs.slot(NodeId(5)).unwrap().state;
@@ -1025,7 +1165,14 @@ mod tests {
         let mut gs = GlobalState::init(&c, [NodeId(1), NodeId(5)]);
         join(&c, &mut gs, NodeId(1), NodeId(1));
         join(&c, &mut gs, NodeId(5), NodeId(1));
-        apply_event(&c, &mut gs, &Event::Reset { node: NodeId(1), notify: true });
+        apply_event(
+            &c,
+            &mut gs,
+            &Event::Reset {
+                node: NodeId(1),
+                notify: true,
+            },
+        );
         settle(&c, &mut gs);
         let v = properties::all().check(&gs).expect("R7 violation");
         assert_eq!(v.property, "RootHasNoParent");
@@ -1055,7 +1202,11 @@ mod tests {
         join(&c, &mut gs, NodeId(5), NodeId(1));
         // Graft n3 under n5 (a delegated join would do the same; keep the
         // scenario short and explicit).
-        gs.slot_mut(NodeId(5)).unwrap().state.children.insert(NodeId(3));
+        gs.slot_mut(NodeId(5))
+            .unwrap()
+            .state
+            .children
+            .insert(NodeId(3));
         {
             let s3 = &mut gs.slot_mut(NodeId(3)).unwrap().state;
             s3.status = Status::Joined;
@@ -1065,14 +1216,43 @@ mod tests {
         }
         assert!(properties::all().check(&gs).is_none());
         // The root resets silently; n5 observes the broken connection.
-        apply_event(&c, &mut gs, &Event::Reset { node: NodeId(1), notify: false });
-        apply_event(&c, &mut gs, &Event::PeerError { node: NodeId(5), peer: NodeId(1) });
+        apply_event(
+            &c,
+            &mut gs,
+            &Event::Reset {
+                node: NodeId(1),
+                notify: false,
+            },
+        );
+        apply_event(
+            &c,
+            &mut gs,
+            &Event::PeerError {
+                node: NodeId(5),
+                peer: NodeId(1),
+            },
+        );
         let s5 = &gs.slot(NodeId(5)).unwrap().state;
-        assert_eq!(s5.status, Status::Init, "n5 rejoins (smaller child n3 exists): {}", s5.view());
-        assert!(s5.children.contains(&NodeId(3)), "subtree kept across rejoin");
+        assert_eq!(
+            s5.status,
+            Status::Init,
+            "n5 rejoins (smaller child n3 exists): {}",
+            s5.view()
+        );
+        assert!(
+            s5.children.contains(&NodeId(3)),
+            "subtree kept across rejoin"
+        );
         // n1 restarts its tree; n3 resets and re-joins the root directly.
         join(&c, &mut gs, NodeId(1), NodeId(1));
-        apply_event(&c, &mut gs, &Event::Reset { node: NodeId(3), notify: false });
+        apply_event(
+            &c,
+            &mut gs,
+            &Event::Reset {
+                node: NodeId(3),
+                notify: false,
+            },
+        );
         join(&c, &mut gs, NodeId(3), NodeId(1));
         // n5 rejoins; the JoinReply sibling list is [n3].
         join(&c, &mut gs, NodeId(5), NodeId(1));
@@ -1091,7 +1271,10 @@ mod tests {
         apply_event(
             &c,
             &mut gs,
-            &Event::Action { node: NodeId(9), action: Action::RecoveryTimer },
+            &Event::Action {
+                node: NodeId(9),
+                action: Action::RecoveryTimer,
+            },
         );
         assert!(gs
             .inflight
@@ -1100,11 +1283,21 @@ mod tests {
         settle(&c, &mut gs);
         // Now n1 resets silently; n9's next probe bounces and the error
         // handler removes the stale parent, promoting n9.
-        apply_event(&c, &mut gs, &Event::Reset { node: NodeId(1), notify: false });
         apply_event(
             &c,
             &mut gs,
-            &Event::Action { node: NodeId(9), action: Action::RecoveryTimer },
+            &Event::Reset {
+                node: NodeId(1),
+                notify: false,
+            },
+        );
+        apply_event(
+            &c,
+            &mut gs,
+            &Event::Action {
+                node: NodeId(9),
+                action: Action::RecoveryTimer,
+            },
         );
         settle(&c, &mut gs);
         let s9 = &gs.slot(NodeId(9)).unwrap().state;
@@ -1151,8 +1344,14 @@ mod tests {
     #[test]
     fn message_codec_roundtrip() {
         for m in [
-            Msg::Join { joiner: NodeId(7), forwarded_down: true },
-            Msg::JoinReply { root: NodeId(1), siblings: vec![NodeId(2), NodeId(3)] },
+            Msg::Join {
+                joiner: NodeId(7),
+                forwarded_down: true,
+            },
+            Msg::JoinReply {
+                root: NodeId(1),
+                siblings: vec![NodeId(2), NodeId(3)],
+            },
             Msg::UpdateSibling { sibling: NodeId(4) },
             Msg::NewRoot { root: NodeId(1) },
             Msg::Probe,
@@ -1167,13 +1366,25 @@ mod tests {
     fn kinds_and_schedules() {
         assert_eq!(RandTree::message_kind(&Msg::Probe), "Probe");
         assert_eq!(
-            RandTree::message_kind(&Msg::Join { joiner: NodeId(1), forwarded_down: false }),
+            RandTree::message_kind(&Msg::Join {
+                joiner: NodeId(1),
+                forwarded_down: false
+            }),
             "Join"
         );
-        assert_eq!(RandTree::action_kind(&Action::RecoveryTimer), "RecoveryTimer");
+        assert_eq!(
+            RandTree::action_kind(&Action::RecoveryTimer),
+            "RecoveryTimer"
+        );
         let c = cfg(RandTreeBugs::none());
-        assert_eq!(c.schedule(&Action::Join { target: NodeId(1) }), Schedule::External);
-        assert!(matches!(c.schedule(&Action::RecoveryTimer), Schedule::Periodic(_)));
+        assert_eq!(
+            c.schedule(&Action::Join { target: NodeId(1) }),
+            Schedule::External
+        );
+        assert!(matches!(
+            c.schedule(&Action::RecoveryTimer),
+            Schedule::Periodic(_)
+        ));
         assert_eq!(c.name(), "randtree");
     }
 
@@ -1188,5 +1399,4 @@ mod tests {
         assert!(n.contains(&NodeId(1)));
         assert!(!n.contains(&NodeId(9)));
     }
-
 }

@@ -81,7 +81,10 @@ mod tests {
             dst_inc: 0,
             payload: cb_model::Payload::Msg(cb_model::testproto::PingMsg::Ping),
         };
-        assert_eq!(Hook::<Ping>::filter_delivery(&mut h, SimTime::ZERO, &gs, &item), Decision::Allow);
+        assert_eq!(
+            Hook::<Ping>::filter_delivery(&mut h, SimTime::ZERO, &gs, &item),
+            Decision::Allow
+        );
         assert_eq!(
             Hook::<Ping>::filter_action(
                 &mut h,

@@ -102,8 +102,15 @@ impl<P: Protocol> Scenario<P> {
         let mut s = Scenario::new();
         // Staggered initial joins over the first 10 seconds.
         for (i, &n) in nodes.iter().enumerate() {
-            let t = SimTime::ZERO + SimDuration::from_millis(200 * i as u64 + rng.gen_range(0..200));
-            s.push(t, ScriptEvent::Action { node: n, action: join_action(n) });
+            let t =
+                SimTime::ZERO + SimDuration::from_millis(200 * i as u64 + rng.gen_range(0u64..200));
+            s.push(
+                t,
+                ScriptEvent::Action {
+                    node: n,
+                    action: join_action(n),
+                },
+            );
         }
         // Churn: exponential-ish gaps around the mean, uniform node choice.
         let mut t = SimTime::ZERO + SimDuration::from_secs(15);
@@ -114,9 +121,15 @@ impl<P: Protocol> Scenario<P> {
             s.push(t, ScriptEvent::Reset { node, notify });
             // Rejoin a moment later.
             let rejoin = t + SimDuration::from_millis(rng.gen_range(500..3_000));
-            s.push(rejoin, ScriptEvent::Action { node, action: join_action(node) });
+            s.push(
+                rejoin,
+                ScriptEvent::Action {
+                    node,
+                    action: join_action(node),
+                },
+            );
             let gap = mean_between_churn.mul_f64(rng.gen_range(0.3..1.7));
-            t = t + gap;
+            t += gap;
         }
         s
     }
@@ -130,8 +143,20 @@ mod tests {
     #[test]
     fn builder_orders_events() {
         let s: Scenario<Ping> = Scenario::new()
-            .at(SimTime(500), ScriptEvent::Reset { node: NodeId(1), notify: false })
-            .at(SimTime(100), ScriptEvent::Action { node: NodeId(0), action: PingAction::Kick });
+            .at(
+                SimTime(500),
+                ScriptEvent::Reset {
+                    node: NodeId(1),
+                    notify: false,
+                },
+            )
+            .at(
+                SimTime(100),
+                ScriptEvent::Action {
+                    node: NodeId(0),
+                    action: PingAction::Kick,
+                },
+            );
         assert_eq!(s.len(), 2);
         assert!(!s.is_empty());
         let sorted = s.into_sorted();
@@ -162,13 +187,22 @@ mod tests {
             .count();
         assert_eq!(joins, 10);
         // ~600s at one churn per minute: roughly 10 resets (wide tolerance).
-        let resets = a.iter().filter(|(_, e)| matches!(e, ScriptEvent::Reset { .. })).count();
+        let resets = a
+            .iter()
+            .filter(|(_, e)| matches!(e, ScriptEvent::Reset { .. }))
+            .count();
         assert!((4..25).contains(&resets), "got {resets} resets");
         // Every reset is followed by a rejoin action.
-        let actions = a.iter().filter(|(_, e)| matches!(e, ScriptEvent::Action { .. })).count();
+        let actions = a
+            .iter()
+            .filter(|(_, e)| matches!(e, ScriptEvent::Action { .. }))
+            .count();
         assert_eq!(actions, 10 + resets);
         assert_ne!(
-            make(2).iter().filter(|(_, e)| matches!(e, ScriptEvent::Reset { .. })).count()
+            make(2)
+                .iter()
+                .filter(|(_, e)| matches!(e, ScriptEvent::Reset { .. }))
+                .count()
                 .min(1000),
             0,
             "other seeds also generate churn"

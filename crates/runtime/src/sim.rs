@@ -74,12 +74,29 @@ impl Default for SimConfig {
 }
 
 enum Pending<P: Protocol> {
-    Deliver { item: InFlight<P::Message>, m_cn: u64 },
-    Timer { node: NodeId, action: P::Action, token: u64 },
-    Snap { from: NodeId, to: NodeId, msg: SnapMsg },
-    Script { ev: ScriptEvent<P> },
-    CheckpointTick { node: NodeId },
-    GatherTick { node: NodeId },
+    Deliver {
+        item: InFlight<P::Message>,
+        m_cn: u64,
+    },
+    Timer {
+        node: NodeId,
+        action: P::Action,
+        token: u64,
+    },
+    Snap {
+        from: NodeId,
+        to: NodeId,
+        msg: SnapMsg,
+    },
+    Script {
+        ev: ScriptEvent<P>,
+    },
+    CheckpointTick {
+        node: NodeId,
+    },
+    GatherTick {
+        node: NodeId,
+    },
 }
 
 struct Entry<P: Protocol> {
@@ -165,13 +182,18 @@ impl<P: Protocol, H: Hook<P>> Simulation<P, H> {
         };
         if let Some(sr) = &sim.snap_cfg.clone() {
             for (i, &n) in nodes.iter().enumerate() {
-                sim.managers.insert(n, CheckpointManager::new(n, sr.config.clone()));
+                sim.managers
+                    .insert(n, CheckpointManager::new(n, sr.config.clone()));
                 // Stagger the periodic ticks so nodes don't synchronize.
                 let offset = SimDuration::from_millis(137 * i as u64);
-                sim.push_at(sim.now + sr.checkpoint_interval + offset, Pending::CheckpointTick {
-                    node: n,
-                });
-                sim.push_at(sim.now + sr.gather_interval + offset, Pending::GatherTick { node: n });
+                sim.push_at(
+                    sim.now + sr.checkpoint_interval + offset,
+                    Pending::CheckpointTick { node: n },
+                );
+                sim.push_at(
+                    sim.now + sr.gather_interval + offset,
+                    Pending::GatherTick { node: n },
+                );
             }
         }
         for &n in nodes {
@@ -234,13 +256,21 @@ impl<P: Protocol, H: Hook<P>> Simulation<P, H> {
 
     fn push_at(&mut self, at: SimTime, what: Pending<P>) {
         self.seq += 1;
-        self.queue.push(Reverse(Entry { at: at.max(self.now), seq: self.seq, what }));
+        self.queue.push(Reverse(Entry {
+            at: at.max(self.now),
+            seq: self.seq,
+            what,
+        }));
     }
 
     fn dispatch(&mut self, what: Pending<P>) {
         match what {
             Pending::Deliver { item, m_cn } => self.do_deliver(item, m_cn),
-            Pending::Timer { node, action, token } => self.do_timer(node, action, token),
+            Pending::Timer {
+                node,
+                action,
+                token,
+            } => self.do_timer(node, action, token),
             Pending::Snap { from, to, msg } => self.do_snap(from, to, msg),
             Pending::Script { ev } => self.do_script(ev),
             Pending::CheckpointTick { node } => self.do_checkpoint_tick(node),
@@ -262,7 +292,10 @@ impl<P: Protocol, H: Hook<P>> Simulation<P, H> {
             }
             Decision::BlockAndReset => {
                 self.stats.deliveries_blocked += 1;
-                let ev = Event::PeerError { node: item.dst, peer: item.src };
+                let ev = Event::PeerError {
+                    node: item.dst,
+                    peer: item.src,
+                };
                 self.apply_and_follow(ev);
                 return;
             }
@@ -285,9 +318,12 @@ impl<P: Protocol, H: Hook<P>> Simulation<P, H> {
             return;
         }
         self.timers.remove(&(node, action.clone()));
-        let Some(slot) = self.gs.nodes.get(&node) else { return };
+        let Some(slot) = self.gs.nodes.get(&node) else {
+            return;
+        };
         let mut enabled = Vec::new();
-        self.protocol.enabled_actions(node, &slot.state, &mut enabled);
+        self.protocol
+            .enabled_actions(node, &slot.state, &mut enabled);
         if !enabled.contains(&action) {
             self.stats.timers_lapsed += 1;
             self.reconcile_timers(node);
@@ -325,7 +361,8 @@ impl<P: Protocol, H: Hook<P>> Simulation<P, H> {
                 self.apply_and_follow(Event::Reset { node, notify });
                 // A reboot loses the checkpoint manager's volatile state.
                 if let Some(sr) = &self.snap_cfg {
-                    self.managers.insert(node, CheckpointManager::new(node, sr.config.clone()));
+                    self.managers
+                        .insert(node, CheckpointManager::new(node, sr.config.clone()));
                 }
                 self.timers.retain(|(n, _), _| *n != node);
                 self.reconcile_timers(node);
@@ -423,7 +460,14 @@ impl<P: Protocol, H: Hook<P>> Simulation<P, H> {
             return;
         }
         if let Some(at) = self.net.schedule(self.now, src, dst, bytes, Transport::Tcp) {
-            self.push_at(at, Pending::Snap { from: src, to: dst, msg });
+            self.push_at(
+                at,
+                Pending::Snap {
+                    from: src,
+                    to: dst,
+                    msg,
+                },
+            );
         }
     }
 
@@ -479,8 +523,15 @@ impl<P: Protocol, H: Hook<P>> Simulation<P, H> {
             Payload::Msg(m) => self.protocol.wire_size(m) + 8,
             Payload::Error => 40, // a RST/FIN exchange
         };
-        let m_cn = self.managers.get(&item.src).map(|m| m.stamp_out()).unwrap_or(0);
-        if let Some(at) = self.net.schedule(self.now, item.src, item.dst, bytes, Transport::Tcp) {
+        let m_cn = self
+            .managers
+            .get(&item.src)
+            .map(|m| m.stamp_out())
+            .unwrap_or(0);
+        if let Some(at) = self
+            .net
+            .schedule(self.now, item.src, item.dst, bytes, Transport::Tcp)
+        {
             self.push_at(at, Pending::Deliver { item, m_cn });
         }
     }
@@ -492,9 +543,12 @@ impl<P: Protocol, H: Hook<P>> Simulation<P, H> {
     /// Ensures every enabled, runtime-scheduled action of `node` has a
     /// pending timer entry.
     fn reconcile_timers(&mut self, node: NodeId) {
-        let Some(slot) = self.gs.nodes.get(&node) else { return };
+        let Some(slot) = self.gs.nodes.get(&node) else {
+            return;
+        };
         let mut enabled = Vec::new();
-        self.protocol.enabled_actions(node, &slot.state, &mut enabled);
+        self.protocol
+            .enabled_actions(node, &slot.state, &mut enabled);
         for action in enabled {
             let delay = match self.protocol.schedule(&action) {
                 Schedule::Periodic(d) | Schedule::After(d) => d,
@@ -512,7 +566,14 @@ impl<P: Protocol, H: Hook<P>> Simulation<P, H> {
         let token = self.seq;
         self.timers.insert((node, action.clone()), token);
         let at = self.now + period + jitter;
-        self.push_at(at, Pending::Timer { node, action, token });
+        self.push_at(
+            at,
+            Pending::Timer {
+                node,
+                action,
+                token,
+            },
+        );
     }
 
     /// Checkpoint payload for `node`: the full slot (protocol state plus
@@ -532,14 +593,20 @@ mod tests {
     use cb_protocols::randtree::{self, Action as RtAction, RandTree, RandTreeBugs};
 
     fn ping_sim(seed: u64) -> Simulation<Ping, NoHook> {
-        let cfg = Ping { kick_target: NodeId(0), kick_enabled: true };
+        let cfg = Ping {
+            kick_target: NodeId(0),
+            kick_enabled: true,
+        };
         let nodes: Vec<NodeId> = (0..3).map(NodeId).collect();
         Simulation::new(
             cfg,
             &nodes,
             PropertySet::new().with(max_pings_property(u32::MAX)),
             NoHook,
-            SimConfig { seed, ..SimConfig::default() },
+            SimConfig {
+                seed,
+                ..SimConfig::default()
+            },
         )
     }
 
@@ -576,14 +643,33 @@ mod tests {
     #[test]
     fn partition_blocks_and_restores() {
         let mut sim = ping_sim(3);
-        sim.inject(ScriptEvent::Connectivity { a: NodeId(1), b: NodeId(0), up: false });
-        sim.inject(ScriptEvent::Connectivity { a: NodeId(2), b: NodeId(0), up: false });
+        sim.inject(ScriptEvent::Connectivity {
+            a: NodeId(1),
+            b: NodeId(0),
+            up: false,
+        });
+        sim.inject(ScriptEvent::Connectivity {
+            a: NodeId(2),
+            b: NodeId(0),
+            up: false,
+        });
         sim.run_for(SimDuration::from_secs(5));
-        assert_eq!(sim.state(NodeId(0)).unwrap().pings_seen, 0, "fully partitioned");
+        assert_eq!(
+            sim.state(NodeId(0)).unwrap().pings_seen,
+            0,
+            "fully partitioned"
+        );
         assert!(sim.stats.messages_lost > 0);
-        sim.inject(ScriptEvent::Connectivity { a: NodeId(1), b: NodeId(0), up: true });
+        sim.inject(ScriptEvent::Connectivity {
+            a: NodeId(1),
+            b: NodeId(0),
+            up: true,
+        });
         sim.run_for(SimDuration::from_secs(5));
-        assert!(sim.state(NodeId(0)).unwrap().pings_seen > 0, "healed partition");
+        assert!(
+            sim.state(NodeId(0)).unwrap().pings_seen > 0,
+            "healed partition"
+        );
     }
 
     #[test]
@@ -592,7 +678,10 @@ mod tests {
         sim.run_for(SimDuration::from_secs(5));
         let before = sim.state(NodeId(0)).unwrap().pings_seen;
         assert!(before > 0);
-        sim.inject(ScriptEvent::Reset { node: NodeId(0), notify: false });
+        sim.inject(ScriptEvent::Reset {
+            node: NodeId(0),
+            notify: false,
+        });
         assert_eq!(sim.state(NodeId(0)).unwrap().pings_seen, 0, "state wiped");
         assert_eq!(sim.stats.resets_applied, 1);
         sim.run_for(SimDuration::from_secs(5));
@@ -608,7 +697,10 @@ mod tests {
             &nodes,
             randtree::properties::all(),
             NoHook,
-            SimConfig { seed: 11, ..SimConfig::default() },
+            SimConfig {
+                seed: 11,
+                ..SimConfig::default()
+            },
         );
         let scenario = Scenario::churn(
             &nodes,
@@ -644,7 +736,10 @@ mod tests {
             &nodes,
             randtree::properties::all(),
             NoHook,
-            SimConfig { seed: 13, ..SimConfig::default() },
+            SimConfig {
+                seed: 13,
+                ..SimConfig::default()
+            },
         );
         let scenario = Scenario::churn(
             &nodes,
@@ -675,13 +770,19 @@ mod tests {
 
     #[test]
     fn snapshot_gathers_reach_the_hook() {
-        let cfg = Ping { kick_target: NodeId(0), kick_enabled: true };
+        let cfg = Ping {
+            kick_target: NodeId(0),
+            kick_enabled: true,
+        };
         let nodes: Vec<NodeId> = (0..3).map(NodeId).collect();
         let mut sim = Simulation::new(
             cfg,
             &nodes,
             PropertySet::new(),
-            SnapCollector { snaps: 0, nodes_seen: 0 },
+            SnapCollector {
+                snaps: 0,
+                nodes_seen: 0,
+            },
             SimConfig {
                 seed: 5,
                 snapshots: Some(SnapshotRuntime {
@@ -693,10 +794,18 @@ mod tests {
             },
         );
         sim.run_for(SimDuration::from_secs(30));
-        assert!(sim.hook.snaps >= 3, "gathers completed ({})", sim.hook.snaps);
+        assert!(
+            sim.hook.snaps >= 3,
+            "gathers completed ({})",
+            sim.hook.snaps
+        );
         // Ping nodes hold connections to the kick target, so snapshots
         // cover more than the gatherer itself.
-        assert!(sim.hook.nodes_seen >= 2, "neighborhood included ({} nodes)", sim.hook.nodes_seen);
+        assert!(
+            sim.hook.nodes_seen >= 2,
+            "neighborhood included ({} nodes)",
+            sim.hook.nodes_seen
+        );
         assert!(sim.stats.snapshot_bytes_sent > 0);
         assert!(sim.manager(NodeId(0)).unwrap().stats.checkpoints_taken > 0);
     }
@@ -711,7 +820,12 @@ mod tests {
             item: &InFlight<<Ping as Protocol>::Message>,
         ) -> Decision {
             let _ = gs;
-            if item.dst == NodeId(0) && matches!(item.payload, Payload::Msg(cb_model::testproto::PingMsg::Ping)) {
+            if item.dst == NodeId(0)
+                && matches!(
+                    item.payload,
+                    Payload::Msg(cb_model::testproto::PingMsg::Ping)
+                )
+            {
                 Decision::Block
             } else {
                 Decision::Allow
@@ -721,17 +835,27 @@ mod tests {
 
     #[test]
     fn hook_blocks_deliveries() {
-        let cfg = Ping { kick_target: NodeId(0), kick_enabled: true };
+        let cfg = Ping {
+            kick_target: NodeId(0),
+            kick_enabled: true,
+        };
         let nodes: Vec<NodeId> = (0..3).map(NodeId).collect();
         let mut sim = Simulation::new(
             cfg,
             &nodes,
             PropertySet::new(),
             BlockPings,
-            SimConfig { seed: 6, ..SimConfig::default() },
+            SimConfig {
+                seed: 6,
+                ..SimConfig::default()
+            },
         );
         sim.run_for(SimDuration::from_secs(10));
-        assert_eq!(sim.state(NodeId(0)).unwrap().pings_seen, 0, "all pings blocked");
+        assert_eq!(
+            sim.state(NodeId(0)).unwrap().pings_seen,
+            0,
+            "all pings blocked"
+        );
         assert!(sim.stats.deliveries_blocked > 5);
     }
 
@@ -756,14 +880,20 @@ mod tests {
 
     #[test]
     fn blocked_timers_are_rescheduled() {
-        let cfg = Ping { kick_target: NodeId(0), kick_enabled: true };
+        let cfg = Ping {
+            kick_target: NodeId(0),
+            kick_enabled: true,
+        };
         let nodes: Vec<NodeId> = (0..2).map(NodeId).collect();
         let mut sim = Simulation::new(
             cfg,
             &nodes,
             PropertySet::new(),
             BlockKicks,
-            SimConfig { seed: 8, ..SimConfig::default() },
+            SimConfig {
+                seed: 8,
+                ..SimConfig::default()
+            },
         );
         sim.run_for(SimDuration::from_secs(10));
         assert_eq!(sim.state(NodeId(0)).unwrap().pings_seen, 0);

@@ -47,7 +47,10 @@ impl SimStats {
     /// Records a violating state.
     pub fn record_violation(&mut self, now: SimTime, v: Violation) {
         self.violating_states += 1;
-        *self.violations_by_property.entry(v.property.clone()).or_insert(0) += 1;
+        *self
+            .violations_by_property
+            .entry(v.property.clone())
+            .or_insert(0) += 1;
         if self.first_violation.is_none() {
             self.first_violation = Some((now, v));
         }
@@ -71,7 +74,11 @@ mod tests {
     fn violation_recording() {
         let mut s = SimStats::default();
         assert!(s.first_violation.is_none());
-        let v = Violation { property: "P".into(), node: Some(NodeId(1)), message: "m".into() };
+        let v = Violation {
+            property: "P".into(),
+            node: Some(NodeId(1)),
+            message: "m".into(),
+        };
         s.record_violation(SimTime(5), v.clone());
         s.record_violation(SimTime(9), v.clone());
         assert_eq!(s.violating_states, 2);
@@ -83,8 +90,10 @@ mod tests {
     fn join_time_mean() {
         let mut s = SimStats::default();
         assert_eq!(s.mean_join_secs(), None);
-        s.join_times.push((NodeId(1), SimDuration::from_millis(800)));
-        s.join_times.push((NodeId(2), SimDuration::from_millis(1000)));
+        s.join_times
+            .push((NodeId(1), SimDuration::from_millis(800)));
+        s.join_times
+            .push((NodeId(2), SimDuration::from_millis(1000)));
         assert!((s.mean_join_secs().unwrap() - 0.9).abs() < 1e-9);
     }
 }

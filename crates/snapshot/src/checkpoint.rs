@@ -41,7 +41,12 @@ pub struct CheckpointStore {
 impl CheckpointStore {
     /// Creates a store holding at most `quota_bytes` of checkpoint data.
     pub fn new(quota_bytes: usize) -> Self {
-        CheckpointStore { entries: VecDeque::new(), quota_bytes, bytes: 0, pruned: 0 }
+        CheckpointStore {
+            entries: VecDeque::new(),
+            quota_bytes,
+            bytes: 0,
+            pruned: 0,
+        }
     }
 
     /// Records a checkpoint, pruning the oldest entries if over quota. A
@@ -97,7 +102,10 @@ mod tests {
     use super::*;
 
     fn cp(cn: u64, size: usize) -> Checkpoint {
-        Checkpoint { cn, data: vec![cn as u8; size] }
+        Checkpoint {
+            cn,
+            data: vec![cn as u8; size],
+        }
     }
 
     #[test]
@@ -141,7 +149,10 @@ mod tests {
     fn same_cn_replaces() {
         let mut s = CheckpointStore::new(1000);
         s.push(cp(4, 10));
-        s.push(Checkpoint { cn: 4, data: vec![9; 20] });
+        s.push(Checkpoint {
+            cn: 4,
+            data: vec![9; 20],
+        });
         assert_eq!(s.len(), 1);
         assert_eq!(s.bytes(), 20);
         assert_eq!(s.latest().unwrap().data[0], 9);
@@ -162,6 +173,10 @@ mod tests {
         let c = cp(1, 4);
         assert_eq!(c.len(), 4);
         assert!(!c.is_empty());
-        assert!(Checkpoint { cn: 0, data: vec![] }.is_empty());
+        assert!(Checkpoint {
+            cn: 0,
+            data: vec![]
+        }
+        .is_empty());
     }
 }

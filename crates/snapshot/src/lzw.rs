@@ -21,7 +21,11 @@ struct BitWriter {
 
 impl BitWriter {
     fn new() -> Self {
-        BitWriter { out: Vec::new(), acc: 0, nbits: 0 }
+        BitWriter {
+            out: Vec::new(),
+            acc: 0,
+            nbits: 0,
+        }
     }
     fn push(&mut self, code: u32, width: u32) {
         self.acc |= u64::from(code) << self.nbits;
@@ -49,7 +53,12 @@ struct BitReader<'a> {
 
 impl<'a> BitReader<'a> {
     fn new(inp: &'a [u8]) -> Self {
-        BitReader { inp, pos: 0, acc: 0, nbits: 0 }
+        BitReader {
+            inp,
+            pos: 0,
+            acc: 0,
+            nbits: 0,
+        }
     }
     fn pull(&mut self, width: u32) -> Option<u32> {
         while self.nbits < width {
@@ -180,7 +189,8 @@ pub fn ratio(original: usize, compressed: usize) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     fn roundtrip(data: &[u8]) {
         let c = compress(data);
@@ -205,8 +215,7 @@ mod tests {
 
     #[test]
     fn repetitive_data_compresses_well() {
-        let data: Vec<u8> = std::iter::repeat(b"checkpoint-block-")
-            .take(200)
+        let data: Vec<u8> = std::iter::repeat_n(b"checkpoint-block-", 200)
             .flatten()
             .copied()
             .collect();
@@ -255,23 +264,39 @@ mod tests {
         assert!((ratio(100, 50) - 0.5).abs() < 1e-9);
     }
 
-    proptest! {
-        #[test]
-        fn prop_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+    // Randomized roundtrips over seeded pseudo-random inputs (stand-ins
+    // for the original property-based tests; proptest is unavailable
+    // offline, and a fixed seed makes failures directly reproducible).
+
+    #[test]
+    fn random_roundtrip() {
+        let mut r = StdRng::seed_from_u64(0x12a);
+        for _ in 0..64 {
+            let len = r.gen_range(0usize..2048);
+            let data: Vec<u8> = (0..len).map(|_| (r.gen::<u32>() & 0xff) as u8).collect();
             roundtrip(&data);
         }
+    }
 
-        #[test]
-        fn prop_roundtrip_structured(
-            words in proptest::collection::vec(0u16..64, 0..512)
-        ) {
+    #[test]
+    fn random_roundtrip_structured() {
+        let mut r = StdRng::seed_from_u64(0x12b);
+        for _ in 0..64 {
             // Structured (small-alphabet) inputs mimic encoded checkpoints.
+            let words: Vec<u16> = (0..r.gen_range(0usize..512))
+                .map(|_| r.gen_range(0u16..64))
+                .collect();
             let data: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
             roundtrip(&data);
         }
+    }
 
-        #[test]
-        fn prop_decompress_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+    #[test]
+    fn random_decompress_never_panics() {
+        let mut r = StdRng::seed_from_u64(0x12c);
+        for _ in 0..256 {
+            let len = r.gen_range(0usize..512);
+            let data: Vec<u8> = (0..len).map(|_| (r.gen::<u32>() & 0xff) as u8).collect();
             let _ = decompress(&data);
         }
     }

@@ -32,12 +32,16 @@ fn run(with_crystalball: bool) -> Vec<(NodeId, Option<SimTime>)> {
         &nodes,
         PropertySet::new().with(bullet::properties::diff_coverage()),
         NoHook,
-        SimConfig { seed: 3, snapshots, track_violations: true, ..SimConfig::default() },
+        SimConfig {
+            seed: 3,
+            snapshots,
+            track_violations: true,
+            ..SimConfig::default()
+        },
     );
 
     // Sample completion times as the simulation advances.
-    let mut done_at: Vec<(NodeId, Option<SimTime>)> =
-        nodes.iter().map(|n| (*n, None)).collect();
+    let mut done_at: Vec<(NodeId, Option<SimTime>)> = nodes.iter().map(|n| (*n, None)).collect();
     for _ in 0..600 {
         sim.run_for(SimDuration::from_secs(1));
         for (n, t) in done_at.iter_mut() {
@@ -49,7 +53,10 @@ fn run(with_crystalball: bool) -> Vec<(NodeId, Option<SimTime>)> {
             break;
         }
     }
-    assert_eq!(sim.stats.violating_states, 0, "fixed Bullet' stays consistent");
+    assert_eq!(
+        sim.stats.violating_states, 0,
+        "fixed Bullet' stays consistent"
+    );
     done_at
 }
 
@@ -64,10 +71,17 @@ fn print_cdf(label: &str, times: &[(NodeId, Option<SimTime>)]) -> Option<f64> {
         println!("{label}: no node finished");
         return None;
     }
-    println!("\n{label}: {} of {} receivers finished", secs.len(), times.len() - 1);
+    println!(
+        "\n{label}: {} of {} receivers finished",
+        secs.len(),
+        times.len() - 1
+    );
     for pct in [25, 50, 75, 100] {
         let idx = ((pct as f64 / 100.0) * secs.len() as f64).ceil() as usize - 1;
-        println!("  p{pct:<3} download time: {:7.1}s", secs[idx.min(secs.len() - 1)]);
+        println!(
+            "  p{pct:<3} download time: {:7.1}s",
+            secs[idx.min(secs.len() - 1)]
+        );
     }
     Some(secs[secs.len() / 2])
 }

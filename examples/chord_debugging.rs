@@ -23,7 +23,11 @@ fn main() {
                 max_depth: Some(7),
                 // The Fig. 10 scenario needs resets and spontaneous
                 // connection errors in the search space.
-                explore: ExploreOptions { resets: true, peer_errors: true, drops: false },
+                explore: ExploreOptions {
+                    resets: true,
+                    peer_errors: true,
+                    drops: false,
+                },
                 ..SearchConfig::default()
             },
             ..ControllerConfig::default()

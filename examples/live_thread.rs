@@ -4,82 +4,49 @@
 //! inconsistencies to the runtime. ... On a multi-core machine this
 //! CPU-intensive process will likely be scheduled on a separate core" (§4).
 //!
-//! This example mirrors that arrangement with OS threads: the main thread
-//! steps a live RandTree simulation and ships neighborhood snapshots over a
-//! crossbeam channel; a checker thread runs consequence prediction on each
-//! snapshot and sends violation reports back, which the live side turns
-//! into event-filter installations.
+//! This arrangement is now built into the controller: constructing it with
+//! `CheckerMode::Background` spawns the `CheckerService` thread, snapshots
+//! ship to it over a channel, and completed prediction rounds are drained
+//! from the controller's hook entry points while the live simulation keeps
+//! stepping. The prediction itself runs on the parallel work-stealing
+//! engine, so the "separate thread" is really a worker pool. The checker
+//! latency the paper models as `mc_latency` is *measured* here.
 //!
-//! Run with: `cargo run --example live_thread`
+//! Run with: `cargo run --release --example live_thread`
 
-use std::thread;
-
-use crossbeam::channel;
-use crystalball_suite::core::Controller;
-use crystalball_suite::mc::{find_consequences, SearchConfig};
-use crystalball_suite::model::{GlobalState, NodeId, SimDuration, SimTime};
+use crystalball_suite::core::{CheckerMode, Controller, ControllerConfig, Mode};
+use crystalball_suite::mc::{Engine, ParallelConfig, SearchConfig};
+use crystalball_suite::model::{NodeId, SimDuration, SimTime};
 use crystalball_suite::protocols::randtree::{self, Action, RandTree, RandTreeBugs};
-use crystalball_suite::runtime::{Hook, Scenario, SimConfig, Simulation, SnapshotRuntime};
-use crystalball_suite::snapshot::Snapshot;
-
-/// Hook that forwards snapshots to the checker thread instead of checking
-/// inline.
-struct SnapshotShipper {
-    tx: channel::Sender<(SimTime, NodeId, Snapshot)>,
-    shipped: usize,
-}
-
-impl Hook<RandTree> for SnapshotShipper {
-    fn on_snapshot(&mut self, now: SimTime, node: NodeId, snapshot: &Snapshot) {
-        self.shipped += 1;
-        let _ = self.tx.send((now, node, snapshot.clone()));
-    }
-}
+use crystalball_suite::runtime::{Scenario, SimConfig, Simulation, SnapshotRuntime};
 
 fn main() {
     let nodes: Vec<NodeId> = (0..10).map(NodeId).collect();
     let proto = RandTree::new(2, vec![NodeId(0)], RandTreeBugs::as_shipped());
 
-    let (snap_tx, snap_rx) = channel::unbounded::<(SimTime, NodeId, Snapshot)>();
-    let (report_tx, report_rx) = channel::unbounded::<(SimTime, NodeId, String)>();
+    let controller = Controller::new(
+        proto.clone(),
+        randtree::properties::all(),
+        ControllerConfig {
+            mode: Mode::DeepOnlineDebugging,
+            checker: CheckerMode::Background,
+            engine: Engine::Parallel(ParallelConfig::default()),
+            search: SearchConfig {
+                max_states: Some(15_000),
+                max_depth: Some(7),
+                ..SearchConfig::default()
+            },
+            ..ControllerConfig::default()
+        },
+    );
 
-    // The checker thread: consequence prediction on every snapshot.
-    let checker_proto = proto.clone();
-    let checker = thread::spawn(move || {
-        let props = randtree::properties::all();
-        let mut runs = 0usize;
-        let mut predictions = 0usize;
-        while let Ok((now, node, snapshot)) = snap_rx.recv() {
-            runs += 1;
-            let start: GlobalState<RandTree> =
-                Controller::<RandTree>::snapshot_to_state(&snapshot);
-            if start.node_count() == 0 {
-                continue;
-            }
-            let outcome = find_consequences(
-                &checker_proto,
-                &props,
-                &start,
-                SearchConfig {
-                    max_states: Some(15_000),
-                    max_depth: Some(7),
-                    ..SearchConfig::default()
-                },
-            );
-            if let Some(found) = outcome.first() {
-                predictions += 1;
-                let _ = report_tx.send((now, node, found.scenario()));
-            }
-        }
-        (runs, predictions)
-    });
-
-    // The live system on the main thread.
+    // The live system on the main thread; the checker service works in the
+    // background as snapshots complete.
     let mut sim = Simulation::new(
         proto,
         &nodes,
         randtree::properties::all(),
-        SnapshotShipper { tx: snap_tx, shipped: 0 },
+        controller,
         SimConfig {
             seed: 99,
             snapshots: Some(SnapshotRuntime {
@@ -100,25 +67,41 @@ fn main() {
 
     println!("live thread: running 10-node RandTree under churn for 200 simulated seconds");
     sim.run_for(SimDuration::from_secs(200));
-    let shipped = sim.hook.shipped;
-    drop(sim); // closes the snapshot channel; the checker thread drains and exits
 
-    let (runs, predictions) = checker.join().expect("checker thread");
-    println!("checker thread: {runs} consequence-prediction runs over {shipped} snapshots");
-    println!("checker thread: {predictions} future inconsistencies predicted\n");
+    // Flush rounds still in flight when the simulation ended.
+    let snapshots = sim.stats.snapshots_completed;
+    let ctl = &mut sim.hook;
+    ctl.drain_predictions(
+        SimTime::ZERO + SimDuration::from_secs(200),
+        std::time::Duration::from_secs(60),
+    );
 
-    let mut printed = 0;
-    while let Ok((at, node, scenario)) = report_rx.try_recv() {
-        if printed < 2 {
-            println!("prediction from {node}'s snapshot at {at}:");
-            print!("{scenario}\n");
-        }
-        printed += 1;
+    println!(
+        "checker service: {} consequence-prediction runs over {} snapshots",
+        ctl.stats.mc_runs, snapshots
+    );
+    println!(
+        "checker service: {} future inconsistencies predicted",
+        ctl.stats.predictions
+    );
+    if let Some(avg) = ctl.stats.avg_mc_latency() {
+        println!(
+            "checker service: measured mc latency avg {avg:.2?} over {} rounds\n",
+            ctl.stats.mc_runs
+        );
     }
-    if printed > 2 {
-        println!("(+{} further predictions)", printed - 2);
+
+    for report in ctl.reports.iter().take(2) {
+        println!(
+            "prediction from {}'s snapshot at {}:",
+            report.node, report.at
+        );
+        println!("{}", report.scenario);
     }
-    if printed == 0 {
+    if ctl.reports.len() > 2 {
+        println!("(+{} further predictions)", ctl.reports.len() - 2);
+    }
+    if ctl.reports.is_empty() {
         println!("no prediction this run — try another seed");
     }
 }

@@ -25,13 +25,20 @@ fn main() {
         apply_event(
             &proto,
             &mut gs,
-            &Event::Action { node: NodeId(node), action: Action::Join { target: NodeId(1) } },
+            &Event::Action {
+                node: NodeId(node),
+                action: Action::Join { target: NodeId(1) },
+            },
         );
         while !gs.inflight.is_empty() {
             apply_event(&proto, &mut gs, &Event::Deliver { index: 0 });
         }
     }
-    gs.slot_mut(NodeId(9)).unwrap().state.children.insert(NodeId(13));
+    gs.slot_mut(NodeId(9))
+        .unwrap()
+        .state
+        .children
+        .insert(NodeId(13));
     {
         let s13 = &mut gs.slot_mut(NodeId(13)).unwrap().state;
         s13.status = Status::Joined;
@@ -68,8 +75,14 @@ fn main() {
             println!();
             println!("== CrystalBall predicts a future inconsistency ==");
             println!("  property : {}", v.property);
-            println!("  at node  : {}", v.node.map(|n| n.to_string()).unwrap_or_default());
-            println!("  depth    : {} events ahead of the live state", report.depth);
+            println!(
+                "  at node  : {}",
+                v.node.map(|n| n.to_string()).unwrap_or_default()
+            );
+            println!(
+                "  depth    : {} events ahead of the live state",
+                report.depth
+            );
             println!("  explored : {} states", report.states_visited);
             println!();
             println!("Predicted event path (the bottom rows of Figure 2):");

@@ -30,15 +30,44 @@ fn fig13_scenario(gap_secs: u64) -> Scenario<Paxos> {
     Scenario::new()
         // Round 1: "C is disconnected".
         .at(t0, ScriptEvent::Connectivity { a, b: c, up: false })
-        .at(t0, ScriptEvent::Connectivity { a: b, b: c, up: false })
-        .at(t0 + SimDuration::from_millis(100), ScriptEvent::Action { node: a, action: Action::Propose })
+        .at(
+            t0,
+            ScriptEvent::Connectivity {
+                a: b,
+                b: c,
+                up: false,
+            },
+        )
+        .at(
+            t0 + SimDuration::from_millis(100),
+            ScriptEvent::Action {
+                node: a,
+                action: Action::Propose,
+            },
+        )
         // "C is reachable" again.
-        .at(t0 + SimDuration::from_secs(4), ScriptEvent::Connectivity { a, b: c, up: true })
-        .at(t0 + SimDuration::from_secs(4), ScriptEvent::Connectivity { a: b, b: c, up: true })
+        .at(
+            t0 + SimDuration::from_secs(4),
+            ScriptEvent::Connectivity { a, b: c, up: true },
+        )
+        .at(
+            t0 + SimDuration::from_secs(4),
+            ScriptEvent::Connectivity {
+                a: b,
+                b: c,
+                up: true,
+            },
+        )
         // Round 2: "A is disconnected"; B proposes.
         .at(round2, ScriptEvent::Connectivity { a, b, up: false })
         .at(round2, ScriptEvent::Connectivity { a, b: c, up: false })
-        .at(round2 + SimDuration::from_millis(100), ScriptEvent::Action { node: b, action: Action::Propose })
+        .at(
+            round2 + SimDuration::from_millis(100),
+            ScriptEvent::Action {
+                node: b,
+                action: Action::Propose,
+            },
+        )
 }
 
 fn run<H: Hook<Paxos>>(hook: H, seed: u64) -> (SimStats, H) {
@@ -69,7 +98,10 @@ fn main() {
     // Baseline: no CrystalBall.
     let (base, _) = run(NoHook, 7);
     println!("without CrystalBall:");
-    println!("  states with violated safety property: {}", base.violating_states);
+    println!(
+        "  states with violated safety property: {}",
+        base.violating_states
+    );
     match &base.first_violation {
         Some((t, v)) => println!("  first violation at {t}: {v}"),
         None => println!("  (no violation this run — message timing was lucky)"),
@@ -96,12 +128,30 @@ fn main() {
     );
     let (steered, ctl) = run(controller, 7);
     println!("\nwith CrystalBall execution steering:");
-    println!("  states with violated safety property: {}", steered.violating_states);
-    println!("  consequence-prediction runs:          {}", ctl.stats.mc_runs);
-    println!("  future inconsistencies predicted:     {}", ctl.stats.predictions);
-    println!("  event filters installed:              {}", ctl.stats.filters_installed);
-    println!("  filter blocks:                        {}", ctl.stats.filter_hits);
-    println!("  immediate-safety-check vetoes:        {}", ctl.stats.isc_vetoes);
+    println!(
+        "  states with violated safety property: {}",
+        steered.violating_states
+    );
+    println!(
+        "  consequence-prediction runs:          {}",
+        ctl.stats.mc_runs
+    );
+    println!(
+        "  future inconsistencies predicted:     {}",
+        ctl.stats.predictions
+    );
+    println!(
+        "  event filters installed:              {}",
+        ctl.stats.filters_installed
+    );
+    println!(
+        "  filter blocks:                        {}",
+        ctl.stats.filter_hits
+    );
+    println!(
+        "  immediate-safety-check vetoes:        {}",
+        ctl.stats.isc_vetoes
+    );
 
     let outcome = if steered.violating_states == 0 {
         if ctl.stats.filter_hits > 0 {

@@ -1,0 +1,122 @@
+//! Parallel/sequential equivalence across protocols: the parallel
+//! work-stealing engine must produce the *identical* violation set and the
+//! identical canonical shallowest counterexample path as the sequential
+//! engine — for exhaustive search (Fig. 5) and consequence prediction
+//! (Fig. 8) alike, at any worker count. Scheduling may only affect
+//! wall-clock numbers.
+
+use cb_bench::scenarios;
+use crystalball_suite::mc::{
+    find_consequences, find_consequences_parallel, find_errors, find_errors_parallel,
+    ParallelConfig, SearchConfig, SearchOutcome,
+};
+use crystalball_suite::model::Protocol;
+use crystalball_suite::protocols::paxos::{self, PaxosBugs};
+use crystalball_suite::protocols::randtree::{self, RandTreeBugs};
+
+/// Everything content-level a search produces: every violation with its
+/// full rendered path, plus the visit accounting.
+fn fingerprint<P: Protocol>(out: &SearchOutcome<P>) -> (Vec<String>, Vec<usize>, usize, usize) {
+    (
+        out.violations.iter().map(|v| v.scenario()).collect(),
+        out.violations.iter().map(|v| v.depth).collect(),
+        out.stats.states_visited,
+        out.stats.states_enqueued,
+    )
+}
+
+fn assert_engines_agree<P: Protocol>(
+    proto: &P,
+    props: &cb_model::PropertySet<P>,
+    gs: &cb_model::GlobalState<P>,
+    config: SearchConfig,
+    what: &str,
+) {
+    let seq_bfs = find_errors(proto, props, gs, config.clone());
+    let seq_cp = find_consequences(proto, props, gs, config.clone());
+    for workers in [1usize, 4] {
+        let par = ParallelConfig { workers };
+        let par_bfs = find_errors_parallel(proto, props, gs, config.clone(), &par);
+        assert_eq!(
+            fingerprint(&seq_bfs),
+            fingerprint(&par_bfs),
+            "{what}: exhaustive search diverged at {workers} workers"
+        );
+        assert_eq!(
+            seq_bfs.stopped, par_bfs.stopped,
+            "{what}: stop reason (bfs, {workers}w)"
+        );
+        let par_cp = find_consequences_parallel(proto, props, gs, config.clone(), &par);
+        assert_eq!(
+            fingerprint(&seq_cp),
+            fingerprint(&par_cp),
+            "{what}: consequence prediction diverged at {workers} workers"
+        );
+        assert_eq!(
+            seq_cp.stopped, par_cp.stopped,
+            "{what}: stop reason (cp, {workers}w)"
+        );
+        assert_eq!(
+            seq_cp.stats.local_prunes, par_cp.stats.local_prunes,
+            "{what}: localExplored pruning count ({workers}w)"
+        );
+    }
+}
+
+/// RandTree from the Fig. 2 live state, buggy: a violation exists within
+/// the depth budget, so this checks the canonical shallowest path.
+#[test]
+fn randtree_buggy_violation_paths_match() {
+    let (proto, gs) = scenarios::randtree_fig2(RandTreeBugs::only("R1"));
+    let props = randtree::properties::all();
+    let config = SearchConfig {
+        max_depth: Some(5),
+        max_states: Some(60_000),
+        max_violations: 3,
+        ..SearchConfig::default()
+    };
+    let seq = find_consequences(&proto, &props, &gs, config.clone());
+    assert!(!seq.is_clean(), "the R1 bug is predictable from Fig. 2");
+    assert_engines_agree(&proto, &props, &gs, config, "randtree/R1");
+}
+
+/// RandTree, fixed protocol: no violations — checks that clean exhaustion
+/// (visit counts, enqueue counts, stop reason) also matches.
+#[test]
+fn randtree_clean_exhaustion_matches() {
+    let (proto, gs) = scenarios::randtree_fig2(RandTreeBugs::none());
+    let props = randtree::properties::all();
+    let config = SearchConfig {
+        max_depth: Some(4),
+        max_states: Some(200_000),
+        ..SearchConfig::default()
+    };
+    assert_engines_agree(&proto, &props, &gs, config, "randtree/fixed");
+}
+
+/// Paxos from the round-1 live state (value chosen on {A,B} while C was
+/// partitioned) with the P2 bug armed — the Fig. 14 prediction scenario.
+#[test]
+fn paxos_buggy_violation_paths_match() {
+    let (proto, gs) = scenarios::paxos_round1(PaxosBugs::only("P2"));
+    let props = paxos::properties::all();
+    let config = SearchConfig {
+        max_depth: Some(5),
+        max_states: Some(25_000),
+        ..SearchConfig::default()
+    };
+    assert_engines_agree(&proto, &props, &gs, config, "paxos/P2");
+}
+
+/// Paxos, fixed: consensus holds everywhere the budget reaches.
+#[test]
+fn paxos_clean_exhaustion_matches() {
+    let (proto, gs) = scenarios::paxos_round1(PaxosBugs::none());
+    let props = paxos::properties::all();
+    let config = SearchConfig {
+        max_depth: Some(5),
+        max_states: Some(100_000),
+        ..SearchConfig::default()
+    };
+    assert_engines_agree(&proto, &props, &gs, config, "paxos/fixed");
+}

@@ -62,10 +62,22 @@ fn randtree_live(bugs: RandTreeBugs) -> (RandTree, GlobalState<RandTree>) {
         );
         settle(&proto, &mut gs);
     }
-    assert!(gs.slot(NodeId(9)).unwrap().state.children.contains(&NodeId(13)));
+    assert!(gs
+        .slot(NodeId(9))
+        .unwrap()
+        .state
+        .children
+        .contains(&NodeId(13)));
     // n21 departs with RSTs: the root frees a slot; n9 keeps the stale
     // sibling entry (no direct connection to n21, so no RST reaches it).
-    apply_event(&proto, &mut gs, &Event::Reset { node: NodeId(21), notify: true });
+    apply_event(
+        &proto,
+        &mut gs,
+        &Event::Reset {
+            node: NodeId(21),
+            notify: true,
+        },
+    );
     settle(&proto, &mut gs);
     assert_eq!(gs.slot(NodeId(1)).unwrap().state.children.len(), 1);
     (proto, gs)
@@ -77,7 +89,13 @@ fn randtree_found(bug: &str, depth: usize) -> Option<String> {
         randtree::properties::all().check(&gs).is_none(),
         "live state itself is clean for {bug}"
     );
-    let out = search(&proto, &randtree::properties::all(), &gs, ExploreOptions::default(), depth);
+    let out = search(
+        &proto,
+        &randtree::properties::all(),
+        &gs,
+        ExploreOptions::default(),
+        depth,
+    );
     out.first().map(|f| f.violation.property.clone())
 }
 
@@ -85,7 +103,10 @@ fn randtree_found(bug: &str, depth: usize) -> Option<String> {
 fn randtree_r1_update_sibling() {
     // CP explores: n13 resets silently, rejoins via n1 (root has a free
     // slot), UpdateSibling reaches n9 which still lists n13 as a child.
-    assert_eq!(randtree_found("R1", 5).as_deref(), Some("ChildrenSiblingsDisjoint"));
+    assert_eq!(
+        randtree_found("R1", 5).as_deref(),
+        Some("ChildrenSiblingsDisjoint")
+    );
 }
 
 #[test]
@@ -111,7 +132,13 @@ fn randtree_r2_join_reply() {
         s5.children.insert(NodeId(3)); // kept subtree from before the outage
     }
     assert!(randtree::properties::all().check(&gs).is_none());
-    let out = search(&proto, &randtree::properties::all(), &gs, ExploreOptions::minimal(), 4);
+    let out = search(
+        &proto,
+        &randtree::properties::all(),
+        &gs,
+        ExploreOptions::minimal(),
+        4,
+    );
     assert_eq!(
         out.first().map(|f| f.violation.property.as_str()),
         Some("ChildrenSiblingsDisjoint")
@@ -153,7 +180,13 @@ fn randtree_r3_new_root() {
         s.recovery_scheduled = true;
     }
     assert!(randtree::properties::all().check(&gs).is_none());
-    let out = search(&proto, &randtree::properties::all(), &gs, ExploreOptions::default(), 7);
+    let out = search(
+        &proto,
+        &randtree::properties::all(),
+        &gs,
+        ExploreOptions::default(),
+        7,
+    );
     assert_eq!(
         out.first().map(|f| f.violation.property.as_str()),
         Some("RootNotChildOrSibling")
@@ -162,7 +195,10 @@ fn randtree_r3_new_root() {
 
 #[test]
 fn randtree_r4_promotion_siblings() {
-    assert_eq!(randtree_found("R4", 5).as_deref(), Some("RootHasNoSiblings"));
+    assert_eq!(
+        randtree_found("R4", 5).as_deref(),
+        Some("RootHasNoSiblings")
+    );
 }
 
 #[test]
@@ -175,11 +211,20 @@ fn randtree_r5_timer() {
     apply_event(
         &proto,
         &mut gs,
-        &Event::Action { node: NodeId(5), action: randtree::Action::Join { target: NodeId(5) } },
+        &Event::Action {
+            node: NodeId(5),
+            action: randtree::Action::Join { target: NodeId(5) },
+        },
     );
     settle(&proto, &mut gs);
     assert!(randtree::properties::all().check(&gs).is_none());
-    let out = search(&proto, &randtree::properties::all(), &gs, ExploreOptions::minimal(), 4);
+    let out = search(
+        &proto,
+        &randtree::properties::all(),
+        &gs,
+        ExploreOptions::minimal(),
+        4,
+    );
     assert_eq!(
         out.first().map(|f| f.violation.property.as_str()),
         Some("RecoveryTimerRuns")
@@ -196,12 +241,24 @@ fn randtree_r6_self_sibling() {
     apply_event(
         &proto,
         &mut gs,
-        &Event::Action { node: NodeId(1), action: randtree::Action::Join { target: NodeId(1) } },
+        &Event::Action {
+            node: NodeId(1),
+            action: randtree::Action::Join { target: NodeId(1) },
+        },
     );
     settle(&proto, &mut gs);
     assert!(randtree::properties::all().check(&gs).is_none());
-    let out = search(&proto, &randtree::properties::all(), &gs, ExploreOptions::minimal(), 4);
-    assert_eq!(out.first().map(|f| f.violation.property.as_str()), Some("NotOwnPeer"));
+    let out = search(
+        &proto,
+        &randtree::properties::all(),
+        &gs,
+        ExploreOptions::minimal(),
+        4,
+    );
+    assert_eq!(
+        out.first().map(|f| f.violation.property.as_str()),
+        Some("NotOwnPeer")
+    );
 }
 
 #[test]
@@ -214,19 +271,37 @@ fn randtree_r7_promotion_parent() {
         apply_event(
             &proto,
             &mut gs,
-            &Event::Action { node: NodeId(n), action: randtree::Action::Join { target: NodeId(1) } },
+            &Event::Action {
+                node: NodeId(n),
+                action: randtree::Action::Join { target: NodeId(1) },
+            },
         );
         settle(&proto, &mut gs);
     }
     assert!(randtree::properties::all().check(&gs).is_none());
-    let out = search(&proto, &randtree::properties::all(), &gs, ExploreOptions::default(), 4);
-    assert_eq!(out.first().map(|f| f.violation.property.as_str()), Some("RootHasNoParent"));
+    let out = search(
+        &proto,
+        &randtree::properties::all(),
+        &gs,
+        ExploreOptions::default(),
+        4,
+    );
+    assert_eq!(
+        out.first().map(|f| f.violation.property.as_str()),
+        Some("RootHasNoParent")
+    );
 }
 
 #[test]
 fn randtree_fixed_is_clean_at_bug_depths() {
     let (proto, gs) = randtree_live(RandTreeBugs::none());
-    let out = search(&proto, &randtree::properties::all(), &gs, ExploreOptions::default(), 5);
+    let out = search(
+        &proto,
+        &randtree::properties::all(),
+        &gs,
+        ExploreOptions::default(),
+        5,
+    );
     assert!(
         out.is_clean(),
         "fixed RandTree has no violation within depth 5: {}",
@@ -242,7 +317,10 @@ fn chord_live(bugs: ChordBugs) -> (Chord, GlobalState<Chord>) {
         apply_event(
             &proto,
             &mut gs,
-            &Event::Action { node: NodeId(n), action: chord::Action::Join { target: NodeId(1) } },
+            &Event::Action {
+                node: NodeId(n),
+                action: chord::Action::Join { target: NodeId(1) },
+            },
         );
         settle(&proto, &mut gs);
     }
@@ -251,7 +329,10 @@ fn chord_live(bugs: ChordBugs) -> (Chord, GlobalState<Chord>) {
             apply_event(
                 &proto,
                 &mut gs,
-                &Event::Action { node: NodeId(n), action: chord::Action::Stabilize },
+                &Event::Action {
+                    node: NodeId(n),
+                    action: chord::Action::Stabilize,
+                },
             );
             settle(&proto, &mut gs);
         }
@@ -267,7 +348,11 @@ fn chord_c1_pred_self() {
         &proto,
         &chord::properties::all(),
         &gs,
-        ExploreOptions { resets: true, peer_errors: true, drops: false },
+        ExploreOptions {
+            resets: true,
+            peer_errors: true,
+            drops: false,
+        },
         6,
     );
     let f = out.first().expect("C1 predicted");
@@ -286,24 +371,29 @@ fn chord_c2_ordering() {
     apply_event(
         &proto,
         &mut gs,
-        &Event::Action { node: NodeId(9), action: chord::Action::Join { target: NodeId(9) } },
+        &Event::Action {
+            node: NodeId(9),
+            action: chord::Action::Join { target: NodeId(9) },
+        },
     );
     for n in [5u32, 3] {
         apply_event(
             &proto,
             &mut gs,
-            &Event::Action { node: NodeId(n), action: chord::Action::Join { target: NodeId(9) } },
+            &Event::Action {
+                node: NodeId(n),
+                action: chord::Action::Join { target: NodeId(9) },
+            },
         );
     }
     // Deliver the two FindPreds, the two identical replies, then the two
     // UpdatePreds with Ai-2's first.
-    let deliver_where = |gs: &mut GlobalState<Chord>, pred: &dyn Fn(&cb_model::InFlight<chord::Msg>) -> bool| {
-        let i = gs.inflight.iter().position(|m| pred(m)).expect("message");
-        apply_event(&proto, gs, &Event::Deliver { index: i });
-    };
-    let kind = |m: &cb_model::InFlight<chord::Msg>, k: &str| {
-        matches!(&m.payload, cb_model::Payload::Msg(msg) if Chord::message_kind(msg) == k)
-    };
+    let deliver_where =
+        |gs: &mut GlobalState<Chord>, pred: &dyn Fn(&cb_model::InFlight<chord::Msg>) -> bool| {
+            let i = gs.inflight.iter().position(pred).expect("message");
+            apply_event(&proto, gs, &Event::Deliver { index: i });
+        };
+    let kind = |m: &cb_model::InFlight<chord::Msg>, k: &str| matches!(&m.payload, cb_model::Payload::Msg(msg) if Chord::message_kind(msg) == k);
     deliver_where(&mut gs, &|m| kind(m, "FindPred"));
     deliver_where(&mut gs, &|m| kind(m, "FindPred"));
     deliver_where(&mut gs, &|m| kind(m, "FindPredReply"));
@@ -311,7 +401,13 @@ fn chord_c2_ordering() {
     deliver_where(&mut gs, &|m| m.src == NodeId(3) && kind(m, "UpdatePred"));
     deliver_where(&mut gs, &|m| m.src == NodeId(5) && kind(m, "UpdatePred"));
     assert!(chord::properties::all().check(&gs).is_none());
-    let out = search(&proto, &chord::properties::all(), &gs, ExploreOptions::minimal(), 4);
+    let out = search(
+        &proto,
+        &chord::properties::all(),
+        &gs,
+        ExploreOptions::minimal(),
+        4,
+    );
     let f = out.first().expect("C2 predicted");
     assert_eq!(f.violation.property, "NodeOrdering");
 }
@@ -326,12 +422,21 @@ fn chord_c3_empty_successors() {
         apply_event(
             &proto,
             &mut gs,
-            &Event::Action { node: NodeId(n), action: chord::Action::Join { target: NodeId(1) } },
+            &Event::Action {
+                node: NodeId(n),
+                action: chord::Action::Join { target: NodeId(1) },
+            },
         );
         settle(&proto, &mut gs);
     }
     assert!(chord::properties::all().check(&gs).is_none());
-    let out = search(&proto, &chord::properties::all(), &gs, ExploreOptions::default(), 4);
+    let out = search(
+        &proto,
+        &chord::properties::all(),
+        &gs,
+        ExploreOptions::default(),
+        4,
+    );
     let f = out.first().expect("C3 predicted");
     assert_eq!(f.violation.property, "SuccessorsNonEmpty");
 }
@@ -339,7 +444,13 @@ fn chord_c3_empty_successors() {
 #[test]
 fn chord_fixed_is_clean_at_bug_depths() {
     let (proto, gs) = chord_live(ChordBugs::none());
-    let out = search(&proto, &chord::properties::all(), &gs, ExploreOptions::default(), 4);
+    let out = search(
+        &proto,
+        &chord::properties::all(),
+        &gs,
+        ExploreOptions::default(),
+        4,
+    );
     assert!(
         out.is_clean(),
         "fixed Chord has no violation within depth 4: {}",
@@ -370,7 +481,13 @@ fn bullet_line(bugs: BulletBugs) -> (Bullet, GlobalState<Bullet>) {
 #[test]
 fn bullet_b1_shadow_cleared() {
     let (proto, gs) = bullet_line(BulletBugs::only("B1"));
-    let out = search(&proto, &bullet::properties::all(), &gs, ExploreOptions::minimal(), 4);
+    let out = search(
+        &proto,
+        &bullet::properties::all(),
+        &gs,
+        ExploreOptions::minimal(),
+        4,
+    );
     let f = out.first().expect("B1 predicted");
     assert_eq!(f.violation.property, "DiffCoverage");
 }
@@ -378,7 +495,13 @@ fn bullet_b1_shadow_cleared() {
 #[test]
 fn bullet_b2_retry_still_clears() {
     let (proto, gs) = bullet_line(BulletBugs::only("B2"));
-    let out = search(&proto, &bullet::properties::all(), &gs, ExploreOptions::minimal(), 4);
+    let out = search(
+        &proto,
+        &bullet::properties::all(),
+        &gs,
+        ExploreOptions::minimal(),
+        4,
+    );
     let f = out.first().expect("B2 predicted");
     assert_eq!(f.violation.property, "DiffCoverage");
 }
@@ -409,7 +532,10 @@ fn bullet_b3_duplicate_requests() {
     apply_event(
         &proto,
         &mut gs,
-        &Event::Action { node: NodeId(0), action: bullet::Action::SendDiff { peer: NodeId(2) } },
+        &Event::Action {
+            node: NodeId(0),
+            action: bullet::Action::SendDiff { peer: NodeId(2) },
+        },
     );
     let diff_idx = gs
         .inflight
@@ -425,7 +551,13 @@ fn bullet_b3_duplicate_requests() {
         s1.shadow.entry(NodeId(2)).or_default().insert(0);
     }
     assert!(bullet::properties::all().check(&gs).is_none());
-    let out = search(&proto, &bullet::properties::all(), &gs, ExploreOptions::minimal(), 3);
+    let out = search(
+        &proto,
+        &bullet::properties::all(),
+        &gs,
+        ExploreOptions::minimal(),
+        3,
+    );
     let f = out.first().expect("B3 predicted");
     assert_eq!(f.violation.property, "NoDuplicateRequests");
 }
@@ -433,7 +565,13 @@ fn bullet_b3_duplicate_requests() {
 #[test]
 fn bullet_fixed_is_clean_at_bug_depths() {
     let (proto, gs) = bullet_line(BulletBugs::none());
-    let out = search(&proto, &bullet::properties::all(), &gs, ExploreOptions::minimal(), 4);
+    let out = search(
+        &proto,
+        &bullet::properties::all(),
+        &gs,
+        ExploreOptions::minimal(),
+        4,
+    );
     assert!(out.is_clean());
 }
 
@@ -446,7 +584,10 @@ fn paxos_p1_two_values() {
     apply_event(
         &proto,
         &mut gs,
-        &Event::Action { node: NodeId(0), action: paxos::Action::Propose },
+        &Event::Action {
+            node: NodeId(0),
+            action: paxos::Action::Propose,
+        },
     );
     // Drop everything touching C, deliver the rest.
     loop {
@@ -490,7 +631,10 @@ fn paxos_fixed_is_safe_in_same_search() {
     apply_event(
         &proto,
         &mut gs,
-        &Event::Action { node: NodeId(0), action: paxos::Action::Propose },
+        &Event::Action {
+            node: NodeId(0),
+            action: paxos::Action::Propose,
+        },
     );
     loop {
         if let Some(i) = gs
@@ -517,5 +661,8 @@ fn paxos_fixed_is_safe_in_same_search() {
             ..SearchConfig::default()
         },
     );
-    assert!(out.is_clean(), "correct Paxos chooses one value in every explored future");
+    assert!(
+        out.is_clean(),
+        "correct Paxos chooses one value in every explored future"
+    );
 }
