@@ -1,0 +1,182 @@
+//! Checker-pipeline costs: diff-shipped submission bytes vs full-clone
+//! bytes, and round latency at 1/2/4 checker shards.
+//!
+//! The two halves of the sharded-checker refactor measured separately:
+//!
+//! 1. **Submission cost** — what the controller moves per prediction
+//!    round. Full-clone submission ships the canonical encoding of the
+//!    whole decoded `GlobalState`; diff shipping sends a `StateDelta`
+//!    against the last submission on the same shard channel.
+//! 2. **Round latency** — wall-clock to push a burst of rounds through a
+//!    `CheckerPool` at 1 (the old background service), 2 and 4 shards.
+//!
+//! Emits one JSON line (`CB_BENCH_JSON=pipeline.json cargo bench -p
+//! cb-bench --bench checker_pipeline`) so CI can parse the numbers and
+//! future PRs can track the trajectory.
+
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+use cb_bench::harness::{fast_mode, fmt_bytes, fmt_duration, preamble, section};
+use cb_mc::SearchConfig;
+use cb_model::{GlobalState, NodeId, SimDuration};
+use cb_protocols::randtree::{self, Action as RtAction, RandTree, RandTreeBugs};
+use cb_runtime::{NoHook, Scenario, SimConfig, Simulation};
+use cb_snapshot::DeltaEncoder;
+use crystalball::{CheckerMode, Controller, ControllerConfig, Mode};
+
+/// A multi-node RandTree neighborhood evolving under churn: one snapshot
+/// of the live global state every few simulated seconds — the submission
+/// stream a deployed controller would produce.
+fn snapshot_stream(rounds: usize) -> (RandTree, Vec<GlobalState<RandTree>>) {
+    let nodes: Vec<NodeId> = (0..8).map(NodeId).collect();
+    let proto = RandTree::new(2, vec![NodeId(0)], RandTreeBugs::none());
+    let mut sim = Simulation::new(
+        proto.clone(),
+        &nodes,
+        randtree::properties::all(),
+        NoHook,
+        SimConfig {
+            seed: 4242,
+            track_violations: false,
+            ..SimConfig::default()
+        },
+    );
+    sim.load_scenario(Scenario::churn(
+        &nodes,
+        |_| RtAction::Join { target: NodeId(0) },
+        SimDuration::from_secs(20),
+        SimDuration::from_secs(rounds as u64 * 5 + 40),
+        4242,
+    ));
+    let mut states = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        sim.run_for(SimDuration::from_secs(5));
+        states.push(sim.gs.clone());
+    }
+    (proto, states)
+}
+
+fn main() {
+    preamble(
+        "Checker pipeline — diff-shipped submissions and sharded round latency",
+        "jobs used to clone the full decoded GlobalState and one service thread \
+         serialized all rounds; diffs + shards close both gaps",
+    );
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("host parallelism: {cores} core(s)");
+    if cores < 2 {
+        println!("NOTE: single-core host — shard counts above 1 cannot cut wall-clock here;");
+        println!("      the latency column then measures sharding overhead, not scaling.");
+    }
+
+    let rounds = if fast_mode() { 8 } else { 24 };
+    let (proto, states) = snapshot_stream(rounds);
+    let node_count = states.last().map_or(0, |s| s.node_count());
+
+    // ── Part 1: submission bytes, full-clone vs diff-shipped. ──
+    section(&format!(
+        "submission bytes over {rounds} rounds of an {node_count}-node neighborhood"
+    ));
+    let mut enc = DeltaEncoder::new();
+    for gs in &states {
+        let _ = enc.encode_state(gs);
+    }
+    let full = enc.stats.raw_bytes;
+    let diff = enc.stats.shipped_bytes;
+    println!(
+        "full-clone submission: {:>10}   ({} rounds x whole GlobalState)",
+        fmt_bytes(full as usize),
+        rounds
+    );
+    println!(
+        "diff-shipped (StateDelta): {:>6}   ({} unchanged / {} patched / {} full slots)",
+        fmt_bytes(diff as usize),
+        enc.stats.unchanged_slots,
+        enc.stats.patched_slots,
+        enc.stats.full_slots
+    );
+    println!(
+        "=> diff shipping moves {:.1}% of the full-clone bytes",
+        100.0 * diff as f64 / full.max(1) as f64
+    );
+    assert!(
+        diff < full,
+        "diff-shipped bytes ({diff}) must be strictly below full-clone bytes ({full})"
+    );
+
+    // ── Part 2: round latency at 1/2/4 shards. ──
+    let budget = if fast_mode() { 2_000 } else { 10_000 };
+    section(&format!(
+        "burst of {rounds} rounds through the CheckerPool ({budget}-state search budget)"
+    ));
+    println!(
+        "{:>7} {:>10} {:>12} {:>14} {:>12} {:>12}",
+        "shards", "rounds", "wall", "rounds/sec", "shipped", "vs full"
+    );
+    let mut shard_rows = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let mut ctl = Controller::new(
+            proto.clone(),
+            randtree::properties::all(),
+            ControllerConfig {
+                mode: Mode::DeepOnlineDebugging,
+                checker: CheckerMode::Sharded { shards },
+                search: SearchConfig {
+                    max_states: Some(budget),
+                    max_depth: Some(6),
+                    ..SearchConfig::default()
+                },
+                ..ControllerConfig::default()
+            },
+        );
+        let t0 = Instant::now();
+        for (i, gs) in states.iter().enumerate() {
+            // Rounds fan out over the neighborhood's nodes, so multiple
+            // shards genuinely split the burst.
+            let node = *gs.nodes.keys().nth(i % gs.node_count()).expect("node");
+            ctl.run_round(cb_model::SimTime(i as u64), node, gs);
+        }
+        let applied = ctl.drain_predictions(cb_model::SimTime(1_000), Duration::from_secs(600));
+        let wall = t0.elapsed();
+        assert_eq!(applied, rounds, "every submitted round completed");
+        // Per-shard diff leverage shrinks as a fixed burst is split over
+        // more channels (fewer, more-distant states per base), so this is
+        // reported, not asserted; the hard diff-vs-full bar is part 1.
+        let wire = ctl.checker_wire_stats().expect("pool backend");
+        let rate = rounds as f64 / wall.as_secs_f64();
+        println!(
+            "{shards:>7} {rounds:>10} {:>12} {rate:>14.2} {:>12} {:>11.1}%",
+            fmt_duration(wall),
+            fmt_bytes(wire.shipped_bytes as usize),
+            100.0 * wire.shipped_bytes as f64 / wire.raw_bytes.max(1) as f64
+        );
+        shard_rows.push(format!(
+            "{{\"shards\":{shards},\"rounds\":{rounds},\"elapsed_s\":{:.6},\"rounds_per_sec\":{rate:.3},\
+             \"shipped_bytes\":{},\"full_clone_bytes\":{}}}",
+            wall.as_secs_f64(),
+            wire.shipped_bytes,
+            wire.raw_bytes
+        ));
+    }
+
+    let json = format!(
+        "{{\"bench\":\"checker_pipeline\",\"scenario\":\"randtree_under_churn\",\"host_cores\":{cores},\
+         \"neighborhood_nodes\":{node_count},\"rounds\":{rounds},\"budget_states\":{budget},\
+         \"submission\":{{\"full_clone_bytes\":{full},\"diff_bytes\":{diff},\
+         \"unchanged_slots\":{},\"patched_slots\":{},\"full_slots\":{}}},\
+         \"sharded\":[{}]}}",
+        enc.stats.unchanged_slots,
+        enc.stats.patched_slots,
+        enc.stats.full_slots,
+        shard_rows.join(",")
+    );
+    println!("\n{json}");
+    if let Ok(path) = std::env::var("CB_BENCH_JSON") {
+        let mut f = std::fs::File::create(&path).expect("open CB_BENCH_JSON output");
+        writeln!(f, "{json}").expect("write JSON");
+        println!("(written to {path})");
+    }
+}

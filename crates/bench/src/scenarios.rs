@@ -158,6 +158,42 @@ pub fn paxos_round1(bugs: PaxosBugs) -> (Paxos, GlobalState<Paxos>) {
     (proto, gs)
 }
 
+/// The Fig. 13/14 live state a few steps before the double choice: round
+/// 1 chose a value on {A, B} while C was partitioned (see
+/// [`paxos_round1`]); now B proposes round 2 while A is partitioned, two
+/// messages delivered. Consequence prediction sees `AtMostOneChosen`
+/// break within a small budget from here, and the counterexample crosses
+/// a *commuting* delivery pair — the case that stresses canonical-path
+/// tie-breaking in the parallel engine.
+pub fn paxos_near_violation(bugs: PaxosBugs) -> (Paxos, GlobalState<Paxos>) {
+    let (proto, mut gs) = paxos_round1(bugs);
+    apply_event(
+        &proto,
+        &mut gs,
+        &Event::Action {
+            node: NodeId(1),
+            action: paxos::Action::Propose,
+        },
+    );
+    let mut delivered = 0;
+    loop {
+        if let Some(i) = gs
+            .inflight
+            .iter()
+            .position(|m| m.src == NodeId(0) || m.dst == NodeId(0))
+        {
+            apply_event(&proto, &mut gs, &Event::Drop { index: i });
+            continue;
+        }
+        if delivered >= 2 || gs.inflight.is_empty() {
+            break;
+        }
+        apply_event(&proto, &mut gs, &Event::Deliver { index: 0 });
+        delivered += 1;
+    }
+    (proto, gs)
+}
+
 /// A three-node Bullet' line mesh with small blocks (model-checking scale).
 pub fn bullet_line(bugs: BulletBugs) -> (Bullet, GlobalState<Bullet>) {
     let mut senders_of = BTreeMap::new();

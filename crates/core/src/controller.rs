@@ -6,23 +6,26 @@
 //! [`crate::service::Predictor`]; this module owns the *live* half —
 //! installed filters, the immediate safety check, statistics, and the
 //! `Hook` wiring — and decides where prediction rounds run: inline
-//! ([`CheckerMode::Synchronous`]) or on the background
-//! [`crate::CheckerService`] thread ([`CheckerMode::Background`]), in
-//! which case the simulated system keeps executing while the checker
-//! works and the checker latency is measured rather than modeled.
+//! ([`CheckerMode::Synchronous`]) or on the background sharded
+//! [`crate::service::CheckerPool`] ([`CheckerMode::Background`] /
+//! [`CheckerMode::Sharded`]), in which case the simulated system keeps
+//! executing while the checker works, submissions are diff-shipped
+//! instead of cloned, and the checker latency is measured rather than
+//! modeled.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Duration;
 
-use cb_mc::{Engine, EventFilter, SearchConfig};
+use cb_mc::{Engine, EventFilter, SearchConfig, WorkerPool};
 use cb_model::{
     apply_event, Decode, Event, EventKey, GlobalState, InFlight, NodeId, NodeSlot, Payload,
     PropertySet, Protocol, SimDuration, SimTime, TraceStep, Violation,
 };
 use cb_runtime::{Decision, Hook};
-use cb_snapshot::Snapshot;
+use cb_snapshot::{DeltaStats, Snapshot};
 
-use crate::service::{CheckerMode, CheckerService, Predictor, RoundResult};
+use crate::service::{CheckerMode, CheckerPool, PredictionJob, Predictor, RoundResult};
 
 /// Operating mode (§3): report-only or actively steering.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -166,8 +169,8 @@ struct InstalledFilter {
 enum Backend<P: Protocol> {
     /// Rounds run inline on the caller's thread.
     Sync(Box<Predictor<P>>),
-    /// Rounds run on the background service thread.
-    Async(CheckerService<P>),
+    /// Rounds run on the sharded background checker pool.
+    Pool(CheckerPool<P>),
 }
 
 /// The per-deployment CrystalBall controller. One instance serves every
@@ -177,7 +180,7 @@ enum Backend<P: Protocol> {
 pub struct Controller<P: Protocol> {
     protocol: P,
     props: PropertySet<P>,
-    config: ControllerConfig,
+    config: Arc<ControllerConfig>,
     filters: Vec<InstalledFilter>,
     last_snapshot_hash: HashMap<NodeId, u64>,
     backend: Backend<P>,
@@ -189,12 +192,30 @@ pub struct Controller<P: Protocol> {
 
 impl<P: Protocol> Controller<P> {
     /// Creates a controller checking `props` over `protocol`. With
-    /// [`CheckerMode::Background`] this spawns the checker service thread.
+    /// [`CheckerMode::Background`] or [`CheckerMode::Sharded`] this spawns
+    /// the checker shard threads. Every independent search the controller
+    /// runs — the main prediction, known-path replays, filter-safety
+    /// re-checks, across every shard — shares one [`WorkerPool`].
     pub fn new(protocol: P, props: PropertySet<P>, config: ControllerConfig) -> Self {
-        let predictor = Predictor::new(protocol.clone(), props.clone(), config.clone());
-        let backend = match config.checker {
-            CheckerMode::Synchronous => Backend::Sync(Box::new(predictor)),
-            CheckerMode::Background => Backend::Async(CheckerService::spawn(predictor)),
+        let config = Arc::new(config);
+        // The scope owner always participates, so a parallel engine with
+        // w workers needs w-1 pool threads; keep at least one so replays
+        // overlap the main search even under the sequential engine.
+        let engine_workers = match &config.engine {
+            Engine::Parallel(p) => p.workers.max(1),
+            _ => 1,
+        };
+        let pool = WorkerPool::new(engine_workers.max(2) - 1);
+        let backend = match config.checker.shard_count() {
+            0 => Backend::Sync(Box::new(Predictor::new(
+                protocol.clone(),
+                props.clone(),
+                config.clone(),
+                pool,
+            ))),
+            shards => Backend::Pool(CheckerPool::spawn(
+                &protocol, &props, &config, &pool, shards,
+            )),
         };
         Controller {
             protocol,
@@ -218,13 +239,33 @@ impl<P: Protocol> Controller<P> {
         self.filters.len()
     }
 
-    /// Checking rounds submitted to the background service and not yet
+    /// Checking rounds submitted to the background pool and not yet
     /// applied (always 0 in synchronous mode).
     pub fn pending_predictions(&self) -> u64 {
         match &self.backend {
             Backend::Sync(_) => 0,
-            Backend::Async(svc) => svc.pending(),
+            Backend::Pool(pool) => pool.pending(),
         }
+    }
+
+    /// Submission-cost counters of the background pool's diff-shipping
+    /// channels: how many bytes full-clone submission would have moved
+    /// (`raw_bytes`) vs what the [`cb_snapshot::StateDelta`] stream
+    /// actually shipped (`shipped_bytes`). `None` in synchronous mode.
+    pub fn checker_wire_stats(&self) -> Option<DeltaStats> {
+        match &self.backend {
+            Backend::Sync(_) => None,
+            Backend::Pool(pool) => Some(pool.wire_stats()),
+        }
+    }
+
+    /// The currently installed per-node filters (active or pending),
+    /// exposed for equivalence tests and benches.
+    pub fn active_filters(&self) -> Vec<(NodeId, EventFilter)> {
+        self.filters
+            .iter()
+            .map(|f| (f.owner, f.filter.clone()))
+            .collect()
     }
 
     /// Decodes a gathered snapshot into a checker-ready global state.
@@ -254,29 +295,35 @@ impl<P: Protocol> Controller<P> {
         start: &GlobalState<P>,
     ) -> Option<Violation> {
         let steering = self.config.mode == Mode::ExecutionSteering;
+        let job = PredictionJob {
+            at: now,
+            node,
+            steering,
+        };
         match &mut self.backend {
             Backend::Sync(predictor) => {
-                let result = predictor.run_round(now, node, start, steering);
+                let result = predictor.run_round(job, start);
                 // Filters activate once the (modeled) checker run
                 // completes; until then the ISC covers.
                 let activation = now + self.config.mc_latency;
                 self.apply_result(result, now, activation)
             }
-            Backend::Async(service) => {
-                service.submit(now, node, start.clone(), steering);
+            Backend::Pool(pool) => {
+                // Diff-shipped: no full-state clone crosses the channel.
+                pool.submit(now, node, start, steering);
                 None
             }
         }
     }
 
-    /// Applies every checking round the background service has completed;
+    /// Applies every checking round the background pool has completed;
     /// replay filters activate at `now`, predicted-violation filters at
     /// `now` too (their latency has already elapsed for real). Returns the
     /// number of rounds applied. No-op in synchronous mode.
     pub fn poll_predictions(&mut self, now: SimTime) -> usize {
         let results = match &mut self.backend {
             Backend::Sync(_) => return 0,
-            Backend::Async(service) => service.try_results(),
+            Backend::Pool(pool) => pool.try_results(),
         };
         let n = results.len();
         for result in results {
@@ -291,7 +338,7 @@ impl<P: Protocol> Controller<P> {
     pub fn drain_predictions(&mut self, now: SimTime, timeout: Duration) -> usize {
         let results = match &mut self.backend {
             Backend::Sync(_) => return 0,
-            Backend::Async(service) => service.wait_results(timeout),
+            Backend::Pool(pool) => pool.wait_results(timeout),
         };
         let n = results.len();
         for result in results {

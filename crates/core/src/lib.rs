@@ -39,3 +39,5 @@ pub mod service;
 
 pub use controller::{Controller, ControllerConfig, ControllerStats, Mode, PredictionReport};
 pub use service::CheckerMode;
+
+pub use cb_mc::WorkerPool;

@@ -1,31 +1,52 @@
-//! The asynchronous checker service and the shared prediction round.
+//! The sharded checker service and the staged prediction round.
 //!
 //! "We run the model checker as a separate thread that communicates future
 //! inconsistencies to the runtime. ... On a multi-core machine this
 //! CPU-intensive process will likely be scheduled on a separate core" (§4).
 //!
-//! [`Predictor`] is one full CrystalBall checking round — known-path
-//! replay, consequence prediction (on any `cb_mc::Engine`, including the
-//! parallel work-stealing one), corrective-filter derivation, and the
-//! filter safety check — packaged so the *same* code runs either inline on
-//! the caller's thread (synchronous mode, deterministic, used by tests and
-//! modeled-latency experiments) or on the [`CheckerService`] background
-//! thread, where the live system keeps executing while prediction runs and
-//! the checker latency is *measured* instead of modeled.
+//! [`Predictor`] is one full CrystalBall checking round, split into its
+//! three independent-search stages — known-path replays, the main
+//! consequence-prediction run, and the filter-safety re-check — described
+//! by a [`PredictionJob`]. The replays and the main search are independent
+//! of each other, so they run *concurrently* on a shared
+//! [`cb_mc::WorkerPool`]; the safety re-check (which needs the main
+//! search's result) runs on the same pool afterwards. The identical code
+//! runs either inline on the caller's thread (synchronous mode,
+//! deterministic, used by tests and modeled-latency experiments) or inside
+//! the [`CheckerPool`].
 //!
-//! The service is a thread plus two channels: snapshots in, round results
-//! out. The controller drains results opportunistically from its hook
-//! entry points, so no simulation step ever blocks on the checker.
+//! [`CheckerPool`] is the background service, sharded by node: rounds for
+//! node *n* always execute on shard `n mod shards`, which keeps each
+//! node's remembered error paths (`known_paths`) on the shard that will
+//! replay them while letting snapshots from *different* nodes check in
+//! parallel. One shard reproduces the old single-thread background
+//! service ([`CheckerMode::Background`] is exactly that special case).
+//! All shards draw their search parallelism from one shared worker pool,
+//! so a shard running a big prediction borrows the workers an idle shard
+//! is not using.
+//!
+//! Submission is **diff-shipped**: instead of cloning the full decoded
+//! `GlobalState` into the job channel, the controller encodes it as a
+//! [`cb_snapshot::StateDelta`] against the last state submitted *for the
+//! same node* (per-node [`DeltaEncoder`]/[`DeltaDecoder`] lineages riding
+//! the shard's FIFO job channel — per-node, because consecutive
+//! snapshots of one node's neighborhood are near-identical while
+//! different nodes' neighborhoods are not), cutting submission cost for
+//! large neighborhoods the same way §3.1's checkpoint diffs cut gather
+//! bandwidth.
 
-use std::collections::VecDeque;
-use std::sync::mpsc;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use cb_mc::{
-    replay_path, EventFilter, FilterSet, FoundViolation, PathStep, SearchConfig, Searcher,
+    replay_path, EventFilter, FilterSet, FoundViolation, PathStep, ReplayOutcome, SearchConfig,
+    Searcher, WorkerPool,
 };
 use cb_model::{apply_event, EventKey, GlobalState, NodeId, PropertySet, Protocol, SimTime};
+use cb_snapshot::{DeltaDecoder, DeltaEncoder, DeltaStats, StateDelta};
 
 use crate::controller::ControllerConfig;
 
@@ -38,11 +59,53 @@ pub enum CheckerMode {
     /// experiments.
     #[default]
     Synchronous,
-    /// Rounds run on the background [`CheckerService`] thread; the live
-    /// system keeps stepping, results are drained from the controller's
-    /// hook entry points, and filters activate when their round actually
-    /// completes — `mc_latency` becomes a measurement, not a model.
+    /// Rounds run on a background [`CheckerPool`] with a single shard —
+    /// the live system keeps stepping, results are drained from the
+    /// controller's hook entry points, and filters activate when their
+    /// round actually completes, so `mc_latency` becomes a measurement
+    /// instead of a model.
     Background,
+    /// Rounds run on a background [`CheckerPool`] with `shards` shard
+    /// threads: rounds are sharded by node (per-node `known_paths`
+    /// affinity), so snapshots from different nodes check concurrently.
+    /// `Sharded { shards: 1 }` ≡ [`CheckerMode::Background`].
+    ///
+    /// Affinity granularity, by design: each shard remembers only the
+    /// error paths its *own* nodes' rounds discovered, so a node's
+    /// replay fast path (§3.3 "Rechecking Previously Discovered
+    /// Violations") is always served by its shard, but a path learned
+    /// from a node on another shard is not replayed — the main
+    /// consequence-prediction run remains the discovery mechanism
+    /// across shards. With 1 shard this coincides exactly with the
+    /// global `known_paths` of the synchronous backend.
+    Sharded {
+        /// Number of checker shard threads (at least 1).
+        shards: usize,
+    },
+}
+
+impl CheckerMode {
+    /// Shard-thread count this mode asks for (0 = no background service).
+    pub(crate) fn shard_count(self) -> usize {
+        match self {
+            CheckerMode::Synchronous => 0,
+            CheckerMode::Background => 1,
+            CheckerMode::Sharded { shards } => shards.max(1),
+        }
+    }
+}
+
+/// Identity of one checking round: which snapshot is being checked and in
+/// which controller mode — the job description every [`Predictor`] stage
+/// receives.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PredictionJob {
+    /// When the snapshot that feeds the round completed (simulated time).
+    pub at: SimTime,
+    /// The node whose snapshot is checked (also the shard key).
+    pub node: NodeId,
+    /// Whether the round should derive and safety-check filters.
+    pub steering: bool,
 }
 
 /// The outcome of one checking round, ready for the controller to apply.
@@ -76,75 +139,120 @@ pub(crate) struct RoundResult<P: Protocol> {
 pub(crate) struct Predictor<P: Protocol> {
     protocol: P,
     props: PropertySet<P>,
-    config: ControllerConfig,
+    /// Shared with the controller and every sibling shard — one
+    /// allocation, not one clone per shard.
+    config: Arc<ControllerConfig>,
+    /// The main-run search config, derived from `config.search` once at
+    /// construction instead of once per round.
+    predict_cfg: SearchConfig,
+    /// The safety-re-check config minus the candidate filter, likewise
+    /// derived once.
+    safety_base: SearchConfig,
+    /// The shared pool all of this round's independent searches run on.
+    pool: WorkerPool,
     known_paths: VecDeque<Vec<PathStep<P>>>,
 }
 
 impl<P: Protocol> Predictor<P> {
-    pub(crate) fn new(protocol: P, props: PropertySet<P>, config: ControllerConfig) -> Self {
+    pub(crate) fn new(
+        protocol: P,
+        props: PropertySet<P>,
+        config: Arc<ControllerConfig>,
+        pool: WorkerPool,
+    ) -> Self {
+        let predict_cfg = SearchConfig {
+            prune_local: true,
+            ..config.search.clone()
+        };
+        let safety_base = SearchConfig {
+            max_states: Some(config.safety_check_states),
+            prune_local: true,
+            ..config.search.clone()
+        };
         Predictor {
             protocol,
             props,
             config,
+            predict_cfg,
+            safety_base,
+            pool,
             known_paths: VecDeque::new(),
         }
     }
 
-    /// Runs one full round against a decoded snapshot state: replay,
-    /// consequence prediction, filter preparation, safety check.
+    /// Runs one full round against a decoded snapshot state. Stage 1
+    /// (known-path replays) and stage 2 (consequence prediction) are
+    /// independent searches and execute concurrently on the shared pool;
+    /// stage 3 (the filter-safety re-check) consumes stage 2's result and
+    /// follows on the same pool.
     pub(crate) fn run_round(
         &mut self,
-        at: SimTime,
-        node: NodeId,
+        job: PredictionJob,
         start: &GlobalState<P>,
-        steering: bool,
     ) -> RoundResult<P> {
         let t0 = Instant::now();
 
-        // Fast path: replay previously discovered error paths (§3.3/§4).
-        // "If the problem reappears, CrystalBall immediately reinstalls
-        // the appropriate filter."
+        // Stages 1 ∥ 2. The replays land in per-path slots so their
+        // results are consumed in deterministic (known_paths) order no
+        // matter which worker ran them.
+        let this: &Predictor<P> = self;
+        let n_replays = if this.config.replay_known_paths {
+            this.known_paths.len()
+        } else {
+            0
+        };
+        let replay_slots: Vec<Mutex<Option<ReplayOutcome>>> =
+            (0..n_replays).map(|_| Mutex::new(None)).collect();
+        let outcome = this.pool.scope(|scope| {
+            for (slot, path) in replay_slots.iter().zip(this.known_paths.iter()) {
+                scope.spawn(move || {
+                    // Fast path: replay previously discovered error paths
+                    // (§3.3/§4). "If the problem reappears, CrystalBall
+                    // immediately reinstalls the appropriate filter."
+                    let out = replay_path(&this.protocol, &this.props, start, path, 256);
+                    *slot.lock().expect("replay slot poisoned") = Some(out);
+                });
+            }
+            // The main consequence-prediction run (Fig. 8) on the calling
+            // thread, which also lends a hand to queued pool work via the
+            // engine's own scopes.
+            this.stage_predict(start)
+        });
+
         let mut replays_rediscovered = 0;
         let mut replay_filters = Vec::new();
-        if self.config.replay_known_paths {
-            let paths: Vec<_> = self.known_paths.iter().cloned().collect();
-            for path in paths {
-                let outcome = replay_path(&self.protocol, &self.props, start, &path, 256);
-                if outcome.violates() {
-                    replays_rediscovered += 1;
-                    if steering {
-                        if let Some(filter) = self.derive_filter(node, start, &path) {
-                            replay_filters.push(filter);
-                        }
+        for (slot, path) in replay_slots.iter().zip(self.known_paths.iter()) {
+            let out = slot
+                .lock()
+                .expect("replay slot poisoned")
+                .take()
+                .expect("replay ran");
+            if out.violates() {
+                replays_rediscovered += 1;
+                if job.steering {
+                    if let Some(filter) = self.derive_filter(job.node, start, path) {
+                        replay_filters.push(filter);
                     }
                 }
             }
         }
 
-        // The main consequence-prediction run (Fig. 8), on whichever
-        // engine the controller was configured with.
-        let search = SearchConfig {
-            prune_local: true,
-            ..self.config.search.clone()
-        };
-        let outcome =
-            Searcher::new(&self.protocol, &self.props, search).search(start, &self.config.engine);
         let found = outcome.first().cloned();
-
         let mut filter = None;
         if let Some(found) = &found {
             self.remember_path(found);
-            if steering {
+            if job.steering {
+                // Stage 3: the safety re-check, on the same shared pool.
                 filter = self
-                    .derive_filter(node, start, &found.path)
+                    .derive_filter(job.node, start, &found.path)
                     .filter(|f| self.filter_is_safe(start, f, found.depth));
             }
         }
 
         RoundResult {
-            at,
-            node,
-            steering,
+            at: job.at,
+            node: job.node,
+            steering: job.steering,
             replays_rediscovered,
             replay_filters,
             found,
@@ -152,6 +260,17 @@ impl<P: Protocol> Predictor<P> {
             filter,
             wall: t0.elapsed(),
         }
+    }
+
+    /// Stage 2: the main consequence-prediction search (Fig. 8), on
+    /// whichever engine the controller was configured with, drawing
+    /// parallel workers from the shared pool.
+    fn stage_predict(&self, start: &GlobalState<P>) -> cb_mc::SearchOutcome<P> {
+        Searcher::new(&self.protocol, &self.props, self.predict_cfg.clone()).search_on(
+            start,
+            &self.config.engine,
+            Some(&self.pool),
+        )
     }
 
     fn remember_path(&mut self, found: &FoundViolation<P>) {
@@ -196,13 +315,14 @@ impl<P: Protocol> Predictor<P> {
         None
     }
 
-    /// §3.3 "Checking Safety of Event Filters": re-run consequence
-    /// prediction with the filter applied. The filter is deemed safe when
-    /// the steered execution reaches no violation within the budget, or
-    /// none *sooner* than the unfiltered execution would — blocking an
-    /// event must not hasten an inconsistency, but it need not fix futures
-    /// that were already independently broken (e.g. a different node's
-    /// reset tripping the same protocol bug along a parallel path).
+    /// Stage 3 — §3.3 "Checking Safety of Event Filters": re-run
+    /// consequence prediction with the filter applied. The filter is deemed
+    /// safe when the steered execution reaches no violation within the
+    /// budget, or none *sooner* than the unfiltered execution would —
+    /// blocking an event must not hasten an inconsistency, but it need not
+    /// fix futures that were already independently broken (e.g. a
+    /// different node's reset tripping the same protocol bug along a
+    /// parallel path).
     fn filter_is_safe(
         &self,
         start: &GlobalState<P>,
@@ -213,13 +333,14 @@ impl<P: Protocol> Predictor<P> {
             return true;
         }
         let cfg = SearchConfig {
-            max_states: Some(self.config.safety_check_states),
             filters: FilterSet::from_iter([filter.clone()]),
-            prune_local: true,
-            ..self.config.search.clone()
+            ..self.safety_base.clone()
         };
-        let outcome =
-            Searcher::new(&self.protocol, &self.props, cfg).search(start, &self.config.engine);
+        let outcome = Searcher::new(&self.protocol, &self.props, cfg).search_on(
+            start,
+            &self.config.engine,
+            Some(&self.pool),
+        );
         match outcome.first() {
             None => true,
             Some(found) => found.depth >= unfiltered_depth,
@@ -227,81 +348,153 @@ impl<P: Protocol> Predictor<P> {
     }
 }
 
-struct Job<P: Protocol> {
+/// One diff-shipped round submission (the wire format of the per-shard
+/// job channels — note: no `GlobalState`, no protocol types).
+struct ShardJob {
     at: SimTime,
     node: NodeId,
-    start: GlobalState<P>,
     steering: bool,
+    delta: StateDelta,
 }
 
-/// The background checker: a service thread owning a [`Predictor`],
-/// consuming snapshot jobs and producing round results. Channels decouple
-/// it completely from the live system — submission never blocks, and
-/// results are polled.
-pub(crate) struct CheckerService<P: Protocol> {
-    jobs: mpsc::Sender<Job<P>>,
-    results: mpsc::Receiver<RoundResult<P>>,
+struct Shard {
+    jobs: mpsc::Sender<ShardJob>,
+    /// Submission-side halves of the shard's diff channels, one lineage
+    /// per submitting node (decoder twins live on the shard thread).
+    /// Per-node, not per-channel: consecutive snapshots of one node's
+    /// neighborhood diff well; interleaved different-node neighborhoods
+    /// would thrash a single shared base.
+    encoders: HashMap<NodeId, DeltaEncoder>,
     handle: Option<thread::JoinHandle<()>>,
-    shutdown: std::sync::Arc<std::sync::atomic::AtomicBool>,
+}
+
+/// The background checker service: shard threads, each owning a
+/// [`Predictor`] and the decoder half of a diff-shipping channel, plus one
+/// shared results channel. Rounds are routed by `node mod shards`, so a
+/// node's remembered error paths stay with the shard that replays them
+/// while different nodes' snapshots check in parallel. Submission never
+/// blocks; results are polled.
+pub(crate) struct CheckerPool<P: Protocol> {
+    shards: Vec<Shard>,
+    results: mpsc::Receiver<RoundResult<P>>,
+    shutdown: Arc<AtomicBool>,
     submitted: u64,
     drained: u64,
 }
 
-impl<P: Protocol> CheckerService<P> {
-    /// Spawns the service thread around `predictor`.
-    pub(crate) fn spawn(mut predictor: Predictor<P>) -> Self {
-        use std::sync::atomic::{AtomicBool, Ordering};
-        let (job_tx, job_rx) = mpsc::channel::<Job<P>>();
+impl<P: Protocol> CheckerPool<P> {
+    /// Spawns `shards` shard threads, each with its own [`Predictor`]
+    /// sharing `pool` for search parallelism.
+    pub(crate) fn spawn(
+        protocol: &P,
+        props: &PropertySet<P>,
+        config: &Arc<ControllerConfig>,
+        pool: &WorkerPool,
+        shards: usize,
+    ) -> Self {
+        let shards_n = shards.max(1);
         let (res_tx, res_rx) = mpsc::channel::<RoundResult<P>>();
-        let shutdown = std::sync::Arc::new(AtomicBool::new(false));
-        let stop = shutdown.clone();
-        let handle = thread::Builder::new()
-            .name("crystalball-checker".into())
-            .spawn(move || {
-                while let Ok(job) = job_rx.recv() {
-                    // A closed job channel still delivers its backlog;
-                    // the flag lets Drop skip queued rounds instead of
-                    // grinding through every buffered search.
-                    if stop.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let result = predictor.run_round(job.at, job.node, &job.start, job.steering);
-                    if res_tx.send(result).is_err() {
-                        break; // controller dropped; stop checking
-                    }
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shards = (0..shards_n)
+            .map(|i| {
+                let (job_tx, job_rx) = mpsc::channel::<ShardJob>();
+                let mut predictor = Predictor::new(
+                    protocol.clone(),
+                    props.clone(),
+                    config.clone(),
+                    pool.clone(),
+                );
+                let res_tx = res_tx.clone();
+                let stop = shutdown.clone();
+                let handle = thread::Builder::new()
+                    .name(format!("crystalball-checker-{i}"))
+                    .spawn(move || {
+                        let mut decoders: HashMap<NodeId, DeltaDecoder> = HashMap::new();
+                        while let Ok(job) = job_rx.recv() {
+                            // A closed job channel still delivers its
+                            // backlog; the flag lets Drop skip queued
+                            // rounds instead of grinding through every
+                            // buffered search.
+                            if stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            // The encoder twin rides the same FIFO
+                            // channel (per-node order preserved), so the
+                            // bases stay in lockstep; a decode failure
+                            // here is a codec bug, not a runtime
+                            // condition.
+                            let start: GlobalState<P> = decoders
+                                .entry(job.node)
+                                .or_default()
+                                .decode_state(&job.delta)
+                                .expect("shard delta decodes against in-sync base");
+                            let result = predictor.run_round(
+                                PredictionJob {
+                                    at: job.at,
+                                    node: job.node,
+                                    steering: job.steering,
+                                },
+                                &start,
+                            );
+                            if res_tx.send(result).is_err() {
+                                break; // controller dropped; stop checking
+                            }
+                        }
+                    })
+                    .expect("spawn checker shard");
+                Shard {
+                    jobs: job_tx,
+                    encoders: HashMap::new(),
+                    handle: Some(handle),
                 }
             })
-            .expect("spawn checker thread");
-        CheckerService {
-            jobs: job_tx,
+            .collect();
+        CheckerPool {
+            shards,
             results: res_rx,
-            handle: Some(handle),
             shutdown,
             submitted: 0,
             drained: 0,
         }
     }
 
-    /// Queues one round. Never blocks.
+    /// Queues one round, diff-shipping the state against the last
+    /// submission for the same node. Never blocks, never clones the
+    /// decoded `GlobalState`.
     pub(crate) fn submit(
         &mut self,
         at: SimTime,
         node: NodeId,
-        start: GlobalState<P>,
+        start: &GlobalState<P>,
         steering: bool,
     ) {
+        let ix = (node.0 as usize) % self.shards.len();
+        let shard = &mut self.shards[ix];
+        let delta = shard.encoders.entry(node).or_default().encode_state(start);
         self.submitted += 1;
-        let _ = self.jobs.send(Job {
+        let _ = shard.jobs.send(ShardJob {
             at,
             node,
-            start,
             steering,
+            delta,
         });
     }
 
     /// Rounds submitted but not yet drained.
     pub(crate) fn pending(&self) -> u64 {
         self.submitted - self.drained
+    }
+
+    /// Aggregated submission-cost counters over all shards (full-clone
+    /// bytes vs diff-shipped bytes).
+    pub(crate) fn wire_stats(&self) -> DeltaStats {
+        let mut total = DeltaStats::default();
+        for s in &self.shards {
+            for enc in s.encoders.values() {
+                total.merge(&enc.stats);
+            }
+        }
+        total
     }
 
     /// Takes every completed round without blocking.
@@ -336,17 +529,20 @@ impl<P: Protocol> CheckerService<P> {
     }
 }
 
-impl<P: Protocol> Drop for CheckerService<P> {
+impl<P: Protocol> Drop for CheckerPool<P> {
     fn drop(&mut self) {
-        // Tell the thread to abandon any backlog, then close the job
-        // channel so `recv` wakes; join completes after at most one
+        // Tell the shards to abandon any backlog, then close the job
+        // channels so `recv` wakes; each join completes after at most one
         // in-flight round.
-        self.shutdown
-            .store(true, std::sync::atomic::Ordering::Relaxed);
-        let (tx, _) = mpsc::channel();
-        drop(std::mem::replace(&mut self.jobs, tx));
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
+        self.shutdown.store(true, Ordering::Relaxed);
+        for shard in &mut self.shards {
+            let (tx, _) = mpsc::channel();
+            drop(std::mem::replace(&mut shard.jobs, tx));
+        }
+        for shard in &mut self.shards {
+            if let Some(h) = shard.handle.take() {
+                let _ = h.join();
+            }
         }
     }
 }

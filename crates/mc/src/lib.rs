@@ -28,11 +28,16 @@
 //!   a *new* snapshot by replaying only timer/application events and
 //!   following message causality (§4 "Replaying Past Erroneous Paths");
 //! * [`EventFilter`] — the runtime-installable description of events to
-//!   block, shared with the `crystalball` controller.
+//!   block, shared with the `crystalball` controller;
+//! * [`WorkerPool`] — a shared, scoped worker pool: the parallel engine's
+//!   phases, known-path replays, filter-safety re-checks, and concurrent
+//!   checker shards all multiplex their independent work over one set of
+//!   threads ([`Searcher::search_on`] / [`Searcher::run_parallel_pooled`]).
 
 pub mod filter;
 pub mod frontier;
 pub mod parallel;
+pub mod pool;
 pub mod replay;
 pub mod report;
 pub mod search;
@@ -41,6 +46,7 @@ pub mod stats;
 pub use filter::{EventFilter, FilterSet};
 pub use frontier::{FifoFrontier, Frontier, FrontierItem, ShardedExplored, StealQueues};
 pub use parallel::{find_consequences_parallel, find_errors_parallel, ParallelConfig};
+pub use pool::{PoolScope, WorkerPool};
 pub use replay::{replay_path, ReplayOutcome};
 pub use report::{FoundViolation, PathStep, SearchOutcome, StopReason};
 pub use search::{find_consequences, find_errors, random_walk, Engine, SearchConfig, Searcher};

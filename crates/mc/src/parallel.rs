@@ -26,15 +26,20 @@
 //!    clone the state, run the handler, hash the successor — and race to
 //!    insert successor hashes into the [`ShardedExplored`] set. Exactly
 //!    one worker wins any hash; the winner keeps the successor state, the
-//!    losers emit a hash-only edge. Two states with equal hashes are the
-//!    same state, so it does not matter *whose* clone survives.
+//!    losers emit a hash-only edge.
 //! 4. **Merge** (sequential, cheap): iterate all emitted edges in
 //!    canonical order (job order × event order) and assign each
 //!    newly admitted hash its *first* edge in that order as the parent.
 //!    This is the same parent the sequential engine's enqueue-time dedup
-//!    would record, so reconstructed paths — including the canonical
-//!    shallowest counterexample, tie-broken by (depth, path-lexicographic
-//!    order) — match the sequential engine exactly.
+//!    would record. The surviving clone must be the canonical edge's,
+//!    too: equal hashes mean equal node states and equal in-flight
+//!    *multisets*, but not equal in-flight `Vec` order, and that order
+//!    steers later event enumeration — so when the insert race was won
+//!    by a non-canonical edge, the merge re-derives the canonical clone
+//!    from its parent. Reconstructed paths — including the canonical
+//!    shallowest counterexample, tie-broken by (depth,
+//!    path-lexicographic order) — and every downstream level then match
+//!    the sequential engine exactly.
 //!
 //! The expensive work (phases 1 and 3) scales with workers; the
 //! sequential phases are hash-set bookkeeping. Wall-clock-dependent
@@ -44,7 +49,7 @@
 //! `peak_frontier_bytes` reflect this engine's level-at-a-time residency
 //! (the per-level sum of state footprints) rather than a sliding window.
 
-use std::collections::HashMap;
+use std::collections::HashSet;
 use std::mem::size_of;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
@@ -53,6 +58,7 @@ use std::time::Instant;
 use cb_model::{apply_event, Event, GlobalState, NodeId, Protocol, TraceStep, Violation};
 
 use crate::frontier::{ShardedExplored, StealQueues};
+use crate::pool::WorkerPool;
 use crate::report::{FoundViolation, SearchOutcome, StopReason};
 use crate::search::{
     approx_state_bytes, enumerate_gated, reconstruct, ArenaRec, SearchConfig, Searcher,
@@ -82,6 +88,13 @@ impl Default for ParallelConfig {
 struct EdgeOut<P: Protocol> {
     /// The successor state — carried only by the edge whose worker won the
     /// explored-set insertion race for `hash`.
+    ///
+    /// Winning the race is *not* the same as being the canonical
+    /// (first-in-BFS-order) edge: two states with equal hashes hold the
+    /// same in-flight **multiset** but possibly in different `Vec`
+    /// orders, and that order is visible to event enumeration. The merge
+    /// therefore keeps the winner's clone only when the winner *is* the
+    /// canonical edge, and re-derives the canonical clone otherwise.
     state: Option<GlobalState<P>>,
     hash: u64,
     event: Event<P>,
@@ -106,7 +119,30 @@ impl<P: Protocol> Searcher<'_, P> {
     /// Runs the level-synchronous parallel search. Same violation set and
     /// canonical counterexample paths as [`Searcher::run`] for any worker
     /// count; scheduling only affects wall-clock numbers.
+    ///
+    /// Spawns a private [`WorkerPool`] for the duration of the search
+    /// (one spawn per search, not per level). Callers that run many
+    /// searches — or want several concurrent searches to share workers —
+    /// should hold a pool and use [`Searcher::run_parallel_pooled`].
     pub fn run_parallel(&self, start: &GlobalState<P>, par: &ParallelConfig) -> SearchOutcome<P> {
+        // The scope owner participates, so `workers` logical workers need
+        // `workers - 1` pool threads; at 1 worker the pool is threadless
+        // and the engine's inline phase paths never touch it.
+        let pool = WorkerPool::new(par.workers.saturating_sub(1));
+        self.run_parallel_pooled(start, par, &pool)
+    }
+
+    /// [`Searcher::run_parallel`] on a caller-provided shared pool: the
+    /// check/expand phases draw workers from `pool` (the calling thread
+    /// participates too), so concurrent independent searches — prediction,
+    /// known-path replays, safety re-checks, sibling checker shards —
+    /// multiplex over one set of threads instead of spawning their own.
+    pub fn run_parallel_pooled(
+        &self,
+        start: &GlobalState<P>,
+        par: &ParallelConfig,
+        pool: &WorkerPool,
+    ) -> SearchOutcome<P> {
         let workers = par.workers.max(1);
         // Per-level phase timing on stderr, for perf investigation:
         // CB_PAR_TRACE=1 cargo bench -p cb-bench --bench parallel_scaling
@@ -147,7 +183,7 @@ impl<P: Protocol> Searcher<'_, P> {
                 .map_or(level.len(), |max| max.saturating_sub(stats.states_visited))
                 .min(level.len());
             let pt = Instant::now();
-            let (checks, deadline_hit) = self.check_level(&level[..budget_left], workers, t0);
+            let (checks, deadline_hit) = self.check_level(&level[..budget_left], workers, t0, pool);
             let t_check = pt.elapsed();
             if deadline_hit {
                 stopped = Some(StopReason::Deadline);
@@ -203,7 +239,8 @@ impl<P: Protocol> Searcher<'_, P> {
 
             // Phase 3: parallel expansion with work stealing.
             let pt = Instant::now();
-            let (results, deadline_hit) = self.expand_level(&level, &jobs, &explored, workers, t0);
+            let (results, deadline_hit) =
+                self.expand_level(&level, &jobs, &explored, workers, t0, pool);
             let t_expand = pt.elapsed();
             let pt = Instant::now();
             if deadline_hit {
@@ -211,32 +248,50 @@ impl<P: Protocol> Searcher<'_, P> {
                 break 'levels;
             }
 
-            // Phase 4: deterministic merge. Collect the states won in the
-            // insertion race, then assign parents in canonical order.
-            let mut fresh: HashMap<u64, GlobalState<P>> = HashMap::new();
-            let mut ordered: Vec<(Option<usize>, Vec<EdgeOut<P>>)> = Vec::with_capacity(jobs.len());
+            // Phase 4: deterministic merge. Note which hashes were
+            // admitted this level, then assign parents — and pick the
+            // surviving clone — in canonical order.
+            let mut admitted: HashSet<u64> = HashSet::new();
+            let mut ordered: Vec<(usize, Vec<EdgeOut<P>>)> = Vec::with_capacity(jobs.len());
             for (job, out) in jobs.iter().zip(results) {
-                let mut out = out.expect("every job produces output");
+                let out = out.expect("every job produces output");
                 stats.filtered_events += out.filtered;
-                for edge in &mut out.edges {
-                    if let Some(state) = edge.state.take() {
-                        fresh.insert(edge.hash, state);
+                for edge in &out.edges {
+                    if edge.state.is_some() {
+                        admitted.insert(edge.hash);
                     }
                 }
-                ordered.push((level[job.item].1, out.edges));
+                ordered.push((job.item, out.edges));
             }
             let mut next_level: Vec<(GlobalState<P>, Option<usize>)> =
-                Vec::with_capacity(fresh.len());
-            for (parent_rec, edges) in ordered {
+                Vec::with_capacity(admitted.len());
+            for (item, edges) in ordered {
                 for edge in edges {
                     // The canonically-first edge to a hash admitted this
                     // level becomes its parent; everything else (later
                     // edges, edges to hashes from earlier levels) is a
                     // duplicate — the same accounting the sequential
                     // engine's enqueue-time `insert` performs.
-                    if let Some(state) = fresh.remove(&edge.hash) {
+                    if admitted.remove(&edge.hash) {
+                        // Keep the canonical edge's own successor clone.
+                        // Equal hashes guarantee equal node states and
+                        // equal in-flight *multisets*, but not equal
+                        // in-flight `Vec` order — and that order steers
+                        // downstream event enumeration. If the insert
+                        // race was won by a non-canonical edge, re-derive
+                        // the canonical clone so every later level (and
+                        // the recorded paths) match the sequential
+                        // engine bit for bit.
+                        let state = match edge.state {
+                            Some(state) => state,
+                            None => {
+                                let mut s = level[item].0.clone();
+                                apply_event(self.protocol, &mut s, &edge.event);
+                                s
+                            }
+                        };
                         arena.push(ArenaRec {
-                            parent: parent_rec,
+                            parent: level[item].1,
                             event: edge.event,
                             step: edge.step,
                         });
@@ -290,6 +345,7 @@ impl<P: Protocol> Searcher<'_, P> {
         level: &[(GlobalState<P>, Option<usize>)],
         workers: usize,
         search_t0: Instant,
+        pool: &WorkerPool,
     ) -> (Vec<Option<Violation>>, bool) {
         let over =
             |limit: Option<std::time::Duration>| limit.is_some_and(|d| search_t0.elapsed() >= d);
@@ -307,22 +363,22 @@ impl<P: Protocol> Searcher<'_, P> {
             level.iter().map(|_| Mutex::new(None)).collect();
         let queues = StealQueues::split(workers, level.len());
         let deadline_hit = AtomicBool::new(false);
-        std::thread::scope(|scope| {
-            for w in 0..workers {
-                let queues = &queues;
-                let slots = &slots;
-                let deadline_hit = &deadline_hit;
-                scope.spawn(move || {
-                    while let Some(i) = queues.next(w) {
-                        if over(self.config.deadline) {
-                            deadline_hit.store(true, Ordering::Relaxed);
-                            return;
-                        }
-                        let v = self.props.check(&level[i].0);
-                        *slots[i].lock().expect("check slot poisoned") = Some(v);
-                    }
-                });
+        let worker_loop = |w: usize| {
+            while let Some(i) = queues.next(w) {
+                if over(self.config.deadline) {
+                    deadline_hit.store(true, Ordering::Relaxed);
+                    return;
+                }
+                let v = self.props.check(&level[i].0);
+                *slots[i].lock().expect("check slot poisoned") = Some(v);
             }
+        };
+        pool.scope(|scope| {
+            for w in 1..workers {
+                let worker_loop = &worker_loop;
+                scope.spawn(move || worker_loop(w));
+            }
+            worker_loop(0);
         });
         if deadline_hit.load(Ordering::Relaxed) {
             return (Vec::new(), true);
@@ -350,6 +406,7 @@ impl<P: Protocol> Searcher<'_, P> {
         explored: &ShardedExplored,
         workers: usize,
         search_t0: Instant,
+        pool: &WorkerPool,
     ) -> (Vec<Option<JobOut<P>>>, bool) {
         let expand_one = |job: &ExpandJob| -> JobOut<P> {
             let state = &level[job.item].0;
@@ -400,26 +457,25 @@ impl<P: Protocol> Searcher<'_, P> {
         let slots: Vec<Mutex<Option<JobOut<P>>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
         let queues = StealQueues::split(workers, jobs.len());
         let deadline_hit = AtomicBool::new(false);
-        std::thread::scope(|scope| {
-            for w in 0..workers {
-                let queues = &queues;
-                let slots = &slots;
-                let deadline_hit = &deadline_hit;
-                scope.spawn(move || {
-                    while let Some(j) = queues.next(w) {
-                        if self
-                            .config
-                            .deadline
-                            .is_some_and(|d| search_t0.elapsed() >= d)
-                        {
-                            deadline_hit.store(true, Ordering::Relaxed);
-                            return;
-                        }
-                        *slots[j].lock().expect("expand slot poisoned") =
-                            Some(expand_one(&jobs[j]));
-                    }
-                });
+        let worker_loop = |w: usize| {
+            while let Some(j) = queues.next(w) {
+                if self
+                    .config
+                    .deadline
+                    .is_some_and(|d| search_t0.elapsed() >= d)
+                {
+                    deadline_hit.store(true, Ordering::Relaxed);
+                    return;
+                }
+                *slots[j].lock().expect("expand slot poisoned") = Some(expand_one(&jobs[j]));
             }
+        };
+        pool.scope(|scope| {
+            for w in 1..workers {
+                let worker_loop = &worker_loop;
+                scope.spawn(move || worker_loop(w));
+            }
+            worker_loop(0);
         });
         if deadline_hit.load(Ordering::Relaxed) {
             return (Vec::new(), true);

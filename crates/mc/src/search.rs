@@ -244,6 +244,23 @@ impl<'a, P: Protocol> Searcher<'a, P> {
         }
     }
 
+    /// [`Searcher::search`], except that a parallel engine draws its
+    /// workers from the shared `pool` instead of spawning its own — the
+    /// entry point for callers running several independent searches
+    /// (prediction, replays, safety re-checks, checker shards) over one
+    /// set of threads. With `None`, behaves exactly like [`Searcher::search`].
+    pub fn search_on(
+        &self,
+        start: &GlobalState<P>,
+        engine: &Engine,
+        pool: Option<&crate::pool::WorkerPool>,
+    ) -> SearchOutcome<P> {
+        match (engine, pool) {
+            (Engine::Parallel(par), Some(pool)) => self.run_parallel_pooled(start, par, pool),
+            _ => self.search(start, engine),
+        }
+    }
+
     /// Runs the breadth-first search from `start`: Fig. 5 when
     /// `config.prune_local` is false, Fig. 8 (consequence prediction) when
     /// true.

@@ -147,6 +147,12 @@ impl<'a> Reader<'a> {
     }
 }
 
+/// Number of bytes the LEB128 encoding of `v` occupies (for arithmetic
+/// `encoded_len` overrides that avoid serializing just to measure).
+pub fn varint_len(v: u64) -> usize {
+    (64 - v.max(1).leading_zeros() as usize).div_ceil(7).max(1)
+}
+
 /// Appends an LEB128 varint.
 pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
     loop {
@@ -422,6 +428,28 @@ mod tests {
         assert_eq!(128u64.to_bytes().len(), 2);
         assert_eq!(16383u64.to_bytes().len(), 2);
         assert_eq!(16384u64.to_bytes().len(), 3);
+    }
+
+    #[test]
+    fn varint_len_matches_encoding() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            assert_eq!(varint_len(v), v.to_bytes().len(), "v={v}");
+        }
+        let mut r = StdRng::seed_from_u64(0x7a71);
+        for _ in 0..512 {
+            let v = r.gen::<u64>() >> (r.gen::<u32>() % 64);
+            assert_eq!(varint_len(v), v.to_bytes().len(), "v={v}");
+        }
     }
 
     #[test]

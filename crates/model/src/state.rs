@@ -25,7 +25,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::hash::Hash;
 
-use crate::codec::Encode;
+use crate::codec::{Decode, DecodeError, Encode, Reader};
 use crate::hashing::{combine, combine_unordered, stable_hash};
 use crate::node::NodeId;
 use crate::protocol::{Outbox, Protocol};
@@ -89,6 +89,28 @@ impl<M> Payload<M> {
     }
 }
 
+impl<M: Encode> Encode for Payload<M> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Payload::Msg(m) => {
+                buf.push(0);
+                m.encode(buf);
+            }
+            Payload::Error => buf.push(1),
+        }
+    }
+}
+
+impl<M: Decode> Decode for Payload<M> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.byte()? {
+            0 => Ok(Payload::Msg(M::decode(r)?)),
+            1 => Ok(Payload::Error),
+            t => Err(DecodeError::BadTag(t)),
+        }
+    }
+}
+
 /// An element of the network multiset `I`.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct InFlight<M> {
@@ -104,6 +126,28 @@ pub struct InFlight<M> {
     pub dst_inc: u32,
     /// The message or error notification itself.
     pub payload: Payload<M>,
+}
+
+impl<M: Encode> Encode for InFlight<M> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.src.encode(buf);
+        self.dst.encode(buf);
+        self.src_inc.encode(buf);
+        self.dst_inc.encode(buf);
+        self.payload.encode(buf);
+    }
+}
+
+impl<M: Decode> Decode for InFlight<M> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(InFlight {
+            src: NodeId::decode(r)?,
+            dst: NodeId::decode(r)?,
+            src_inc: u32::decode(r)?,
+            dst_inc: u32::decode(r)?,
+            payload: Payload::decode(r)?,
+        })
+    }
 }
 
 /// The global state `(L, I)` of the distributed system.
@@ -412,6 +456,23 @@ mod tests {
         out.close(NodeId(1));
         gs.apply_outbox(NodeId(0), out);
         assert_eq!(gs.inflight_bytes(), 1);
+    }
+
+    #[test]
+    fn inflight_codec_roundtrips() {
+        use crate::codec::Decode;
+        for payload in [Payload::Msg(PingMsg::Ping), Payload::Error] {
+            let item = InFlight {
+                src: NodeId(3),
+                dst: NodeId(9),
+                src_inc: 2,
+                dst_inc: 7,
+                payload,
+            };
+            let decoded = InFlight::<PingMsg>::from_bytes(&item.to_bytes()).unwrap();
+            assert_eq!(decoded, item);
+        }
+        assert!(InFlight::<PingMsg>::from_bytes(&[0, 0, 0, 0, 9]).is_err());
     }
 
     #[test]

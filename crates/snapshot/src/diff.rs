@@ -9,6 +9,8 @@
 
 use cb_model::{Decode, DecodeError, Encode, Reader};
 
+use crate::lzw;
+
 /// A patch set transforming one byte string into another.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Diff {
@@ -84,6 +86,61 @@ pub fn encode_diff(old: &[u8], new: &[u8]) -> Diff {
     Diff {
         new_len: new.len(),
         patches,
+    }
+}
+
+/// One value encoded against an optional base — the
+/// unchanged < patch < full ladder shared by the checkpoint-gather wire
+/// (`SnapMsg::Duplicate`/`Delta`/`Full`) and the checker-submission
+/// channel (`SlotDelta`). Both map this enum onto their own wire types,
+/// so the threshold logic lives in exactly one place.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BaseEncoding {
+    /// Identical bytes to the base.
+    Unchanged,
+    /// An encoded [`Diff`] against the base.
+    Patch(Vec<u8>),
+    /// A full payload, optionally LZW-compressed.
+    Full {
+        /// Whether `data` is LZW-compressed.
+        compressed: bool,
+        /// The (possibly compressed) raw bytes.
+        data: Vec<u8>,
+    },
+}
+
+/// Chooses the cheapest representation of `raw` against `base`:
+/// unchanged < patch (if `try_diff` and smaller than raw) < full
+/// (LZW-compressed if `try_compress` and smaller).
+pub fn encode_against(
+    base: Option<&[u8]>,
+    raw: &[u8],
+    try_diff: bool,
+    try_compress: bool,
+) -> BaseEncoding {
+    if let Some(prev) = base {
+        if prev == raw {
+            return BaseEncoding::Unchanged;
+        }
+        if try_diff {
+            let diff = encode_diff(prev, raw).to_bytes();
+            if diff.len() < raw.len() {
+                return BaseEncoding::Patch(diff);
+            }
+        }
+    }
+    if try_compress {
+        let compressed = lzw::compress(raw);
+        if compressed.len() < raw.len() {
+            return BaseEncoding::Full {
+                compressed: true,
+                data: compressed,
+            };
+        }
+    }
+    BaseEncoding::Full {
+        compressed: false,
+        data: raw.to_vec(),
     }
 }
 
@@ -175,6 +232,51 @@ mod tests {
             patches: vec![(10, vec![1, 2, 3])],
         };
         assert_eq!(apply_diff(b"abcd", &d), None);
+    }
+
+    #[test]
+    fn fully_divergent_inputs_fall_back_to_one_patch_run() {
+        // Adversarial case: no byte in common — the patch set degenerates
+        // to a single whole-buffer replacement, never worse.
+        let old = vec![0xaau8; 4096];
+        let new = vec![0x55u8; 4096];
+        let d = roundtrip(&old, &new);
+        assert_eq!(d.patches.len(), 1);
+        assert_eq!(d.patches[0].0, 0);
+        assert_eq!(d.patches[0].1.len(), 4096);
+        // And the encoded diff stays within a small constant of the input.
+        assert!(d.to_bytes().len() <= new.len() + 16);
+    }
+
+    #[test]
+    fn large_states_over_64k_roundtrip() {
+        // > 64 KiB buffers: usize offsets past u16 range, long equal runs,
+        // sparse distant edits, growth and truncation.
+        let mut x: u32 = 7;
+        let mut old = Vec::with_capacity(80 * 1024);
+        for _ in 0..80 * 1024 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            old.push((x >> 24) as u8);
+        }
+        // Sparse edits spread across the whole buffer.
+        let mut new = old.clone();
+        for i in (0..new.len()).step_by(7919) {
+            new[i] = new[i].wrapping_add(1);
+        }
+        let d = roundtrip(&old, &new);
+        assert!(
+            d.to_bytes().len() < old.len() / 8,
+            "sparse edits in a 80 KiB state ship as a small diff ({} B)",
+            d.to_bytes().len()
+        );
+        // Growth past 64 KiB and truncation to a prefix.
+        let mut grown = old.clone();
+        grown.extend_from_slice(&old[..10_000]);
+        roundtrip(&old, &grown);
+        roundtrip(&old, &old[..1000]);
+        // Fully-divergent at this size too.
+        let inverted: Vec<u8> = old.iter().map(|b| !b).collect();
+        roundtrip(&old, &inverted);
     }
 
     // Randomized roundtrips over seeded pseudo-random inputs (stand-ins

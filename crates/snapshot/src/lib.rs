@@ -16,6 +16,10 @@
 //! * [`lzw`] — the LZW compressor the paper's checkpoint manager uses (§4);
 //! * [`diff`] — byte-level diffs against the last checkpoint sent to the
 //!   same peer (§3.1's bandwidth reduction);
+//! * [`delta`] — the same diff idea applied one hop later, on the
+//!   controller→checker submission path: a [`DeltaEncoder`]/[`DeltaDecoder`]
+//!   pair ships whole `GlobalState`s as [`StateDelta`]s against the last
+//!   submitted state instead of full clones;
 //! * [`CheckpointStore`] — bounded storage with oldest-first pruning.
 //!
 //! Integration: the live runtime (`cb-runtime`) owns one manager per node,
@@ -27,10 +31,12 @@
 //! Fig. 17.
 
 pub mod checkpoint;
+pub mod delta;
 pub mod diff;
 pub mod lzw;
 pub mod manager;
 
 pub use checkpoint::{Checkpoint, CheckpointStore};
-pub use diff::{apply_diff, encode_diff, Diff};
+pub use delta::{DeltaDecoder, DeltaEncoder, DeltaError, DeltaStats, SlotDelta, StateDelta};
+pub use diff::{apply_diff, encode_against, encode_diff, BaseEncoding, Diff};
 pub use manager::{CheckpointManager, SnapMsg, SnapStats, Snapshot, SnapshotConfig};

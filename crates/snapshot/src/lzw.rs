@@ -248,6 +248,31 @@ mod tests {
     }
 
     #[test]
+    fn adversarial_sizes_roundtrip() {
+        // Empty, identical-byte, and >64 KiB inputs on both ends of the
+        // compressibility spectrum.
+        roundtrip(&[]);
+        roundtrip(&vec![0u8; 70 * 1024]); // 70 KiB of one symbol
+        let compressible: Vec<u8> = std::iter::repeat_n(b"node-slot-encoding-", 4_000)
+            .flatten()
+            .copied()
+            .collect();
+        assert!(compressible.len() > 64 * 1024);
+        let c = compress(&compressible);
+        assert!(c.len() * 2 < compressible.len());
+        roundtrip(&compressible);
+        // Incompressible (pseudo-random) >64 KiB: may expand, must roundtrip.
+        let mut x: u32 = 99;
+        let incompressible: Vec<u8> = (0..66 * 1024)
+            .map(|_| {
+                x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+                (x >> 24) as u8
+            })
+            .collect();
+        roundtrip(&incompressible);
+    }
+
+    #[test]
     fn corrupt_streams_fail_gracefully() {
         assert_eq!(decompress(&[0xff, 0xff, 0xff]), Err(LzwError));
         // Truncations of a valid stream either succeed with a prefix or

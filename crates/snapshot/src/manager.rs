@@ -27,7 +27,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use cb_model::{Decode, DecodeError, Encode, NodeId, Reader, SimTime};
 
 use crate::checkpoint::{Checkpoint, CheckpointStore};
-use crate::diff::{apply_diff, encode_diff, Diff};
+use crate::diff::{apply_diff, encode_against, BaseEncoding, Diff};
 use crate::lzw;
 
 /// Checkpoint-manager tuning knobs.
@@ -428,35 +428,24 @@ impl CheckpointManager {
     }
 
     /// Chooses the cheapest representation: duplicate < delta < full, with
-    /// optional compression for full payloads.
+    /// optional compression for full payloads (the shared
+    /// [`encode_against`] ladder, mapped onto the snapshot wire).
     fn encode_payload(&mut self, peer: NodeId, cn: u64, raw: &[u8]) -> SnapMsg {
-        if let Some(prev) = self.sent_to.get(&peer) {
-            if prev == raw {
+        let base = self.sent_to.get(&peer).map(Vec::as_slice);
+        match encode_against(base, raw, self.config.diffs, self.config.compression) {
+            BaseEncoding::Unchanged => {
                 self.stats.duplicates_suppressed += 1;
-                return SnapMsg::Duplicate { cn };
+                SnapMsg::Duplicate { cn }
             }
-            if self.config.diffs {
-                let diff = encode_diff(prev, raw).to_bytes();
-                if diff.len() < raw.len() {
-                    self.stats.deltas_sent += 1;
-                    return SnapMsg::Delta { cn, diff };
-                }
+            BaseEncoding::Patch(diff) => {
+                self.stats.deltas_sent += 1;
+                SnapMsg::Delta { cn, diff }
             }
-        }
-        if self.config.compression {
-            let compressed = lzw::compress(raw);
-            if compressed.len() < raw.len() {
-                return SnapMsg::Full {
-                    cn,
-                    compressed: true,
-                    data: compressed,
-                };
-            }
-        }
-        SnapMsg::Full {
-            cn,
-            compressed: false,
-            data: raw.to_vec(),
+            BaseEncoding::Full { compressed, data } => SnapMsg::Full {
+                cn,
+                compressed,
+                data,
+            },
         }
     }
 

@@ -5,7 +5,7 @@
 //! CPU-intensive process will likely be scheduled on a separate core" (§4).
 //!
 //! This arrangement is now built into the controller: constructing it with
-//! `CheckerMode::Background` spawns the `CheckerService` thread, snapshots
+//! `CheckerMode::Background` spawns a 1-shard `CheckerPool`, snapshots
 //! ship to it over a channel, and completed prediction rounds are drained
 //! from the controller's hook entry points while the live simulation keeps
 //! stepping. The prediction itself runs on the parallel work-stealing

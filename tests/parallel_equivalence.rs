@@ -108,6 +108,41 @@ fn paxos_buggy_violation_paths_match() {
     assert_engines_agree(&proto, &props, &gs, config, "paxos/P2");
 }
 
+/// Regression: a Paxos state whose counterexample crosses *commuting
+/// deliveries* — two in-flight messages whose delivery order reaches the
+/// same state hash through differently-ordered in-flight bags. The
+/// surviving clone after the explored-set race must be the canonical
+/// edge's (re-derived if a non-canonical worker won), or the reported
+/// path (and all downstream enumeration) silently depends on thread
+/// scheduling. Repeated runs make the race likely to land both ways.
+#[test]
+fn paxos_commuting_deliveries_keep_canonical_paths() {
+    let (proto, gs) = scenarios::paxos_near_violation(PaxosBugs::only("P1"));
+    let props = paxos::properties::all();
+    let config = SearchConfig {
+        max_depth: Some(7),
+        max_states: Some(30_000),
+        explore: cb_model::ExploreOptions::minimal(),
+        ..SearchConfig::default()
+    };
+    let seq = find_consequences(&proto, &props, &gs, config.clone());
+    assert!(!seq.is_clean(), "the double choice is in reach");
+    for run in 0..8 {
+        let par = find_consequences_parallel(
+            &proto,
+            &props,
+            &gs,
+            config.clone(),
+            &ParallelConfig { workers: 4 },
+        );
+        assert_eq!(
+            fingerprint(&seq),
+            fingerprint(&par),
+            "paxos/commuting: parallel diverged from sequential (run {run})"
+        );
+    }
+}
+
 /// Paxos, fixed: consensus holds everywhere the budget reaches.
 #[test]
 fn paxos_clean_exhaustion_matches() {

@@ -83,7 +83,7 @@ fn steering_avoids_most_inconsistencies() {
     );
 }
 
-/// The async checker path end to end: the background `CheckerService`
+/// The async checker path end to end: the background `CheckerPool`
 /// runs prediction on its own thread while the simulated system keeps
 /// executing, results are drained from the hook entry points, and the
 /// checker latency is *measured* (wall clock) rather than modeled.
