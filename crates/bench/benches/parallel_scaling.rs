@@ -3,15 +3,23 @@
 //!
 //! Checker throughput is CrystalBall's central performance metric — a
 //! prediction only matters if it lands before the erroneous event does
-//! (§4). This bench measures how the level-synchronous work-stealing
-//! engine scales, verifies the parallel runs reproduce the sequential
-//! engine's exact result content, and emits a JSON line per configuration
-//! so future PRs can track the trajectory
+//! (§4). This bench measures how the streamed level-synchronous engine
+//! scales, verifies the parallel runs reproduce the sequential engine's
+//! exact result content, and emits a JSON line per configuration so CI
+//! can gate on regressions and future PRs can track the trajectory
 //! (`CB_BENCH_JSON=scaling.json cargo bench -p cb-bench --bench
-//! parallel_scaling`).
+//! parallel_scaling`; see `tools/bench-check`).
+//!
+//! Gated metric: the **1-worker overhead factor** — the *median over
+//! repetition rounds* of elapsed(parallel, 1 worker) /
+//! elapsed(sequential), each ratio taken within one round (the two runs
+//! execute back-to-back) so scheduler noise cancels. This is the
+//! engine's serial tax (level bookkeeping + the streamed merge machinery
+//! at its degenerate size); it is a *ratio*, so the committed baseline
+//! transfers across hosts of different speeds.
 
 use std::io::Write;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use cb_bench::harness::{fast_mode, fmt_duration, preamble, section};
 use cb_mc::{find_consequences, find_consequences_parallel, ParallelConfig, SearchConfig};
@@ -68,7 +76,8 @@ fn main() {
 
     let (proto, gs) = randtree_under_churn();
     let props: PropertySet<RandTree> = randtree::properties::all();
-    let budget = if fast_mode() { 20_000 } else { 120_000 };
+    let budget = if fast_mode() { 30_000 } else { 120_000 };
+    let reps = 5;
     let config = SearchConfig {
         max_states: Some(budget),
         max_depth: Some(12),
@@ -76,35 +85,77 @@ fn main() {
         ..SearchConfig::default()
     };
 
-    section(&format!("states/sec over a {budget}-state budget"));
-    let t0 = Instant::now();
-    let seq = find_consequences(&proto, &props, &gs, config.clone());
-    let seq_elapsed = t0.elapsed();
+    section(&format!(
+        "states/sec over a {budget}-state budget (min of {reps} interleaved reps)"
+    ));
+    // All configurations are repeated round-robin (seq, 1w, 2w, ... —
+    // then again) and each reports its min: background-load drift hits
+    // every configuration instead of whichever happened to run during the
+    // noisy window, so the overhead *ratios* stay stable.
+    let worker_counts = [1usize, 2, 4, 8];
+    let mut seq_elapsed = Duration::MAX;
+    let mut seq = None;
+    let mut par_elapsed = [Duration::MAX; 4];
+    let mut par_out = [const { None }; 4];
+    // The gated overhead factor is the *median* over rounds of the
+    // within-round 1-worker/sequential ratio: the two runs each ratio
+    // divides executed back-to-back, so a load spike spanning a round
+    // inflates both sides and cancels, and the median then discards the
+    // rounds a spike split — lucky and unlucky outliers alike — where a
+    // min-elapsed/min-elapsed quotient would pair timings from different
+    // load regimes and drift run to run.
+    let mut round_ratios: Vec<f64> = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let out = find_consequences(&proto, &props, &gs, config.clone());
+        let round_seq = t0.elapsed();
+        seq_elapsed = seq_elapsed.min(round_seq);
+        seq = Some(out);
+        for (slot, &workers) in worker_counts.iter().enumerate() {
+            let t0 = Instant::now();
+            let out = find_consequences_parallel(
+                &proto,
+                &props,
+                &gs,
+                config.clone(),
+                &ParallelConfig { workers },
+            );
+            let elapsed = t0.elapsed();
+            // Keep the outcome of the *fastest* rep, so a row's
+            // merge_busy/merge_wait stats describe the same run as its
+            // elapsed time.
+            if elapsed < par_elapsed[slot] {
+                par_elapsed[slot] = elapsed;
+                par_out[slot] = Some(out);
+            }
+            if workers == 1 {
+                round_ratios.push(elapsed.as_secs_f64() / round_seq.as_secs_f64());
+            }
+        }
+    }
+    round_ratios.sort_by(f64::total_cmp);
+    let one_worker_overhead_factor = round_ratios[round_ratios.len() / 2];
+    let seq = seq.expect("sequential run");
     let seq_rate = seq.stats.states_visited as f64 / seq_elapsed.as_secs_f64();
     println!(
-        "{:>8} {:>10} {:>12} {:>14} {:>9}",
-        "workers", "states", "time", "states/sec", "speedup"
+        "{:>8} {:>10} {:>12} {:>14} {:>9} {:>12} {:>12}",
+        "workers", "states", "time", "states/sec", "speedup", "merge busy", "merge wait"
     );
     println!(
-        "{:>8} {:>10} {:>12} {:>14.0} {:>8.2}x",
+        "{:>8} {:>10} {:>12} {:>14.0} {:>8.2}x {:>12} {:>12}",
         "seq",
         seq.stats.states_visited,
         fmt_duration(seq_elapsed),
         seq_rate,
-        1.0
+        1.0,
+        "-",
+        "-"
     );
 
     let mut rows = Vec::new();
-    for workers in [1usize, 2, 4, 8] {
-        let t0 = Instant::now();
-        let par = find_consequences_parallel(
-            &proto,
-            &props,
-            &gs,
-            config.clone(),
-            &ParallelConfig { workers },
-        );
-        let elapsed = t0.elapsed();
+    for (slot, &workers) in worker_counts.iter().enumerate() {
+        let elapsed = par_elapsed[slot];
+        let par = par_out[slot].take().expect("parallel run");
         assert_eq!(
             (
                 par.stats.states_visited,
@@ -120,20 +171,36 @@ fn main() {
         );
         let rate = par.stats.states_visited as f64 / elapsed.as_secs_f64();
         let speedup = rate / seq_rate;
+        let overhead_factor = if workers == 1 {
+            one_worker_overhead_factor
+        } else {
+            elapsed.as_secs_f64() / seq_elapsed.as_secs_f64()
+        };
         println!(
-            "{workers:>8} {:>10} {:>12} {rate:>14.0} {speedup:>8.2}x",
+            "{workers:>8} {:>10} {:>12} {rate:>14.0} {speedup:>8.2}x {:>12} {:>12}",
             par.stats.states_visited,
             fmt_duration(elapsed),
+            fmt_duration(par.stats.merge_busy),
+            fmt_duration(par.stats.merge_wait),
         );
         rows.push(format!(
-            "{{\"workers\":{workers},\"states\":{},\"elapsed_s\":{:.6},\"states_per_sec\":{rate:.0},\"speedup_vs_sequential\":{speedup:.3}}}",
+            "{{\"workers\":{workers},\"states\":{},\"elapsed_s\":{:.6},\"states_per_sec\":{rate:.0},\
+             \"speedup_vs_sequential\":{speedup:.3},\"overhead_factor\":{overhead_factor:.4},\
+             \"merge_busy_s\":{:.6},\"merge_wait_s\":{:.6}}}",
             par.stats.states_visited,
             elapsed.as_secs_f64(),
+            par.stats.merge_busy.as_secs_f64(),
+            par.stats.merge_wait.as_secs_f64(),
         ));
     }
+    println!(
+        "\n1-worker overhead vs sequential: {:.1}%",
+        (one_worker_overhead_factor - 1.0) * 100.0
+    );
 
     let json = format!(
         "{{\"bench\":\"parallel_scaling\",\"scenario\":\"randtree_under_churn\",\"host_cores\":{cores},\"budget_states\":{budget},\
+         \"reps\":{reps},\"one_worker_overhead_factor\":{one_worker_overhead_factor:.4},\
          \"sequential\":{{\"states\":{},\"elapsed_s\":{:.6},\"states_per_sec\":{seq_rate:.0}}},\
          \"parallel\":[{}]}}",
         seq.stats.states_visited,

@@ -8,4 +8,5 @@
 //! who wins, by what factor, and where the curves bend. See EXPERIMENTS.md
 //! for the recorded comparison.
 pub mod harness;
+pub mod matrix;
 pub mod scenarios;

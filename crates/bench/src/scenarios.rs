@@ -54,6 +54,38 @@ pub fn randtree_fig2(bugs: RandTreeBugs) -> (RandTree, GlobalState<RandTree>) {
     (proto, gs)
 }
 
+/// An 8-node RandTree that has lived through seeded churn under the real
+/// simulator: joins, resets, rejoins, with in-flight traffic at the
+/// moment of capture. Different seeds yield genuinely different live
+/// states (topology, in-flight bags, timer phases) — the determinism
+/// matrix re-proves parallel/sequential equivalence from several of them
+/// rather than from one hand-built state.
+pub fn randtree_churned(seed: u64, bugs: RandTreeBugs) -> (RandTree, GlobalState<RandTree>) {
+    use cb_model::SimDuration;
+    let nodes: Vec<NodeId> = (0..8).map(NodeId).collect();
+    let proto = RandTree::new(2, vec![NodeId(0)], bugs);
+    let mut sim = cb_runtime::Simulation::new(
+        proto.clone(),
+        &nodes,
+        randtree::properties::all(),
+        cb_runtime::NoHook,
+        cb_runtime::SimConfig {
+            seed,
+            track_violations: false,
+            ..cb_runtime::SimConfig::default()
+        },
+    );
+    sim.load_scenario(cb_runtime::Scenario::churn(
+        &nodes,
+        |_| randtree::Action::Join { target: NodeId(0) },
+        SimDuration::from_secs(20),
+        SimDuration::from_secs(90),
+        seed,
+    ));
+    sim.run_for(SimDuration::from_secs(100));
+    (proto, sim.gs.clone())
+}
+
 /// A RandTree of `n` nodes built by real joins (for scaling experiments).
 pub fn randtree_of(n: u32, bugs: RandTreeBugs) -> (RandTree, GlobalState<RandTree>) {
     let proto = RandTree::new(2, vec![NodeId(0)], bugs);

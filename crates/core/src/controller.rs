@@ -3,11 +3,11 @@
 //!
 //! The checking half of the controller (replay, consequence prediction,
 //! filter derivation, the filter safety check) lives in
-//! [`crate::service::Predictor`]; this module owns the *live* half —
+//! `crate::service::Predictor`; this module owns the *live* half —
 //! installed filters, the immediate safety check, statistics, and the
 //! `Hook` wiring — and decides where prediction rounds run: inline
 //! ([`CheckerMode::Synchronous`]) or on the background sharded
-//! [`crate::service::CheckerPool`] ([`CheckerMode::Background`] /
+//! `crate::service::CheckerPool` ([`CheckerMode::Background`] /
 //! [`CheckerMode::Sharded`]), in which case the simulated system keeps
 //! executing while the checker works, submissions are diff-shipped
 //! instead of cloned, and the checker latency is measured rather than

@@ -4,18 +4,18 @@
 //! inconsistencies to the runtime. ... On a multi-core machine this
 //! CPU-intensive process will likely be scheduled on a separate core" (§4).
 //!
-//! [`Predictor`] is one full CrystalBall checking round, split into its
+//! `Predictor` is one full CrystalBall checking round, split into its
 //! three independent-search stages — known-path replays, the main
 //! consequence-prediction run, and the filter-safety re-check — described
-//! by a [`PredictionJob`]. The replays and the main search are independent
+//! by a `PredictionJob`. The replays and the main search are independent
 //! of each other, so they run *concurrently* on a shared
 //! [`cb_mc::WorkerPool`]; the safety re-check (which needs the main
 //! search's result) runs on the same pool afterwards. The identical code
 //! runs either inline on the caller's thread (synchronous mode,
 //! deterministic, used by tests and modeled-latency experiments) or inside
-//! the [`CheckerPool`].
+//! the `CheckerPool`.
 //!
-//! [`CheckerPool`] is the background service, sharded by node: rounds for
+//! `CheckerPool` is the background service, sharded by node: rounds for
 //! node *n* always execute on shard `n mod shards`, which keeps each
 //! node's remembered error paths (`known_paths`) on the shard that will
 //! replay them while letting snapshots from *different* nodes check in
@@ -59,13 +59,13 @@ pub enum CheckerMode {
     /// experiments.
     #[default]
     Synchronous,
-    /// Rounds run on a background [`CheckerPool`] with a single shard —
+    /// Rounds run on a background `CheckerPool` with a single shard —
     /// the live system keeps stepping, results are drained from the
     /// controller's hook entry points, and filters activate when their
     /// round actually completes, so `mc_latency` becomes a measurement
     /// instead of a model.
     Background,
-    /// Rounds run on a background [`CheckerPool`] with `shards` shard
+    /// Rounds run on a background `CheckerPool` with `shards` shard
     /// threads: rounds are sharded by node (per-node `known_paths`
     /// affinity), so snapshots from different nodes check concurrently.
     /// `Sharded { shards: 1 }` ≡ [`CheckerMode::Background`].
@@ -96,7 +96,7 @@ impl CheckerMode {
 }
 
 /// Identity of one checking round: which snapshot is being checked and in
-/// which controller mode — the job description every [`Predictor`] stage
+/// which controller mode — the job description every `Predictor` stage
 /// receives.
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct PredictionJob {
@@ -369,7 +369,7 @@ struct Shard {
 }
 
 /// The background checker service: shard threads, each owning a
-/// [`Predictor`] and the decoder half of a diff-shipping channel, plus one
+/// `Predictor` and the decoder half of a diff-shipping channel, plus one
 /// shared results channel. Rounds are routed by `node mod shards`, so a
 /// node's remembered error paths stay with the shard that replays them
 /// while different nodes' snapshots check in parallel. Submission never
@@ -383,7 +383,7 @@ pub(crate) struct CheckerPool<P: Protocol> {
 }
 
 impl<P: Protocol> CheckerPool<P> {
-    /// Spawns `shards` shard threads, each with its own [`Predictor`]
+    /// Spawns `shards` shard threads, each with its own `Predictor`
     /// sharing `pool` for search parallelism.
     pub(crate) fn spawn(
         protocol: &P,

@@ -5,18 +5,23 @@
 //! * [`Frontier`] — the queue discipline that decides which reached state
 //!   is expanded next. The sequential engine uses [`FifoFrontier`] (plain
 //!   BFS, the order of Fig. 5/Fig. 8); the parallel engine processes one
-//!   BFS level at a time and distributes it over [`StealQueues`].
-//! * [`ShardedExplored`] — the `explored` set of Fig. 5, split into
-//!   mutex-guarded shards keyed by state hash so that many workers can
-//!   insert concurrently without a global lock. Exactly one inserter wins
-//!   any given hash, which is what guarantees a state is never expanded
-//!   twice no matter how threads race.
+//!   BFS level at a time and distributes it over per-job pool tasks.
+//! * [`LockFreeExplored`] — the `explored` set of Fig. 5 as a lock-free
+//!   open-addressing hash table: CAS-published entries over pre-sized
+//!   segment arrays, growable by chaining larger segments. Exactly one
+//!   inserter wins any given hash, which is what guarantees a state is
+//!   never expanded twice no matter how threads race; each entry also
+//!   carries the BFS level it was admitted at, which is what lets the
+//!   streamed merge classify a lost insert race as "duplicate of an
+//!   earlier level" vs "admitted this level by a non-canonical edge"
+//!   without buffering the whole level.
 //! * [`StealQueues`] — per-worker deques of work-item indices with
 //!   work stealing: a worker drains its own deque from the front and, when
 //!   empty, steals from the back of a sibling, so stragglers with cheap
-//!   items finish the level instead of idling.
+//!   items finish a phase instead of idling.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use cb_model::{GlobalState, Protocol};
@@ -75,63 +80,311 @@ impl<P: Protocol> Frontier<P> for FifoFrontier<P> {
     }
 }
 
-/// The `explored` hash set, sharded for concurrent insertion.
-///
-/// Shard choice mixes the hash once more so that structured state hashes
-/// still spread evenly. Every operation touches exactly one shard, so
-/// throughput scales with the shard count until the memory bus saturates.
-pub struct ShardedExplored {
-    shards: Box<[Mutex<HashSet<u64>>]>,
-    mask: u64,
+/// Outcome of a leveled insert into [`LockFreeExplored`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// The hash was absent; this caller admitted it.
+    Fresh,
+    /// The hash was already present, admitted at the recorded level.
+    Seen {
+        /// The level the winning insert carried.
+        level: u64,
+    },
 }
 
-impl ShardedExplored {
-    /// Creates a set with at least `shards` shards (rounded up to a power
-    /// of two).
-    pub fn new(shards: usize) -> Self {
-        let n = shards.max(1).next_power_of_two();
-        ShardedExplored {
-            shards: (0..n).map(|_| Mutex::new(HashSet::new())).collect(),
-            mask: (n - 1) as u64,
+/// Empty-slot sentinel. State hashes equal to zero are remapped (see
+/// [`LockFreeExplored::normalize`]); the remap merges hash `0` with one
+/// fixed 64-bit constant, the same collision class the hash-compressed
+/// explored set already accepts everywhere.
+const EMPTY: u64 = 0;
+
+/// Substitute key for hash 0 (an arbitrary odd constant).
+const ZERO_SUB: u64 = 0xd6e8_feb8_6659_fd93;
+
+/// Max slots probed (linearly) in one segment before chaining to the next.
+/// The probe sequence per (key, segment) is deterministic, and an inserter
+/// never skips an empty slot without CAS-claiming it — together these make
+/// the segment-overflow decision race-free (see `insert_in`).
+const PROBE_WINDOW: usize = 64;
+
+/// Hard cap on chained segments. Capacities double per segment, so with
+/// the smallest initial capacity this still covers > 2^40 entries.
+const MAX_SEGMENTS: usize = 36;
+
+/// One slot: the CAS-published key and its level stamp, adjacent so a
+/// probe touches one cache line. `level` is written *before* the key CAS
+/// and read only after an acquire-load of the key observed the published
+/// hash.
+struct Slot {
+    key: AtomicU64,
+    level: AtomicU64,
+}
+
+/// One fixed-capacity open-addressing array.
+struct Segment {
+    slots: Box<[Slot]>,
+    mask: usize,
+}
+
+impl Segment {
+    fn new(cap: usize) -> Box<Segment> {
+        debug_assert!(cap.is_power_of_two());
+        Box::new(Segment {
+            slots: (0..cap)
+                .map(|_| Slot {
+                    key: AtomicU64::new(EMPTY),
+                    level: AtomicU64::new(0),
+                })
+                .collect(),
+            mask: cap - 1,
+        })
+    }
+}
+
+/// What one segment said about a key.
+enum SegOutcome {
+    Inserted,
+    Present {
+        level: u64,
+    },
+    /// Every slot in the key's probe window is occupied by other keys.
+    Full,
+}
+
+/// The `explored` hash set, lock-free.
+///
+/// Open-addressing segments of atomic slots; an insert is a single CAS on
+/// the common path. When a key's probe window in every published segment
+/// is full, the inserter publishes a new segment of twice the capacity
+/// (CAS on the segment pointer, so concurrent growers agree) and inserts
+/// there. Entries are never removed and segments are never freed before
+/// drop, so no epochs or hazard pointers are needed.
+///
+/// Each entry carries a caller-supplied *level* stamp
+/// ([`LockFreeExplored::insert_leveled`]). Membership (who wins an insert
+/// race) is decided by the key CAS alone and holds unconditionally; the
+/// stamp read back by losers is exact under the discipline the parallel
+/// engine obeys — all concurrent inserters pass the same level, and level
+/// changes are separated by a happens-before barrier (the engine's
+/// per-level phase boundary). Stamps from different levels never race.
+pub struct LockFreeExplored {
+    segments: [AtomicPtr<Segment>; MAX_SEGMENTS],
+    len: AtomicUsize,
+}
+
+impl LockFreeExplored {
+    /// Creates a set with the default initial capacity (4096 slots).
+    pub fn new() -> Self {
+        Self::with_capacity(1 << 12)
+    }
+
+    /// Creates a set whose first segment holds at least `cap` slots
+    /// (rounded up to a power of two, min 16). Smaller first segments
+    /// chain earlier — useful to exercise the growth path in tests.
+    pub fn with_capacity(cap: usize) -> Self {
+        let cap = cap.max(16).next_power_of_two();
+        let set = LockFreeExplored {
+            segments: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+            len: AtomicUsize::new(0),
+        };
+        set.segments[0].store(Box::into_raw(Segment::new(cap)), Ordering::Release);
+        set
+    }
+
+    /// Remaps the empty-slot sentinel to a fixed substitute key.
+    fn normalize(h: u64) -> u64 {
+        if h == EMPTY {
+            ZERO_SUB
+        } else {
+            h
         }
     }
 
-    fn shard(&self, h: u64) -> &Mutex<HashSet<u64>> {
-        // Fibonacci mixing decorrelates shard choice from set-bucket choice.
-        let ix = (h.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) & self.mask;
-        &self.shards[ix as usize]
+    /// Deterministic probe start (Fibonacci mixing decorrelates the probe
+    /// start from raw structured hashes).
+    fn probe_start(key: u64, mask: usize) -> usize {
+        ((key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize) & mask
     }
 
-    /// Inserts `h`; returns true iff it was not present. Exactly one of
-    /// any set of concurrent inserters of the same hash gets `true`.
+    /// Inserts `key` into one segment, or reports it present or the
+    /// window full. Linear probing over a deterministic window; an empty
+    /// slot is always CAS-claimed, never skipped, so two racers for the
+    /// same key can never split across segments: if one racer observes
+    /// the window full, every slot it saw is occupied forever — the other
+    /// racer's key cannot be (or land) among them unnoticed.
+    fn insert_in(seg: &Segment, key: u64, level: u64) -> SegOutcome {
+        let mut i = Self::probe_start(key, seg.mask);
+        for _ in 0..PROBE_WINDOW.min(seg.slots.len()) {
+            let slot = &seg.slots[i];
+            let cur = slot.key.load(Ordering::Acquire);
+            if cur == key {
+                return SegOutcome::Present {
+                    level: slot.level.load(Ordering::Relaxed),
+                };
+            }
+            if cur == EMPTY {
+                // Publish the stamp first: the key CAS below releases it,
+                // so any acquire-load that observes the key sees the
+                // stamp. A racer for a *different* key may overwrite this
+                // store before our CAS; under the same-level-per-phase
+                // discipline both wrote the same value.
+                slot.level.store(level, Ordering::Relaxed);
+                match slot
+                    .key
+                    .compare_exchange(EMPTY, key, Ordering::AcqRel, Ordering::Acquire)
+                {
+                    Ok(_) => return SegOutcome::Inserted,
+                    Err(found) if found == key => {
+                        return SegOutcome::Present {
+                            level: slot.level.load(Ordering::Relaxed),
+                        }
+                    }
+                    Err(_) => {} // another key claimed it; keep probing
+                }
+            }
+            i = (i + 1) & seg.mask;
+        }
+        SegOutcome::Full
+    }
+
+    /// Looks `key` up in one segment. The first empty slot in the window
+    /// proves absence from this *and all later* segments: inserts claim
+    /// the first empty slot of their window and only chain when the whole
+    /// window was full, and occupied slots never empty again.
+    fn find_in(seg: &Segment, key: u64) -> Option<bool> {
+        let mut i = Self::probe_start(key, seg.mask);
+        for _ in 0..PROBE_WINDOW.min(seg.slots.len()) {
+            match seg.slots[i].key.load(Ordering::Acquire) {
+                k if k == key => return Some(true),
+                EMPTY => return Some(false),
+                _ => i = (i + 1) & seg.mask,
+            }
+        }
+        None // window full of other keys: the key may live in a later segment
+    }
+
+    /// The published segment at `ix`, if any.
+    fn segment(&self, ix: usize) -> Option<&Segment> {
+        let p = self.segments[ix].load(Ordering::Acquire);
+        if p.is_null() {
+            None
+        } else {
+            // SAFETY: published segments are never freed before &self drops.
+            Some(unsafe { &*p })
+        }
+    }
+
+    /// Publishes (or adopts a racer's) segment at `ix`, doubling the
+    /// previous capacity.
+    fn grow(&self, ix: usize, prev_cap: usize) -> &Segment {
+        assert!(ix < MAX_SEGMENTS, "explored set exceeded segment cap");
+        let fresh = Box::into_raw(Segment::new(prev_cap * 2));
+        match self.segments[ix].compare_exchange(
+            std::ptr::null_mut(),
+            fresh,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            // SAFETY: just published; never freed before &self drops.
+            Ok(_) => unsafe { &*fresh },
+            Err(winner) => {
+                // SAFETY: we own `fresh` (the CAS rejected it).
+                drop(unsafe { Box::from_raw(fresh) });
+                // SAFETY: the winner's pointer is published and live.
+                unsafe { &*winner }
+            }
+        }
+    }
+
+    /// Inserts `h` stamped with `level`; returns [`Admission::Fresh`] iff
+    /// it was not present. Exactly one of any set of concurrent inserters
+    /// of the same hash gets `Fresh`. All concurrent callers must pass
+    /// the same `level` (see the type docs) for losers' stamp readbacks
+    /// to be exact; membership does not depend on it.
+    pub fn insert_leveled(&self, h: u64, level: u64) -> Admission {
+        let key = Self::normalize(h);
+        let mut ix = 0;
+        loop {
+            let seg = match self.segment(ix) {
+                Some(seg) => seg,
+                None => {
+                    let prev = self.segment(ix - 1).expect("previous segment exists");
+                    self.grow(ix, seg_cap(prev))
+                }
+            };
+            match Self::insert_in(seg, key, level) {
+                SegOutcome::Inserted => {
+                    self.len.fetch_add(1, Ordering::Relaxed);
+                    return Admission::Fresh;
+                }
+                SegOutcome::Present { level } => return Admission::Seen { level },
+                SegOutcome::Full => ix += 1,
+            }
+        }
+    }
+
+    /// Inserts `h` (stamp 0); returns true iff it was not present.
     pub fn insert(&self, h: u64) -> bool {
-        self.shard(h)
-            .lock()
-            .expect("explored shard poisoned")
-            .insert(h)
+        matches!(self.insert_leveled(h, 0), Admission::Fresh)
     }
 
     /// True if `h` has been inserted.
     pub fn contains(&self, h: u64) -> bool {
-        self.shard(h)
-            .lock()
-            .expect("explored shard poisoned")
-            .contains(&h)
+        let key = Self::normalize(h);
+        let mut ix = 0;
+        while let Some(seg) = self.segment(ix) {
+            match Self::find_in(seg, key) {
+                Some(found) => return found,
+                None => ix += 1,
+            }
+        }
+        false
     }
 
     /// Total number of distinct hashes inserted.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("explored shard poisoned").len())
-            .sum()
+        self.len.load(Ordering::Relaxed)
     }
 
     /// True if nothing has been inserted.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Number of published segments (growth observability for tests).
+    pub fn segment_count(&self) -> usize {
+        (0..MAX_SEGMENTS)
+            .take_while(|&ix| self.segment(ix).is_some())
+            .count()
+    }
 }
+
+fn seg_cap(seg: &Segment) -> usize {
+    seg.mask + 1
+}
+
+impl Default for LockFreeExplored {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for LockFreeExplored {
+    fn drop(&mut self) {
+        for slot in &self.segments {
+            let p = slot.load(Ordering::Acquire);
+            if !p.is_null() {
+                // SAFETY: exclusively owned in drop; published via Box::into_raw.
+                drop(unsafe { Box::from_raw(p) });
+            }
+        }
+    }
+}
+
+// SAFETY: all interior state is atomic; segments are published once and
+// immutable in shape thereafter.
+unsafe impl Send for LockFreeExplored {}
+unsafe impl Sync for LockFreeExplored {}
 
 /// Per-worker work queues with stealing, distributing indices `0..n`.
 pub struct StealQueues {
@@ -181,8 +434,10 @@ impl StealQueues {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pool::WorkerPool;
     use cb_model::testproto::Ping;
     use cb_model::NodeId;
+    use std::collections::HashSet;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
@@ -209,8 +464,8 @@ mod tests {
     }
 
     #[test]
-    fn sharded_set_basic() {
-        let s = ShardedExplored::new(8);
+    fn lock_free_set_basic() {
+        let s = LockFreeExplored::new();
         assert!(s.is_empty());
         assert!(s.insert(7));
         assert!(!s.insert(7));
@@ -218,14 +473,53 @@ mod tests {
         assert!(!s.contains(8));
         assert!(s.insert(8));
         assert_eq!(s.len(), 2);
+        assert_eq!(s.segment_count(), 1);
+    }
+
+    #[test]
+    fn zero_hash_is_a_valid_member() {
+        let s = LockFreeExplored::new();
+        assert!(!s.contains(0));
+        assert!(s.insert(0));
+        assert!(!s.insert(0));
+        assert!(s.contains(0));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn level_stamps_record_the_admitting_level() {
+        let s = LockFreeExplored::new();
+        assert_eq!(s.insert_leveled(42, 3), Admission::Fresh);
+        assert_eq!(s.insert_leveled(42, 5), Admission::Seen { level: 3 });
+        assert_eq!(s.insert_leveled(42, 3), Admission::Seen { level: 3 });
+        assert_eq!(s.insert_leveled(43, 5), Admission::Fresh);
+        assert_eq!(s.insert_leveled(43, 9), Admission::Seen { level: 5 });
+    }
+
+    #[test]
+    fn growth_chains_segments_and_keeps_set_semantics() {
+        // A first segment of 16 slots with a 64-slot probe window fills
+        // fast; 10_000 keys force several chained segments.
+        let s = LockFreeExplored::with_capacity(16);
+        for k in 0..10_000u64 {
+            assert!(s.insert(k.wrapping_mul(0x2545_f491_4f6c_dd1d)));
+        }
+        assert!(s.segment_count() > 1, "growth path exercised");
+        assert_eq!(s.len(), 10_000);
+        for k in 0..10_000u64 {
+            let h = k.wrapping_mul(0x2545_f491_4f6c_dd1d);
+            assert!(s.contains(h));
+            assert!(!s.insert(h), "re-insert after growth stays a duplicate");
+        }
+        assert!(!s.contains(0xdead_beef));
     }
 
     /// The property the parallel engine's correctness rests on: under
     /// concurrent insertion of overlapping hash streams, every hash is won
     /// by exactly one inserter — a state can never be expanded twice.
     #[test]
-    fn sharded_set_never_double_admits_under_concurrency() {
-        let set = ShardedExplored::new(16);
+    fn never_double_admits_under_concurrency() {
+        let set = LockFreeExplored::new();
         let wins = AtomicUsize::new(0);
         let threads = 8;
         let per_thread = 10_000u64;
@@ -251,6 +545,72 @@ mod tests {
             "each hash admitted exactly once across {threads} racing threads"
         );
         assert_eq!(set.len(), per_thread as usize);
+    }
+
+    /// The same exactly-once property hammered from `WorkerPool` workers —
+    /// the threads the real expand phase runs on — through the
+    /// growth/segment-chain path, checked against a reference `HashSet`.
+    #[test]
+    fn pool_workers_agree_with_reference_set_through_growth() {
+        let pool = WorkerPool::new(4);
+        let set = LockFreeExplored::with_capacity(32);
+        let workers = 6;
+        let per_worker = 8_000usize;
+        // Overlapping pseudo-random streams: ~half of each worker's keys
+        // collide with a sibling's.
+        let key = |w: usize, k: usize| -> u64 {
+            let shared = k.is_multiple_of(2);
+            let x = if shared {
+                k as u64
+            } else {
+                (w * 1_000_000 + k) as u64
+            };
+            x.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (x >> 7)
+        };
+        let wins: Vec<Mutex<Vec<u64>>> = (0..workers).map(|_| Mutex::new(Vec::new())).collect();
+        pool.scope(|s| {
+            for w in 0..workers {
+                let set = &set;
+                let wins = &wins;
+                let key = &key;
+                s.spawn(move || {
+                    let mut mine = Vec::new();
+                    for k in 0..per_worker {
+                        let h = key(w, k);
+                        if set.insert_leveled(h, 1) == Admission::Fresh {
+                            mine.push(h);
+                        }
+                    }
+                    *wins[w].lock().unwrap() = mine;
+                });
+            }
+        });
+        let mut reference: HashSet<u64> = HashSet::new();
+        for w in 0..workers {
+            for k in 0..per_worker {
+                reference.insert(LockFreeExplored::normalize(key(w, k)));
+            }
+        }
+        let mut won: Vec<u64> = Vec::new();
+        for w in wins {
+            won.extend(w.into_inner().unwrap());
+        }
+        let distinct_wins: HashSet<u64> = won
+            .iter()
+            .map(|&h| LockFreeExplored::normalize(h))
+            .collect();
+        assert_eq!(
+            won.len(),
+            distinct_wins.len(),
+            "no hash was admitted twice across racing pool workers"
+        );
+        assert_eq!(distinct_wins, reference, "wins cover exactly the universe");
+        assert_eq!(set.len(), reference.len());
+        assert!(set.segment_count() > 1, "contention crossed segment chains");
+        for &h in &reference {
+            assert!(set.contains(h));
+            assert_eq!(set.insert_leveled(h, 9), Admission::Seen { level: 1 });
+        }
     }
 
     #[test]

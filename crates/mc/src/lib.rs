@@ -22,8 +22,9 @@
 //! * [`SearchOutcome`] / [`FoundViolation`] — violations reported "in the
 //!   form of a sequence of events that leads to an erroneous state" (§3),
 //!   reconstructed from a parent-pointer arena;
-//! * [`SearchStats`] — visited/enqueued counts, per-depth tallies and the
-//!   memory accounting behind Fig. 15/16;
+//! * [`SearchStats`] — visited/enqueued counts, per-depth tallies, the
+//!   memory accounting behind Fig. 15/16, and the parallel coordinator's
+//!   `merge_busy`/`merge_wait` split;
 //! * [`replay_path`] — re-checks a previously discovered error path against
 //!   a *new* snapshot by replaying only timer/application events and
 //!   following message causality (§4 "Replaying Past Erroneous Paths");
@@ -44,7 +45,9 @@ pub mod search;
 pub mod stats;
 
 pub use filter::{EventFilter, FilterSet};
-pub use frontier::{FifoFrontier, Frontier, FrontierItem, ShardedExplored, StealQueues};
+pub use frontier::{
+    Admission, FifoFrontier, Frontier, FrontierItem, LockFreeExplored, StealQueues,
+};
 pub use parallel::{find_consequences_parallel, find_errors_parallel, ParallelConfig};
 pub use pool::{PoolScope, WorkerPool};
 pub use replay::{replay_path, ReplayOutcome};

@@ -9,10 +9,10 @@
 //! bit-identical to the sequential engine, even though thread scheduling
 //! is nondeterministic.
 //!
-//! # Design: level-synchronous BFS with a deterministic merge
+//! # Design: level-synchronous BFS with a streamed deterministic merge
 //!
 //! The engine processes the state graph one BFS level at a time. Each
-//! level runs four phases:
+//! level runs three phases:
 //!
 //! 1. **Check** (parallel): property-check every state of the level.
 //!    Workers pull item indices from [`StealQueues`].
@@ -22,43 +22,54 @@
 //!    performing the `localExplored` claims of Fig. 8 in exactly the order
 //!    the sequential loop would, which pins down *which* state gets to
 //!    expand each fresh local state. Produces the list of expansion jobs.
-//! 3. **Expand** (parallel): workers execute each job — enumerate events,
-//!    clone the state, run the handler, hash the successor — and race to
-//!    insert successor hashes into the [`ShardedExplored`] set. Exactly
-//!    one worker wins any hash; the winner keeps the successor state, the
-//!    losers emit a hash-only edge.
-//! 4. **Merge** (sequential, cheap): iterate all emitted edges in
-//!    canonical order (job order × event order) and assign each
-//!    newly admitted hash its *first* edge in that order as the parent.
-//!    This is the same parent the sequential engine's enqueue-time dedup
-//!    would record. The surviving clone must be the canonical edge's,
-//!    too: equal hashes mean equal node states and equal in-flight
-//!    *multisets*, but not equal in-flight `Vec` order, and that order
-//!    steers later event enumeration — so when the insert race was won
-//!    by a non-canonical edge, the merge re-derives the canonical clone
-//!    from its parent. Reconstructed paths — including the canonical
-//!    shallowest counterexample, tie-broken by (depth,
-//!    path-lexicographic order) — and every downstream level then match
-//!    the sequential engine exactly.
+//! 3. **Expand + merge** (overlapped): every job becomes one pool task —
+//!    enumerate events, clone the state, run the handler, hash the
+//!    successor, and race a single CAS per successor into the
+//!    [`LockFreeExplored`] table (stamped with the successor level). The
+//!    task streams its edge batch into an order-preserving reorder
+//!    buffer; the coordinator consumes batches in canonical job order
+//!    *while later jobs are still expanding*, so the canonical
+//!    dedup/merge no longer waits for — or buffers — the whole level.
+//!    When the next in-order batch is not ready, the coordinator helps by
+//!    executing one of its own queued jobs instead of sleeping.
 //!
-//! The expensive work (phases 1 and 3) scales with workers; the
-//! sequential phases are hash-set bookkeeping. Wall-clock-dependent
-//! outcomes (deadline stops) are the only nondeterminism that survives.
+//! The merge applies the sequential engine's enqueue-time dedup in
+//! canonical order (job order × event order): the canonically-first edge
+//! to each hash admitted this level becomes its parent. Whether a hash
+//! was admitted this level is read off the table's level stamp, so the
+//! decision needs no level-wide `admitted` set. The surviving clone must
+//! be the canonical edge's, too: equal hashes mean equal node states and
+//! equal in-flight *multisets*, but not equal in-flight `Vec` order, and
+//! that order steers later event enumeration — so when the insert race
+//! was won by a non-canonical edge, the merge re-derives the canonical
+//! clone from its parent. Reconstructed paths — including the canonical
+//! shallowest counterexample, tie-broken by (depth, path-lexicographic
+//! order) — and every downstream level then match the sequential engine
+//! exactly. Wall-clock-dependent outcomes (deadline stops) are the only
+//! nondeterminism that survives.
+//!
+//! At one worker the engine runs a fully inline fast path: expand and
+//! merge interleave per job with no channel, no reorder buffer and no
+//! edge buffering at all — the only overhead over the sequential loop is
+//! the level vector itself.
 //!
 //! Differences from the sequential engine, all stats-level: `elapsed` and
 //! `peak_frontier_bytes` reflect this engine's level-at-a-time residency
-//! (the per-level sum of state footprints) rather than a sliding window.
+//! (the per-level sum of state footprints) rather than a sliding window,
+//! and `merge_busy`/`merge_wait` are populated (split so the
+//! coordinator's reorder-buffer stalls are not double-counted as merge
+//! cost — see [`SearchStats`]).
 
 use std::collections::HashSet;
 use std::mem::size_of;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 use cb_model::{apply_event, Event, GlobalState, NodeId, Protocol, TraceStep, Violation};
 
-use crate::frontier::{ShardedExplored, StealQueues};
-use crate::pool::WorkerPool;
+use crate::frontier::{Admission, LockFreeExplored, StealQueues};
+use crate::pool::{PoolScope, WorkerPool};
 use crate::report::{FoundViolation, SearchOutcome, StopReason};
 use crate::search::{
     approx_state_bytes, enumerate_gated, reconstruct, ArenaRec, SearchConfig, Searcher,
@@ -69,7 +80,9 @@ use crate::stats::SearchStats;
 #[derive(Clone, Debug)]
 pub struct ParallelConfig {
     /// Worker threads for the check and expand phases. 1 runs the same
-    /// algorithm inline (useful as a determinism control in tests).
+    /// algorithm inline (useful as a determinism control in tests); above
+    /// 1, a search on a shared pool streams its per-job tasks to however
+    /// many workers the pool provides.
     pub workers: usize,
 }
 
@@ -87,7 +100,7 @@ impl Default for ParallelConfig {
 /// One successor edge emitted by the expand phase.
 struct EdgeOut<P: Protocol> {
     /// The successor state — carried only by the edge whose worker won the
-    /// explored-set insertion race for `hash`.
+    /// explored-table insertion race for `hash`.
     ///
     /// Winning the race is *not* the same as being the canonical
     /// (first-in-BFS-order) edge: two states with equal hashes hold the
@@ -97,6 +110,11 @@ struct EdgeOut<P: Protocol> {
     /// canonical edge, and re-derives the canonical clone otherwise.
     state: Option<GlobalState<P>>,
     hash: u64,
+    /// When the insert race was lost: the level stamp the winner carried.
+    /// Equal to the current successor stamp iff the hash was admitted
+    /// *this* level (by a later-canonical edge); smaller means a true
+    /// duplicate of an earlier level.
+    prior_level: u64,
     event: Event<P>,
     step: TraceStep,
 }
@@ -107,12 +125,137 @@ struct JobOut<P: Protocol> {
     filtered: usize,
 }
 
+impl<P: Protocol> JobOut<P> {
+    fn empty() -> Self {
+        JobOut {
+            edges: Vec::new(),
+            filtered: 0,
+        }
+    }
+}
+
 /// An expansion job: level-item index plus, under consequence prediction,
 /// the nodes whose local-action block this item claimed (Fig. 8's
 /// `localExplored` gate, resolved during the sequential visit phase).
 struct ExpandJob {
     item: usize,
     allowed: Option<Vec<NodeId>>,
+}
+
+/// What the canonical visit decided about one level item.
+enum VisitVerdict {
+    /// Expand it (with the `localExplored` claims made for it, when the
+    /// caller asked for them to be collected).
+    Expand(Option<Vec<NodeId>>),
+    /// Checked and recorded, but not expanded (violating or at the depth
+    /// bound).
+    Skip,
+    /// A stop criterion fired at this item.
+    Stop(StopReason),
+}
+
+/// How the visit handles Fig. 8's `localExplored` claims for an expanded
+/// item.
+enum VisitClaims {
+    /// Resolve the claims now and return the allowed nodes — required
+    /// when expansion happens later on another thread (phased mode), so
+    /// the claims land in canonical item order regardless of scheduling.
+    Collect,
+    /// Leave the claims to the expansion itself, which follows
+    /// immediately on this thread (fused mode) and gates enumeration
+    /// through `localExplored` directly — same claims, same order, no
+    /// per-item allocation.
+    Inline,
+}
+
+/// The order-preserving channel between expand tasks and the coordinator:
+/// a reorder buffer indexed by job, consumed as a contiguous prefix. Peak
+/// residency is the out-of-order window (how far completed jobs run ahead
+/// of the canonical cursor), not the whole level.
+struct MergeChannel<P: Protocol> {
+    inner: Mutex<MergeBuf<P>>,
+    ready: Condvar,
+}
+
+struct MergeBuf<P: Protocol> {
+    slots: Vec<Option<JobOut<P>>>,
+    /// Next canonical job index the coordinator needs.
+    next: usize,
+}
+
+impl<P: Protocol> MergeChannel<P> {
+    fn new(jobs: usize) -> Self {
+        MergeChannel {
+            inner: Mutex::new(MergeBuf {
+                slots: (0..jobs).map(|_| None).collect(),
+                next: 0,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Deposits job `j`'s batch; wakes the coordinator iff `j` is the
+    /// batch it is waiting on.
+    fn deposit(&self, j: usize, out: JobOut<P>) {
+        let mut b = self.inner.lock().expect("merge buffer poisoned");
+        let wake = j == b.next;
+        b.slots[j] = Some(out);
+        drop(b);
+        if wake {
+            self.ready.notify_all();
+        }
+    }
+
+    /// Takes the next in-canonical-order batch if it is already there.
+    fn try_next(&self) -> Option<(usize, JobOut<P>)> {
+        let mut b = self.inner.lock().expect("merge buffer poisoned");
+        b.take_next()
+    }
+
+    /// Blocks until the next in-order batch arrives (deposits of that
+    /// index notify) or `stop` is raised by a deadline-hitting task.
+    fn wait_next(&self, stop: &AtomicBool) -> Option<(usize, JobOut<P>)> {
+        let mut b = self.inner.lock().expect("merge buffer poisoned");
+        loop {
+            if let Some(out) = b.take_next() {
+                return Some(out);
+            }
+            if b.next >= b.slots.len() || stop.load(Ordering::Relaxed) {
+                return None;
+            }
+            b = self.ready.wait(b).expect("merge buffer poisoned");
+        }
+    }
+}
+
+impl<P: Protocol> MergeBuf<P> {
+    fn take_next(&mut self) -> Option<(usize, JobOut<P>)> {
+        let j = self.next;
+        if j < self.slots.len() {
+            if let Some(out) = self.slots[j].take() {
+                self.next += 1;
+                return Some((j, out));
+            }
+        }
+        None
+    }
+}
+
+/// Ensures a batch lands for job `j` even if the expand task unwinds:
+/// without a deposit the coordinator would wait forever on a job whose
+/// panic the pool has already captured for re-raising at scope exit.
+struct DepositGuard<'a, P: Protocol> {
+    chan: &'a MergeChannel<P>,
+    j: usize,
+    armed: bool,
+}
+
+impl<P: Protocol> Drop for DepositGuard<'_, P> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.chan.deposit(self.j, JobOut::empty());
+        }
+    }
 }
 
 impl<P: Protocol> Searcher<'_, P> {
@@ -151,14 +294,31 @@ impl<P: Protocol> Searcher<'_, P> {
         let mut stats = SearchStats::default();
         let mut violations: Vec<FoundViolation<P>> = Vec::new();
         let mut arena: Vec<ArenaRec<P>> = Vec::new();
-        let explored = ShardedExplored::new(workers * 8);
+        // Pre-size the table from the state budget: successor inserts run
+        // a few times the visit budget (duplicates included), and linear
+        // probing wants headroom. The first segment is capped at 2^20
+        // slots (16 MiB) because it is allocated and zeroed up front even
+        // if a deadline stops the search early — beyond that, segment
+        // chaining (which doubles from the initial size) grows the table
+        // to whatever the search actually reaches.
+        let explored = LockFreeExplored::with_capacity(
+            self.config
+                .max_states
+                .map_or(1 << 16, |m| m.saturating_mul(4).clamp(1 << 12, 1 << 20)),
+        );
         let mut local_explored = std::collections::HashSet::new();
+        // Hashes already decided (admitted or duplicate) by the merge in
+        // the current level; allocation reused across levels.
+        let mut seen_level: HashSet<u64> = HashSet::new();
         let mut depth_truncated = false;
         let mut stopped: Option<StopReason> = None;
 
-        explored.insert(start.state_hash());
+        explored.insert_leveled(start.state_hash(), 0);
         // (state, parent arena rec) — all items of one level share a depth.
         let mut level: Vec<(GlobalState<P>, Option<usize>)> = vec![(start.clone(), None)];
+        // Byte footprint of `level`, accumulated when the level was built
+        // (while each state was cache-hot) instead of re-scanned here.
+        let mut level_bytes = approx_state_bytes(start);
         stats.states_enqueued = 1;
         let mut depth = 0usize;
 
@@ -169,155 +329,162 @@ impl<P: Protocol> Searcher<'_, P> {
                 stopped = Some(StopReason::Deadline);
                 break 'levels;
             }
-            stats.peak_frontier_bytes = stats
-                .peak_frontier_bytes
-                .max(level.iter().map(|(s, _)| approx_state_bytes(s)).sum());
+            stats.peak_frontier_bytes = stats.peak_frontier_bytes.max(level_bytes);
 
-            // Phase 1: parallel property check. Only the prefix the
-            // visit loop can still afford to dequeue is checked — the
-            // final BFS level is typically the largest, and checking
-            // states beyond the budget would be discarded work.
+            // Only the prefix the visit loop can still afford to dequeue
+            // is checked/expanded — the final BFS level is typically the
+            // largest, and work beyond the budget would be discarded.
             let budget_left = self
                 .config
                 .max_states
                 .map_or(level.len(), |max| max.saturating_sub(stats.states_visited))
                 .min(level.len());
+            let stamp = depth as u64 + 1;
+            seen_level.clear();
+            // Levels rarely shrink: the previous level's size is a cheap
+            // floor that skips most of the growth reallocations.
+            let mut next_level: Vec<(GlobalState<P>, Option<usize>)> =
+                Vec::with_capacity(level.len());
+            let mut next_bytes = 0usize;
             let pt = Instant::now();
-            let (checks, deadline_hit) = self.check_level(&level[..budget_left], workers, t0, pool);
-            let t_check = pt.elapsed();
-            if deadline_hit {
-                stopped = Some(StopReason::Deadline);
-                break 'levels;
-            }
 
-            // Phase 2: sequential visit — stop criteria, violations, and
-            // localExplored claims, all in canonical (sequential-dequeue)
-            // order.
-            let mut jobs: Vec<ExpandJob> = Vec::with_capacity(budget_left);
-            for (i, (state, rec)) in level.iter().enumerate() {
-                if i >= budget_left {
-                    // Exactly the states the budget admitted were checked
-                    // and visited; the rest of the level is cut off, as in
-                    // the sequential engine.
-                    stopped = Some(StopReason::StateLimit);
-                    break;
-                }
-                stats.record_visit(depth);
-                if let Some(v) = &checks[i] {
-                    stats.violations_found += 1;
-                    violations.push(FoundViolation {
-                        violation: v.clone(),
-                        path: reconstruct(&arena, *rec),
-                        depth,
-                    });
-                    if violations.len() >= self.config.max_violations {
-                        stopped = Some(StopReason::ViolationLimit);
+            if workers == 1 {
+                // Fused single-worker pass: check, visit, expand and
+                // merge one item at a time, all in canonical order — the
+                // sequential loop over a level vector, with no phase
+                // passes re-walking the level and nothing buffered. The
+                // level is consumed by value so each state drops right
+                // after its expansion, matching the sequential engine's
+                // memory rhythm instead of holding two full levels.
+                let items = level.len();
+                for (i, item) in std::mem::take(&mut level).into_iter().enumerate() {
+                    if i >= budget_left {
+                        // Exactly the states the budget admits are
+                        // visited; the rest of the level is cut off, as
+                        // in the sequential engine.
+                        stopped = Some(StopReason::StateLimit);
                         break;
                     }
-                    continue; // violating states are not expanded
-                }
-                if self.config.max_depth.is_some_and(|d| depth >= d) {
-                    depth_truncated = true;
-                    continue;
-                }
-                let allowed = if self.config.prune_local {
-                    let mut fresh = Vec::new();
-                    for &node in state.nodes.keys() {
-                        let lh = state.local_hash(node).expect("node exists");
-                        if local_explored.insert(lh) {
-                            fresh.push(node);
-                        } else {
-                            stats.local_prunes += 1;
+                    if over_deadline(self.config.deadline) {
+                        stopped = Some(StopReason::Deadline);
+                        break 'levels;
+                    }
+                    let check = self.props.check(&item.0);
+                    match self.visit_item(
+                        check,
+                        &item,
+                        depth,
+                        VisitClaims::Inline,
+                        &mut local_explored,
+                        &arena,
+                        &mut violations,
+                        &mut stats,
+                        &mut depth_truncated,
+                    ) {
+                        VisitVerdict::Stop(r) => {
+                            stopped = Some(r);
+                            break;
                         }
-                    }
-                    Some(fresh)
-                } else {
-                    None
-                };
-                jobs.push(ExpandJob { item: i, allowed });
-            }
-
-            // Phase 3: parallel expansion with work stealing.
-            let pt = Instant::now();
-            let (results, deadline_hit) =
-                self.expand_level(&level, &jobs, &explored, workers, t0, pool);
-            let t_expand = pt.elapsed();
-            let pt = Instant::now();
-            if deadline_hit {
-                stopped = Some(StopReason::Deadline);
-                break 'levels;
-            }
-
-            // Phase 4: deterministic merge. Note which hashes were
-            // admitted this level, then assign parents — and pick the
-            // surviving clone — in canonical order.
-            let mut admitted: HashSet<u64> = HashSet::new();
-            let mut ordered: Vec<(usize, Vec<EdgeOut<P>>)> = Vec::with_capacity(jobs.len());
-            for (job, out) in jobs.iter().zip(results) {
-                let out = out.expect("every job produces output");
-                stats.filtered_events += out.filtered;
-                for edge in &out.edges {
-                    if edge.state.is_some() {
-                        admitted.insert(edge.hash);
+                        VisitVerdict::Skip => {}
+                        VisitVerdict::Expand(_) => self.expand_merge_fused(
+                            &item,
+                            &explored,
+                            stamp,
+                            &mut local_explored,
+                            &mut arena,
+                            &mut next_level,
+                            &mut next_bytes,
+                            &mut stats,
+                        ),
                     }
                 }
-                ordered.push((job.item, out.edges));
-            }
-            let mut next_level: Vec<(GlobalState<P>, Option<usize>)> =
-                Vec::with_capacity(admitted.len());
-            for (item, edges) in ordered {
-                for edge in edges {
-                    // The canonically-first edge to a hash admitted this
-                    // level becomes its parent; everything else (later
-                    // edges, edges to hashes from earlier levels) is a
-                    // duplicate — the same accounting the sequential
-                    // engine's enqueue-time `insert` performs.
-                    if admitted.remove(&edge.hash) {
-                        // Keep the canonical edge's own successor clone.
-                        // Equal hashes guarantee equal node states and
-                        // equal in-flight *multisets*, but not equal
-                        // in-flight `Vec` order — and that order steers
-                        // downstream event enumeration. If the insert
-                        // race was won by a non-canonical edge, re-derive
-                        // the canonical clone so every later level (and
-                        // the recorded paths) match the sequential
-                        // engine bit for bit.
-                        let state = match edge.state {
-                            Some(state) => state,
-                            None => {
-                                let mut s = level[item].0.clone();
-                                apply_event(self.protocol, &mut s, &edge.event);
-                                s
-                            }
-                        };
-                        arena.push(ArenaRec {
-                            parent: level[item].1,
-                            event: edge.event,
-                            step: edge.step,
-                        });
-                        next_level.push((state, Some(arena.len() - 1)));
-                        stats.states_enqueued += 1;
-                    } else {
-                        stats.duplicates_hit += 1;
+                if trace {
+                    eprintln!("level d={} items={} fused={:?}", depth, items, pt.elapsed(),);
+                }
+            } else {
+                // Phase 1: parallel property check over the budget prefix.
+                let (checks, deadline_hit) =
+                    self.check_level(&level[..budget_left], workers, t0, pool);
+                let t_check = pt.elapsed();
+                if deadline_hit {
+                    stopped = Some(StopReason::Deadline);
+                    break 'levels;
+                }
+
+                // Phase 2: sequential visit — stop criteria, violations,
+                // and localExplored claims, all in canonical
+                // (sequential-dequeue) order.
+                let mut jobs: Vec<ExpandJob> = Vec::with_capacity(budget_left);
+                let mut checks = checks.into_iter();
+                for (i, item) in level.iter().enumerate() {
+                    if i >= budget_left {
+                        stopped = Some(StopReason::StateLimit);
+                        break;
+                    }
+                    let check = checks.next().expect("budget prefix was checked");
+                    match self.visit_item(
+                        check,
+                        item,
+                        depth,
+                        VisitClaims::Collect,
+                        &mut local_explored,
+                        &arena,
+                        &mut violations,
+                        &mut stats,
+                        &mut depth_truncated,
+                    ) {
+                        VisitVerdict::Stop(r) => {
+                            stopped = Some(r);
+                            break;
+                        }
+                        VisitVerdict::Skip => {}
+                        VisitVerdict::Expand(allowed) => jobs.push(ExpandJob { item: i, allowed }),
                     }
                 }
-            }
 
-            if trace {
-                eprintln!(
-                    "level d={} items={} jobs={} check={:?} expand={:?} merge={:?}",
-                    depth,
-                    level.len(),
-                    jobs.len(),
-                    t_check,
-                    t_expand,
-                    pt.elapsed()
+                // Phase 3: expansion with the merge streamed behind it.
+                // The stamp marks every successor admitted during this
+                // level, so the canonical merge can tell "admitted this
+                // level by a non-canonical edge" from "duplicate of an
+                // earlier level" batch by batch.
+                let pt3 = Instant::now();
+                let deadline_hit = self.expand_and_merge_level(
+                    &level,
+                    &jobs,
+                    &explored,
+                    stamp,
+                    workers,
+                    t0,
+                    pool,
+                    &mut seen_level,
+                    &mut arena,
+                    &mut next_level,
+                    &mut next_bytes,
+                    &mut stats,
                 );
+                if deadline_hit {
+                    stopped = Some(StopReason::Deadline);
+                    break 'levels;
+                }
+
+                if trace {
+                    eprintln!(
+                        "level d={} items={} jobs={} check={:?} stream={:?} (merge busy={:?} wait={:?} cum)",
+                        depth,
+                        level.len(),
+                        jobs.len(),
+                        t_check,
+                        pt3.elapsed(),
+                        stats.merge_busy,
+                        stats.merge_wait,
+                    );
+                }
             }
             if stopped.is_some() {
                 break 'levels;
             }
             level = next_level;
+            level_bytes = next_bytes;
             depth += 1;
         }
 
@@ -333,6 +500,123 @@ impl<P: Protocol> Searcher<'_, P> {
             violations,
             stats,
             stopped,
+        }
+    }
+
+    /// The canonical visit of one level item: record the visit, report a
+    /// violation, apply the depth bound, and make the `localExplored`
+    /// claims of Fig. 8 — exactly what the sequential loop does between
+    /// dequeue and expansion. Shared by the fused single-worker pass and
+    /// the phased multi-worker visit so the two paths cannot drift.
+    #[allow(clippy::too_many_arguments)]
+    fn visit_item(
+        &self,
+        check: Option<Violation>,
+        item: &(GlobalState<P>, Option<usize>),
+        depth: usize,
+        claims: VisitClaims,
+        local_explored: &mut std::collections::HashSet<u64>,
+        arena: &[ArenaRec<P>],
+        violations: &mut Vec<FoundViolation<P>>,
+        stats: &mut SearchStats,
+        depth_truncated: &mut bool,
+    ) -> VisitVerdict {
+        let (state, rec) = item;
+        stats.record_visit(depth);
+        if let Some(violation) = check {
+            stats.violations_found += 1;
+            violations.push(FoundViolation {
+                violation,
+                path: reconstruct(arena, *rec),
+                depth,
+            });
+            if violations.len() >= self.config.max_violations {
+                return VisitVerdict::Stop(StopReason::ViolationLimit);
+            }
+            return VisitVerdict::Skip; // violating states are not expanded
+        }
+        if self.config.max_depth.is_some_and(|d| depth >= d) {
+            *depth_truncated = true;
+            return VisitVerdict::Skip;
+        }
+        let allowed = match claims {
+            VisitClaims::Inline => None,
+            VisitClaims::Collect if !self.config.prune_local => None,
+            VisitClaims::Collect => {
+                let mut fresh = Vec::new();
+                for &node in state.nodes.keys() {
+                    let lh = state.local_hash(node).expect("node exists");
+                    if local_explored.insert(lh) {
+                        fresh.push(node);
+                    } else {
+                        stats.local_prunes += 1;
+                    }
+                }
+                Some(fresh)
+            }
+        };
+        VisitVerdict::Expand(allowed)
+    }
+
+    /// Fused single-worker expansion: enumerate (making the
+    /// `localExplored` claims through the gate closure, exactly like the
+    /// sequential loop), clone, apply, hash, insert — and merge each
+    /// successor on the spot. Canonical order is the execution order, so
+    /// the race winner is always the canonical edge and nothing is
+    /// buffered.
+    #[allow(clippy::too_many_arguments)]
+    fn expand_merge_fused(
+        &self,
+        item: &(GlobalState<P>, Option<usize>),
+        explored: &LockFreeExplored,
+        stamp: u64,
+        local_explored: &mut std::collections::HashSet<u64>,
+        arena: &mut Vec<ArenaRec<P>>,
+        next_level: &mut Vec<(GlobalState<P>, Option<usize>)>,
+        next_bytes: &mut usize,
+        stats: &mut SearchStats,
+    ) {
+        let state = &item.0;
+        let mut filtered = 0usize;
+        let mut prunes = 0usize;
+        let events = if self.config.prune_local {
+            enumerate_gated(
+                self.protocol,
+                &self.config,
+                state,
+                |node| {
+                    let lh = state.local_hash(node).expect("node exists");
+                    if local_explored.insert(lh) {
+                        true
+                    } else {
+                        prunes += 1;
+                        false
+                    }
+                },
+                &mut filtered,
+            )
+        } else {
+            enumerate_gated(self.protocol, &self.config, state, |_| true, &mut filtered)
+        };
+        stats.filtered_events += filtered;
+        stats.local_prunes += prunes;
+        for event in events {
+            let mut next = state.clone();
+            let step = apply_event(self.protocol, &mut next, &event);
+            let hash = next.state_hash();
+            match explored.insert_leveled(hash, stamp) {
+                Admission::Fresh => {
+                    arena.push(ArenaRec {
+                        parent: item.1,
+                        event,
+                        step,
+                    });
+                    *next_bytes += approx_state_bytes(&next);
+                    next_level.push((next, Some(arena.len() - 1)));
+                    stats.states_enqueued += 1;
+                }
+                Admission::Seen { .. } => stats.duplicates_hit += 1,
+            }
         }
     }
 
@@ -396,97 +680,228 @@ impl<P: Protocol> Searcher<'_, P> {
         )
     }
 
-    /// Phase 3: expands every job, workers racing successor hashes into
-    /// the sharded explored set. Returns per-job outputs (in job order)
-    /// and whether the deadline fired mid-phase.
-    fn expand_level(
+    /// Executes one expansion job: enumerate, clone, apply, hash, and
+    /// race each successor into the explored table with one CAS.
+    fn expand_one(
+        &self,
+        level: &[(GlobalState<P>, Option<usize>)],
+        job: &ExpandJob,
+        explored: &LockFreeExplored,
+        stamp: u64,
+    ) -> JobOut<P> {
+        let state = &level[job.item].0;
+        let mut filtered = 0usize;
+        let events = match &job.allowed {
+            Some(nodes) => enumerate_gated(
+                self.protocol,
+                &self.config,
+                state,
+                |n| nodes.contains(&n),
+                &mut filtered,
+            ),
+            None => enumerate_gated(self.protocol, &self.config, state, |_| true, &mut filtered),
+        };
+        let mut edges = Vec::with_capacity(events.len());
+        for event in events {
+            let mut next = state.clone();
+            let step = apply_event(self.protocol, &mut next, &event);
+            let hash = next.state_hash();
+            let (state, prior_level) = match explored.insert_leveled(hash, stamp) {
+                Admission::Fresh => (Some(next), 0),
+                Admission::Seen { level } => (None, level),
+            };
+            edges.push(EdgeOut {
+                state,
+                hash,
+                prior_level,
+                event,
+                step,
+            });
+        }
+        JobOut { edges, filtered }
+    }
+
+    /// Applies the canonical enqueue-time dedup to one job's edge batch,
+    /// in canonical order. Exactly the bookkeeping the sequential loop
+    /// performs at its `explored.insert`: the canonically-first edge to a
+    /// hash admitted this level becomes its parent (with the canonical
+    /// clone — re-derived when the insert race went to a non-canonical
+    /// edge); everything else is a duplicate.
+    #[allow(clippy::too_many_arguments)]
+    fn merge_job(
+        &self,
+        level: &[(GlobalState<P>, Option<usize>)],
+        item: usize,
+        out: JobOut<P>,
+        stamp: u64,
+        seen_level: &mut HashSet<u64>,
+        arena: &mut Vec<ArenaRec<P>>,
+        next_level: &mut Vec<(GlobalState<P>, Option<usize>)>,
+        next_bytes: &mut usize,
+        stats: &mut SearchStats,
+    ) {
+        stats.filtered_events += out.filtered;
+        for edge in out.edges {
+            if !seen_level.insert(edge.hash) {
+                // A canonically-earlier edge this level already decided
+                // this hash (admitted it or proved it a duplicate).
+                stats.duplicates_hit += 1;
+                continue;
+            }
+            let admitted_this_level = edge.state.is_some() || edge.prior_level == stamp;
+            if !admitted_this_level {
+                stats.duplicates_hit += 1;
+                continue;
+            }
+            // This edge is canonically first to a hash first reached this
+            // level: it is the parent the sequential engine would record.
+            // Keep its own clone only if it also won the insert race —
+            // equal hashes guarantee equal node states and equal in-flight
+            // *multisets*, but not equal in-flight `Vec` order, and that
+            // order steers downstream event enumeration.
+            let state = match edge.state {
+                Some(state) => state,
+                None => {
+                    let mut s = level[item].0.clone();
+                    apply_event(self.protocol, &mut s, &edge.event);
+                    s
+                }
+            };
+            arena.push(ArenaRec {
+                parent: level[item].1,
+                event: edge.event,
+                step: edge.step,
+            });
+            *next_bytes += approx_state_bytes(&state);
+            next_level.push((state, Some(arena.len() - 1)));
+            stats.states_enqueued += 1;
+        }
+    }
+
+    /// Phase 3: expands every job and merges the resulting edge batches
+    /// in canonical job order, overlapped. Returns whether the deadline
+    /// fired mid-phase (in which case the partial merge results are
+    /// discarded by the caller).
+    #[allow(clippy::too_many_arguments)]
+    fn expand_and_merge_level(
         &self,
         level: &[(GlobalState<P>, Option<usize>)],
         jobs: &[ExpandJob],
-        explored: &ShardedExplored,
+        explored: &LockFreeExplored,
+        stamp: u64,
         workers: usize,
         search_t0: Instant,
         pool: &WorkerPool,
-    ) -> (Vec<Option<JobOut<P>>>, bool) {
-        let expand_one = |job: &ExpandJob| -> JobOut<P> {
-            let state = &level[job.item].0;
-            let mut filtered = 0usize;
-            let events = match &job.allowed {
-                Some(nodes) => enumerate_gated(
-                    self.protocol,
-                    &self.config,
-                    state,
-                    |n| nodes.contains(&n),
-                    &mut filtered,
-                ),
-                None => {
-                    enumerate_gated(self.protocol, &self.config, state, |_| true, &mut filtered)
+        seen_level: &mut HashSet<u64>,
+        arena: &mut Vec<ArenaRec<P>>,
+        next_level: &mut Vec<(GlobalState<P>, Option<usize>)>,
+        next_bytes: &mut usize,
+        stats: &mut SearchStats,
+    ) -> bool {
+        let over =
+            |limit: Option<std::time::Duration>| limit.is_some_and(|d| search_t0.elapsed() >= d);
+
+        if workers == 1 || jobs.len() <= 1 {
+            // Inline fast path: expand and merge interleave per job. The
+            // canonical order *is* the execution order, so the race
+            // winner is always the canonical edge and nothing needs
+            // buffering — this is the sequential loop minus the frontier.
+            for job in jobs {
+                if over(self.config.deadline) {
+                    return true;
                 }
-            };
-            let mut edges = Vec::with_capacity(events.len());
-            for event in events {
-                let mut next = state.clone();
-                let step = apply_event(self.protocol, &mut next, &event);
-                let hash = next.state_hash();
-                let state = explored.insert(hash).then_some(next);
-                edges.push(EdgeOut {
-                    state,
-                    hash,
-                    event,
-                    step,
+                let out = self.expand_one(level, job, explored, stamp);
+                self.merge_job(
+                    level, job.item, out, stamp, seen_level, arena, next_level, next_bytes, stats,
+                );
+            }
+            return false;
+        }
+
+        let chan: MergeChannel<P> = MergeChannel::new(jobs.len());
+        let stop = AtomicBool::new(false);
+        let deadline_hit = AtomicBool::new(false);
+        pool.scope(|scope: &PoolScope<'_, '_>| {
+            for (j, job) in jobs.iter().enumerate() {
+                let chan = &chan;
+                let stop = &stop;
+                let deadline_hit = &deadline_hit;
+                scope.spawn(move || {
+                    let mut guard = DepositGuard {
+                        chan,
+                        j,
+                        armed: true,
+                    };
+                    if stop.load(Ordering::Relaxed) {
+                        return; // guard deposits an empty batch
+                    }
+                    if over(self.config.deadline) {
+                        deadline_hit.store(true, Ordering::Relaxed);
+                        stop.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                    let out = self.expand_one(level, job, explored, stamp);
+                    guard.armed = false;
+                    chan.deposit(j, out);
                 });
             }
-            JobOut { edges, filtered }
-        };
 
-        if workers == 1 || jobs.len() == 1 {
-            let mut outs = Vec::with_capacity(jobs.len());
-            for job in jobs {
-                if self
-                    .config
-                    .deadline
-                    .is_some_and(|d| search_t0.elapsed() >= d)
-                {
-                    return (outs, true);
+            // The coordinator: merge batches in canonical order while the
+            // remaining jobs expand. Starvation never blocks progress —
+            // if the next canonical batch is missing and one of our jobs
+            // is still queued, the coordinator runs it itself
+            // (`help_one`), which also preserves canonical-completion
+            // order on a zero-thread pool.
+            let mut merged = 0usize;
+            while merged < jobs.len() {
+                if stop.load(Ordering::Relaxed) {
+                    break;
                 }
-                outs.push(Some(expand_one(job)));
-            }
-            return (outs, false);
-        }
-
-        let slots: Vec<Mutex<Option<JobOut<P>>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
-        let queues = StealQueues::split(workers, jobs.len());
-        let deadline_hit = AtomicBool::new(false);
-        let worker_loop = |w: usize| {
-            while let Some(j) = queues.next(w) {
-                if self
-                    .config
-                    .deadline
-                    .is_some_and(|d| search_t0.elapsed() >= d)
-                {
+                let got = match chan.try_next() {
+                    Some(got) => Some(got),
+                    None => {
+                        if scope.help_one() {
+                            // Ran one of our own queued jobs instead of
+                            // sleeping — expansion work, attributed to
+                            // neither merge timer.
+                            continue;
+                        }
+                        // The needed job is running on another thread:
+                        // wait for its deposit (deposits of the awaited
+                        // index notify).
+                        let tw = Instant::now();
+                        let got = chan.wait_next(&stop);
+                        stats.merge_wait += tw.elapsed();
+                        got
+                    }
+                };
+                let Some((j, out)) = got else {
+                    break; // stop raised (deadline in a task)
+                };
+                let tb = Instant::now();
+                self.merge_job(
+                    level,
+                    jobs[j].item,
+                    out,
+                    stamp,
+                    seen_level,
+                    arena,
+                    next_level,
+                    next_bytes,
+                    stats,
+                );
+                stats.merge_busy += tb.elapsed();
+                merged += 1;
+                if over(self.config.deadline) {
                     deadline_hit.store(true, Ordering::Relaxed);
-                    return;
+                    stop.store(true, Ordering::Relaxed);
+                    break;
                 }
-                *slots[j].lock().expect("expand slot poisoned") = Some(expand_one(&jobs[j]));
             }
-        };
-        pool.scope(|scope| {
-            for w in 1..workers {
-                let worker_loop = &worker_loop;
-                scope.spawn(move || worker_loop(w));
-            }
-            worker_loop(0);
+            // Scope exit runs any still-queued tasks (they observe `stop`
+            // and deposit empty batches) and waits for in-flight ones.
         });
-        if deadline_hit.load(Ordering::Relaxed) {
-            return (Vec::new(), true);
-        }
-        (
-            slots
-                .into_iter()
-                .map(|s| s.into_inner().expect("expand slot poisoned"))
-                .collect(),
-            false,
-        )
+        deadline_hit.load(Ordering::Relaxed)
     }
 }
 
@@ -665,6 +1080,27 @@ mod tests {
             &ParallelConfig { workers: 4 },
         );
         assert_eq!(out.stopped, StopReason::Deadline);
+    }
+
+    #[test]
+    fn merge_timers_populated_only_in_streamed_mode() {
+        let (p, gs) = sys(4);
+        let pr = props(u32::MAX);
+        let base = SearchConfig {
+            max_depth: Some(5),
+            ..cfg()
+        };
+        let seq = find_errors(&p, &pr, &gs, base.clone());
+        assert_eq!(seq.stats.merge_busy, std::time::Duration::ZERO);
+        assert_eq!(seq.stats.merge_wait, std::time::Duration::ZERO);
+        let inline =
+            find_errors_parallel(&p, &pr, &gs, base.clone(), &ParallelConfig { workers: 1 });
+        assert_eq!(inline.stats.merge_busy, std::time::Duration::ZERO);
+        let streamed = find_errors_parallel(&p, &pr, &gs, base, &ParallelConfig { workers: 4 });
+        assert!(
+            streamed.stats.merge_busy > std::time::Duration::ZERO,
+            "streamed coordinator recorded merge work"
+        );
     }
 
     #[test]

@@ -29,6 +29,17 @@ pub struct SearchStats {
     pub per_depth: Vec<usize>,
     /// Wall-clock time spent searching.
     pub elapsed: Duration,
+    /// Parallel engine only: coordinator time spent *performing* the
+    /// canonical dedup/merge on received edge batches. Now that merging
+    /// overlaps expansion, busy time must be split from wait time — a
+    /// single "merge phase" timer would double-count the coordinator's
+    /// idle waits (for the next canonical batch) as merge cost.
+    pub merge_busy: Duration,
+    /// Parallel engine only: coordinator time spent blocked waiting for
+    /// the next in-canonical-order batch (reorder-buffer stalls). Time
+    /// the coordinator spends *helping* expand is attributed to neither
+    /// counter — it is expansion work, not merge cost.
+    pub merge_wait: Duration,
     /// Bytes of the search tree: parent-pointer arena entries plus the
     /// explored/localExplored hash entries (what Fig. 15 plots).
     pub tree_bytes: usize,

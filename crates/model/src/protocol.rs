@@ -1,6 +1,6 @@
 //! The node state machine abstraction.
 //!
-//! CrystalBall "concentrate[s] on distributed systems implemented as state
+//! CrystalBall "concentrate\[s\] on distributed systems implemented as state
 //! machines" (§3). A [`Protocol`] implementation corresponds to one Mace
 //! service: a deterministic state machine with message handlers (*H_M*) and
 //! internal-action handlers (*H_A*, covering timers and application calls).
@@ -39,7 +39,7 @@ pub enum Schedule {
 ///
 /// This is the set *c* of Fig. 4, extended with explicit connection closes
 /// (protocols tear down TCP connections, and execution steering's corrective
-/// action "break[s] the TCP connection", §3.3).
+/// action "break\[s\] the TCP connection", §3.3).
 #[derive(Debug)]
 pub struct Outbox<M> {
     /// `(destination, message)` pairs, in emission order.

@@ -36,7 +36,7 @@ pub struct BulletBugs {
     /// never try again to inform the receiver about the blocks containing
     /// that diff."
     pub b1_clear_shadow_on_refusal: bool,
-    /// B2 — the attempted UCSD fix: a retry was added, "[u]nfortunately,
+    /// B2 — the attempted UCSD fix: a retry was added, "\[u\]nfortunately,
     /// since the programmer left the code for clearing the shadow file map
     /// after a failed send, all subsequent diff computations will miss the
     /// affected blocks."

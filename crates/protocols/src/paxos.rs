@@ -9,10 +9,10 @@
 //!
 //! The injected bugs:
 //!
-//! * **P1** (from WiDS-checker [28]): when assembling the Accept request,
-//!   the leader "us[es] the submitted value from the last Promise message
+//! * **P1** (from WiDS-checker \[28\]): when assembling the Accept request,
+//!   the leader "us\[es\] the submitted value from the last Promise message
 //!   instead of the Promise message with highest round number".
-//! * **P2** (inspired by Paxos Made Live [4]): an acceptor's promise is not
+//! * **P2** (inspired by Paxos Made Live \[4\]): an acceptor's promise is not
 //!   written to disk, so it is forgotten across a crash/reboot.
 //!
 //! Crashes are modeled as a protocol-level [`Action::Crash`] rather than the

@@ -1,7 +1,7 @@
 //! The checkpoint manager: logical clocks, forced checkpoints, and the
 //! consistent neighborhood-snapshot gather protocol.
 //!
-//! Implements §2.3's algorithm (after Manivannan–Singhal [29]):
+//! Implements §2.3's algorithm (after Manivannan–Singhal \[29\]):
 //!
 //! * every node keeps a checkpoint number `cn` (a logical clock);
 //! * every outgoing service message piggybacks `cn` ([`CheckpointManager::stamp_out`]);

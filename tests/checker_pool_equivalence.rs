@@ -6,6 +6,12 @@
 //!
 //! This is the bar the sharded refactor has to clear: sharding and diff
 //! shipping are transport changes, not semantic ones.
+//!
+//! The CI determinism matrix drives this through an env loop:
+//! `CB_EQ_WORKERS` (comma list, default `1,4`) selects the worker counts
+//! the parallel-engine leg runs at, and `CB_EQ_SEED` (default `1213`)
+//! varies the second-submission state drift each scenario exercises the
+//! diff-shipping path with.
 
 use std::collections::BTreeSet;
 use std::time::Duration;
@@ -152,22 +158,26 @@ where
         );
     }
     // The heaviest concurrency shape — multiple shard threads each
-    // opening replay scopes plus the parallel engine's nested per-level
-    // scopes, all multiplexed on one shared WorkerPool — must still
-    // reproduce the sequential-synchronous outcome bit for bit.
-    let sharded_parallel = drive(
-        &proto,
-        props(),
-        &search,
-        &start,
-        &mutate,
-        CheckerMode::Sharded { shards: 2 },
-        Engine::Parallel(ParallelConfig { workers: 4 }),
-    );
-    assert_eq!(
-        sync, sharded_parallel,
-        "sharded pool + parallel engine diverged from the synchronous backend"
-    );
+    // opening replay scopes plus the streamed engine's per-job tasks and
+    // merge coordinators, all multiplexed on one shared WorkerPool —
+    // must still reproduce the sequential-synchronous outcome bit for
+    // bit, at every worker count of the matrix.
+    for workers in cb_bench::matrix::workers() {
+        let sharded_parallel = drive(
+            &proto,
+            props(),
+            &search,
+            &start,
+            &mutate,
+            CheckerMode::Sharded { shards: 2 },
+            Engine::Parallel(ParallelConfig { workers }),
+        );
+        assert_eq!(
+            sync, sharded_parallel,
+            "sharded pool + parallel engine ({workers} workers) diverged \
+             from the synchronous backend"
+        );
+    }
     sync
 }
 
@@ -180,11 +190,12 @@ fn sharded_pool_matches_synchronous_on_randtree() {
         explore: ExploreOptions::default(),
         ..SearchConfig::default()
     };
-    let sync = assert_backends_agree(proto, randtree::properties::all, search, gs, |gs| {
-        // A later snapshot of the same neighborhood: n13's recovery timer
-        // became schedulable — a small, realistic state drift.
-        let s13 = &mut gs.slot_mut(NodeId(13)).unwrap().state;
-        s13.recovery_scheduled = false;
+    // The seed picks which member's recovery timer became schedulable —
+    // a small, realistic state drift that differs per matrix leg.
+    let drifted = [NodeId(9), NodeId(13), NodeId(21)][cb_bench::matrix::seed() as usize % 3];
+    let sync = assert_backends_agree(proto, randtree::properties::all, search, gs, move |gs| {
+        let s = &mut gs.slot_mut(drifted).unwrap().state;
+        s.recovery_scheduled = false;
     });
     assert!(
         !sync.filters.is_empty(),
@@ -202,10 +213,14 @@ fn sharded_pool_matches_synchronous_on_paxos() {
         ..SearchConfig::default()
     };
     let mutator_proto = proto.clone();
+    // The seed decides how many more round-2 messages the later snapshot
+    // has seen delivered, so each matrix leg drifts differently.
+    let extra_deliveries = 1 + cb_bench::matrix::seed() as usize % 2;
     let sync = assert_backends_agree(proto, paxos::properties::all, search, gs, move |gs| {
-        // A later snapshot: one more round-2 message was delivered.
-        if !gs.inflight.is_empty() {
-            apply_event(&mutator_proto, gs, &Event::Deliver { index: 0 });
+        for _ in 0..extra_deliveries {
+            if !gs.inflight.is_empty() {
+                apply_event(&mutator_proto, gs, &Event::Deliver { index: 0 });
+            }
         }
     });
     assert!(

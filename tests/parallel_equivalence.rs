@@ -1,9 +1,14 @@
-//! Parallel/sequential equivalence across protocols: the parallel
-//! work-stealing engine must produce the *identical* violation set and the
+//! Parallel/sequential equivalence across protocols: the streamed
+//! parallel engine must produce the *identical* violation set and the
 //! identical canonical shallowest counterexample path as the sequential
 //! engine — for exhaustive search (Fig. 5) and consequence prediction
 //! (Fig. 8) alike, at any worker count. Scheduling may only affect
 //! wall-clock numbers.
+//!
+//! The CI determinism matrix drives these tests through an env loop:
+//! `CB_EQ_WORKERS` (comma list, default `1,4`) selects the worker counts
+//! every scenario is checked at, and `CB_EQ_SEED` (default `1213`) picks
+//! the churned live state the seeded scenario starts from.
 
 use cb_bench::scenarios;
 use crystalball_suite::mc::{
@@ -34,7 +39,7 @@ fn assert_engines_agree<P: Protocol>(
 ) {
     let seq_bfs = find_errors(proto, props, gs, config.clone());
     let seq_cp = find_consequences(proto, props, gs, config.clone());
-    for workers in [1usize, 4] {
+    for workers in cb_bench::matrix::workers() {
         let par = ParallelConfig { workers };
         let par_bfs = find_errors_parallel(proto, props, gs, config.clone(), &par);
         assert_eq!(
@@ -141,6 +146,30 @@ fn paxos_commuting_deliveries_keep_canonical_paths() {
             "paxos/commuting: parallel diverged from sequential (run {run})"
         );
     }
+}
+
+/// The seeded determinism-matrix leg: a RandTree neighborhood that lived
+/// through `CB_EQ_SEED`-driven churn under the real simulator — joins,
+/// resets, in-flight traffic at capture time — re-proving equivalence
+/// from a different live state per seed at every `CB_EQ_WORKERS` count.
+#[test]
+fn randtree_churned_matrix_matches() {
+    let seed = cb_bench::matrix::seed();
+    let (proto, gs) = scenarios::randtree_churned(seed, RandTreeBugs::as_shipped());
+    let props = randtree::properties::all();
+    let config = SearchConfig {
+        max_depth: Some(6),
+        max_states: Some(30_000),
+        max_violations: 3,
+        ..SearchConfig::default()
+    };
+    assert_engines_agree(
+        &proto,
+        &props,
+        &gs,
+        config,
+        &format!("randtree/churn-{seed}"),
+    );
 }
 
 /// Paxos, fixed: consensus holds everywhere the budget reaches.
