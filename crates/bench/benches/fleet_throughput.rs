@@ -1,0 +1,203 @@
+//! Fleet throughput: what the mixed-protocol harness costs to drive.
+//!
+//! One three-protocol fleet (RandTree + Paxos + Bullet', all steering on
+//! the sharded background checker over one shared `CheckerHost`) runs to
+//! a fixed simulated horizon under a seeded fault plan; we report
+//!
+//! * **fleet steps/sec** — scheduler dispatch throughput (wall clock),
+//! * **predictions/sec** — checking rounds and predictions per wall
+//!   second across all members,
+//! * **wire bytes** — diff-shipped vs. full-clone checker submission
+//!   bytes fleet-wide (deterministic for the fixed scenario, which makes
+//!   it the number `tools/bench-check` gates).
+//!
+//! Emits one JSON line (`CB_BENCH_JSON=fleet.json cargo bench -p
+//! cb-bench --bench fleet_throughput`).
+
+use std::io::Write;
+use std::time::Instant;
+
+use cb_bench::harness::{fast_mode, fmt_bytes, fmt_duration, preamble, section};
+use cb_fleet::{
+    bullet_member, paxos_member, randtree_member, FaultConfig, FaultPlan, Fleet, FleetConfig,
+    FleetStats, MemberCommon,
+};
+use cb_mc::SearchConfig;
+use cb_model::{ExploreOptions, SimDuration};
+use cb_protocols::bullet::BulletBugs;
+use cb_protocols::paxos::PaxosBugs;
+use cb_protocols::randtree::RandTreeBugs;
+use crystalball::{CheckerMode, ControllerConfig, Mode};
+
+fn controller(max_states: usize, depth: usize, minimal: bool) -> ControllerConfig {
+    ControllerConfig {
+        mode: Mode::ExecutionSteering,
+        checker: CheckerMode::Sharded { shards: 2 },
+        mc_latency: SimDuration::from_millis(500),
+        search: SearchConfig {
+            max_states: Some(max_states),
+            max_depth: Some(depth),
+            explore: if minimal {
+                ExploreOptions::minimal()
+            } else {
+                ExploreOptions::default()
+            },
+            ..SearchConfig::default()
+        },
+        ..ControllerConfig::default()
+    }
+}
+
+fn run(horizon: SimDuration, budget: usize, seed: u64) -> (FleetStats, String, f64) {
+    let mut fleet = Fleet::new(FleetConfig {
+        seed,
+        duration: horizon,
+        drain_interval: SimDuration::from_secs(5),
+        checker_lanes: 2,
+        pool_threads: 1,
+    });
+    let rt = fleet.runtime().clone();
+    fleet.add_member(randtree_member(
+        &rt,
+        MemberCommon::steering("randtree", seed ^ 0xa1, controller(budget, 6, false)),
+        6,
+        RandTreeBugs::only("R1"),
+        SimDuration::from_secs(25),
+        horizon,
+    ));
+    fleet.add_member(paxos_member(
+        &rt,
+        MemberCommon::steering("paxos", seed ^ 0xb2, controller(budget, 12, true)),
+        PaxosBugs::only("P2"),
+        2,
+        SimDuration::from_secs(25),
+    ));
+    fleet.add_member(bullet_member(
+        &rt,
+        MemberCommon::steering("bullet", seed ^ 0xc3, controller(budget, 6, true)),
+        5,
+        30,
+        BulletBugs::only("B1"),
+    ));
+    fleet.load_fault_plan(FaultPlan::generate(
+        &FaultConfig {
+            nodes: 6,
+            duration: horizon,
+            start_after: SimDuration::from_secs(35),
+            partition_mean_gap: None,
+            churn_mean_gap: Some(SimDuration::from_secs(40)),
+            degrade_mean_gap: Some(SimDuration::from_secs(35)),
+            ..FaultConfig::default()
+        },
+        seed,
+    ));
+    let t0 = Instant::now();
+    let stats = fleet.run();
+    let wall = t0.elapsed().as_secs_f64();
+    (stats, fleet.trace().to_string(), wall)
+}
+
+fn main() {
+    preamble(
+        "Fleet throughput — the mixed-protocol harness under load",
+        "three steering deployments multiplexed over one WorkerPool and one \
+         CheckerHost, with a uniform fault schedule",
+    );
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("host parallelism: {cores} core(s)");
+
+    let (horizon_s, budget) = if fast_mode() {
+        (60, 3_000)
+    } else {
+        (100, 8_000)
+    };
+    let horizon = SimDuration::from_secs(horizon_s);
+    section(&format!(
+        "3-member fleet, {horizon_s}s horizon, {budget}-state search budget"
+    ));
+    let (stats, trace, wall) = run(horizon, budget, 42);
+
+    let steps_per_sec = stats.fleet_steps as f64 / wall;
+    let mc_runs: u64 = stats.members.iter().map(|m| m.mc_runs).sum();
+    let rounds_per_sec = mc_runs as f64 / wall;
+    let preds_per_sec = stats.predictions() as f64 / wall;
+    let (raw, shipped) = stats.wire_bytes();
+    println!(
+        "fleet steps: {:>8}   wall: {:>9}   => {:>10.0} steps/sec",
+        stats.fleet_steps,
+        fmt_duration(std::time::Duration::from_secs_f64(wall)),
+        steps_per_sec
+    );
+    println!(
+        "mc rounds:   {:>8}   predictions: {:>4}   => {:>7.2} rounds/sec, {:.3} predictions/sec",
+        mc_runs,
+        stats.predictions(),
+        rounds_per_sec,
+        preds_per_sec
+    );
+    println!(
+        "checker wire: {} shipped of {} full-clone ({:.1}%)",
+        fmt_bytes(shipped as usize),
+        fmt_bytes(raw as usize),
+        100.0 * shipped as f64 / raw.max(1) as f64
+    );
+    println!(
+        "steering: {} filters installed, {} interventions, {} violating states, {} faults",
+        stats.filters_installed(),
+        stats.interventions(),
+        stats.violating_states(),
+        stats.faults_applied
+    );
+    assert!(stats.predictions() > 0, "the fleet predicted something");
+    assert!(
+        shipped > 0 && shipped < raw,
+        "diff shipping must beat full clones fleet-wide ({shipped} vs {raw})"
+    );
+    assert!(
+        trace.ends_with(&format!("end t={}\n", horizon_s * 1_000_000)),
+        "trace ran to the horizon"
+    );
+
+    let members_json: Vec<String> = stats
+        .members
+        .iter()
+        .map(|m| {
+            format!(
+                "{{\"name\":\"{}\",\"protocol\":\"{}\",\"steps\":{},\"mc_runs\":{},\
+                 \"predictions\":{},\"filters_installed\":{},\"wire_shipped_bytes\":{},\
+                 \"wire_raw_bytes\":{}}}",
+                m.name,
+                m.protocol,
+                m.steps,
+                m.mc_runs,
+                m.predictions,
+                m.filters_installed,
+                m.wire_shipped_bytes,
+                m.wire_raw_bytes
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"bench\":\"fleet_throughput\",\"scenario\":\"randtree+paxos+bullet_sharded\",\
+         \"host_cores\":{cores},\"sim_seconds\":{horizon_s},\"budget_states\":{budget},\
+         \"fleet_steps\":{},\"elapsed_s\":{wall:.6},\"steps_per_sec\":{steps_per_sec:.1},\
+         \"mc_runs\":{mc_runs},\"rounds_per_sec\":{rounds_per_sec:.3},\
+         \"predictions\":{},\"predictions_per_sec\":{preds_per_sec:.4},\
+         \"filters_installed\":{},\"faults_applied\":{},\
+         \"wire_shipped_bytes\":{shipped},\"wire_full_clone_bytes\":{raw},\
+         \"members\":[{}]}}",
+        stats.fleet_steps,
+        stats.predictions(),
+        stats.filters_installed(),
+        stats.faults_applied,
+        members_json.join(",")
+    );
+    println!("\n{json}");
+    if let Ok(path) = std::env::var("CB_BENCH_JSON") {
+        let mut f = std::fs::File::create(&path).expect("open CB_BENCH_JSON output");
+        writeln!(f, "{json}").expect("write JSON");
+        println!("(written to {path})");
+    }
+}

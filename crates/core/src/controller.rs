@@ -77,6 +77,16 @@ pub struct ControllerConfig {
     pub reset_connection_on_block: bool,
     /// Cap on remembered error paths.
     pub max_known_paths: usize,
+    /// Apply completed background rounds opportunistically from the hook
+    /// entry points (the live-deployment default). `false` defers every
+    /// application to explicit [`Controller::poll_predictions`] /
+    /// [`Controller::drain_predictions`] calls, which an external
+    /// scheduler places at deterministic simulated times — the fleet
+    /// harness's determinism contract: with hook polling, *when* a round
+    /// finishes (wall clock) decides *when* its filter activates
+    /// (simulated time), so the same seed could trace differently across
+    /// host speeds and worker counts.
+    pub poll_in_hooks: bool,
 }
 
 impl Default for ControllerConfig {
@@ -97,6 +107,7 @@ impl Default for ControllerConfig {
             replay_known_paths: true,
             reset_connection_on_block: true,
             max_known_paths: 16,
+            poll_in_hooks: true,
         }
     }
 }
@@ -197,7 +208,6 @@ impl<P: Protocol> Controller<P> {
     /// runs — the main prediction, known-path replays, filter-safety
     /// re-checks, across every shard — shares one [`WorkerPool`].
     pub fn new(protocol: P, props: PropertySet<P>, config: ControllerConfig) -> Self {
-        let config = Arc::new(config);
         // The scope owner always participates, so a parallel engine with
         // w workers needs w-1 pool threads; keep at least one so replays
         // overlap the main search even under the sequential engine.
@@ -206,6 +216,24 @@ impl<P: Protocol> Controller<P> {
             _ => 1,
         };
         let pool = WorkerPool::new(engine_workers.max(2) - 1);
+        Self::with_runtime(protocol, props, config, pool, None)
+    }
+
+    /// Creates a controller on externally owned checking resources: every
+    /// search runs on `pool`, and background rounds (if the mode has any)
+    /// execute on the shared [`crate::service::CheckerHost`] lanes instead of
+    /// pool-private threads. This is the fleet entry point — co-deployed
+    /// controllers over *different* protocols hand in the same pool and
+    /// host, so one deployment's idle checking capacity serves another's
+    /// burst.
+    pub fn with_runtime(
+        protocol: P,
+        props: PropertySet<P>,
+        config: ControllerConfig,
+        pool: WorkerPool,
+        host: Option<Arc<crate::service::CheckerHost>>,
+    ) -> Self {
+        let config = Arc::new(config);
         let backend = match config.checker.shard_count() {
             0 => Backend::Sync(Box::new(Predictor::new(
                 protocol.clone(),
@@ -214,7 +242,7 @@ impl<P: Protocol> Controller<P> {
                 pool,
             ))),
             shards => Backend::Pool(CheckerPool::spawn(
-                &protocol, &props, &config, &pool, shards,
+                &protocol, &props, &config, &pool, shards, host,
             )),
         };
         Controller {
@@ -321,10 +349,13 @@ impl<P: Protocol> Controller<P> {
     /// `now` too (their latency has already elapsed for real). Returns the
     /// number of rounds applied. No-op in synchronous mode.
     pub fn poll_predictions(&mut self, now: SimTime) -> usize {
-        let results = match &mut self.backend {
+        let mut results = match &mut self.backend {
             Backend::Sync(_) => return 0,
             Backend::Pool(pool) => pool.try_results(),
         };
+        // Lanes complete out of order; apply in submission order so the
+        // fold into reports/filters is reproducible.
+        results.sort_by_key(|r| r.seq);
         let n = results.len();
         for result in results {
             self.apply_result(result, now, now);
@@ -336,10 +367,15 @@ impl<P: Protocol> Controller<P> {
     /// expires) and applies the results as of simulated time `now`.
     /// Returns the number of rounds applied. No-op in synchronous mode.
     pub fn drain_predictions(&mut self, now: SimTime, timeout: Duration) -> usize {
-        let results = match &mut self.backend {
+        let mut results = match &mut self.backend {
             Backend::Sync(_) => return 0,
             Backend::Pool(pool) => pool.wait_results(timeout),
         };
+        // A full drain holds every round submitted since the last one, so
+        // sorting by submission seq makes the application order — and
+        // with it the whole downstream trace — independent of lane and
+        // worker scheduling.
+        results.sort_by_key(|r| r.seq);
         let n = results.len();
         for result in results {
             self.apply_result(result, now, now);
@@ -467,6 +503,17 @@ impl<P: Protocol> Controller<P> {
     }
 }
 
+impl<P: Protocol> Controller<P> {
+    /// Opportunistic application of completed background rounds from the
+    /// hook entry points — disabled when an external scheduler owns the
+    /// application points ([`ControllerConfig::poll_in_hooks`]).
+    fn hook_poll(&mut self, now: SimTime) {
+        if self.config.poll_in_hooks {
+            self.poll_predictions(now);
+        }
+    }
+}
+
 impl<P: Protocol> Hook<P> for Controller<P> {
     fn filter_delivery(
         &mut self,
@@ -475,7 +522,7 @@ impl<P: Protocol> Hook<P> for Controller<P> {
         item: &InFlight<P::Message>,
     ) -> Decision {
         // Completed background rounds activate before the next event runs.
-        self.poll_predictions(now);
+        self.hook_poll(now);
         let key = match &item.payload {
             Payload::Msg(m) => EventKey::Message {
                 kind: P::message_kind(m),
@@ -504,7 +551,7 @@ impl<P: Protocol> Hook<P> for Controller<P> {
         node: NodeId,
         action: &P::Action,
     ) -> Decision {
-        self.poll_predictions(now);
+        self.hook_poll(now);
         let key = EventKey::Action {
             kind: P::action_kind(action),
             node,
@@ -520,7 +567,7 @@ impl<P: Protocol> Hook<P> for Controller<P> {
     }
 
     fn after_step(&mut self, now: SimTime, gs: &GlobalState<P>, _step: &TraceStep) {
-        self.poll_predictions(now);
+        self.hook_poll(now);
         // Count violations that slipped past prediction and the ISC — the
         // paper's false negatives.
         if self.props.check(gs).is_some() {
@@ -529,7 +576,7 @@ impl<P: Protocol> Hook<P> for Controller<P> {
     }
 
     fn on_snapshot(&mut self, now: SimTime, node: NodeId, snapshot: &Snapshot) {
-        self.poll_predictions(now);
+        self.hook_poll(now);
         let start = Self::snapshot_to_state(snapshot);
         if start.node_count() == 0 {
             return;
@@ -817,6 +864,79 @@ mod tests {
         // The installed filter is active (its latency already elapsed).
         let f = ctl.filters.first().expect("installed");
         assert!(f.active_from <= SimTime::ZERO + SimDuration::from_secs(1));
+    }
+
+    /// One `CheckerHost` + one `WorkerPool` serving two controllers over
+    /// *different* protocol types — the fleet topology. The RandTree
+    /// controller must reach the same outcome it reaches on a private
+    /// backend, and deferred polling must leave application to the
+    /// explicit drain.
+    #[test]
+    fn shared_checker_host_serves_heterogeneous_controllers() {
+        use crate::service::CheckerHost;
+        use cb_model::testproto::{max_pings_property, Ping};
+
+        let host = Arc::new(CheckerHost::new(2));
+        let pool = WorkerPool::new(1);
+
+        let (proto, gs) = fig2_snapshot(RandTreeBugs::only("R1"));
+        let mut rt = Controller::with_runtime(
+            proto,
+            randtree::properties::all(),
+            ControllerConfig {
+                checker: CheckerMode::Sharded { shards: 2 },
+                poll_in_hooks: false,
+                ..steering_config()
+            },
+            pool.clone(),
+            Some(host.clone()),
+        );
+        let ping = Ping {
+            kick_target: NodeId(0),
+            kick_enabled: true,
+        };
+        let ping_gs = GlobalState::init(&ping, (0..3).map(NodeId));
+        let mut pg = Controller::with_runtime(
+            ping,
+            PropertySet::new().with(max_pings_property(u32::MAX)),
+            ControllerConfig {
+                checker: CheckerMode::Sharded { shards: 2 },
+                poll_in_hooks: false,
+                ..steering_config()
+            },
+            pool,
+            Some(host.clone()),
+        );
+
+        // Interleaved submissions from both controllers onto the same
+        // lanes.
+        for i in 0..3u64 {
+            rt.run_round(SimTime(i), NodeId(1), &gs);
+            pg.run_round(SimTime(i), NodeId(i as u32 % 3), &ping_gs);
+        }
+        assert_eq!(rt.pending_predictions(), 3);
+        // Deferred polling: nothing applies from hook entry points.
+        let step = TraceStep::Stale;
+        rt.after_step(SimTime(50), &gs, &step);
+        assert_eq!(rt.stats.mc_runs, 0, "poll_in_hooks=false defers");
+
+        let applied = rt.drain_predictions(SimTime(100), Duration::from_secs(120));
+        assert_eq!(applied, 3);
+        assert_eq!(
+            pg.drain_predictions(SimTime(100), Duration::from_secs(120)),
+            3
+        );
+        assert_eq!(rt.stats.predictions, 3, "Fig. 2 predicted each round");
+        assert!(rt.stats.filters_installed >= 1);
+        assert_eq!(rt.reports[0].violation.property, "ChildrenSiblingsDisjoint");
+        assert_eq!(pg.stats.predictions, 0, "clean protocol stays clean");
+        drop(rt);
+        // The shared host survives a client controller dropping.
+        pg.run_round(SimTime(200), NodeId(0), &ping_gs);
+        assert_eq!(
+            pg.drain_predictions(SimTime(200), Duration::from_secs(120)),
+            1
+        );
     }
 
     /// End-to-end: buggy RandTree under churn; steering avoids the

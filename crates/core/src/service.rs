@@ -25,6 +25,13 @@
 //! so a shard running a big prediction borrows the workers an idle shard
 //! is not using.
 //!
+//! The threads themselves live in a [`CheckerHost`] — a protocol-agnostic
+//! set of lanes that *multiple* controllers (over different protocol
+//! types) can share, which is how the fleet harness multiplexes a whole
+//! mixed-protocol deployment over one checker service. A pool given no
+//! host spawns a private one, reproducing the pre-fleet
+//! one-thread-per-shard topology.
+//!
 //! Submission is **diff-shipped**: instead of cloning the full decoded
 //! `GlobalState` into the job channel, the controller encodes it as a
 //! [`cb_snapshot::StateDelta`] against the last state submitted *for the
@@ -46,7 +53,7 @@ use cb_mc::{
     Searcher, WorkerPool,
 };
 use cb_model::{apply_event, EventKey, GlobalState, NodeId, PropertySet, Protocol, SimTime};
-use cb_snapshot::{DeltaDecoder, DeltaEncoder, DeltaStats, StateDelta};
+use cb_snapshot::{DeltaDecoder, DeltaEncoder, DeltaStats};
 
 use crate::controller::ControllerConfig;
 
@@ -110,6 +117,12 @@ pub(crate) struct PredictionJob {
 
 /// The outcome of one checking round, ready for the controller to apply.
 pub(crate) struct RoundResult<P: Protocol> {
+    /// Submission sequence number (background pools only; 0 inline).
+    /// Lanes complete out of order, so the controller sorts a drained
+    /// batch by `seq` before applying — background rounds then fold into
+    /// the live state in exactly the order they were submitted, which is
+    /// what makes a fleet run reproducible across host thread counts.
+    pub seq: u64,
     /// When the snapshot that fed the round completed (simulated time).
     pub at: SimTime,
     /// The node whose snapshot was checked.
@@ -250,6 +263,7 @@ impl<P: Protocol> Predictor<P> {
         }
 
         RoundResult {
+            seq: 0,
             at: job.at,
             node: job.node,
             steering: job.steering,
@@ -348,110 +362,156 @@ impl<P: Protocol> Predictor<P> {
     }
 }
 
-/// One diff-shipped round submission (the wire format of the per-shard
-/// job channels — note: no `GlobalState`, no protocol types).
-struct ShardJob {
-    at: SimTime,
-    node: NodeId,
-    steering: bool,
-    delta: StateDelta,
+/// A protocol-agnostic set of long-lived checker **lanes** (threads) that
+/// any number of `CheckerPool`s — over *different* protocol types —
+/// submit their rounds to. This is how a fleet of co-deployed
+/// heterogeneous simulations shares one checker service: each
+/// controller's pool keeps its own per-shard state (predictor, diff
+/// decoders), but the threads doing the checking are fleet-wide, so a
+/// member with nothing to check donates its lanes to a busy neighbor.
+///
+/// Routing invariant: a `CheckerPool` shard is pinned to one lane for
+/// its lifetime, and each lane is a single thread draining a FIFO
+/// channel — so the per-shard (and hence per-node) round order that the
+/// diff-shipping codec and the replay cache rely on survives sharing.
+pub struct CheckerHost {
+    lanes: Vec<mpsc::Sender<HostJob>>,
+    handles: Vec<thread::JoinHandle<()>>,
+    next_lane: std::sync::atomic::AtomicUsize,
 }
 
-struct Shard {
-    jobs: mpsc::Sender<ShardJob>,
+type HostJob = Box<dyn FnOnce() + Send + 'static>;
+
+impl CheckerHost {
+    /// Spawns `lanes` checker threads (at least one).
+    pub fn new(lanes: usize) -> Self {
+        let n = lanes.max(1);
+        let mut txs = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for i in 0..n {
+            let (tx, rx) = mpsc::channel::<HostJob>();
+            let handle = thread::Builder::new()
+                .name(format!("cb-checker-lane-{i}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        job();
+                    }
+                })
+                .expect("spawn checker lane");
+            txs.push(tx);
+            handles.push(handle);
+        }
+        CheckerHost {
+            lanes: txs,
+            handles,
+            next_lane: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of lane threads.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Round-robin lane assignment for a new shard (deterministic in
+    /// construction order).
+    fn assign_lane(&self) -> usize {
+        self.next_lane
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            % self.lanes.len()
+    }
+
+    fn submit(&self, lane: usize, job: HostJob) {
+        // A send can only fail during teardown; rounds are droppable then.
+        let _ = self.lanes[lane].send(job);
+    }
+}
+
+impl Drop for CheckerHost {
+    fn drop(&mut self) {
+        // Closing the channels wakes the lanes; each drains its queued
+        // jobs (clients that shut down flag theirs to no-op) and exits.
+        self.lanes.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The shard-side state a lane locks while it runs one of the shard's
+/// rounds: the predictor (replay cache) and the decoder halves of the
+/// diff channels. Uncontended in practice — a shard's rounds are
+/// serialized by its lane.
+struct ShardState<P: Protocol> {
+    predictor: Predictor<P>,
+    decoders: HashMap<NodeId, DeltaDecoder>,
+}
+
+struct Shard<P: Protocol> {
     /// Submission-side halves of the shard's diff channels, one lineage
-    /// per submitting node (decoder twins live on the shard thread).
+    /// per submitting node (decoder twins live in [`ShardState`]).
     /// Per-node, not per-channel: consecutive snapshots of one node's
     /// neighborhood diff well; interleaved different-node neighborhoods
     /// would thrash a single shared base.
     encoders: HashMap<NodeId, DeltaEncoder>,
-    handle: Option<thread::JoinHandle<()>>,
+    lane: usize,
+    state: Arc<Mutex<ShardState<P>>>,
 }
 
-/// The background checker service: shard threads, each owning a
-/// `Predictor` and the decoder half of a diff-shipping channel, plus one
-/// shared results channel. Rounds are routed by `node mod shards`, so a
-/// node's remembered error paths stay with the shard that replays them
-/// while different nodes' snapshots check in parallel. Submission never
-/// blocks; results are polled.
+/// The background checker service: per-node-sharded client of a
+/// [`CheckerHost`]. Each shard owns a `Predictor` and the decoder half
+/// of a diff-shipping channel, pinned to one host lane; results flow
+/// back over one shared channel. Rounds are routed by `node mod shards`,
+/// so a node's remembered error paths stay with the shard that replays
+/// them while different nodes' snapshots check in parallel. Submission
+/// never blocks; results are polled. With no shared host the pool spawns
+/// a private one (one lane per shard) — the pre-fleet topology.
 pub(crate) struct CheckerPool<P: Protocol> {
-    shards: Vec<Shard>,
+    shards: Vec<Shard<P>>,
+    host: Arc<CheckerHost>,
     results: mpsc::Receiver<RoundResult<P>>,
+    res_tx: mpsc::Sender<RoundResult<P>>,
     shutdown: Arc<AtomicBool>,
     submitted: u64,
     drained: u64,
 }
 
 impl<P: Protocol> CheckerPool<P> {
-    /// Spawns `shards` shard threads, each with its own `Predictor`
-    /// sharing `pool` for search parallelism.
+    /// Creates `shards` checker shards, each with its own `Predictor`
+    /// sharing `pool` for search parallelism, running on `host` (or on a
+    /// freshly spawned private host when `None`).
     pub(crate) fn spawn(
         protocol: &P,
         props: &PropertySet<P>,
         config: &Arc<ControllerConfig>,
         pool: &WorkerPool,
         shards: usize,
+        host: Option<Arc<CheckerHost>>,
     ) -> Self {
         let shards_n = shards.max(1);
+        let host = host.unwrap_or_else(|| Arc::new(CheckerHost::new(shards_n)));
         let (res_tx, res_rx) = mpsc::channel::<RoundResult<P>>();
         let shutdown = Arc::new(AtomicBool::new(false));
         let shards = (0..shards_n)
-            .map(|i| {
-                let (job_tx, job_rx) = mpsc::channel::<ShardJob>();
-                let mut predictor = Predictor::new(
-                    protocol.clone(),
-                    props.clone(),
-                    config.clone(),
-                    pool.clone(),
-                );
-                let res_tx = res_tx.clone();
-                let stop = shutdown.clone();
-                let handle = thread::Builder::new()
-                    .name(format!("crystalball-checker-{i}"))
-                    .spawn(move || {
-                        let mut decoders: HashMap<NodeId, DeltaDecoder> = HashMap::new();
-                        while let Ok(job) = job_rx.recv() {
-                            // A closed job channel still delivers its
-                            // backlog; the flag lets Drop skip queued
-                            // rounds instead of grinding through every
-                            // buffered search.
-                            if stop.load(Ordering::Relaxed) {
-                                break;
-                            }
-                            // The encoder twin rides the same FIFO
-                            // channel (per-node order preserved), so the
-                            // bases stay in lockstep; a decode failure
-                            // here is a codec bug, not a runtime
-                            // condition.
-                            let start: GlobalState<P> = decoders
-                                .entry(job.node)
-                                .or_default()
-                                .decode_state(&job.delta)
-                                .expect("shard delta decodes against in-sync base");
-                            let result = predictor.run_round(
-                                PredictionJob {
-                                    at: job.at,
-                                    node: job.node,
-                                    steering: job.steering,
-                                },
-                                &start,
-                            );
-                            if res_tx.send(result).is_err() {
-                                break; // controller dropped; stop checking
-                            }
-                        }
-                    })
-                    .expect("spawn checker shard");
-                Shard {
-                    jobs: job_tx,
-                    encoders: HashMap::new(),
-                    handle: Some(handle),
-                }
+            .map(|_| Shard {
+                encoders: HashMap::new(),
+                lane: host.assign_lane(),
+                state: Arc::new(Mutex::new(ShardState {
+                    predictor: Predictor::new(
+                        protocol.clone(),
+                        props.clone(),
+                        config.clone(),
+                        pool.clone(),
+                    ),
+                    decoders: HashMap::new(),
+                })),
             })
             .collect();
         CheckerPool {
             shards,
+            host,
             results: res_rx,
+            res_tx,
             shutdown,
             submitted: 0,
             drained: 0,
@@ -460,7 +520,9 @@ impl<P: Protocol> CheckerPool<P> {
 
     /// Queues one round, diff-shipping the state against the last
     /// submission for the same node. Never blocks, never clones the
-    /// decoded `GlobalState`.
+    /// decoded `GlobalState`. The returned sequence number travels with
+    /// the round, so the controller can apply drained batches in
+    /// submission order regardless of which lane finished first.
     pub(crate) fn submit(
         &mut self,
         at: SimTime,
@@ -472,12 +534,72 @@ impl<P: Protocol> CheckerPool<P> {
         let shard = &mut self.shards[ix];
         let delta = shard.encoders.entry(node).or_default().encode_state(start);
         self.submitted += 1;
-        let _ = shard.jobs.send(ShardJob {
-            at,
-            node,
-            steering,
-            delta,
-        });
+        let seq = self.submitted;
+        let state = shard.state.clone();
+        let res_tx = self.res_tx.clone();
+        let stop = self.shutdown.clone();
+        self.host.submit(
+            shard.lane,
+            Box::new(move || {
+                // A dropped pool flags its queued rounds to no-op so a
+                // *shared* lane doesn't grind through a dead controller's
+                // backlog before serving live neighbors.
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                // The round runs under catch_unwind so a panicking
+                // predictor (a codec bug's decode assertion, a poisoned
+                // shard mutex) still produces *a* result: otherwise
+                // `pending()` never drains and every waiter blocks for
+                // its full timeout, and — worse — the panic would kill a
+                // lane other controllers share. The lane survives; the
+                // panic is reported on stderr.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut st = state.lock().expect("shard state poisoned");
+                    let st = &mut *st;
+                    // The encoder twin rides the same FIFO lane (per-node
+                    // order preserved), so the bases stay in lockstep; a
+                    // decode failure here is a codec bug, not a runtime
+                    // condition.
+                    let start: GlobalState<P> = st
+                        .decoders
+                        .entry(node)
+                        .or_default()
+                        .decode_state(&delta)
+                        .expect("shard delta decodes against in-sync base");
+                    st.predictor
+                        .run_round(PredictionJob { at, node, steering }, &start)
+                }));
+                let mut result = match outcome {
+                    Ok(r) => r,
+                    Err(payload) => {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".into());
+                        eprintln!(
+                            "crystalball: checker round for {node} panicked \
+                             (empty result substituted, lane kept alive): {msg}"
+                        );
+                        RoundResult {
+                            seq: 0,
+                            at,
+                            node,
+                            steering,
+                            replays_rediscovered: 0,
+                            replay_filters: Vec::new(),
+                            found: None,
+                            states_visited: 0,
+                            filter: None,
+                            wall: Duration::ZERO,
+                        }
+                    }
+                };
+                result.seq = seq;
+                let _ = res_tx.send(result); // receiver gone = pool dropped
+            }),
+        );
     }
 
     /// Rounds submitted but not yet drained.
@@ -531,18 +653,9 @@ impl<P: Protocol> CheckerPool<P> {
 
 impl<P: Protocol> Drop for CheckerPool<P> {
     fn drop(&mut self) {
-        // Tell the shards to abandon any backlog, then close the job
-        // channels so `recv` wakes; each join completes after at most one
-        // in-flight round.
+        // Flag queued rounds to no-op (a shared host keeps serving other
+        // pools; a private host joins its lanes when the Arc drops after
+        // at most one in-flight round per lane).
         self.shutdown.store(true, Ordering::Relaxed);
-        for shard in &mut self.shards {
-            let (tx, _) = mpsc::channel();
-            drop(std::mem::replace(&mut shard.jobs, tx));
-        }
-        for shard in &mut self.shards {
-            if let Some(h) = shard.handle.take() {
-                let _ = h.join();
-            }
-        }
     }
 }

@@ -1,0 +1,260 @@
+//! The fleet's fault-injection engine: seeded, time-ordered schedules of
+//! partitions, link degradation, and node churn.
+//!
+//! A [`FaultPlan`] is generated once from `(FaultConfig, seed)` and then
+//! applied **uniformly** to every co-deployed simulation: fault events
+//! name abstract node *indices*, and each deployment maps an index onto
+//! its own node set (`index mod nodes`). The same plan therefore cuts the
+//! "same" links and churns the "same" nodes in a 3-node Paxos group and
+//! an 8-node RandTree overlay — the fleet-wide storm the paper's live
+//! experiments emulate with ModelNet cross traffic and scripted resets.
+//!
+//! Partitions and degradations land in `cb-net`'s fault layer
+//! ([`cb_net::NetworkModel::set_partitioned`] / [`cb_net::LinkFault`]),
+//! churn lands as runtime resets with a per-protocol rejoin; everything
+//! is derived deterministically from the seed, so the plan is part of the
+//! fleet's reproducibility contract.
+
+use cb_model::{SimDuration, SimTime};
+use cb_net::LinkFault;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One fault, in deployment-independent node-index space.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultEvent {
+    /// Cut (`up: false`) or heal (`up: true`) the pair's connectivity.
+    Partition {
+        /// First endpoint index.
+        a: usize,
+        /// Second endpoint index.
+        b: usize,
+        /// True restores the link.
+        up: bool,
+    },
+    /// Degrade (`Some`) or restore (`None`) the pair's path quality.
+    Degrade {
+        /// First endpoint index.
+        a: usize,
+        /// Second endpoint index.
+        b: usize,
+        /// Extra loss/delay to install, or `None` to heal.
+        fault: Option<LinkFault>,
+    },
+    /// Crash-and-restart the node (volatile state lost).
+    Churn {
+        /// Node index.
+        node: usize,
+        /// Whether peers receive RSTs (a "loud" vs. silent reset).
+        notify: bool,
+    },
+    /// Re-issue the node's join/bootstrap call after a churn (members
+    /// without a rejoin action ignore this).
+    Rejoin {
+        /// Node index.
+        node: usize,
+    },
+}
+
+/// Fault-schedule generation parameters. `None` gaps disable a class.
+#[derive(Clone, Debug)]
+pub struct FaultConfig {
+    /// Size of the abstract node-index space faults are drawn from
+    /// (deployments fold indices onto their own node count).
+    pub nodes: usize,
+    /// Horizon: no fault is scheduled after this.
+    pub duration: SimDuration,
+    /// Grace period before the first fault (lets overlays bootstrap).
+    pub start_after: SimDuration,
+    /// Mean gap between partitions.
+    pub partition_mean_gap: Option<SimDuration>,
+    /// How long a partition lasts before its heal event.
+    pub partition_heal_after: SimDuration,
+    /// Mean gap between churn events.
+    pub churn_mean_gap: Option<SimDuration>,
+    /// Delay from a churn to its rejoin.
+    pub churn_rejoin_after: SimDuration,
+    /// Mean gap between link degradations.
+    pub degrade_mean_gap: Option<SimDuration>,
+    /// How long a degradation lasts before the path is restored.
+    pub degrade_heal_after: SimDuration,
+    /// The degradation to install (loss + delay).
+    pub degrade: LinkFault,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            nodes: 8,
+            duration: SimDuration::from_secs(120),
+            start_after: SimDuration::from_secs(20),
+            partition_mean_gap: Some(SimDuration::from_secs(40)),
+            partition_heal_after: SimDuration::from_secs(10),
+            churn_mean_gap: Some(SimDuration::from_secs(30)),
+            churn_rejoin_after: SimDuration::from_secs(2),
+            degrade_mean_gap: Some(SimDuration::from_secs(45)),
+            degrade_heal_after: SimDuration::from_secs(15),
+            degrade: LinkFault {
+                extra_loss: 0.05,
+                extra_delay: SimDuration::from_millis(150),
+            },
+        }
+    }
+}
+
+/// A time-ordered fault schedule, ready to load into a fleet.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Sorted `(time, fault)` pairs.
+    pub events: Vec<(SimTime, FaultEvent)>,
+}
+
+impl FaultPlan {
+    /// Generates the plan for `(config, seed)`. Deterministic: the same
+    /// inputs yield the same schedule, independent of everything else in
+    /// the process.
+    pub fn generate(config: &FaultConfig, seed: u64) -> Self {
+        let mut events: Vec<(SimTime, FaultEvent)> = Vec::new();
+        let n = config.nodes.max(2);
+        let end = SimTime::ZERO + config.duration;
+
+        // Each class walks time independently with its own derived seed,
+        // so enabling/disabling one class never shifts another's stream.
+        if let Some(mean) = config.partition_mean_gap {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x7061_7274);
+            let mut t = SimTime::ZERO + config.start_after;
+            while t < end {
+                let a = rng.gen_range(0..n);
+                let b = (a + 1 + rng.gen_range(0..n - 1)) % n;
+                events.push((t, FaultEvent::Partition { a, b, up: false }));
+                events.push((
+                    t + config.partition_heal_after,
+                    FaultEvent::Partition { a, b, up: true },
+                ));
+                t += mean.mul_f64(rng.gen_range(0.3..1.7));
+            }
+        }
+        if let Some(mean) = config.churn_mean_gap {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x0063_6875_726e);
+            let mut t = SimTime::ZERO + config.start_after;
+            while t < end {
+                let node = rng.gen_range(0..n);
+                let notify = rng.gen_bool(0.5);
+                events.push((t, FaultEvent::Churn { node, notify }));
+                events.push((t + config.churn_rejoin_after, FaultEvent::Rejoin { node }));
+                t += mean.mul_f64(rng.gen_range(0.3..1.7));
+            }
+        }
+        if let Some(mean) = config.degrade_mean_gap {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x6465_6772);
+            let mut t = SimTime::ZERO + config.start_after;
+            while t < end {
+                let a = rng.gen_range(0..n);
+                let b = (a + 1 + rng.gen_range(0..n - 1)) % n;
+                events.push((
+                    t,
+                    FaultEvent::Degrade {
+                        a,
+                        b,
+                        fault: Some(config.degrade),
+                    },
+                ));
+                events.push((
+                    t + config.degrade_heal_after,
+                    FaultEvent::Degrade { a, b, fault: None },
+                ));
+                t += mean.mul_f64(rng.gen_range(0.3..1.7));
+            }
+        }
+        // Stable sort: equal-time events keep class order (partitions,
+        // churn, degradations) and per-class emission order.
+        events.sort_by_key(|(t, _)| *t);
+        FaultPlan { events }
+    }
+
+    /// Number of scheduled fault events (including heals/rejoins).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_paired() {
+        let cfg = FaultConfig::default();
+        let a = FaultPlan::generate(&cfg, 7);
+        let b = FaultPlan::generate(&cfg, 7);
+        assert_eq!(a.events, b.events);
+        assert_ne!(
+            a.events,
+            FaultPlan::generate(&cfg, 8).events,
+            "different seeds differ"
+        );
+        assert!(!a.is_empty());
+        // Every cut has a heal, every churn a rejoin, every degradation a
+        // restore.
+        let count = |f: &dyn Fn(&FaultEvent) -> bool| a.events.iter().filter(|(_, e)| f(e)).count();
+        assert_eq!(
+            count(&|e| matches!(e, FaultEvent::Partition { up: false, .. })),
+            count(&|e| matches!(e, FaultEvent::Partition { up: true, .. }))
+        );
+        assert_eq!(
+            count(&|e| matches!(e, FaultEvent::Churn { .. })),
+            count(&|e| matches!(e, FaultEvent::Rejoin { .. }))
+        );
+        assert_eq!(
+            count(&|e| matches!(e, FaultEvent::Degrade { fault: Some(_), .. })),
+            count(&|e| matches!(e, FaultEvent::Degrade { fault: None, .. }))
+        );
+    }
+
+    #[test]
+    fn respects_grace_period_and_ordering() {
+        let cfg = FaultConfig {
+            start_after: SimDuration::from_secs(30),
+            ..FaultConfig::default()
+        };
+        let plan = FaultPlan::generate(&cfg, 3);
+        assert!(plan
+            .events
+            .first()
+            .is_some_and(|(t, _)| *t >= SimTime::ZERO + SimDuration::from_secs(30)));
+        assert!(plan.events.windows(2).all(|w| w[0].0 <= w[1].0), "sorted");
+        // Partition endpoints are always distinct indices.
+        for (_, e) in &plan.events {
+            if let FaultEvent::Partition { a, b, .. } | FaultEvent::Degrade { a, b, .. } = e {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn classes_are_independently_disableable() {
+        let cfg = FaultConfig {
+            churn_mean_gap: None,
+            degrade_mean_gap: None,
+            ..FaultConfig::default()
+        };
+        let plan = FaultPlan::generate(&cfg, 7);
+        assert!(plan
+            .events
+            .iter()
+            .all(|(_, e)| matches!(e, FaultEvent::Partition { .. })));
+        // The partition stream is unchanged by disabling the others.
+        let full = FaultPlan::generate(&FaultConfig::default(), 7);
+        let partitions_only: Vec<_> = full
+            .events
+            .into_iter()
+            .filter(|(_, e)| matches!(e, FaultEvent::Partition { .. }))
+            .collect();
+        assert_eq!(plan.events, partitions_only);
+    }
+}

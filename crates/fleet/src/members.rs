@@ -1,0 +1,304 @@
+//! Ready-made fleet members: one constructor per evaluated protocol,
+//! each pairing the protocol with a deterministic workload generator.
+//!
+//! * [`randtree_member`] / [`chord_member`] — overlay maintenance under
+//!   join/leave churn (the §5.4.1 workload);
+//! * [`paxos_member`] — repeated Fig. 13 proposal rounds: scripted
+//!   partitions around competing proposers (plus a proposer crash, the
+//!   P2 trigger);
+//! * [`bullet_member`] — a Bullet' block flood: the mesh's periodic diff
+//!   and request timers are the workload.
+//!
+//! Every constructor takes the same [`MemberCommon`] knobs and the
+//! fleet's shared [`FleetRuntime`]; with a `ControllerConfig` the member
+//! runs under a CrystalBall controller wired to the fleet's shared
+//! worker pool and checker host (hook polling disabled — the scheduler
+//! owns the drain points), without one it runs uninstrumented
+//! (`NoHook`), giving baseline members for avoided-vs-suffered
+//! comparisons.
+
+use cb_model::{NodeId, PropertySet, Protocol, SimDuration, SimTime};
+use cb_protocols::bullet::{Bullet, BulletBugs};
+use cb_protocols::chord::{self, Chord, ChordBugs};
+use cb_protocols::paxos::{self, Paxos, PaxosBugs};
+use cb_protocols::randtree::{self, RandTree, RandTreeBugs};
+use cb_runtime::{Scenario, ScriptEvent, SimConfig, Simulation, SnapshotRuntime};
+use crystalball::{Controller, ControllerConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::deployment::{Deployment, SimDeployment};
+use crate::scheduler::FleetRuntime;
+
+/// Knobs every member shares.
+#[derive(Clone, Debug)]
+pub struct MemberCommon {
+    /// Deployment name (unique within the fleet; also salts the seed).
+    pub name: String,
+    /// Member seed (topology, network randomness, workload).
+    pub seed: u64,
+    /// CrystalBall controller to attach, or `None` for an uninstrumented
+    /// baseline member.
+    pub controller: Option<ControllerConfig>,
+    /// Checkpoint/gather period of the snapshot pipeline feeding
+    /// prediction (ignored for baseline members).
+    pub snapshot_period: SimDuration,
+}
+
+impl MemberCommon {
+    /// A steering member named `name`.
+    pub fn steering(name: &str, seed: u64, controller: ControllerConfig) -> Self {
+        MemberCommon {
+            name: name.into(),
+            seed,
+            controller: Some(controller),
+            snapshot_period: SimDuration::from_secs(3),
+        }
+    }
+
+    /// An uninstrumented baseline member named `name`.
+    pub fn baseline(name: &str, seed: u64) -> Self {
+        MemberCommon {
+            name: name.into(),
+            seed,
+            controller: None,
+            snapshot_period: SimDuration::from_secs(3),
+        }
+    }
+}
+
+/// Builds the simulation + hook pair and erases it behind `Deployment`.
+fn build<P: Protocol>(
+    rt: &FleetRuntime,
+    common: &MemberCommon,
+    proto: P,
+    nodes: Vec<NodeId>,
+    props: impl Fn() -> PropertySet<P>,
+    scenario: Scenario<P>,
+    rejoin: Option<Box<dyn Fn(NodeId) -> P::Action>>,
+) -> Box<dyn Deployment> {
+    let sim_config = |snapshots| SimConfig {
+        seed: common.seed,
+        snapshots,
+        ..SimConfig::default()
+    };
+    match &common.controller {
+        Some(cfg) => {
+            // The scheduler owns the application points; hook polling
+            // would reintroduce wall-clock timing into the trace.
+            let cfg = ControllerConfig {
+                poll_in_hooks: false,
+                ..cfg.clone()
+            };
+            let controller = Controller::with_runtime(
+                proto.clone(),
+                props(),
+                cfg,
+                rt.pool.clone(),
+                Some(rt.host.clone()),
+            );
+            let mut sim = Simulation::new(
+                proto,
+                &nodes,
+                props(),
+                controller,
+                sim_config(Some(SnapshotRuntime {
+                    checkpoint_interval: common.snapshot_period,
+                    gather_interval: common.snapshot_period,
+                    ..SnapshotRuntime::default()
+                })),
+            );
+            sim.load_scenario(scenario);
+            Box::new(SimDeployment::new(&common.name, sim, nodes, rejoin))
+        }
+        None => {
+            let mut sim =
+                Simulation::new(proto, &nodes, props(), cb_runtime::NoHook, sim_config(None));
+            sim.load_scenario(scenario);
+            Box::new(SimDeployment::new(&common.name, sim, nodes, rejoin))
+        }
+    }
+}
+
+/// A RandTree overlay of `n_nodes` under join/leave churn.
+pub fn randtree_member(
+    rt: &FleetRuntime,
+    common: MemberCommon,
+    n_nodes: u32,
+    bugs: RandTreeBugs,
+    churn_mean: SimDuration,
+    horizon: SimDuration,
+) -> Box<dyn Deployment> {
+    let nodes: Vec<NodeId> = (0..n_nodes).map(NodeId).collect();
+    let proto = RandTree::new(2, vec![NodeId(0)], bugs);
+    let scenario = Scenario::churn(
+        &nodes,
+        |_| randtree::Action::Join { target: NodeId(0) },
+        churn_mean,
+        horizon,
+        common.seed,
+    );
+    build(
+        rt,
+        &common,
+        proto,
+        nodes,
+        randtree::properties::all,
+        scenario,
+        Some(Box::new(|_| randtree::Action::Join { target: NodeId(0) })),
+    )
+}
+
+/// A Chord ring of `n_nodes` under join/leave churn.
+pub fn chord_member(
+    rt: &FleetRuntime,
+    common: MemberCommon,
+    n_nodes: u32,
+    bugs: ChordBugs,
+    churn_mean: SimDuration,
+    horizon: SimDuration,
+) -> Box<dyn Deployment> {
+    let nodes: Vec<NodeId> = (0..n_nodes).map(NodeId).collect();
+    let proto = Chord::new(vec![NodeId(0)], bugs);
+    let scenario = Scenario::churn(
+        &nodes,
+        |_| chord::Action::Join { target: NodeId(0) },
+        churn_mean,
+        horizon,
+        common.seed,
+    );
+    build(
+        rt,
+        &common,
+        proto,
+        nodes,
+        chord::properties::all,
+        scenario,
+        Some(Box::new(|_| chord::Action::Join { target: NodeId(0) })),
+    )
+}
+
+/// A three-node Paxos group running repeated Fig. 13 rounds: round 1
+/// chooses a value on {A, B} while C is partitioned away; then, after a
+/// seed-drawn gap, B proposes again behind a partition of A — with a
+/// crash of B just before (the P2 reboot trigger). `rounds` repetitions
+/// are spaced `round_gap` apart.
+pub fn paxos_member(
+    rt: &FleetRuntime,
+    common: MemberCommon,
+    bugs: PaxosBugs,
+    rounds: usize,
+    round_gap: SimDuration,
+) -> Box<dyn Deployment> {
+    let nodes: Vec<NodeId> = (0..3).map(NodeId).collect();
+    let mut proto = Paxos::new(nodes.clone(), bugs);
+    if bugs.p2_promise_not_persisted {
+        // The checker must be able to explore crashes to see P2 futures.
+        proto = proto.with_crashes();
+    }
+    let scenario = paxos_fig13_workload(rounds, round_gap, common.seed);
+    build(
+        rt,
+        &common,
+        proto,
+        nodes,
+        paxos::properties::all,
+        scenario,
+        None,
+    )
+}
+
+/// The Fig. 13 proposal schedule, repeated: the deterministic Paxos
+/// traffic driver ("client ops" at a configurable rate).
+pub fn paxos_fig13_workload(rounds: usize, round_gap: SimDuration, seed: u64) -> Scenario<Paxos> {
+    let (a, b, c) = (NodeId(0), NodeId(1), NodeId(2));
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7078_6673);
+    let mut s = Scenario::new();
+    let mut t0 = SimTime::ZERO;
+    for _ in 0..rounds.max(1) {
+        // Round 1: {A, B} choose while C is cut off.
+        s.push(t0, ScriptEvent::Connectivity { a, b: c, up: false });
+        s.push(
+            t0,
+            ScriptEvent::Connectivity {
+                a: b,
+                b: c,
+                up: false,
+            },
+        );
+        s.push(
+            t0 + SimDuration::from_millis(100),
+            ScriptEvent::Action {
+                node: a,
+                action: paxos::Action::Propose,
+            },
+        );
+        s.push(
+            t0 + SimDuration::from_secs(4),
+            ScriptEvent::Connectivity { a, b: c, up: true },
+        );
+        s.push(
+            t0 + SimDuration::from_secs(4),
+            ScriptEvent::Connectivity {
+                a: b,
+                b: c,
+                up: true,
+            },
+        );
+        // Round 2 after a seed-drawn gap: B proposes behind a partition
+        // of A, having just crashed (the P2 reboot forgets volatile
+        // acceptor state).
+        let gap = SimDuration::from_millis(rng.gen_range(0..20_000));
+        let round2 = t0 + SimDuration::from_secs(5) + gap;
+        s.push(round2, ScriptEvent::Connectivity { a, b, up: false });
+        s.push(round2, ScriptEvent::Connectivity { a, b: c, up: false });
+        s.push(
+            round2 + SimDuration::from_millis(10),
+            ScriptEvent::Action {
+                node: b,
+                action: paxos::Action::Crash,
+            },
+        );
+        s.push(
+            round2 + SimDuration::from_millis(100),
+            ScriptEvent::Action {
+                node: b,
+                action: paxos::Action::Propose,
+            },
+        );
+        // Heal for the next repetition.
+        let heal = round2 + SimDuration::from_secs(6);
+        s.push(heal, ScriptEvent::Connectivity { a, b, up: true });
+        s.push(heal, ScriptEvent::Connectivity { a, b: c, up: true });
+        t0 = heal + round_gap;
+    }
+    s
+}
+
+/// A Bullet' dissemination mesh flooding `blocks` blocks from the source
+/// through `n_nodes` receivers (fan-in 2). The protocol's periodic diff
+/// and request timers are the whole workload.
+pub fn bullet_member(
+    rt: &FleetRuntime,
+    common: MemberCommon,
+    n_nodes: u32,
+    blocks: u32,
+    bugs: BulletBugs,
+) -> Box<dyn Deployment> {
+    use cb_protocols::bullet;
+    let nodes: Vec<NodeId> = (0..n_nodes).map(NodeId).collect();
+    let mut proto = Bullet::with_mesh(&nodes, 2, blocks, bugs);
+    // Slow dissemination: keep the flood in flight across many snapshot
+    // gathers, the regime where prediction has a future to see.
+    proto.diff_period = SimDuration::from_secs(2);
+    proto.request_period = SimDuration::from_secs(1);
+    build(
+        rt,
+        &common,
+        proto,
+        nodes,
+        bullet::properties::all,
+        Scenario::new(),
+        None,
+    )
+}

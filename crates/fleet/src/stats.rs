@@ -1,0 +1,278 @@
+//! Fleet-wide steering metrics: the per-member roll-up and its JSON form.
+//!
+//! One [`MemberStats`] summarizes one co-deployed simulation — live
+//! counters, controller counters (predictions vs. installed filters vs.
+//! interventions), checker wire bytes, and a state hash. [`FleetStats`]
+//! aggregates them plus the scheduler's own counters.
+//!
+//! Two serializations, on purpose:
+//!
+//! * [`FleetStats::to_json`] — everything, including measured wall-clock
+//!   checker latency (host-dependent);
+//! * [`FleetStats::deterministic_json`] — the subset that the fleet's
+//!   determinism contract covers: byte-identical for the same
+//!   `(config, seed)` regardless of worker count, checker lanes, or host
+//!   speed. The determinism tests compare these bytes.
+
+use std::collections::BTreeMap;
+
+use cb_model::SimTime;
+
+/// The roll-up of one fleet member (one co-deployed simulation).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MemberStats {
+    /// Deployment name (unique within the fleet).
+    pub name: String,
+    /// Protocol name (`randtree`, `paxos`, ...).
+    pub protocol: String,
+    /// Events the fleet scheduler dispatched into this member.
+    pub steps: u64,
+    /// Faults the fleet's fault engine applied to this member.
+    pub faults_applied: u64,
+    /// Handler executions (deliveries + actions).
+    pub actions_executed: u64,
+    /// Message deliveries that ran a handler.
+    pub messages_delivered: u64,
+    /// Messages swallowed by partitions or loss.
+    pub messages_lost: u64,
+    /// Deliveries suppressed by steering filters / the ISC.
+    pub deliveries_blocked: u64,
+    /// Actions suppressed (rescheduled) by steering.
+    pub actions_blocked: u64,
+    /// Scripted/fault resets applied.
+    pub resets_applied: u64,
+    /// Neighborhood snapshot gathers completed.
+    pub snapshots_completed: u64,
+    /// Live states that violated a safety property.
+    pub violating_states: u64,
+    /// Violations by property name.
+    pub violations_by_property: BTreeMap<String, u64>,
+    /// Checking rounds executed by this member's controller.
+    pub mc_runs: u64,
+    /// Rounds that predicted a future inconsistency.
+    pub predictions: u64,
+    /// Predictions turned into installed filters (avoidance actions).
+    pub filters_installed: u64,
+    /// Predictions with no safe corrective filter.
+    pub steering_unhelpful: u64,
+    /// Events an active filter actually blocked.
+    pub filter_hits: u64,
+    /// Immediate-safety-check vetoes.
+    pub isc_vetoes: u64,
+    /// Violations that reached the live state anyway.
+    pub uncaught_violations: u64,
+    /// Bytes a full-clone checker submission would have moved.
+    pub wire_raw_bytes: u64,
+    /// Bytes the diff-shipped submissions actually moved.
+    pub wire_shipped_bytes: u64,
+    /// Mean measured checking-round wall-clock, milliseconds
+    /// (host-dependent; excluded from the deterministic serialization).
+    pub avg_mc_latency_ms: f64,
+    /// When the first prediction landed (simulated time).
+    pub first_prediction_at: Option<SimTime>,
+    /// When the first live violation occurred (simulated time).
+    pub first_violation_at: Option<SimTime>,
+    /// Hash of the member's final global state.
+    pub state_hash: u64,
+}
+
+impl MemberStats {
+    /// The member's deterministic JSON object (no wall-clock fields).
+    fn deterministic_fields(&self) -> String {
+        let viols: Vec<String> = self
+            .violations_by_property
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{v}"))
+            .collect();
+        format!(
+            "\"name\":\"{}\",\"protocol\":\"{}\",\"steps\":{},\"faults_applied\":{},\
+             \"actions_executed\":{},\"messages_delivered\":{},\"messages_lost\":{},\
+             \"deliveries_blocked\":{},\"actions_blocked\":{},\"resets_applied\":{},\
+             \"snapshots_completed\":{},\"violating_states\":{},\
+             \"violations_by_property\":{{{}}},\"mc_runs\":{},\"predictions\":{},\
+             \"filters_installed\":{},\"steering_unhelpful\":{},\"filter_hits\":{},\
+             \"isc_vetoes\":{},\"uncaught_violations\":{},\"wire_raw_bytes\":{},\
+             \"wire_shipped_bytes\":{},\"first_prediction_at_us\":{},\
+             \"first_violation_at_us\":{},\"state_hash\":\"{:016x}\"",
+            self.name,
+            self.protocol,
+            self.steps,
+            self.faults_applied,
+            self.actions_executed,
+            self.messages_delivered,
+            self.messages_lost,
+            self.deliveries_blocked,
+            self.actions_blocked,
+            self.resets_applied,
+            self.snapshots_completed,
+            self.violating_states,
+            viols.join(","),
+            self.mc_runs,
+            self.predictions,
+            self.filters_installed,
+            self.steering_unhelpful,
+            self.filter_hits,
+            self.isc_vetoes,
+            self.uncaught_violations,
+            self.wire_raw_bytes,
+            self.wire_shipped_bytes,
+            opt_time(self.first_prediction_at),
+            opt_time(self.first_violation_at),
+            self.state_hash,
+        )
+    }
+}
+
+fn opt_time(t: Option<SimTime>) -> String {
+    match t {
+        Some(t) => t.0.to_string(),
+        None => "null".into(),
+    }
+}
+
+/// The whole fleet's roll-up.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FleetStats {
+    /// The fleet seed.
+    pub seed: u64,
+    /// Simulated horizon, seconds.
+    pub sim_seconds: f64,
+    /// Events dispatched across all members.
+    pub fleet_steps: u64,
+    /// Fault events consumed from the plan.
+    pub faults_applied: u64,
+    /// Checker drain boundaries executed.
+    pub drains: u64,
+    /// Per-member roll-ups, in deployment order.
+    pub members: Vec<MemberStats>,
+}
+
+impl FleetStats {
+    /// Total predicted inconsistencies across members.
+    pub fn predictions(&self) -> u64 {
+        self.members.iter().map(|m| m.predictions).sum()
+    }
+
+    /// Total installed corrective filters across members.
+    pub fn filters_installed(&self) -> u64 {
+        self.members.iter().map(|m| m.filters_installed).sum()
+    }
+
+    /// Total live violating states across members.
+    pub fn violating_states(&self) -> u64 {
+        self.members.iter().map(|m| m.violating_states).sum()
+    }
+
+    /// Total steering interventions (filter blocks + ISC vetoes).
+    pub fn interventions(&self) -> u64 {
+        self.members
+            .iter()
+            .map(|m| m.filter_hits + m.isc_vetoes)
+            .sum()
+    }
+
+    /// Total checker wire bytes (raw, shipped) across members.
+    pub fn wire_bytes(&self) -> (u64, u64) {
+        self.members.iter().fold((0, 0), |(r, s), m| {
+            (r + m.wire_raw_bytes, s + m.wire_shipped_bytes)
+        })
+    }
+
+    /// The deterministic serialization: byte-identical for the same
+    /// `(config, seed)` across worker counts and host speeds.
+    pub fn deterministic_json(&self) -> String {
+        let members: Vec<String> = self
+            .members
+            .iter()
+            .map(|m| format!("{{{}}}", m.deterministic_fields()))
+            .collect();
+        format!(
+            "{{\"fleet_seed\":{},\"sim_seconds\":{:.3},\"fleet_steps\":{},\
+             \"faults_applied\":{},\"drains\":{},\"members\":[{}]}}",
+            self.seed,
+            self.sim_seconds,
+            self.fleet_steps,
+            self.faults_applied,
+            self.drains,
+            members.join(",")
+        )
+    }
+
+    /// The full serialization: the deterministic fields plus measured
+    /// wall-clock checker latency per member.
+    pub fn to_json(&self) -> String {
+        let members: Vec<String> = self
+            .members
+            .iter()
+            .map(|m| {
+                format!(
+                    "{{{},\"avg_mc_latency_ms\":{:.3}}}",
+                    m.deterministic_fields(),
+                    m.avg_mc_latency_ms
+                )
+            })
+            .collect();
+        format!(
+            "{{\"fleet_seed\":{},\"sim_seconds\":{:.3},\"fleet_steps\":{},\
+             \"faults_applied\":{},\"drains\":{},\"members\":[{}]}}",
+            self.seed,
+            self.sim_seconds,
+            self.fleet_steps,
+            self.faults_applied,
+            self.drains,
+            members.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn member(name: &str) -> MemberStats {
+        MemberStats {
+            name: name.into(),
+            protocol: "randtree".into(),
+            predictions: 2,
+            filters_installed: 1,
+            filter_hits: 3,
+            isc_vetoes: 1,
+            wire_raw_bytes: 100,
+            wire_shipped_bytes: 40,
+            avg_mc_latency_ms: 12.5,
+            first_prediction_at: Some(SimTime(5)),
+            violations_by_property: [("P".to_string(), 2u64)].into_iter().collect(),
+            ..MemberStats::default()
+        }
+    }
+
+    #[test]
+    fn aggregates_sum_members() {
+        let f = FleetStats {
+            members: vec![member("a"), member("b")],
+            ..FleetStats::default()
+        };
+        assert_eq!(f.predictions(), 4);
+        assert_eq!(f.filters_installed(), 2);
+        assert_eq!(f.interventions(), 8);
+        assert_eq!(f.wire_bytes(), (200, 80));
+    }
+
+    #[test]
+    fn deterministic_json_excludes_wall_clock() {
+        let mut f = FleetStats {
+            members: vec![member("a")],
+            ..FleetStats::default()
+        };
+        let d1 = f.deterministic_json();
+        assert!(!d1.contains("latency"), "no wall-clock in {d1}");
+        assert!(f.to_json().contains("avg_mc_latency_ms"));
+        // Perturbing only the measured latency leaves the deterministic
+        // bytes untouched.
+        f.members[0].avg_mc_latency_ms = 9999.0;
+        assert_eq!(f.deterministic_json(), d1);
+        assert!(d1.contains("\"first_prediction_at_us\":5"));
+        assert!(d1.contains("\"first_violation_at_us\":null"));
+        assert!(d1.contains("\"P\":2"));
+    }
+}

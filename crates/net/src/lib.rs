@@ -18,7 +18,11 @@
 //!   directions;
 //! * [`NetworkModel`] — combines both: given `(now, src, dst, bytes)` it
 //!   returns the arrival time of a message, keeps per-connection FIFO
-//!   ordering (TCP semantics), and samples loss for unreliable traffic.
+//!   ordering (TCP semantics), samples loss for unreliable traffic, and
+//!   applies injected faults — pair partitions
+//!   ([`NetworkModel::set_partitioned`], dropped bytes accounted in
+//!   [`LinkStats::lost`]) and per-pair degradations ([`LinkFault`]: extra
+//!   loss and delay) — the substrate of the fleet harness's fault engine.
 //!
 //! Determinism: all randomness comes from the seeded [`rand`] PRNG owned by
 //! the model, so a simulation replays bit-identically from its seed.
@@ -43,6 +47,32 @@ pub enum Transport {
     Udp,
 }
 
+/// An injected degradation of one participant pair's path: extra
+/// cross-traffic loss and extra one-way delay, stacked on top of whatever
+/// the generated topology already imposes. This is the fault-injection
+/// surface the fleet harness drives (flaky links, congested paths); full
+/// partitions are a separate, loss-independent switch
+/// ([`NetworkModel::set_partitioned`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkFault {
+    /// Additional drop probability per transmission attempt, added to the
+    /// path's cross-traffic loss (clamped to 0.95 total so TCP
+    /// retransmission cannot loop forever).
+    pub extra_loss: f64,
+    /// Additional one-way latency.
+    pub extra_delay: SimDuration,
+}
+
+/// Injected faults, applied symmetrically per participant pair.
+#[derive(Debug, Default)]
+struct Faults {
+    /// Fully partitioned pairs: every message is dropped (and accounted
+    /// as lost bytes on the sender's uplink).
+    partitioned: std::collections::HashSet<(NodeId, NodeId)>,
+    /// Degraded pairs: extra loss/delay on top of the topology path.
+    degraded: std::collections::HashMap<(NodeId, NodeId), LinkFault>,
+}
+
 /// The complete network model used by the live runtime.
 #[derive(Debug)]
 pub struct NetworkModel {
@@ -54,6 +84,7 @@ pub struct NetworkModel {
     fifo_horizon: std::collections::HashMap<(NodeId, NodeId), SimTime>,
     /// Retransmission penalty applied per lost transmission attempt (TCP).
     rto: SimDuration,
+    faults: Faults,
 }
 
 impl NetworkModel {
@@ -65,6 +96,7 @@ impl NetworkModel {
             rng: StdRng::seed_from_u64(seed ^ 0x6e65_745f_6d6f_6465),
             fifo_horizon: std::collections::HashMap::new(),
             rto: SimDuration::from_millis(200),
+            faults: Faults::default(),
         }
     }
 
@@ -76,6 +108,51 @@ impl NetworkModel {
     /// Link/bandwidth statistics (bytes through each access link).
     pub fn stats(&self) -> &LinkStats {
         self.links.stats()
+    }
+
+    /// Cuts (or restores) the pair `a`↔`b`. While partitioned, every
+    /// message handed to [`NetworkModel::schedule`] for the pair is
+    /// dropped and its bytes are recorded in [`LinkStats::lost`] — the
+    /// sender transmitted, the network swallowed it.
+    ///
+    /// The check runs before any randomness is consumed, so installing
+    /// and healing partitions never perturbs the PRNG stream of the
+    /// unaffected traffic (a determinism requirement of the fleet
+    /// harness's fault engine).
+    pub fn set_partitioned(&mut self, a: NodeId, b: NodeId, partitioned: bool) {
+        if partitioned {
+            self.faults.partitioned.insert((a, b));
+            self.faults.partitioned.insert((b, a));
+        } else {
+            self.faults.partitioned.remove(&(a, b));
+            self.faults.partitioned.remove(&(b, a));
+        }
+    }
+
+    /// Whether the pair is currently partitioned.
+    pub fn is_partitioned(&self, a: NodeId, b: NodeId) -> bool {
+        self.faults.partitioned.contains(&(a, b))
+    }
+
+    /// Installs (`Some`) or clears (`None`) a symmetric degradation of
+    /// the pair's path: `extra_loss` joins the cross-traffic drop
+    /// probability, `extra_delay` joins the one-way latency.
+    pub fn set_link_fault(&mut self, a: NodeId, b: NodeId, fault: Option<LinkFault>) {
+        match fault {
+            Some(f) => {
+                self.faults.degraded.insert((a, b), f);
+                self.faults.degraded.insert((b, a), f);
+            }
+            None => {
+                self.faults.degraded.remove(&(a, b));
+                self.faults.degraded.remove(&(b, a));
+            }
+        }
+    }
+
+    /// The degradation currently installed on the pair, if any.
+    pub fn link_fault(&self, a: NodeId, b: NodeId) -> Option<LinkFault> {
+        self.faults.degraded.get(&(a, b)).copied()
     }
 
     /// Schedules a message of `bytes` from `src` to `dst` handed to the
@@ -93,20 +170,34 @@ impl NetworkModel {
         if src == dst {
             return Some(now + SimDuration::from_micros(10));
         }
+        // Partition check first, before any randomness: a dropped message
+        // must not perturb the PRNG stream of surviving traffic.
+        if self.faults.partitioned.contains(&(src, dst)) {
+            self.links.record_lost(src, bytes);
+            return None;
+        }
         let path = self.topo.path(src, dst);
-        let mut latency = path.delay;
+        let fault = self.faults.degraded.get(&(src, dst)).copied();
+        let loss = match fault {
+            Some(f) => (path.loss + f.extra_loss).clamp(0.0, 0.95),
+            None => path.loss,
+        };
+        let mut latency = match fault {
+            Some(f) => path.delay + f.extra_delay,
+            None => path.delay,
+        };
         match transport {
             Transport::Tcp => {
                 // Cross-traffic loss causes retransmissions: each lost
                 // attempt adds an RTO worth of delay.
                 let mut attempts = 0;
-                while self.rng.gen::<f64>() < path.loss && attempts < 8 {
+                while self.rng.gen::<f64>() < loss && attempts < 8 {
                     latency = latency + self.rto;
                     attempts += 1;
                 }
             }
             Transport::Udp => {
-                if self.rng.gen::<f64>() < path.loss {
+                if self.rng.gen::<f64>() < loss {
                     self.links.record_lost(src, bytes);
                     return None;
                 }
@@ -231,6 +322,116 @@ mod tests {
         );
         // 100kB at 1 Mbps ≈ 0.8s of serialization alone.
         assert!((t_big - t_small).as_secs_f64() > 0.5);
+    }
+
+    #[test]
+    fn partition_drops_and_accounts_lost_bytes() {
+        let mut net = small_net(11);
+        let (a, b) = (NodeId(0), NodeId(1));
+        net.set_partitioned(a, b, true);
+        assert!(net.is_partitioned(a, b) && net.is_partitioned(b, a));
+        for i in 0..10 {
+            assert!(net
+                .schedule(SimTime(i), a, b, 100, Transport::Tcp)
+                .is_none());
+            assert!(net.schedule(SimTime(i), b, a, 50, Transport::Udp).is_none());
+        }
+        assert_eq!(net.stats().lost_by(a), 1000);
+        assert_eq!(net.stats().lost_by(b), 500);
+        assert_eq!(net.stats().total_lost(), 1500);
+        net.set_partitioned(a, b, false);
+        assert!(!net.is_partitioned(a, b));
+        assert!(net
+            .schedule(SimTime(99), a, b, 100, Transport::Tcp)
+            .is_some());
+    }
+
+    #[test]
+    fn partition_does_not_perturb_other_traffic() {
+        // The same message sequence on an untouched pair must arrive at
+        // identical times whether or not a partition elsewhere swallowed
+        // traffic in between (PRNG stream preservation).
+        let run = |partition: bool| {
+            let mut net = small_net(23);
+            let mut arrivals = Vec::new();
+            if partition {
+                net.set_partitioned(NodeId(4), NodeId(5), true);
+            }
+            for i in 0..50u64 {
+                if partition {
+                    // Swallowed: must not consume randomness.
+                    net.schedule(SimTime(i * 3), NodeId(4), NodeId(5), 300, Transport::Tcp);
+                }
+                arrivals.push(net.schedule(
+                    SimTime(i * 7),
+                    NodeId(0),
+                    NodeId(1),
+                    200,
+                    Transport::Tcp,
+                ));
+            }
+            arrivals
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn link_fault_adds_delay_and_loss() {
+        let (a, b) = (NodeId(2), NodeId(6));
+        // Delay: with zero extra loss, the arrival shifts by exactly the
+        // extra one-way delay (same PRNG draws either way).
+        let base = small_net(31)
+            .schedule(SimTime::ZERO, a, b, 100, Transport::Tcp)
+            .unwrap();
+        let mut net = small_net(31);
+        net.set_link_fault(
+            a,
+            b,
+            Some(LinkFault {
+                extra_loss: 0.0,
+                extra_delay: SimDuration::from_millis(250),
+            }),
+        );
+        assert_eq!(
+            net.link_fault(a, b).unwrap().extra_delay,
+            SimDuration::from_millis(250)
+        );
+        let degraded = net
+            .schedule(SimTime::ZERO, a, b, 100, Transport::Tcp)
+            .unwrap();
+        assert_eq!(degraded, base + SimDuration::from_millis(250));
+        // Loss: a heavy extra drop probability loses most UDP datagrams.
+        let mut net = small_net(31);
+        net.set_link_fault(
+            a,
+            b,
+            Some(LinkFault {
+                extra_loss: 0.9,
+                extra_delay: SimDuration::ZERO,
+            }),
+        );
+        let lost = (0..500)
+            .filter(|i| {
+                net.schedule(SimTime(*i), a, b, 100, Transport::Udp)
+                    .is_none()
+            })
+            .count();
+        assert!(
+            lost > 350,
+            "90% extra loss drops most datagrams ({lost}/500)"
+        );
+        net.set_link_fault(a, b, None);
+        assert!(net.link_fault(a, b).is_none());
+        let lost = (0..500)
+            .filter(|i| {
+                net.schedule(SimTime(*i), a, b, 100, Transport::Udp)
+                    .is_none()
+            })
+            .count();
+        assert!(
+            lost < 100,
+            "healed link back to cross-traffic loss ({lost}/500)"
+        );
     }
 
     #[test]

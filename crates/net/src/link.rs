@@ -36,6 +36,17 @@ impl LinkStats {
         self.received.get(&n).copied().unwrap_or(0)
     }
 
+    /// Total bytes node `n` sent that the network swallowed (cross-traffic
+    /// drops and injected partitions).
+    pub fn lost_by(&self, n: NodeId) -> u64 {
+        self.lost.get(&n).copied().unwrap_or(0)
+    }
+
+    /// Bytes lost across every node.
+    pub fn total_lost(&self) -> u64 {
+        self.lost.values().sum()
+    }
+
     /// Average egress bits/s of node `n` over `elapsed`.
     pub fn egress_bps(&self, n: NodeId, elapsed: SimDuration) -> f64 {
         let secs = elapsed.as_secs_f64();

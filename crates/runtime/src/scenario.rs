@@ -37,6 +37,8 @@ pub enum ScriptEvent<P: Protocol> {
     },
     /// Set bidirectional connectivity of the pair (false = partitioned,
     /// messages silently lost — the Fig. 13 "X is disconnected" arrows).
+    /// Applied at the network layer: dropped bytes are accounted in
+    /// [`cb_net::LinkStats::lost`].
     Connectivity {
         /// One endpoint.
         a: NodeId,
@@ -44,6 +46,17 @@ pub enum ScriptEvent<P: Protocol> {
         b: NodeId,
         /// True restores the link, false cuts it.
         up: bool,
+    },
+    /// Degrade (or heal, with `fault: None`) the pair's network path:
+    /// extra cross-traffic loss and delay stacked on the topology's own —
+    /// the fleet fault engine's flaky-link injection.
+    LinkQuality {
+        /// One endpoint.
+        a: NodeId,
+        /// Other endpoint.
+        b: NodeId,
+        /// The degradation to install, or `None` to restore the path.
+        fault: Option<cb_net::LinkFault>,
     },
 }
 

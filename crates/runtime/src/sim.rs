@@ -9,7 +9,7 @@
 //! snapshot traffic shares the simulated access links).
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BinaryHeap, HashMap};
 
 use cb_model::{
     apply_event, Encode, Event, GlobalState, InFlight, NodeId, Payload, PropertySet, Protocol,
@@ -141,7 +141,6 @@ pub struct Simulation<P: Protocol, H: Hook<P>> {
     seq: u64,
     timers: HashMap<(NodeId, P::Action), u64>,
     managers: HashMap<NodeId, CheckpointManager>,
-    blocked: HashSet<(NodeId, NodeId)>,
     snap_cfg: Option<SnapshotRuntime>,
     track_violations: bool,
     jitter_frac: f64,
@@ -175,7 +174,6 @@ impl<P: Protocol, H: Hook<P>> Simulation<P, H> {
             seq: 0,
             timers: HashMap::new(),
             managers: HashMap::new(),
-            blocked: HashSet::new(),
             snap_cfg: config.snapshots.clone(),
             track_violations: config.track_violations,
             jitter_frac: config.timer_jitter,
@@ -264,13 +262,12 @@ impl<P: Protocol, H: Hook<P>> Simulation<P, H> {
     /// Runs until the queue empties or `end` is reached; time advances to
     /// `end`.
     pub fn run_until(&mut self, end: SimTime) {
-        while let Some(Reverse(head)) = self.queue.peek() {
-            if head.at > end {
-                break;
-            }
-            let Reverse(entry) = self.queue.pop().expect("peeked");
-            self.now = entry.at.max(self.now);
-            self.dispatch(entry.what);
+        while self
+            .queue
+            .peek()
+            .is_some_and(|Reverse(head)| head.at <= end)
+        {
+            self.step_next();
         }
         self.now = end.max(self.now);
     }
@@ -279,6 +276,32 @@ impl<P: Protocol, H: Hook<P>> Simulation<P, H> {
     pub fn run_for(&mut self, d: SimDuration) {
         let end = self.now + d;
         self.run_until(end);
+    }
+
+    /// When the next queued event will dispatch, if any — the peek an
+    /// external scheduler (the fleet harness) uses to interleave several
+    /// co-deployed simulations in one global time order.
+    pub fn next_event_at(&self) -> Option<SimTime> {
+        self.queue.peek().map(|Reverse(head)| head.at.max(self.now))
+    }
+
+    /// Dispatches exactly one queued event, advancing time to it; returns
+    /// the dispatch time, or `None` when the queue is empty. Together with
+    /// [`Simulation::next_event_at`] this is the single-step driving
+    /// surface for external schedulers; `run_until` is a loop over it.
+    pub fn step_next(&mut self) -> Option<SimTime> {
+        let Reverse(entry) = self.queue.pop()?;
+        self.now = entry.at.max(self.now);
+        let at = self.now;
+        self.dispatch(entry.what);
+        Some(at)
+    }
+
+    /// Advances simulated time without dispatching anything (an external
+    /// scheduler closing a run out to its horizon). Time never moves
+    /// backwards.
+    pub fn advance_to(&mut self, t: SimTime) {
+        self.now = self.now.max(t);
     }
 
     fn push_at(&mut self, at: SimTime, what: Pending<P>) {
@@ -398,13 +421,10 @@ impl<P: Protocol, H: Hook<P>> Simulation<P, H> {
                 self.apply_and_follow(Event::PeerError { node, peer });
             }
             ScriptEvent::Connectivity { a, b, up } => {
-                if up {
-                    self.blocked.remove(&(a, b));
-                    self.blocked.remove(&(b, a));
-                } else {
-                    self.blocked.insert((a, b));
-                    self.blocked.insert((b, a));
-                }
+                self.net.set_partitioned(a, b, !up);
+            }
+            ScriptEvent::LinkQuality { a, b, fault } => {
+                self.net.set_link_fault(a, b, fault);
             }
         }
     }
@@ -478,23 +498,24 @@ impl<P: Protocol, H: Hook<P>> Simulation<P, H> {
     fn send_snap(&mut self, src: NodeId, dst: NodeId, msg: SnapMsg) {
         let bytes = msg.encoded_len() + 8;
         self.stats.snapshot_bytes_sent += bytes as u64;
-        if self.blocked.contains(&(src, dst)) {
-            self.stats.messages_lost += 1;
-            if let Some(mgr) = self.managers.get_mut(&src) {
-                mgr.peer_failed(dst);
-            }
-            self.poll_snapshot(src);
-            return;
-        }
-        if let Some(at) = self.net.schedule(self.now, src, dst, bytes, Transport::Tcp) {
-            self.push_at(
+        match self.net.schedule(self.now, src, dst, bytes, Transport::Tcp) {
+            Some(at) => self.push_at(
                 at,
                 Pending::Snap {
                     from: src,
                     to: dst,
                     msg,
                 },
-            );
+            ),
+            None => {
+                // The network swallowed it (partition): the gather treats
+                // the peer as failed rather than waiting forever.
+                self.stats.messages_lost += 1;
+                if let Some(mgr) = self.managers.get_mut(&src) {
+                    mgr.peer_failed(dst);
+                }
+                self.poll_snapshot(src);
+            }
         }
     }
 
@@ -542,10 +563,6 @@ impl<P: Protocol, H: Hook<P>> Simulation<P, H> {
     }
 
     fn transmit(&mut self, item: InFlight<P::Message>) {
-        if self.blocked.contains(&(item.src, item.dst)) {
-            self.stats.messages_lost += 1;
-            return;
-        }
         let bytes = match &item.payload {
             Payload::Msg(m) => self.protocol.wire_size(m) + 8,
             Payload::Error => 40, // a RST/FIN exchange
@@ -555,11 +572,14 @@ impl<P: Protocol, H: Hook<P>> Simulation<P, H> {
             .get(&item.src)
             .map(|m| m.stamp_out())
             .unwrap_or(0);
-        if let Some(at) = self
+        match self
             .net
             .schedule(self.now, item.src, item.dst, bytes, Transport::Tcp)
         {
-            self.push_at(at, Pending::Deliver { item, m_cn });
+            Some(at) => self.push_at(at, Pending::Deliver { item, m_cn }),
+            // Partitioned (or, for UDP traffic, dropped): the network
+            // layer accounted the lost bytes.
+            None => self.stats.messages_lost += 1,
         }
     }
 
@@ -687,6 +707,10 @@ mod tests {
             "fully partitioned"
         );
         assert!(sim.stats.messages_lost > 0);
+        assert!(
+            sim.net_stats().total_lost() > 0,
+            "partition drops are accounted at the network layer"
+        );
         sim.inject(ScriptEvent::Connectivity {
             a: NodeId(1),
             b: NodeId(0),
@@ -697,6 +721,58 @@ mod tests {
             sim.state(NodeId(0)).unwrap().pings_seen > 0,
             "healed partition"
         );
+    }
+
+    #[test]
+    fn link_quality_fault_slows_traffic_and_heals() {
+        let run = |fault: Option<cb_net::LinkFault>| {
+            let mut sim = ping_sim(9);
+            sim.inject(ScriptEvent::LinkQuality {
+                a: NodeId(1),
+                b: NodeId(0),
+                fault,
+            });
+            sim.inject(ScriptEvent::LinkQuality {
+                a: NodeId(2),
+                b: NodeId(0),
+                fault,
+            });
+            sim.run_for(SimDuration::from_secs(10));
+            sim.state(NodeId(0)).unwrap().pings_seen
+        };
+        let clean = run(None);
+        let degraded = run(Some(cb_net::LinkFault {
+            extra_loss: 0.0,
+            extra_delay: SimDuration::from_secs(4),
+        }));
+        assert!(
+            degraded < clean,
+            "4s extra one-way delay defers pings past the horizon ({degraded} vs {clean})"
+        );
+        assert!(degraded > 0, "degraded, not partitioned");
+    }
+
+    #[test]
+    fn external_scheduler_single_stepping_matches_run_until() {
+        let mut a = ping_sim(12);
+        let mut b = ping_sim(12);
+        a.run_for(SimDuration::from_secs(10));
+        // Drive b one event at a time, as the fleet scheduler does.
+        let end = SimTime::ZERO + SimDuration::from_secs(10);
+        while b.next_event_at().is_some_and(|t| t <= end) {
+            let before = b.next_event_at().unwrap();
+            let at = b.step_next().expect("queued event");
+            assert_eq!(at, before, "peek agrees with dispatch time");
+        }
+        b.advance_to(end);
+        assert_eq!(b.now(), a.now());
+        assert_eq!(
+            a.state(NodeId(0)).unwrap().pings_seen,
+            b.state(NodeId(0)).unwrap().pings_seen
+        );
+        assert_eq!(a.stats.messages_delivered, b.stats.messages_delivered);
+        assert_eq!(a.stats.actions_executed, b.stats.actions_executed);
+        assert_eq!(a.gs.state_hash(), b.gs.state_hash());
     }
 
     #[test]

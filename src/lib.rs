@@ -4,6 +4,7 @@
 //! integration-test suite can use a single dependency. See `DESIGN.md` for
 //! the architecture and `EXPERIMENTS.md` for the paper-reproduction index.
 
+pub use cb_fleet as fleet;
 pub use cb_mc as mc;
 pub use cb_model as model;
 pub use cb_net as net;
