@@ -1,0 +1,132 @@
+//! Live deployment throughput: what the socket runtime costs to drive.
+//!
+//! One 6-node RandTree deployment (R1 armed, steering on) runs over real
+//! loopback TCP for a fixed wall-clock window with a churned root child
+//! opening prediction opportunities; we report
+//!
+//! * **frames/sec** — envelope throughput across every node's sockets,
+//! * **snapshot bytes on the wire** — the §3.1 gather protocol's real
+//!   byte footprint (requests, replies, nacks, retries),
+//! * **prediction-to-filter-install latency** — gather-completion to
+//!   filter-install as measured on the node's own clock (the live
+//!   counterpart of `mc_latency`, with the wire included).
+//!
+//! Unlike the simulator benches, nothing here is deterministic — counters
+//! depend on real scheduling — so `tools/bench-check` validates structure
+//! and liveness (frames flowed, snapshots moved bytes, installs carried
+//! latency samples) rather than gating numeric regressions.
+//!
+//! Emits one JSON object (`CB_BENCH_JSON=live.json cargo bench -p
+//! cb-bench --bench live_throughput`).
+
+use std::io::Write;
+use std::time::Duration;
+
+use cb_bench::harness::{fast_mode, fmt_bytes, preamble, section};
+use cb_live::{live_checker_config, randtree_deployment, wait_until, LiveConfig, LiveNodeConfig};
+use cb_model::NodeId;
+use cb_protocols::randtree::{RandTreeBugs, Status};
+
+fn main() {
+    preamble(
+        "Live deployment throughput — the socket runtime under steering load",
+        "each node gathers its neighborhood snapshot over the wire \
+         (§2.3/§3.1) and ships it to the checker process by TCP",
+    );
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("host parallelism: {cores} core(s)");
+
+    let (window_ms, budget, churns) = if fast_mode() {
+        (2_500u64, 4_000usize, 4usize)
+    } else {
+        (8_000, 8_000, 10)
+    };
+    let nodes = 6usize;
+    section(&format!(
+        "{nodes}-node RandTree (R1), {window_ms}ms wall window, \
+         {budget}-state search budget, {churns} churn rounds"
+    ));
+
+    let config = LiveConfig {
+        seed: 42,
+        node: LiveNodeConfig {
+            checkpoint_interval: Duration::from_millis(80),
+            gather_interval: Duration::from_millis(120),
+            gather_timeout: Duration::from_millis(350),
+            time_scale: 0.02,
+            ..LiveNodeConfig::default()
+        },
+        checker: live_checker_config(budget, 6, 2),
+        ..LiveConfig::default()
+    };
+    let mut dep =
+        randtree_deployment(nodes, RandTreeBugs::only("R1"), config).expect("boot deployment");
+    wait_until(&dep, Duration::from_secs(30), |d| {
+        d.node_ids().iter().all(|&n| {
+            d.probe(n, Duration::from_secs(2))
+                .is_some_and(|r| r.slot.state.status == Status::Joined)
+        })
+    });
+    // Open root capacity so predictions (and installs) flow.
+    if let Some(r) = dep.probe(NodeId(0), Duration::from_secs(5)) {
+        if let Some(&c) = r.slot.state.children.iter().next() {
+            dep.kill(c);
+        }
+    }
+    // Steady churn of childless nodes keeps snapshots changing (the
+    // submission dedup otherwise idles the checker) without collapsing
+    // the tree structure predictions ride on.
+    let per_churn = Duration::from_millis(window_ms / churns as u64);
+    for _ in 0..churns {
+        let victim = (1..nodes as u32).map(NodeId).find(|&n| {
+            dep.is_up(n)
+                && dep
+                    .probe(n, Duration::from_secs(1))
+                    .is_some_and(|r| r.slot.state.children.is_empty())
+        });
+        if let Some(v) = victim {
+            dep.kill(v);
+            std::thread::sleep(Duration::from_millis(50));
+            let _ = dep.restart(v);
+        }
+        dep.run_for(per_churn);
+    }
+
+    let report = dep.shutdown();
+    let t = report.stats.totals();
+    let json = report.stats.to_json();
+
+    let frames = t.frames_sent + t.frames_received;
+    println!(
+        "frames: {frames:>8}   ({:.0}/sec over {:.2}s wall)",
+        frames as f64 / report.stats.wall_seconds,
+        report.stats.wall_seconds
+    );
+    println!(
+        "snapshot wire: {:>10}   over {} gathers ({} timeouts)",
+        fmt_bytes(t.snapshot_wire_bytes as usize),
+        t.snapshots_completed,
+        t.gather_timeouts
+    );
+    println!(
+        "checker: {} rounds, {} predictions, {} installs pushed",
+        report.stats.checker.rounds_completed,
+        report.stats.checker.predictions,
+        report.stats.checker.installs_sent
+    );
+    println!(
+        "gather-to-install latency: avg {}µs, max {}µs over {} samples",
+        t.install_latency.avg_us(),
+        t.install_latency.max_us,
+        t.install_latency.count
+    );
+
+    println!("\n{json}");
+    if let Ok(path) = std::env::var("CB_BENCH_JSON") {
+        let mut f = std::fs::File::create(&path).expect("open CB_BENCH_JSON output");
+        writeln!(f, "{json}").expect("write JSON");
+        println!("(written to {path})");
+    }
+}

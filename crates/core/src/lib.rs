@@ -38,6 +38,6 @@ pub mod controller;
 pub mod service;
 
 pub use controller::{Controller, ControllerConfig, ControllerStats, Mode, PredictionReport};
-pub use service::{CheckerHost, CheckerMode};
+pub use service::{CheckerHost, CheckerMode, WireChecker, WireRound};
 
 pub use cb_mc::WorkerPool;

@@ -53,7 +53,7 @@ use cb_mc::{
     Searcher, WorkerPool,
 };
 use cb_model::{apply_event, EventKey, GlobalState, NodeId, PropertySet, Protocol, SimTime};
-use cb_snapshot::{DeltaDecoder, DeltaEncoder, DeltaStats};
+use cb_snapshot::{DeltaDecoder, DeltaEncoder, DeltaError, DeltaStats, StateDelta};
 
 use crate::controller::ControllerConfig;
 
@@ -657,5 +657,276 @@ impl<P: Protocol> Drop for CheckerPool<P> {
         // pools; a private host joins its lanes when the Arc drops after
         // at most one in-flight round per lane).
         self.shutdown.store(true, Ordering::Relaxed);
+    }
+}
+
+/// One completed checking round in transport-friendly form — what a
+/// checker *process* reports back to a live node it cannot share memory
+/// with. The protocol-generic internals (the round's `FoundViolation<P>`
+/// path) are flattened to the pieces that cross the wire: the violation,
+/// its human-readable scenario, and the filters to install.
+#[derive(Clone, Debug)]
+pub struct WireRound {
+    /// Submission sequence number (from [`WireChecker::submit_delta`]) —
+    /// lets the caller match completions to submissions for
+    /// prediction-to-install latency accounting.
+    pub seq: u64,
+    /// The node whose snapshot was checked (where filters install).
+    pub node: NodeId,
+    /// Timestamp the submitter attached (wall micros since its epoch, in
+    /// live deployments).
+    pub at: SimTime,
+    /// The predicted violation, if the round found one.
+    pub violation: Option<cb_model::Violation>,
+    /// The paper-style numbered event path to the violation.
+    pub scenario: Option<String>,
+    /// Replay-reinstated filters plus the round's safety-checked
+    /// corrective filter — everything the node should install, in
+    /// application order.
+    pub filters: Vec<EventFilter>,
+    /// Known-path replays that re-discovered their violation.
+    pub replays_rediscovered: u64,
+    /// States the prediction run visited.
+    pub states_visited: usize,
+    /// Measured wall-clock time of the round.
+    pub wall: Duration,
+}
+
+/// The transport-backed submission path into a [`CheckerHost`]: the
+/// checker-process half of a *deployed* CrystalBall (`cb-live`).
+///
+/// Live nodes do not share an address space with the checker, so a round
+/// arrives as a [`cb_snapshot::StateDelta`] (diffed by the node against
+/// its previous submission) and leaves as a [`WireRound`] whose filters
+/// the caller encodes into a filter-install push. In between, the rounds
+/// run on the same sharded checker pool the in-process controller
+/// uses — per-node shard affinity, known-path replays, filter-safety
+/// re-checks and all.
+///
+/// Ordering contract: deltas from one node must be submitted in the order
+/// that node produced them (its TCP connection is FIFO, so the live
+/// server gets this for free); deltas from different nodes interleave
+/// arbitrarily.
+pub struct WireChecker<P: Protocol> {
+    pool: CheckerPool<P>,
+    /// Ingress decoder lineages, one per submitting node, mirroring the
+    /// node-side [`DeltaEncoder`]s.
+    decoders: HashMap<NodeId, DeltaDecoder>,
+    steering: bool,
+    submitted: u64,
+}
+
+impl<P: Protocol> WireChecker<P> {
+    /// Spawns the checker backend: `config.checker` decides the shard
+    /// count ([`CheckerMode::Synchronous`] is promoted to one background
+    /// shard — a wire checker is background by construction), `host`
+    /// optionally shares lanes with other checkers, and search parallelism
+    /// comes from `pool`.
+    pub fn new(
+        protocol: P,
+        props: PropertySet<P>,
+        config: ControllerConfig,
+        pool: WorkerPool,
+        host: Option<Arc<CheckerHost>>,
+    ) -> Self {
+        let steering = config.mode == crate::controller::Mode::ExecutionSteering;
+        let shards = config.checker.shard_count().max(1);
+        let config = Arc::new(config);
+        let pool = CheckerPool::spawn(&protocol, &props, &config, &pool, shards, host);
+        WireChecker {
+            pool,
+            decoders: HashMap::new(),
+            steering,
+            submitted: 0,
+        }
+    }
+
+    /// Decodes one shipped state and queues its checking round. Returns
+    /// the round's sequence number, or the decode failure (out-of-order /
+    /// corrupt deltas — a protocol error on the submitting connection;
+    /// the caller should drop that connection, which also resets the
+    /// node's lineage via [`WireChecker::forget_node`]).
+    ///
+    /// A delta with `seq == 1` is an explicit **lineage restart**: it can
+    /// only come from a freshly constructed encoder (encoders never
+    /// re-emit 1), so any stale decoder state for the node is discarded
+    /// rather than rejecting the new stream. This absorbs the reconnect
+    /// race where a node redials before its dead connection is reaped.
+    pub fn submit_delta(
+        &mut self,
+        at: SimTime,
+        node: NodeId,
+        delta: &StateDelta,
+    ) -> Result<u64, DeltaError> {
+        if delta.seq == 1 {
+            self.decoders.remove(&node);
+        }
+        let start: GlobalState<P> = self.decoders.entry(node).or_default().decode_state(delta)?;
+        self.pool.submit(at, node, &start, self.steering);
+        self.submitted += 1;
+        Ok(self.submitted)
+    }
+
+    /// Drops a node's delta lineage (its connection closed; a reconnect
+    /// starts a fresh encoder, so the decoder must start fresh too).
+    pub fn forget_node(&mut self, node: NodeId) {
+        self.decoders.remove(&node);
+    }
+
+    /// Rounds submitted but not yet completed.
+    pub fn pending(&self) -> u64 {
+        self.pool.pending()
+    }
+
+    /// Submission-side wire-cost counters (what full clones would have
+    /// shipped vs what the internal delta channels did ship).
+    pub fn wire_stats(&self) -> DeltaStats {
+        self.pool.wire_stats()
+    }
+
+    /// Takes every completed round without blocking, in submission order.
+    pub fn try_rounds(&mut self) -> Vec<WireRound> {
+        let mut results = self.pool.try_results();
+        results.sort_by_key(|r| r.seq);
+        results.into_iter().map(Self::flatten).collect()
+    }
+
+    /// Blocks (up to `timeout`) until every submitted round completes —
+    /// the graceful-drain path of a live shutdown.
+    pub fn drain(&mut self, timeout: Duration) -> Vec<WireRound> {
+        let mut results = self.pool.wait_results(timeout);
+        results.sort_by_key(|r| r.seq);
+        results.into_iter().map(Self::flatten).collect()
+    }
+
+    fn flatten(r: RoundResult<P>) -> WireRound {
+        let mut filters = r.replay_filters;
+        filters.extend(r.filter);
+        WireRound {
+            seq: r.seq,
+            node: r.node,
+            at: r.at,
+            violation: r.found.as_ref().map(|f| f.violation.clone()),
+            scenario: r.found.as_ref().map(|f| f.scenario()),
+            filters,
+            replays_rediscovered: r.replays_rediscovered,
+            states_visited: r.states_visited,
+            wall: r.wall,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::Mode;
+    use cb_mc::SearchConfig;
+    use cb_model::testproto::{max_pings_property, Ping, PingMsg};
+    use cb_model::{Decode, Encode, Payload};
+    use cb_snapshot::DeltaEncoder;
+
+    fn ping_config() -> ControllerConfig {
+        ControllerConfig {
+            mode: Mode::ExecutionSteering,
+            checker: CheckerMode::Sharded { shards: 2 },
+            search: SearchConfig {
+                max_states: Some(5_000),
+                max_depth: Some(4),
+                ..SearchConfig::default()
+            },
+            ..ControllerConfig::default()
+        }
+    }
+
+    /// The wire path end to end in-process: a node-side `DeltaEncoder`
+    /// ships states, the checker decodes, predicts, and hands back
+    /// filters in transport-friendly form.
+    #[test]
+    fn wire_checker_predicts_from_shipped_deltas() {
+        let proto = Ping {
+            kick_target: NodeId(0),
+            kick_enabled: true,
+        };
+        let props = PropertySet::new().with(max_pings_property(1));
+        let mut checker = WireChecker::new(
+            proto.clone(),
+            props,
+            ping_config(),
+            WorkerPool::new(1),
+            None,
+        );
+        // The "node side": successive neighborhood states, diff-shipped.
+        let mut enc = DeltaEncoder::new();
+        let gs = GlobalState::init(&proto, (0..3).map(NodeId));
+        let d1 = enc.encode_state(&gs);
+        // Ship over a simulated wire: encode → bytes → decode.
+        let d1 = StateDelta::from_bytes(&d1.to_bytes()).expect("delta codec");
+        let seq = checker
+            .submit_delta(SimTime(1), NodeId(0), &d1)
+            .expect("in-order delta");
+        assert_eq!(seq, 1);
+        let rounds = checker.drain(Duration::from_secs(60));
+        assert_eq!(rounds.len(), 1);
+        let round = &rounds[0];
+        assert_eq!(round.node, NodeId(0));
+        assert_eq!(round.seq, 1);
+        let v = round.violation.as_ref().expect("ping limit 1 is reachable");
+        assert_eq!(v.property, "MaxPings");
+        assert!(round.scenario.as_ref().unwrap().contains("1."));
+        assert!(
+            !round.filters.is_empty(),
+            "steering mode derives an installable filter"
+        );
+        // The filter protects the node the round was for, and its wire
+        // codec round-trips against the protocol's kind tables.
+        let f = &round.filters[0];
+        assert_eq!(f.install_at(), NodeId(0));
+        let bytes = round.filters.to_bytes();
+        let decoded = EventFilter::decode_list(&bytes, proto.message_kinds(), proto.action_kinds())
+            .expect("filters resolve against Ping's kind tables");
+        assert_eq!(decoded, round.filters);
+        // The decoded filter actually blocks the predicted delivery.
+        let key = cb_model::EventKey::Message {
+            kind: Ping::message_kind(&PingMsg::Ping),
+            src: match f {
+                EventFilter::Message { src, .. } => *src,
+                other => panic!("expected a message filter, got {other}"),
+            },
+            dst: NodeId(0),
+        };
+        assert!(decoded[0].matches(&key));
+        let _ = Payload::Msg::<PingMsg>(PingMsg::Ping); // keep import honest
+
+        // A second, changed state diff-ships against the first.
+        let mut gs2 = gs.clone();
+        gs2.slot_mut(NodeId(1)).unwrap().state.pings_seen = 1;
+        let d2 = enc.encode_state(&gs2);
+        checker
+            .submit_delta(SimTime(2), NodeId(0), &d2)
+            .expect("second in-order delta");
+        assert_eq!(checker.drain(Duration::from_secs(60)).len(), 1);
+        let ws = checker.wire_stats();
+        assert!(ws.states >= 2);
+
+        // Out-of-order deltas (seq ≥ 2 not continuing the stream) are
+        // rejected — the caller drops the connection and starts over.
+        let stale = d2.clone();
+        assert!(matches!(
+            checker.submit_delta(SimTime(3), NodeId(0), &stale),
+            Err(DeltaError::OutOfOrder { .. })
+        ));
+        // A seq-1 delta is an explicit lineage restart: accepted against
+        // any decoder state without an intervening forget_node (the
+        // reconnect race), because encoders never re-emit seq 1.
+        let mut enc2 = DeltaEncoder::new();
+        let fresh = enc2.encode_state(&gs);
+        assert_eq!(fresh.seq, 1);
+        assert!(checker.submit_delta(SimTime(4), NodeId(0), &fresh).is_ok());
+        // forget_node also resets the lineage for an explicit teardown.
+        checker.forget_node(NodeId(0));
+        let mut enc3 = DeltaEncoder::new();
+        let fresh2 = enc3.encode_state(&gs);
+        assert!(checker.submit_delta(SimTime(5), NodeId(0), &fresh2).is_ok());
+        checker.drain(Duration::from_secs(60));
     }
 }

@@ -1,0 +1,95 @@
+//! Per-protocol deployment adapters: constructors that wire a protocol's
+//! actions to the live runtime — bootstrap workload (which application
+//! calls start the overlay), churn rejoin policy, and checker tuning
+//! suited to live latencies.
+//!
+//! The node event loop is protocol-generic; what differs per protocol is
+//! *which external actions exist and when to fire them* (RandTree joins,
+//! Paxos proposals). These are the live counterparts of `cb-fleet`'s
+//! member constructors.
+
+use std::time::Duration;
+
+use cb_mc::SearchConfig;
+use cb_model::NodeId;
+use cb_protocols::paxos::{self, Paxos, PaxosBugs};
+use cb_protocols::randtree::{self, Action as RtAction, RandTree, RandTreeBugs};
+use crystalball::{CheckerMode, ControllerConfig, Mode};
+
+use crate::deployment::{LiveConfig, LiveDeployment};
+
+/// A live-tuned checker configuration: steering on, a budget small enough
+/// that rounds complete within a compressed-time deployment's gather
+/// cadence, and a sharded background pool.
+pub fn live_checker_config(max_states: usize, max_depth: usize, shards: usize) -> ControllerConfig {
+    ControllerConfig {
+        mode: Mode::ExecutionSteering,
+        checker: CheckerMode::Sharded { shards },
+        search: SearchConfig {
+            max_states: Some(max_states),
+            max_depth: Some(max_depth),
+            ..SearchConfig::default()
+        },
+        ..ControllerConfig::default()
+    }
+}
+
+/// Boots a RandTree overlay of `n` nodes: node 0 is the bootstrap, every
+/// node is injected its initial `Join` call, and the churn rejoin policy
+/// re-issues the join after a restart — the live analogue of
+/// `Scenario::churn`'s rejoin closure.
+pub fn randtree_deployment(
+    n: usize,
+    bugs: RandTreeBugs,
+    config: LiveConfig,
+) -> std::io::Result<LiveDeployment<RandTree>> {
+    let nodes: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+    let proto = RandTree::new(2, vec![NodeId(0)], bugs);
+    let mut dep = LiveDeployment::boot(proto, randtree::properties::all(), &nodes, config)?;
+    dep.set_rejoin(|_| RtAction::Join { target: NodeId(0) });
+    // Bootstrap order matters live: a Join that reaches the designated
+    // node before its self-join is dropped by the protocol (a node in
+    // Init is "not part of any tree"), and the live runtime has no
+    // scenario script to retry it. Stand the root up first, then admit
+    // the others. (Late joiners are still raced against tree reshaping;
+    // callers that need certainty re-inject — Join is a no-op unless the
+    // node is back in Init.)
+    dep.inject(NodeId(0), RtAction::Join { target: NodeId(0) });
+    crate::deployment::wait_until(&dep, Duration::from_secs(10), |d| {
+        d.probe(NodeId(0), Duration::from_secs(1))
+            .is_some_and(|r| r.slot.state.status == randtree::Status::Joined)
+    });
+    for &node in dep.node_ids() {
+        if node != NodeId(0) {
+            dep.inject(node, RtAction::Join { target: NodeId(0) });
+        }
+    }
+    Ok(dep)
+}
+
+/// Boots a Paxos group over `members`, with the rejoin policy left empty
+/// (an acceptor that restarts rejoins by simply listening — Paxos round
+/// state is re-learned from messages; the paper's Fig. 13 crash is an
+/// acceptor crash, not a rejoin flow).
+pub fn paxos_deployment(
+    members: &[NodeId],
+    bugs: PaxosBugs,
+    config: LiveConfig,
+) -> std::io::Result<LiveDeployment<Paxos>> {
+    let proto = Paxos::new(members.to_vec(), bugs);
+    LiveDeployment::boot(proto, paxos::properties::all(), members, config)
+}
+
+/// Repeatedly fires Paxos `Propose` calls at `proposer` with `gap`
+/// between rounds — the live workload generator for consensus traffic.
+pub fn drive_paxos_rounds(
+    dep: &LiveDeployment<Paxos>,
+    proposer: NodeId,
+    rounds: usize,
+    gap: Duration,
+) {
+    for _ in 0..rounds {
+        dep.inject(proposer, paxos::Action::Propose);
+        std::thread::sleep(gap);
+    }
+}

@@ -1,0 +1,375 @@
+//! The deployment driver: boots N node threads plus the checker process,
+//! injects workload and faults, and tears the whole thing down gracefully.
+//!
+//! The fault model is `cb-fleet`'s [`FaultPlan`] carried over verbatim:
+//! the same seeded, node-index-space schedule that drives the simulated
+//! fleet drives the live deployment — but a partition is now a
+//! socket-level drop in the [`LinkTable`], a degradation a probabilistic
+//! drop, and churn an actual thread kill + relisten on a fresh port.
+//! Fault times are `SimTime`s; the driver maps them onto the wall clock
+//! with the same `time_scale` the nodes use for protocol timers, so a
+//! plan authored for a 120-simulated-second fleet run plays out in
+//! `120 * time_scale` real seconds here.
+//!
+//! Determinism contract (and its deliberate absence): the fault
+//! *schedule* is deterministic in `(config, seed)`, but the interleaving
+//! of node threads is real concurrency — two runs differ at the byte
+//! level. Tests therefore assert protocol-level safety outcomes and
+//! steering effects (violations observed, filters installed, filter
+//! hits), never trace equality.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cb_fleet::faults::{FaultEvent, FaultPlan};
+use cb_model::{NodeId, NodeSlot, PropertySet, Protocol};
+use crystalball::ControllerConfig;
+
+use crate::checker::{spawn_checker, CheckerHandle};
+use crate::node::{
+    spawn_node, LinkMode, LinkTable, LiveNodeConfig, NodeCtl, NodeHandle, NodeReport, Registry,
+};
+use crate::stats::LiveStats;
+
+/// Deployment-wide configuration.
+#[derive(Clone, Debug)]
+pub struct LiveConfig {
+    /// Seed for fault schedules and per-node jitter streams.
+    pub seed: u64,
+    /// Per-node event-loop tuning (intervals, time scale, snapshots).
+    pub node: LiveNodeConfig,
+    /// The checker process's controller configuration (search budget,
+    /// steering mode, shard count via `checker`).
+    pub checker: ControllerConfig,
+    /// Bound on the checker's shutdown drain.
+    pub checker_drain: Duration,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        LiveConfig {
+            seed: 1,
+            node: LiveNodeConfig::default(),
+            checker: ControllerConfig::default(),
+            checker_drain: Duration::from_secs(30),
+        }
+    }
+}
+
+/// What [`LiveDeployment::shutdown`] returns: aggregate counters plus the
+/// final protocol states, so callers can run safety properties over the
+/// assembled post-mortem global state.
+pub struct LiveReport<P: Protocol> {
+    /// Deployment-wide counters (JSON-able).
+    pub stats: LiveStats,
+    /// Each node's final slot.
+    pub states: BTreeMap<NodeId, NodeSlot<P::State>>,
+    /// Each node's final filter set.
+    pub filters: BTreeMap<NodeId, Vec<cb_mc::EventFilter>>,
+}
+
+/// A running live deployment: real node threads over loopback TCP, one
+/// checker process, a shared address registry and fault table.
+pub struct LiveDeployment<P: Protocol> {
+    protocol: P,
+    props: PropertySet<P>,
+    config: LiveConfig,
+    registry: Arc<Registry>,
+    links: Arc<LinkTable>,
+    nodes: BTreeMap<NodeId, NodeHandle<P>>,
+    node_ids: Vec<NodeId>,
+    incarnations: BTreeMap<NodeId, u32>,
+    checker: Option<CheckerHandle>,
+    /// Wall-offset-sorted fault schedule (from a [`FaultPlan`]).
+    faults: Vec<(Duration, FaultEvent)>,
+    next_fault: usize,
+    /// Per-protocol churn rejoin: what a restarted node should be told to
+    /// do (e.g. RandTree's `Join` application call).
+    rejoin: Option<Arc<dyn Fn(NodeId) -> P::Action + Send + Sync>>,
+    epoch: Instant,
+    faults_applied: u64,
+    restarts: u64,
+}
+
+impl<P: Protocol> LiveDeployment<P> {
+    /// Boots the checker process and one thread per node id.
+    pub fn boot(
+        protocol: P,
+        props: PropertySet<P>,
+        nodes: &[NodeId],
+        config: LiveConfig,
+    ) -> std::io::Result<Self> {
+        let registry = Arc::new(Registry::new());
+        let links = Arc::new(LinkTable::new());
+        let checker = spawn_checker(
+            protocol.clone(),
+            props.clone(),
+            config.checker.clone(),
+            config.checker_drain,
+        )?;
+        registry.register_checker(checker.addr);
+        let mut dep = LiveDeployment {
+            protocol,
+            props,
+            config,
+            registry,
+            links,
+            nodes: BTreeMap::new(),
+            node_ids: nodes.to_vec(),
+            incarnations: nodes.iter().map(|n| (*n, 0)).collect(),
+            checker: Some(checker),
+            faults: Vec::new(),
+            next_fault: 0,
+            rejoin: None,
+            epoch: Instant::now(),
+            faults_applied: 0,
+            restarts: 0,
+        };
+        for &n in nodes {
+            dep.spawn(n)?;
+        }
+        Ok(dep)
+    }
+
+    fn spawn(&mut self, id: NodeId) -> std::io::Result<()> {
+        let inc = *self.incarnations.get(&id).unwrap_or(&0);
+        let handle = spawn_node(
+            self.protocol.clone(),
+            self.props.clone(),
+            id,
+            inc,
+            self.config.node.clone(),
+            self.registry.clone(),
+            self.links.clone(),
+            self.config.seed,
+        )?;
+        self.nodes.insert(id, handle);
+        Ok(())
+    }
+
+    /// Installs the churn-rejoin policy (what a restarted node is told to
+    /// do once it is back up).
+    pub fn set_rejoin(&mut self, f: impl Fn(NodeId) -> P::Action + Send + Sync + 'static) {
+        self.rejoin = Some(Arc::new(f));
+    }
+
+    /// Loads a fleet fault plan, mapping its simulated times onto the
+    /// wall clock via the deployment's `time_scale`. Offsets are relative
+    /// to *now* (plans are normally loaded right after boot).
+    pub fn load_fault_plan(&mut self, plan: &FaultPlan) {
+        let scale = self.config.node.time_scale;
+        let base = self.epoch.elapsed();
+        self.faults = plan
+            .events
+            .iter()
+            .map(|(t, ev)| (base + Duration::from_secs_f64(t.as_secs_f64() * scale), *ev))
+            .collect();
+        self.faults.sort_by_key(|(d, _)| *d);
+        self.next_fault = 0;
+    }
+
+    /// The node ids this deployment was booted with.
+    pub fn node_ids(&self) -> &[NodeId] {
+        &self.node_ids
+    }
+
+    /// Sends an application call into a live node.
+    pub fn inject(&self, node: NodeId, action: P::Action) {
+        if let Some(h) = self.nodes.get(&node) {
+            let _ = h.ctl.send(NodeCtl::Inject(action));
+        }
+    }
+
+    /// Cuts (or heals) the pair at socket level.
+    pub fn set_partitioned(&self, a: NodeId, b: NodeId, partitioned: bool) {
+        self.links.set(a, b, partitioned.then_some(LinkMode::Drop));
+    }
+
+    /// Installs (or heals) probabilistic loss on the pair.
+    pub fn set_loss(&self, a: NodeId, b: NodeId, loss: Option<f64>) {
+        self.links.set(a, b, loss.map(LinkMode::Loss));
+    }
+
+    /// Abruptly kills a node: its listener closes, its sockets break, and
+    /// peers discover the death through transport errors — SIGKILL
+    /// semantics, the churn injector's tool. The node's last report (it
+    /// is produced on the way out) is discarded, matching a real crash's
+    /// volatile-state loss.
+    pub fn kill(&mut self, node: NodeId) {
+        self.registry.deregister(node);
+        if let Some(h) = self.nodes.remove(&node) {
+            let _ = h.ctl.send(NodeCtl::Kill);
+            let _ = h.join.join();
+        }
+    }
+
+    /// Restarts a killed node with a bumped incarnation, a fresh state,
+    /// and a fresh checkpoint manager (reboots lose volatile state), on a
+    /// fresh port. Fires the rejoin action, if one is installed.
+    pub fn restart(&mut self, node: NodeId) -> std::io::Result<()> {
+        *self.incarnations.entry(node).or_insert(0) += 1;
+        self.spawn(node)?;
+        self.restarts += 1;
+        if let Some(rejoin) = &self.rejoin {
+            let action = rejoin(node);
+            self.inject(node, action);
+        }
+        Ok(())
+    }
+
+    /// True while the node's thread is running.
+    pub fn is_up(&self, node: NodeId) -> bool {
+        self.nodes.contains_key(&node)
+    }
+
+    /// Probes a node's current state and counters.
+    pub fn probe(&self, node: NodeId, timeout: Duration) -> Option<NodeReport<P>> {
+        self.nodes.get(&node)?.probe(timeout)
+    }
+
+    /// Probes the checker process's counters.
+    pub fn probe_checker(&self, timeout: Duration) -> Option<crate::stats::CheckerProcessStats> {
+        self.checker.as_ref()?.probe(timeout)
+    }
+
+    /// Lets the deployment run for `wall`, applying due fault events along
+    /// the way. Node threads run regardless of this call; `run_for` is
+    /// where the *driver* spends its time.
+    pub fn run_for(&mut self, wall: Duration) {
+        let deadline = Instant::now() + wall;
+        while Instant::now() < deadline {
+            self.apply_due_faults();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        self.apply_due_faults();
+    }
+
+    fn apply_due_faults(&mut self) {
+        let now = self.epoch.elapsed();
+        while let Some((at, ev)) = self.faults.get(self.next_fault).copied() {
+            if at > now {
+                break;
+            }
+            self.next_fault += 1;
+            self.apply_fault(ev);
+        }
+    }
+
+    fn map_index(&self, index: usize) -> NodeId {
+        self.node_ids[index % self.node_ids.len()]
+    }
+
+    fn apply_fault(&mut self, ev: FaultEvent) {
+        self.faults_applied += 1;
+        match ev {
+            FaultEvent::Partition { a, b, up } => {
+                let (a, b) = (self.map_index(a), self.map_index(b));
+                if a != b {
+                    self.set_partitioned(a, b, !up);
+                }
+            }
+            FaultEvent::Degrade { a, b, fault } => {
+                let (a, b) = (self.map_index(a), self.map_index(b));
+                if a != b {
+                    // Delay is not modeled at socket level (loopback has
+                    // its own); only the loss component carries over.
+                    self.set_loss(a, b, fault.map(|f| f.extra_loss.max(0.05)));
+                }
+            }
+            FaultEvent::Churn { node, notify: _ } => {
+                // Socket churn is always "loud": closing the sockets is
+                // observable. The notify distinction belongs to the
+                // simulator's abstract reset.
+                let n = self.map_index(node);
+                if self.is_up(n) {
+                    self.kill(n);
+                }
+            }
+            FaultEvent::Rejoin { node } => {
+                let n = self.map_index(node);
+                if !self.is_up(n) {
+                    let _ = self.restart(n);
+                }
+            }
+        }
+    }
+
+    /// Graceful teardown: every node drains and reports, the checker
+    /// finishes its in-flight rounds, and the aggregate [`LiveReport`]
+    /// comes back. Nodes that were killed and never restarted are absent
+    /// from the report's state map.
+    pub fn shutdown(mut self) -> LiveReport<P> {
+        let wall_seconds = self.epoch.elapsed().as_secs_f64();
+        let mut stats = LiveStats {
+            wall_seconds,
+            faults_applied: self.faults_applied,
+            restarts: self.restarts,
+            ..LiveStats::default()
+        };
+        let mut states = BTreeMap::new();
+        let mut filters = BTreeMap::new();
+        // Signal everyone first so the drains overlap, then join.
+        for h in self.nodes.values() {
+            let _ = h.ctl.send(NodeCtl::Shutdown);
+        }
+        for (id, h) in std::mem::take(&mut self.nodes) {
+            if let Ok(report) = h.join.join() {
+                stats.nodes.insert(id.0, report.stats);
+                stats.snapshots.insert(id.0, report.snapshot);
+                states.insert(id, report.slot);
+                filters.insert(id, report.filters);
+            }
+        }
+        if let Some(checker) = self.checker.take() {
+            stats.checker = checker.shutdown();
+        }
+        LiveReport {
+            stats,
+            states,
+            filters,
+        }
+    }
+
+    /// Builds a checker-style global state from a report's final slots
+    /// (for post-mortem property checks).
+    pub fn assemble(report: &LiveReport<P>) -> cb_model::GlobalState<P> {
+        cb_model::GlobalState::from_slots(report.states.iter().map(|(n, s)| (*n, s.clone())))
+    }
+}
+
+impl<P: Protocol> Drop for LiveDeployment<P> {
+    fn drop(&mut self) {
+        // A dropped (not shut-down) deployment must not leak threads.
+        for h in self.nodes.values() {
+            let _ = h.ctl.send(NodeCtl::Kill);
+        }
+        for (_, h) in std::mem::take(&mut self.nodes) {
+            let _ = h.join.join();
+        }
+        if let Some(checker) = self.checker.take() {
+            let _ = checker.shutdown();
+        }
+    }
+}
+
+/// A channel-free helper: waits (polling `probe`) until `pred` holds over
+/// the node reports or the deadline passes; returns whether it held.
+/// Tests use this instead of fixed sleeps so they pass on slow CI hosts
+/// without wasting time on fast ones.
+pub fn wait_until<P: Protocol>(
+    dep: &LiveDeployment<P>,
+    deadline: Duration,
+    mut pred: impl FnMut(&LiveDeployment<P>) -> bool,
+) -> bool {
+    let end = Instant::now() + deadline;
+    loop {
+        if pred(dep) {
+            return true;
+        }
+        if Instant::now() >= end {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}

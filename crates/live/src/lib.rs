@@ -1,0 +1,54 @@
+//! # cb-live — the socket-based deployment runtime
+//!
+//! Everything below `cb-live` runs CrystalBall inside a discrete-event
+//! simulator; this crate runs it the way the paper deployed it (§2.3, §5:
+//! ModelNet and PlanetLab): **N protocol nodes as OS threads, each with
+//! its own wall-clock event loop, talking length-prefixed frames over
+//! loopback TCP**. The full loop executes outside the simulator for the
+//! first time:
+//!
+//! 1. service messages carry the §2.3 checkpoint-number piggyback in their
+//!    [`cb_model::WireFrame`] envelope; receipt drives
+//!    [`cb_snapshot::CheckpointManager::note_incoming`] exactly as the
+//!    modified Mace compiler's generated code does,
+//! 2. neighborhood snapshots are gathered **over the wire** — request,
+//!    reply, Nack and the single retry round are all real frames on real
+//!    sockets, guarded by a liveness timeout so a dead peer cannot wedge
+//!    the requester,
+//! 3. the completed snapshot is diff-shipped to a **checker process**
+//!    ([`checker`]) the node can only reach by socket; rounds run on the
+//!    same sharded `CheckerPool` the in-process controller uses,
+//! 4. predicted violations come back as **filter-install pushes**; the
+//!    node's receive path consults the installed filters before invoking
+//!    any handler — wire-delivered execution steering (§3.3).
+//!
+//! A seeded churn/partition injector ([`deployment`]) replays
+//! `cb-fleet`'s [`cb_fleet::faults::FaultPlan`] as socket-level drops and
+//! real thread kills, so the fault model carries over from the simulated
+//! fleet to the live deployment.
+//!
+//! **What determinism is and is not promised:** the fault schedule and
+//! every per-node jitter stream are seeded, but node threads interleave
+//! under a real scheduler — two runs are not byte-identical. Tests in
+//! this scenario class assert protocol-level safety outcomes and steering
+//! effects (violations observed, filters installed over the wire, filter
+//! hits), never trace equality. See `ARCHITECTURE.md` for the full
+//! contract.
+
+pub mod adapters;
+pub mod checker;
+pub mod deployment;
+pub mod node;
+pub mod stats;
+pub mod wire;
+
+pub use adapters::{
+    drive_paxos_rounds, live_checker_config, paxos_deployment, randtree_deployment,
+};
+pub use checker::{spawn_checker, CheckerHandle};
+pub use deployment::{wait_until, LiveConfig, LiveDeployment, LiveReport};
+pub use node::{
+    spawn_node, LinkMode, LinkTable, LiveNodeConfig, NodeCtl, NodeHandle, NodeReport, Registry,
+};
+pub use stats::{CheckerProcessStats, LatencySummary, LiveStats, NodeStats};
+pub use wire::{CtrlMsg, InstallBody, SubmitBody};

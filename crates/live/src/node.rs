@@ -1,0 +1,1086 @@
+//! The live node: one protocol state machine on one OS thread, with a
+//! wall-clock event loop over non-blocking loopback TCP.
+//!
+//! Each node owns exactly what a deployed CrystalBall node owns (§4):
+//! its protocol state, its timers, its [`CheckpointManager`], its installed
+//! event filters, and its sockets. Everything it learns about the rest of
+//! the system arrives as bytes — service messages stamped with the
+//! sender's checkpoint number, snapshot requests and replies, and
+//! filter-install pushes from the checker process. The *same handler
+//! code* the simulator and the model checker execute runs here, invoked
+//! from the socket receive path instead of a discrete-event queue.
+//!
+//! The loop is deliberately single-threaded per node: accept, drain
+//! readable sockets, fire due timers, run the checkpoint/gather schedule,
+//! service the control channel, flush writable sockets, sleep one tick.
+//! No locks are held across handler invocations; the only shared state is
+//! the address [`Registry`] and the fault-injection [`LinkTable`], both
+//! read at send time.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use cb_mc::EventFilter;
+use cb_model::{
+    push_frame, Decode, Encode, EventKey, FrameBuffer, FrameKind, GlobalState, NodeId, NodeSlot,
+    Outbox, PropertySet, Protocol, Schedule, SimTime, WireFrame,
+};
+use cb_snapshot::{CheckpointManager, DeltaEncoder, SnapMsg, SnapshotConfig, SnapshotStats};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::stats::NodeStats;
+use crate::wire::{frame_of, CtrlMsg, InstallBody, SubmitBody};
+
+/// Maps logical node ids to the socket addresses their listeners currently
+/// own. Restarted (churned) nodes re-register under a fresh port, so
+/// peers always dial the *current* incarnation.
+#[derive(Debug, Default)]
+pub struct Registry {
+    addrs: Mutex<HashMap<NodeId, SocketAddr>>,
+    checker: Mutex<Option<SocketAddr>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes (or replaces) a node's listen address.
+    pub fn register(&self, node: NodeId, addr: SocketAddr) {
+        self.addrs.lock().expect("registry").insert(node, addr);
+    }
+
+    /// Withdraws a node's address (killed, not yet restarted).
+    pub fn deregister(&self, node: NodeId) {
+        self.addrs.lock().expect("registry").remove(&node);
+    }
+
+    /// Looks a peer up.
+    pub fn lookup(&self, node: NodeId) -> Option<SocketAddr> {
+        self.addrs.lock().expect("registry").get(&node).copied()
+    }
+
+    /// Publishes the checker process's address.
+    pub fn register_checker(&self, addr: SocketAddr) {
+        *self.checker.lock().expect("registry") = Some(addr);
+    }
+
+    /// The checker's address, if one is running.
+    pub fn checker(&self) -> Option<SocketAddr> {
+        *self.checker.lock().expect("registry")
+    }
+}
+
+/// Fault state of one (unordered) node pair.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LinkMode {
+    /// Partitioned: every frame between the pair is dropped at the sender.
+    Drop,
+    /// Degraded: each frame is dropped with this probability.
+    Loss(f64),
+}
+
+/// The deployment-wide fault table: socket-level drops keyed by node
+/// pair. This is where `cb-fleet`'s abstract fault model lands in the
+/// live runtime — a partition is not a flag in a simulated network model
+/// but a sender-side refusal to write the frame.
+#[derive(Debug, Default)]
+pub struct LinkTable {
+    links: Mutex<HashMap<(u32, u32), LinkMode>>,
+}
+
+fn pair(a: NodeId, b: NodeId) -> (u32, u32) {
+    (a.0.min(b.0), a.0.max(b.0))
+}
+
+impl LinkTable {
+    /// An empty (fully connected) table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs (`Some`) or heals (`None`) a fault on the pair.
+    pub fn set(&self, a: NodeId, b: NodeId, mode: Option<LinkMode>) {
+        let mut l = self.links.lock().expect("links");
+        match mode {
+            Some(m) => l.insert(pair(a, b), m),
+            None => l.remove(&pair(a, b)),
+        };
+    }
+
+    /// The pair's current fault, if any.
+    pub fn mode(&self, a: NodeId, b: NodeId) -> Option<LinkMode> {
+        self.links.lock().expect("links").get(&pair(a, b)).copied()
+    }
+}
+
+/// Live-node tuning. Intervals are wall-clock; protocol timer periods
+/// (which are [`cb_model::SimDuration`]s) are mapped onto the wall clock
+/// via `time_scale`, so a 2-simulated-second recovery timer fires every
+/// `2s * time_scale` of real time — tests compress time, a real
+/// deployment would run at `time_scale = 1.0`.
+#[derive(Clone, Debug)]
+pub struct LiveNodeConfig {
+    /// Checkpoint-manager tuning (quota, compression, diffs, bandwidth).
+    pub snapshot: SnapshotConfig,
+    /// Wall period of spontaneous local checkpoints.
+    pub checkpoint_interval: Duration,
+    /// Wall period of neighborhood snapshot gathers.
+    pub gather_interval: Duration,
+    /// Liveness bound on one gather round: when it expires, still-waiting
+    /// peers are declared failed (one retry round if the gather was
+    /// nacked, then give up) so a dead peer cannot wedge the requester.
+    pub gather_timeout: Duration,
+    /// Event-loop sleep granularity when idle.
+    pub tick: Duration,
+    /// Wall seconds per simulated second for protocol timer periods.
+    pub time_scale: f64,
+    /// Per-frame payload ceiling (defensive decode bound).
+    pub max_frame_len: usize,
+    /// Check node-local safety properties after every handler and count
+    /// violating samples (the live analogue of the simulator's
+    /// `track_violations`).
+    pub self_check: bool,
+}
+
+impl Default for LiveNodeConfig {
+    fn default() -> Self {
+        LiveNodeConfig {
+            snapshot: SnapshotConfig::default(),
+            checkpoint_interval: Duration::from_millis(150),
+            gather_interval: Duration::from_millis(200),
+            gather_timeout: Duration::from_millis(400),
+            tick: Duration::from_millis(1),
+            time_scale: 0.05,
+            max_frame_len: cb_model::MAX_FRAME_LEN,
+            self_check: true,
+        }
+    }
+}
+
+/// What a node reports when it exits (or is probed mid-run).
+#[derive(Clone, Debug)]
+pub struct NodeReport<P: Protocol> {
+    /// The node's final (or current) slot: protocol state, incarnation,
+    /// connection table.
+    pub slot: NodeSlot<P::State>,
+    /// Event-loop counters.
+    pub stats: NodeStats,
+    /// Checkpoint-manager bandwidth counters.
+    pub snapshot: SnapshotStats,
+    /// Filters installed at report time.
+    pub filters: Vec<EventFilter>,
+}
+
+/// Driver → node control messages.
+pub enum NodeCtl<P: Protocol> {
+    /// Run an application call (workload injection, churn rejoin).
+    Inject(P::Action),
+    /// Graceful drain: Goodbye peers, flush sockets, report, exit.
+    Shutdown,
+    /// Abrupt death: drop everything on the floor, exit. Peers observe
+    /// broken connections; this is the churn injector's kill.
+    Kill,
+    /// Report current state and counters without exiting.
+    Probe(mpsc::Sender<NodeReport<P>>),
+}
+
+/// The driver-side handle of one spawned node.
+pub struct NodeHandle<P: Protocol> {
+    /// The node's id.
+    pub id: NodeId,
+    /// Control channel into the event loop.
+    pub ctl: mpsc::Sender<NodeCtl<P>>,
+    /// The event-loop thread; yields the node's final report.
+    pub join: JoinHandle<NodeReport<P>>,
+    /// The listener address this incarnation owns.
+    pub addr: SocketAddr,
+}
+
+impl<P: Protocol> NodeHandle<P> {
+    /// Probes the running node (blocking up to `timeout`).
+    pub fn probe(&self, timeout: Duration) -> Option<NodeReport<P>> {
+        let (tx, rx) = mpsc::channel();
+        self.ctl.send(NodeCtl::Probe(tx)).ok()?;
+        rx.recv_timeout(timeout).ok()
+    }
+}
+
+/// Boots one live node: binds its listener (so the address is registered
+/// before the thread runs), then spawns the event loop.
+#[allow(clippy::too_many_arguments)]
+pub fn spawn_node<P: Protocol>(
+    protocol: P,
+    props: PropertySet<P>,
+    id: NodeId,
+    incarnation: u32,
+    config: LiveNodeConfig,
+    registry: Arc<Registry>,
+    links: Arc<LinkTable>,
+    seed: u64,
+) -> std::io::Result<NodeHandle<P>> {
+    let listener = TcpListener::bind(("127.0.0.1", 0))?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    registry.register(id, addr);
+    let (ctl_tx, ctl_rx) = mpsc::channel();
+    let join = thread::Builder::new()
+        .name(format!("cb-live-{id}"))
+        .spawn(move || {
+            let mut rt = NodeRt::new(
+                protocol,
+                props,
+                id,
+                incarnation,
+                config,
+                registry,
+                links,
+                listener,
+                ctl_rx,
+                seed,
+            );
+            rt.run()
+        })
+        .expect("spawn live node thread");
+    Ok(NodeHandle {
+        id,
+        ctl: ctl_tx,
+        join,
+        addr,
+    })
+}
+
+struct Conn {
+    stream: TcpStream,
+    inbuf: FrameBuffer,
+    out: Vec<u8>,
+    peer: Option<NodeId>,
+    is_checker: bool,
+    /// The peer announced a graceful close; an EOF here is not a failure.
+    draining: bool,
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, max_frame: usize, is_checker: bool) -> Self {
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_nonblocking(true);
+        Conn {
+            stream,
+            inbuf: FrameBuffer::new(max_frame),
+            out: Vec::new(),
+            peer: None,
+            is_checker,
+            draining: false,
+            dead: false,
+        }
+    }
+}
+
+enum LoopOutcome {
+    Continue,
+    Graceful,
+    Killed,
+}
+
+struct NodeRt<P: Protocol> {
+    me: NodeId,
+    proto: P,
+    props: PropertySet<P>,
+    slot: NodeSlot<P::State>,
+    mgr: CheckpointManager,
+    cfg: LiveNodeConfig,
+    registry: Arc<Registry>,
+    links: Arc<LinkTable>,
+    listener: TcpListener,
+    conns: Vec<Conn>,
+    delta_enc: DeltaEncoder,
+    /// Hash of the last submitted neighborhood state: a snapshot identical
+    /// to the previous round's would re-run the same search to the same
+    /// conclusion (the same dedup the in-process controller applies), and
+    /// live it would also *flood* the checker — gathers run on a wall
+    /// clock regardless of whether anything changed.
+    last_submit_hash: Option<u64>,
+    filters: Vec<EventFilter>,
+    timers: HashMap<P::Action, Instant>,
+    rng: StdRng,
+    epoch: Instant,
+    next_checkpoint: Instant,
+    next_gather: Instant,
+    gather_deadline: Option<Instant>,
+    ctl: mpsc::Receiver<NodeCtl<P>>,
+    stats: NodeStats,
+}
+
+impl<P: Protocol> NodeRt<P> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        proto: P,
+        props: PropertySet<P>,
+        me: NodeId,
+        incarnation: u32,
+        cfg: LiveNodeConfig,
+        registry: Arc<Registry>,
+        links: Arc<LinkTable>,
+        listener: TcpListener,
+        ctl: mpsc::Receiver<NodeCtl<P>>,
+        seed: u64,
+    ) -> Self {
+        let mut slot = NodeSlot::new(proto.init(me));
+        slot.incarnation = incarnation;
+        let mgr = CheckpointManager::new(me, cfg.snapshot.clone());
+        let now = Instant::now();
+        let mut rt = NodeRt {
+            me,
+            proto,
+            props,
+            slot,
+            mgr,
+            next_checkpoint: now + cfg.checkpoint_interval,
+            next_gather: now + cfg.gather_interval,
+            cfg,
+            registry,
+            links,
+            listener,
+            conns: Vec::new(),
+            delta_enc: DeltaEncoder::new(),
+            last_submit_hash: None,
+            filters: Vec::new(),
+            timers: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed ^ (0x11EE_u64 << 32) ^ u64::from(me.0)),
+            epoch: now,
+            gather_deadline: None,
+            ctl,
+            stats: NodeStats::default(),
+        };
+        rt.reconcile_timers();
+        rt
+    }
+
+    fn run(&mut self) -> NodeReport<P> {
+        loop {
+            let mut worked = false;
+            worked |= self.accept_new();
+            worked |= self.pump_reads();
+            self.fire_timers();
+            self.snapshot_schedule();
+            match self.poll_ctl() {
+                LoopOutcome::Continue => {}
+                LoopOutcome::Graceful => {
+                    self.graceful_close();
+                    return self.report();
+                }
+                LoopOutcome::Killed => {
+                    // Abrupt: sockets drop on the floor; peers see RSTs
+                    // or EOFs and run their failure handlers.
+                    self.conns.clear();
+                    return self.report();
+                }
+            }
+            worked |= self.pump_writes();
+            self.reap_dead();
+            if !worked {
+                thread::sleep(self.cfg.tick);
+            }
+        }
+    }
+
+    fn report(&mut self) -> NodeReport<P> {
+        self.stats.filters_installed = self.filters.len() as u64;
+        NodeReport {
+            slot: self.slot.clone(),
+            stats: self.stats.clone(),
+            snapshot: self.mgr.snapshot_stats(),
+            filters: self.filters.clone(),
+        }
+    }
+
+    fn sim_now(&self) -> SimTime {
+        SimTime(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    fn elapsed_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn wall_of(&self, d: cb_model::SimDuration) -> Duration {
+        Duration::from_secs_f64((d.as_secs_f64() * self.cfg.time_scale).max(1e-4))
+    }
+
+    // ---- control channel ------------------------------------------------
+
+    fn poll_ctl(&mut self) -> LoopOutcome {
+        loop {
+            match self.ctl.try_recv() {
+                Ok(NodeCtl::Inject(action)) => self.run_action(action, true),
+                Ok(NodeCtl::Probe(tx)) => {
+                    let _ = tx.send(self.report());
+                }
+                Ok(NodeCtl::Shutdown) => return LoopOutcome::Graceful,
+                Ok(NodeCtl::Kill) => return LoopOutcome::Killed,
+                Err(mpsc::TryRecvError::Empty) => return LoopOutcome::Continue,
+                // Driver dropped the handle: treat as graceful shutdown.
+                Err(mpsc::TryRecvError::Disconnected) => return LoopOutcome::Graceful,
+            }
+        }
+    }
+
+    fn graceful_close(&mut self) {
+        let goodbye_peers: Vec<NodeId> = self
+            .conns
+            .iter()
+            .filter_map(|c| c.peer.filter(|_| !c.dead && !c.is_checker))
+            .collect();
+        for p in goodbye_peers {
+            let f = frame_of(
+                self.me,
+                p,
+                self.mgr.stamp_out(),
+                FrameKind::Control,
+                &CtrlMsg::Goodbye,
+            );
+            self.queue_to_peer(p, &f, false);
+        }
+        if let Some(c) = self.conns.iter_mut().find(|c| c.is_checker && !c.dead) {
+            let f = frame_of(
+                self.me,
+                NodeId::DUMMY,
+                0,
+                FrameKind::Control,
+                &CtrlMsg::Goodbye,
+            );
+            push_frame(&mut c.out, &f);
+        }
+        // Bounded flush: drain the send queues, then close.
+        let deadline = Instant::now() + Duration::from_millis(500);
+        while Instant::now() < deadline {
+            if !self.pump_writes() && self.conns.iter().all(|c| c.out.is_empty() || c.dead) {
+                break;
+            }
+            thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    // ---- sockets --------------------------------------------------------
+
+    fn accept_new(&mut self) -> bool {
+        let mut any = false;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    self.conns
+                        .push(Conn::new(stream, self.cfg.max_frame_len, false));
+                    any = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+        any
+    }
+
+    fn pump_reads(&mut self) -> bool {
+        let mut any = false;
+        let mut frames: Vec<(usize, WireFrame)> = Vec::new();
+        let mut buf = [0u8; 4096];
+        for (ix, conn) in self.conns.iter_mut().enumerate() {
+            if conn.dead {
+                continue;
+            }
+            loop {
+                match conn.stream.read(&mut buf) {
+                    Ok(0) => {
+                        conn.dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        any = true;
+                        self.stats.bytes_received += n as u64;
+                        conn.inbuf.feed(&buf[..n]);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+            loop {
+                match conn.inbuf.next_frame() {
+                    // Garbage inside a well-framed payload is dropped
+                    // frame-by-frame; the stream itself stays up (framing
+                    // is intact).
+                    Ok(Some(payload)) => {
+                        if let Ok(frame) = WireFrame::from_bytes(&payload) {
+                            self.stats.frames_received += 1;
+                            if conn.peer.is_none() && !conn.is_checker {
+                                conn.peer = Some(frame.src);
+                            }
+                            frames.push((ix, frame));
+                        }
+                    }
+                    Ok(None) => break,
+                    // Corrupt length prefix: the byte stream cannot be
+                    // resynchronized — drop the connection.
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+        for (ix, frame) in frames {
+            self.on_frame(ix, frame);
+        }
+        any
+    }
+
+    fn pump_writes(&mut self) -> bool {
+        let mut any = false;
+        for conn in &mut self.conns {
+            if conn.dead || conn.out.is_empty() {
+                continue;
+            }
+            loop {
+                if conn.out.is_empty() {
+                    break;
+                }
+                match conn.stream.write(&conn.out) {
+                    Ok(0) => {
+                        conn.dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        any = true;
+                        self.stats.bytes_sent += n as u64;
+                        conn.out.drain(..n);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+        any
+    }
+
+    /// Removes dead connections, running failure handling for peers that
+    /// did not announce a graceful close and have no surviving connection.
+    fn reap_dead(&mut self) {
+        let dead: Vec<Conn> = {
+            let mut kept = Vec::with_capacity(self.conns.len());
+            let mut dead = Vec::new();
+            for c in self.conns.drain(..) {
+                if c.dead {
+                    dead.push(c);
+                } else {
+                    kept.push(c);
+                }
+            }
+            self.conns = kept;
+            dead
+        };
+        for c in dead {
+            if c.is_checker {
+                // Lineage broken: the checker forgets us on disconnect,
+                // so the next submit must restart the delta stream.
+                self.delta_enc = DeltaEncoder::new();
+                continue;
+            }
+            let Some(peer) = c.peer else { continue };
+            let still_connected = self.conns.iter().any(|k| k.peer == Some(peer) && !k.dead);
+            if still_connected {
+                continue;
+            }
+            self.mgr.peer_failed(peer);
+            self.poll_snapshot();
+            if !c.draining {
+                // A broken (not drained) connection is the TCP RST signal
+                // the protocols' failure-handling code reacts to (§3.3).
+                self.stats.errors_observed += 1;
+                let mut out = Outbox::new();
+                self.proto
+                    .on_error(self.me, &mut self.slot.state, peer, &mut out);
+                self.slot.conns.remove(&peer);
+                self.apply_outbox(out);
+                self.self_check();
+                // The failure transition may have enabled actions (e.g. a
+                // recovery timer after a parent death) — schedule them.
+                self.reconcile_timers();
+            } else {
+                self.slot.conns.remove(&peer);
+            }
+        }
+    }
+
+    fn link_drops(&mut self, dst: NodeId) -> bool {
+        match self.links.mode(self.me, dst) {
+            Some(LinkMode::Drop) => true,
+            Some(LinkMode::Loss(p)) => self.rng.gen_bool(p.clamp(0.0, 1.0)),
+            None => false,
+        }
+    }
+
+    /// Finds (or dials) a live connection to `peer` and queues `frame`.
+    /// Returns false when the peer is unreachable (dial failed).
+    fn queue_to_peer(&mut self, peer: NodeId, frame: &[u8], count: bool) -> bool {
+        let ix = self
+            .conns
+            .iter()
+            .position(|c| c.peer == Some(peer) && !c.dead);
+        let ix = match ix {
+            Some(ix) => ix,
+            None => {
+                let Some(addr) = self.registry.lookup(peer) else {
+                    return false;
+                };
+                let Ok(stream) = TcpStream::connect(addr) else {
+                    return false;
+                };
+                let mut conn = Conn::new(stream, self.cfg.max_frame_len, false);
+                conn.peer = Some(peer);
+                let hello = frame_of(
+                    self.me,
+                    peer,
+                    self.mgr.stamp_out(),
+                    FrameKind::Control,
+                    &CtrlMsg::Hello { node: self.me },
+                );
+                push_frame(&mut conn.out, &hello);
+                self.stats.frames_sent += 1;
+                // Opening a connection registers the peer in the slot's
+                // connection table (what the checker's reset exploration
+                // and the neighborhood heuristic read).
+                self.slot.conns.entry(peer).or_insert(0);
+                self.conns.push(conn);
+                self.conns.len() - 1
+            }
+        };
+        push_frame(&mut self.conns[ix].out, frame);
+        if count {
+            self.stats.frames_sent += 1;
+        }
+        true
+    }
+
+    fn checker_conn(&mut self) -> Option<usize> {
+        if let Some(ix) = self.conns.iter().position(|c| c.is_checker && !c.dead) {
+            return Some(ix);
+        }
+        let addr = self.registry.checker()?;
+        let stream = TcpStream::connect(addr).ok()?;
+        let mut conn = Conn::new(stream, self.cfg.max_frame_len, true);
+        let hello = frame_of(
+            self.me,
+            NodeId::DUMMY,
+            0,
+            FrameKind::Control,
+            &CtrlMsg::Hello { node: self.me },
+        );
+        push_frame(&mut conn.out, &hello);
+        self.stats.frames_sent += 1;
+        self.delta_enc = DeltaEncoder::new();
+        self.last_submit_hash = None;
+        self.conns.push(conn);
+        Some(self.conns.len() - 1)
+    }
+
+    /// Closes every connection to `peer`. The peer's next read observes
+    /// EOF and runs its transport-error handling — exactly the "reset the
+    /// connection" corrective of §3.3.
+    fn close_peer(&mut self, peer: NodeId) {
+        for c in &mut self.conns {
+            if c.peer == Some(peer) {
+                c.dead = true;
+                c.draining = true; // our choice to close is not a failure *here*
+            }
+        }
+        self.slot.conns.remove(&peer);
+        self.mgr.peer_failed(peer);
+        self.poll_snapshot();
+    }
+
+    // ---- frame dispatch -------------------------------------------------
+
+    fn on_frame(&mut self, conn_ix: usize, frame: WireFrame) {
+        match frame.kind {
+            FrameKind::Control => {
+                if let Ok(msg) = CtrlMsg::from_bytes(&frame.body) {
+                    match msg {
+                        CtrlMsg::Hello { node } => {
+                            if let Some(c) = self.conns.get_mut(conn_ix) {
+                                c.peer = Some(node);
+                            }
+                            self.slot.conns.entry(node).or_insert(0);
+                        }
+                        CtrlMsg::Goodbye => {
+                            if let Some(c) = self.conns.get_mut(conn_ix) {
+                                c.draining = true;
+                            }
+                        }
+                    }
+                }
+            }
+            FrameKind::Service => self.on_service(frame),
+            FrameKind::Snap => self.on_snap(frame),
+            FrameKind::FilterInstall => self.on_install(conn_ix, frame),
+            // Nodes never serve submissions.
+            FrameKind::Submit => {}
+        }
+    }
+
+    fn on_service(&mut self, frame: WireFrame) {
+        if frame.dst != self.me {
+            return;
+        }
+        let Ok(msg) = P::Message::from_bytes(&frame.body) else {
+            return;
+        };
+        let key = EventKey::Message {
+            kind: P::message_kind(&msg),
+            src: frame.src,
+            dst: self.me,
+        };
+        if let Some(f) = self.filters.iter().find(|f| f.matches(&key)) {
+            // The steering effect: a wire-installed filter blocks the
+            // handler before it runs (§3.3/§4).
+            self.stats.filter_hits += 1;
+            if f.resets_connection() {
+                self.close_peer(frame.src);
+            }
+            return;
+        }
+        // §2.3: forced checkpoint *before* the handler processes the
+        // message with a higher piggybacked cn. The state encode is paid
+        // only when the checkpoint will actually be taken — for the vast
+        // majority of messages `frame.cn ≤ cn` and the bytes would be
+        // discarded.
+        if frame.cn > self.mgr.cn() {
+            let state_bytes = self.slot.to_bytes();
+            self.mgr.note_incoming(frame.cn, &state_bytes);
+        }
+        let mut out = Outbox::new();
+        self.proto
+            .on_message(self.me, &mut self.slot.state, frame.src, &msg, &mut out);
+        self.stats.service_delivered += 1;
+        self.stats.actions_executed += 1;
+        self.apply_outbox(out);
+        self.self_check();
+        self.reconcile_timers();
+    }
+
+    fn on_snap(&mut self, frame: WireFrame) {
+        if frame.dst != self.me {
+            return;
+        }
+        let Ok(msg) = SnapMsg::from_bytes(&frame.body) else {
+            return;
+        };
+        self.stats.snap_frames += 1;
+        self.stats.snapshot_wire_bytes += frame.body.len() as u64;
+        let state_bytes = self.slot.to_bytes();
+        let now = self.sim_now();
+        let replies = self.mgr.handle(now, frame.src, &msg, &state_bytes);
+        for (dst, m) in replies {
+            self.send_snap(dst, &m);
+        }
+        self.poll_snapshot();
+    }
+
+    fn on_install(&mut self, conn_ix: usize, frame: WireFrame) {
+        // Installs are only honored over the connection this node dialed
+        // to the checker; a peer node cannot push filters.
+        let from_checker = self.conns.get(conn_ix).is_some_and(|c| c.is_checker);
+        if frame.dst != self.me || !from_checker {
+            return;
+        }
+        let Ok(body) = InstallBody::from_bytes(&frame.body) else {
+            return;
+        };
+        let Ok(filters) = EventFilter::decode_list(
+            &body.filters,
+            self.proto.message_kinds(),
+            self.proto.action_kinds(),
+        ) else {
+            return;
+        };
+        // Round semantics (§3.3): every completed checking round replaces
+        // the node's previous filters — including with the empty set.
+        // Replay rounds reinstate one filter per remembered path, so the
+        // push may carry duplicates; installation dedupes.
+        self.filters.clear();
+        for f in filters {
+            if f.install_at() == self.me && !self.filters.contains(&f) {
+                self.filters.push(f);
+            }
+        }
+        self.stats.installs_received += 1;
+        self.stats.filters_installed = self.filters.len() as u64;
+        let latency = self.elapsed_us().saturating_sub(body.at_us);
+        self.stats.install_latency.record(latency);
+    }
+
+    // ---- handlers and timers -------------------------------------------
+
+    fn apply_outbox(&mut self, out: Outbox<P::Message>) {
+        let (sends, closes) = out.into_parts();
+        for (dst, msg) in sends {
+            self.send_service(dst, &msg);
+        }
+        for peer in closes {
+            self.close_peer(peer);
+        }
+    }
+
+    fn send_service(&mut self, dst: NodeId, msg: &P::Message) {
+        if dst == self.me {
+            // Loopback delivery without the socket: run the handler now.
+            let mut out = Outbox::new();
+            let m = msg.clone();
+            self.proto
+                .on_message(self.me, &mut self.slot.state, self.me, &m, &mut out);
+            self.stats.service_delivered += 1;
+            self.stats.actions_executed += 1;
+            self.apply_outbox(out);
+            self.self_check();
+            return;
+        }
+        if self.link_drops(dst) {
+            self.stats.frames_dropped_fault += 1;
+            return;
+        }
+        let frame = frame_of(self.me, dst, self.mgr.stamp_out(), FrameKind::Service, msg);
+        if self.queue_to_peer(dst, &frame, true) {
+            self.stats.service_sent += 1;
+        } else {
+            // Dial failed: the peer is gone. That is a transport error.
+            self.peer_unreachable(dst);
+        }
+    }
+
+    fn send_snap(&mut self, dst: NodeId, msg: &SnapMsg) {
+        if self.link_drops(dst) {
+            self.stats.frames_dropped_fault += 1;
+            // The gather learns about the black hole via its timeout.
+            return;
+        }
+        let frame = frame_of(self.me, dst, self.mgr.stamp_out(), FrameKind::Snap, msg);
+        if self.queue_to_peer(dst, &frame, true) {
+            // Counted only once actually queued — a failed dial never
+            // touches the socket, and the §3.1 wire-overhead numbers
+            // must not include it.
+            self.stats.snap_frames += 1;
+            self.stats.snapshot_wire_bytes += msg.encoded_len() as u64;
+        } else {
+            self.peer_unreachable(dst);
+        }
+    }
+
+    fn peer_unreachable(&mut self, peer: NodeId) {
+        self.stats.errors_observed += 1;
+        let mut out = Outbox::new();
+        self.proto
+            .on_error(self.me, &mut self.slot.state, peer, &mut out);
+        self.slot.conns.remove(&peer);
+        self.mgr.peer_failed(peer);
+        self.apply_outbox(out);
+        self.self_check();
+        self.poll_snapshot();
+        self.reconcile_timers();
+    }
+
+    fn run_action(&mut self, action: P::Action, injected: bool) {
+        let key = EventKey::Action {
+            kind: P::action_kind(&action),
+            node: self.me,
+        };
+        if self.filters.iter().any(|f| f.matches(&key)) {
+            self.stats.filter_hits += 1;
+            self.stats.actions_blocked += 1;
+            if !injected {
+                // Timers are rescheduled, not dropped (§4).
+                if let Schedule::Periodic(d) | Schedule::After(d) = self.proto.schedule(&action) {
+                    let due = Instant::now() + self.wall_of(d);
+                    self.timers.insert(action, due);
+                }
+            }
+            return;
+        }
+        let mut out = Outbox::new();
+        self.proto
+            .on_action(self.me, &mut self.slot.state, &action, &mut out);
+        self.stats.actions_executed += 1;
+        self.apply_outbox(out);
+        self.self_check();
+        self.reconcile_timers();
+    }
+
+    fn reconcile_timers(&mut self) {
+        let mut enabled = Vec::new();
+        self.proto
+            .enabled_actions(self.me, &self.slot.state, &mut enabled);
+        for action in enabled {
+            let d = match self.proto.schedule(&action) {
+                Schedule::Periodic(d) | Schedule::After(d) => d,
+                Schedule::External => continue,
+            };
+            if !self.timers.contains_key(&action) {
+                let base = self.wall_of(d);
+                let jitter = base.mul_f64(self.rng.gen_range(0.0..0.1));
+                self.timers.insert(action, Instant::now() + base + jitter);
+            }
+        }
+    }
+
+    fn fire_timers(&mut self) {
+        let now = Instant::now();
+        let due: Vec<P::Action> = self
+            .timers
+            .iter()
+            .filter(|(_, at)| **at <= now)
+            .map(|(a, _)| a.clone())
+            .collect();
+        for action in due {
+            self.timers.remove(&action);
+            let mut enabled = Vec::new();
+            self.proto
+                .enabled_actions(self.me, &self.slot.state, &mut enabled);
+            if !enabled.contains(&action) {
+                self.stats.timers_lapsed += 1;
+                continue;
+            }
+            self.run_action(action, false);
+        }
+    }
+
+    fn self_check(&mut self) {
+        if !self.cfg.self_check {
+            return;
+        }
+        // Node-local properties evaluated on a single-slot global state;
+        // global/pairwise properties trivially pass here (a live node has
+        // no authoritative view of its peers — those are the checker's
+        // job, fed by snapshots).
+        let gs: GlobalState<P> = GlobalState::from_slots([(self.me, self.slot.clone())]);
+        if let Some(v) = self.props.check(&gs) {
+            self.stats.violating_samples += 1;
+            *self
+                .stats
+                .violations_by_property
+                .entry(v.property)
+                .or_default() += 1;
+        }
+    }
+
+    // ---- snapshot schedule ----------------------------------------------
+
+    fn snapshot_schedule(&mut self) {
+        let now = Instant::now();
+        if now >= self.next_checkpoint {
+            self.next_checkpoint = now + self.cfg.checkpoint_interval;
+            let bytes = self.slot.to_bytes();
+            self.mgr.local_checkpoint(&bytes);
+        }
+        if now >= self.next_gather {
+            self.next_gather = now + self.cfg.gather_interval;
+            if !self.mgr.gathering() {
+                self.start_gather();
+            }
+        }
+        if let Some(deadline) = self.gather_deadline {
+            if now >= deadline && self.mgr.gathering() {
+                self.stats.gather_timeouts += 1;
+                let bytes = self.slot.to_bytes();
+                let retry = self.mgr.timeout_gather(&bytes);
+                if retry.is_empty() {
+                    self.gather_deadline = None;
+                } else {
+                    // One retry round, on a fresh deadline; the next
+                    // timeout gives up for good.
+                    self.gather_deadline = Some(now + self.cfg.gather_timeout);
+                    for (dst, m) in retry {
+                        self.send_snap(dst, &m);
+                    }
+                }
+                self.poll_snapshot();
+            }
+        }
+    }
+
+    fn start_gather(&mut self) {
+        let neighbors: Vec<NodeId> = self
+            .proto
+            .neighborhood(self.me, &self.slot.state)
+            .unwrap_or_else(|| self.slot.conns.keys().copied().collect())
+            .into_iter()
+            .filter(|n| *n != self.me)
+            .collect();
+        let bytes = self.slot.to_bytes();
+        let reqs = self.mgr.start_gather(&neighbors, &bytes);
+        self.gather_deadline = Some(Instant::now() + self.cfg.gather_timeout);
+        for (dst, m) in reqs {
+            self.send_snap(dst, &m);
+        }
+        // A neighborhood of one completes immediately.
+        self.poll_snapshot();
+    }
+
+    fn poll_snapshot(&mut self) {
+        let Some(snap) = self.mgr.poll_snapshot() else {
+            return;
+        };
+        self.stats.snapshots_completed += 1;
+        self.gather_deadline = None;
+        // Decode the wire-gathered checkpoints into a checker-ready
+        // neighborhood state; undecodable checkpoints drop to the dummy
+        // node (§4).
+        let gs: GlobalState<P> = GlobalState::from_slots(
+            snap.states
+                .iter()
+                .filter_map(|(n, b)| NodeSlot::from_bytes(b).ok().map(|s| (*n, s))),
+        );
+        if gs.node_count() == 0 {
+            return;
+        }
+        let h = gs.state_hash();
+        if self.last_submit_hash == Some(h) {
+            return;
+        }
+        let Some(ix) = self.checker_conn() else {
+            return;
+        };
+        self.last_submit_hash = Some(h);
+        let body = SubmitBody {
+            node: self.me,
+            at_us: self.elapsed_us(),
+            delta: self.delta_enc.encode_state(&gs),
+        };
+        let frame = frame_of(self.me, NodeId::DUMMY, 0, FrameKind::Submit, &body);
+        if frame.len() > self.cfg.max_frame_len {
+            // An oversize submission would be rejected by the checker's
+            // frame layer and poison the connection into a reject/redial
+            // loop. Drop it and restart the lineage: the dropped delta
+            // advanced the encoder's base, so shipping the *next* delta
+            // against it would desync the checker's decoder. A fresh
+            // encoder re-ships in full (seq 1 = explicit lineage restart,
+            // which the checker accepts on a live connection).
+            self.delta_enc = DeltaEncoder::new();
+            self.last_submit_hash = None;
+            return;
+        }
+        self.stats.submits_sent += 1;
+        self.stats.submit_bytes += frame.len() as u64;
+        self.stats.frames_sent += 1;
+        push_frame(&mut self.conns[ix].out, &frame);
+    }
+}

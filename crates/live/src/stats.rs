@@ -1,0 +1,341 @@
+//! Per-node and deployment-wide live-run metrics, JSON-able for the
+//! `live_throughput` bench.
+//!
+//! Unlike `cb-fleet`'s `FleetStats`, nothing here is covered by a
+//! byte-identical determinism contract: a live run's counters depend on
+//! real scheduling. What *is* contractual is the set of protocol-level
+//! outcomes the tests assert on (violations observed, filters installed,
+//! filter hits) — these counters are how those outcomes are observed.
+
+use std::collections::BTreeMap;
+
+use cb_snapshot::SnapshotStats;
+
+/// One live node's counters, reported at shutdown (or probed mid-run).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NodeStats {
+    /// Frames written to peer/checker sockets.
+    pub frames_sent: u64,
+    /// Frames parsed off peer/checker sockets.
+    pub frames_received: u64,
+    /// Frames dropped by the fault injector before hitting the socket.
+    pub frames_dropped_fault: u64,
+    /// Raw socket bytes written (frame payloads plus the 4-byte length
+    /// prefix each frame carries).
+    pub bytes_sent: u64,
+    /// Raw socket bytes read.
+    pub bytes_received: u64,
+    /// Service messages whose handler ran.
+    pub service_delivered: u64,
+    /// Service messages sent.
+    pub service_sent: u64,
+    /// Snapshot-protocol frames exchanged (both directions).
+    pub snap_frames: u64,
+    /// Snapshot-protocol payload bytes on the wire (both directions).
+    pub snapshot_wire_bytes: u64,
+    /// Transport errors observed (peer connection broke).
+    pub errors_observed: u64,
+    /// Internal actions (timers + injected calls) executed.
+    pub actions_executed: u64,
+    /// Timers that fired for a no-longer-enabled action.
+    pub timers_lapsed: u64,
+    /// Neighborhood gathers completed (full or partial).
+    pub snapshots_completed: u64,
+    /// Gathers that hit the liveness timeout.
+    pub gather_timeouts: u64,
+    /// Checker submissions shipped.
+    pub submits_sent: u64,
+    /// Encoded submit-body bytes shipped to the checker.
+    pub submit_bytes: u64,
+    /// Filter-install pushes received.
+    pub installs_received: u64,
+    /// Filters currently installed at probe time (last push's count).
+    pub filters_installed: u64,
+    /// Deliveries blocked by an installed filter (the steering effect).
+    pub filter_hits: u64,
+    /// Timer/injected actions blocked (rescheduled) by a filter.
+    pub actions_blocked: u64,
+    /// Post-handler self-checks that found this node's state violating a
+    /// node-local safety property.
+    pub violating_samples: u64,
+    /// Violating samples by property name.
+    pub violations_by_property: BTreeMap<String, u64>,
+    /// Count / total / max of gather-to-install latency in µs, measured on
+    /// this node's clock (submission timestamp echoed by the checker).
+    pub install_latency: LatencySummary,
+}
+
+/// Running (count, total, max) summary for a latency series.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples (µs).
+    pub total_us: u64,
+    /// Largest sample (µs).
+    pub max_us: u64,
+}
+
+impl LatencySummary {
+    /// Folds one sample in.
+    pub fn record(&mut self, us: u64) {
+        self.count += 1;
+        self.total_us += us;
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Mean in µs (0 with no samples).
+    pub fn avg_us(&self) -> u64 {
+        self.total_us.checked_div(self.count).unwrap_or(0)
+    }
+
+    fn merge(&mut self, other: &LatencySummary) {
+        self.count += other.count;
+        self.total_us += other.total_us;
+        self.max_us = self.max_us.max(other.max_us);
+    }
+}
+
+impl NodeStats {
+    /// Folds another node's counters into this one.
+    pub fn merge(&mut self, other: &NodeStats) {
+        let NodeStats {
+            frames_sent,
+            frames_received,
+            frames_dropped_fault,
+            bytes_sent,
+            bytes_received,
+            service_delivered,
+            service_sent,
+            snap_frames,
+            snapshot_wire_bytes,
+            errors_observed,
+            actions_executed,
+            timers_lapsed,
+            snapshots_completed,
+            gather_timeouts,
+            submits_sent,
+            submit_bytes,
+            installs_received,
+            filters_installed,
+            filter_hits,
+            actions_blocked,
+            violating_samples,
+            violations_by_property,
+            install_latency,
+        } = other;
+        self.frames_sent += frames_sent;
+        self.frames_received += frames_received;
+        self.frames_dropped_fault += frames_dropped_fault;
+        self.bytes_sent += bytes_sent;
+        self.bytes_received += bytes_received;
+        self.service_delivered += service_delivered;
+        self.service_sent += service_sent;
+        self.snap_frames += snap_frames;
+        self.snapshot_wire_bytes += snapshot_wire_bytes;
+        self.errors_observed += errors_observed;
+        self.actions_executed += actions_executed;
+        self.timers_lapsed += timers_lapsed;
+        self.snapshots_completed += snapshots_completed;
+        self.gather_timeouts += gather_timeouts;
+        self.submits_sent += submits_sent;
+        self.submit_bytes += submit_bytes;
+        self.installs_received += installs_received;
+        self.filters_installed += filters_installed;
+        self.filter_hits += filter_hits;
+        self.actions_blocked += actions_blocked;
+        self.violating_samples += violating_samples;
+        for (k, v) in violations_by_property {
+            *self.violations_by_property.entry(k.clone()).or_default() += v;
+        }
+        self.install_latency.merge(install_latency);
+    }
+}
+
+/// The checker process's counters.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CheckerProcessStats {
+    /// Submissions accepted off the wire.
+    pub submits_received: u64,
+    /// Submissions rejected (out-of-order / corrupt deltas).
+    pub submits_rejected: u64,
+    /// Checking rounds completed.
+    pub rounds_completed: u64,
+    /// Rounds that predicted a violation.
+    pub predictions: u64,
+    /// Filter-install pushes written back to nodes.
+    pub installs_sent: u64,
+    /// Receipt-to-push latency at the checker (µs).
+    pub round_latency: LatencySummary,
+    /// Bytes the internal delta channels shipped vs full clones (from
+    /// [`crystalball::WireChecker::wire_stats`]).
+    pub wire_shipped_bytes: u64,
+    /// Full-clone-equivalent bytes for the same submissions.
+    pub wire_raw_bytes: u64,
+}
+
+/// The deployment-wide roll-up: every node plus the checker process.
+#[derive(Clone, Debug, Default)]
+pub struct LiveStats {
+    /// Wall-clock seconds the deployment ran.
+    pub wall_seconds: f64,
+    /// Per-node counters, keyed by node id value.
+    pub nodes: BTreeMap<u32, NodeStats>,
+    /// Per-node snapshot/bandwidth counters.
+    pub snapshots: BTreeMap<u32, SnapshotStats>,
+    /// The checker process.
+    pub checker: CheckerProcessStats,
+    /// Faults the injector applied.
+    pub faults_applied: u64,
+    /// Node restarts (churn) performed.
+    pub restarts: u64,
+}
+
+impl LiveStats {
+    /// Sum of every node's counters.
+    pub fn totals(&self) -> NodeStats {
+        let mut t = NodeStats::default();
+        for n in self.nodes.values() {
+            t.merge(n);
+        }
+        t
+    }
+
+    /// Aggregated snapshot/bandwidth counters.
+    pub fn snapshot_totals(&self) -> SnapshotStats {
+        let mut t = SnapshotStats::default();
+        for (i, s) in self.snapshots.values().enumerate() {
+            if i == 0 {
+                t = s.clone();
+            } else {
+                t.merge(s);
+            }
+        }
+        t
+    }
+
+    /// Renders the roll-up as JSON (hand-rolled like the other stats
+    /// surfaces in this workspace; no serde offline).
+    pub fn to_json(&self) -> String {
+        let t = self.totals();
+        let frames = t.frames_sent + t.frames_received;
+        let frames_per_sec = if self.wall_seconds > 0.0 {
+            frames as f64 / self.wall_seconds
+        } else {
+            0.0
+        };
+        let mut per_node = String::new();
+        for (id, n) in &self.nodes {
+            if !per_node.is_empty() {
+                per_node.push(',');
+            }
+            per_node.push_str(&format!(
+                concat!(
+                    "{{\"node\":{},\"frames_sent\":{},\"frames_received\":{},",
+                    "\"service_delivered\":{},\"snapshots_completed\":{},",
+                    "\"submits_sent\":{},\"installs_received\":{},",
+                    "\"filter_hits\":{},\"violating_samples\":{}}}"
+                ),
+                id,
+                n.frames_sent,
+                n.frames_received,
+                n.service_delivered,
+                n.snapshots_completed,
+                n.submits_sent,
+                n.installs_received,
+                n.filter_hits,
+                n.violating_samples,
+            ));
+        }
+        format!(
+            concat!(
+                "{{\n \"bench\": \"live_throughput\",\n",
+                " \"wall_seconds\": {:.3},\n",
+                " \"nodes\": {},\n",
+                " \"frames_total\": {},\n",
+                " \"frames_per_sec\": {:.1},\n",
+                " \"socket_bytes_total\": {},\n",
+                " \"service_delivered\": {},\n",
+                " \"snapshot_wire_bytes\": {},\n",
+                " \"snapshots_completed\": {},\n",
+                " \"gather_timeouts\": {},\n",
+                " \"submits_sent\": {},\n",
+                " \"submit_bytes\": {},\n",
+                " \"checker_rounds\": {},\n",
+                " \"predictions\": {},\n",
+                " \"installs_sent\": {},\n",
+                " \"filter_hits\": {},\n",
+                " \"violating_samples\": {},\n",
+                " \"faults_applied\": {},\n",
+                " \"restarts\": {},\n",
+                " \"install_latency_samples\": {},\n",
+                " \"install_latency_avg_us\": {},\n",
+                " \"install_latency_max_us\": {},\n",
+                " \"checker_wire_shipped_bytes\": {},\n",
+                " \"checker_wire_raw_bytes\": {},\n",
+                " \"per_node\": [{}]\n}}"
+            ),
+            self.wall_seconds,
+            self.nodes.len(),
+            frames,
+            frames_per_sec,
+            t.bytes_sent + t.bytes_received,
+            t.service_delivered,
+            t.snapshot_wire_bytes,
+            t.snapshots_completed,
+            t.gather_timeouts,
+            t.submits_sent,
+            t.submit_bytes,
+            self.checker.rounds_completed,
+            self.checker.predictions,
+            self.checker.installs_sent,
+            t.filter_hits,
+            t.violating_samples,
+            self.faults_applied,
+            self.restarts,
+            t.install_latency.count,
+            t.install_latency.avg_us(),
+            t.install_latency.max_us,
+            self.checker.wire_shipped_bytes,
+            self.checker.wire_raw_bytes,
+            per_node,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_and_json() {
+        let mut a = NodeStats {
+            frames_sent: 3,
+            ..NodeStats::default()
+        };
+        a.violations_by_property.insert("P".into(), 2);
+        a.install_latency.record(100);
+        let mut b = NodeStats {
+            frames_sent: 4,
+            ..NodeStats::default()
+        };
+        b.violations_by_property.insert("P".into(), 1);
+        b.install_latency.record(300);
+        a.merge(&b);
+        assert_eq!(a.frames_sent, 7);
+        assert_eq!(a.violations_by_property["P"], 3);
+        assert_eq!(a.install_latency.count, 2);
+        assert_eq!(a.install_latency.avg_us(), 200);
+        assert_eq!(a.install_latency.max_us, 300);
+
+        let mut stats = LiveStats {
+            wall_seconds: 2.0,
+            ..LiveStats::default()
+        };
+        stats.nodes.insert(0, a);
+        let json = stats.to_json();
+        assert!(json.contains("\"bench\": \"live_throughput\""), "{json}");
+        assert!(json.contains("\"frames_total\": 7"), "{json}");
+        assert!(json.contains("\"per_node\": [{"), "{json}");
+    }
+}

@@ -15,6 +15,7 @@
 
 use std::fmt;
 
+use cb_model::codec::{Decode, DecodeError, Encode, Reader};
 use cb_model::{EventKey, NodeId};
 
 /// One installable event filter.
@@ -92,6 +93,94 @@ impl EventFilter {
                 ..
             } => Some(*src),
             _ => None,
+        }
+    }
+}
+
+/// Wire encoding, used when a checker ships a filter-install push to a
+/// live node (`cb-live`). Kinds travel as plain strings; decoding resolves
+/// them back to `'static` entries against the receiving protocol's kind
+/// tables ([`cb_model::Protocol::message_kinds`] /
+/// [`cb_model::Protocol::action_kinds`]), so a filter naming a kind the
+/// protocol never produces is rejected instead of silently never matching.
+impl Encode for EventFilter {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            EventFilter::Message {
+                kind,
+                src,
+                dst,
+                reset_connection,
+            } => {
+                buf.push(0);
+                kind.to_string().encode(buf);
+                src.encode(buf);
+                dst.encode(buf);
+                reset_connection.encode(buf);
+            }
+            EventFilter::Handler { kind, node } => {
+                buf.push(1);
+                kind.to_string().encode(buf);
+                node.encode(buf);
+            }
+        }
+    }
+}
+
+fn resolve_kind(s: &str, table: &'static [&'static str]) -> Result<&'static str, DecodeError> {
+    table
+        .iter()
+        .find(|k| **k == s)
+        .copied()
+        .ok_or(DecodeError::UnknownKind)
+}
+
+impl EventFilter {
+    /// Decodes one filter, resolving kind strings against the receiving
+    /// protocol's kind tables (the inverse of the [`Encode`] impl).
+    pub fn decode_resolved(
+        r: &mut Reader<'_>,
+        message_kinds: &'static [&'static str],
+        action_kinds: &'static [&'static str],
+    ) -> Result<Self, DecodeError> {
+        Ok(match r.byte()? {
+            0 => {
+                let kind = String::decode(r)?;
+                EventFilter::Message {
+                    kind: resolve_kind(&kind, message_kinds)?,
+                    src: NodeId::decode(r)?,
+                    dst: NodeId::decode(r)?,
+                    reset_connection: bool::decode(r)?,
+                }
+            }
+            1 => {
+                let kind = String::decode(r)?;
+                EventFilter::Handler {
+                    kind: resolve_kind(&kind, action_kinds)?,
+                    node: NodeId::decode(r)?,
+                }
+            }
+            t => return Err(DecodeError::BadTag(t)),
+        })
+    }
+
+    /// Decodes a length-prefixed list of filters (the body of a
+    /// filter-install push) from a whole buffer.
+    pub fn decode_list(
+        bytes: &[u8],
+        message_kinds: &'static [&'static str],
+        action_kinds: &'static [&'static str],
+    ) -> Result<Vec<Self>, DecodeError> {
+        let mut r = Reader::new(bytes);
+        let n = r.length()?;
+        let mut out = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            out.push(Self::decode_resolved(&mut r, message_kinds, action_kinds)?);
+        }
+        if r.is_empty() {
+            Ok(out)
+        } else {
+            Err(DecodeError::TrailingBytes(r.remaining()))
         }
     }
 }
@@ -257,6 +346,63 @@ mod tests {
         }));
         set.clear();
         assert!(set.is_empty());
+    }
+
+    #[test]
+    fn wire_codec_roundtrips_against_kind_tables() {
+        const MSG_KINDS: &[&str] = &["Join", "JoinReply"];
+        const ACT_KINDS: &[&str] = &["RecoveryTimer"];
+        let filters = vec![
+            EventFilter::Message {
+                kind: "Join",
+                src: NodeId(13),
+                dst: NodeId(1),
+                reset_connection: true,
+            },
+            EventFilter::Handler {
+                kind: "RecoveryTimer",
+                node: NodeId(5),
+            },
+        ];
+        let bytes = filters.to_bytes();
+        let decoded = EventFilter::decode_list(&bytes, MSG_KINDS, ACT_KINDS).unwrap();
+        assert_eq!(decoded, filters);
+        // The resolved kind is the table's entry, so pointer-free string
+        // comparison in `matches` keeps working.
+        assert!(decoded[0].matches(&msg_key("Join", 13, 1)));
+    }
+
+    #[test]
+    fn wire_codec_rejects_unknown_kinds_and_garbage() {
+        use cb_model::DecodeError;
+        const MSG_KINDS: &[&str] = &["Ping"];
+        let foreign = vec![EventFilter::Message {
+            kind: "Prepare", // a kind the receiving table does not list
+            src: NodeId(0),
+            dst: NodeId(1),
+            reset_connection: false,
+        }];
+        assert_eq!(
+            EventFilter::decode_list(&foreign.to_bytes(), MSG_KINDS, &[]),
+            Err(DecodeError::UnknownKind)
+        );
+        // Garbage variant tag.
+        assert_eq!(
+            EventFilter::decode_list(&[1, 9], MSG_KINDS, &[]),
+            Err(DecodeError::BadTag(9))
+        );
+        // Truncated buffers fail cleanly at every cut.
+        let ok = vec![EventFilter::Handler {
+            kind: "Ping",
+            node: NodeId(2),
+        }];
+        let bytes = ok.to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                EventFilter::decode_list(&bytes[..cut], &[], &["Ping"]).is_err(),
+                "cut {cut}"
+            );
+        }
     }
 
     #[test]

@@ -63,6 +63,10 @@ pub enum DecodeError {
     BadLength(usize),
     /// `from_bytes` had bytes left over.
     TrailingBytes(usize),
+    /// A decoded classifier string is not in the receiver's kind table
+    /// (a wire-shipped event filter naming a handler the protocol does
+    /// not have).
+    UnknownKind,
 }
 
 impl fmt::Display for DecodeError {
@@ -74,6 +78,7 @@ impl fmt::Display for DecodeError {
             DecodeError::BadUtf8 => write!(f, "invalid utf-8 in string"),
             DecodeError::BadLength(n) => write!(f, "length prefix {n} exceeds input"),
             DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+            DecodeError::UnknownKind => write!(f, "kind string not in the receiver's kind table"),
         }
     }
 }

@@ -19,6 +19,8 @@
 //! * [`Encode`]/[`Decode`] — a compact deterministic codec used for node
 //!   checkpoints (so checkpoint sizes and bandwidth can be measured the way
 //!   §5.5 of the paper reports them),
+//! * [`WireFrame`]/[`FrameBuffer`] — the length-prefixed frame envelope the
+//!   live deployment runtime (`cb-live`) moves over real TCP sockets,
 //! * [`stable_hash`] — deterministic 64-bit hashing used for the checker's
 //!   `explored`/`localExplored` sets (the paper stores hashes, not states),
 //! * [`SimTime`]/[`SimDuration`] — the simulated clock shared by the network
@@ -33,6 +35,7 @@
 
 pub mod codec;
 pub mod event;
+pub mod frame;
 pub mod hashing;
 pub mod node;
 pub mod property;
@@ -43,6 +46,9 @@ pub mod time;
 
 pub use codec::{Decode, DecodeError, Encode, Reader};
 pub use event::{apply_event, enumerate_events, Event, EventKey, ExploreOptions, TraceStep};
+pub use frame::{
+    push_frame, read_frame, write_frame, FrameBuffer, FrameKind, WireFrame, MAX_FRAME_LEN,
+};
 pub use hashing::{stable_hash, Fnv64, StableHasher};
 pub use node::{AddrMap, NodeId};
 pub use property::{

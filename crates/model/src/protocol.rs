@@ -193,6 +193,22 @@ pub trait Protocol: Clone + Debug + Send + Sync + 'static {
     /// Short classifier for an action, used by event filters on timer and
     /// application events.
     fn action_kind(action: &Self::Action) -> &'static str;
+
+    /// Every string [`Protocol::message_kind`] can return. Receivers of
+    /// wire-shipped event filters use this table to resolve a decoded kind
+    /// string back to the `'static` kind the filter machinery compares
+    /// against (and to reject kinds the protocol never produces). The
+    /// default empty table means "this protocol cannot receive filters
+    /// over the wire".
+    fn message_kinds(&self) -> &'static [&'static str] {
+        &[]
+    }
+
+    /// Every string [`Protocol::action_kind`] can return (see
+    /// [`Protocol::message_kinds`]).
+    fn action_kinds(&self) -> &'static [&'static str] {
+        &[]
+    }
 }
 
 #[cfg(test)]

@@ -174,6 +174,14 @@ impl Protocol for Ping {
             PingAction::Kick => "Kick",
         }
     }
+
+    fn message_kinds(&self) -> &'static [&'static str] {
+        &["Ping", "Pong"]
+    }
+
+    fn action_kinds(&self) -> &'static [&'static str] {
+        &["Kick"]
+    }
 }
 
 /// A property that is violated once any node has seen `limit` pings —

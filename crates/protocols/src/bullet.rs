@@ -510,6 +510,14 @@ impl Protocol for Bullet {
             Action::RequestBlocks => "RequestBlocks",
         }
     }
+
+    fn message_kinds(&self) -> &'static [&'static str] {
+        &["Diff", "DiffAck", "Request", "Data"]
+    }
+
+    fn action_kinds(&self) -> &'static [&'static str] {
+        &["SendDiff", "RequestBlocks"]
+    }
 }
 
 impl Bullet {

@@ -458,6 +458,20 @@ impl Protocol for Chord {
             Action::Stabilize => "Stabilize",
         }
     }
+
+    fn message_kinds(&self) -> &'static [&'static str] {
+        &[
+            "FindPred",
+            "FindPredReply",
+            "UpdatePred",
+            "GetPred",
+            "GetPredReply",
+        ]
+    }
+
+    fn action_kinds(&self) -> &'static [&'static str] {
+        &["Join", "Stabilize"]
+    }
 }
 
 impl Chord {

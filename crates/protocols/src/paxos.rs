@@ -496,6 +496,14 @@ impl Protocol for Paxos {
             Action::Crash => "Crash",
         }
     }
+
+    fn message_kinds(&self) -> &'static [&'static str] {
+        &["Prepare", "Promise", "Accept", "Learn"]
+    }
+
+    fn action_kinds(&self) -> &'static [&'static str] {
+        &["Propose", "ResendAccept", "Crash"]
+    }
 }
 
 impl Paxos {

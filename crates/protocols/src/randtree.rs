@@ -559,6 +559,21 @@ impl Protocol for RandTree {
             Action::RecoveryTimer => "RecoveryTimer",
         }
     }
+
+    fn message_kinds(&self) -> &'static [&'static str] {
+        &[
+            "Join",
+            "JoinReply",
+            "UpdateSibling",
+            "NewRoot",
+            "Probe",
+            "ProbeReply",
+        ]
+    }
+
+    fn action_kinds(&self) -> &'static [&'static str] {
+        &["Join", "RecoveryTimer"]
+    }
 }
 
 impl RandTree {

@@ -39,4 +39,4 @@ pub mod manager;
 pub use checkpoint::{Checkpoint, CheckpointStore};
 pub use delta::{DeltaDecoder, DeltaEncoder, DeltaError, DeltaStats, SlotDelta, StateDelta};
 pub use diff::{apply_diff, encode_against, encode_diff, BaseEncoding, Diff};
-pub use manager::{CheckpointManager, SnapMsg, SnapStats, Snapshot, SnapshotConfig};
+pub use manager::{CheckpointManager, SnapMsg, SnapStats, Snapshot, SnapshotConfig, SnapshotStats};

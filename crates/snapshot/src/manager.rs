@@ -196,10 +196,127 @@ pub struct SnapStats {
     pub deltas_sent: u64,
     /// Nacks sent (pruned range or bandwidth limit).
     pub nacks_sent: u64,
+    /// Nacks received while gathering.
+    pub nacks_received: u64,
+    /// Retry rounds started after a nacked gather (§3.1 allows one).
+    pub retries: u64,
     /// Gathers started / completed.
     pub gathers_started: u64,
     /// Gathers that produced a snapshot.
     pub gathers_completed: u64,
+}
+
+/// The §3.1 bandwidth-budget counters in JSON-able form: what the
+/// checkpoint manager spent (bytes on the wire), what it refused (Nacks),
+/// and how often the gather protocol's single-retry escape hatch ran.
+/// The live deployment runtime exposes one per node; §5.5's overhead
+/// tables are these numbers aggregated.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Checkpoints taken (periodic + forced + on-request).
+    pub checkpoints_taken: u64,
+    /// Checkpoints forced by incoming message cns (§2.3).
+    pub forced_checkpoints: u64,
+    /// Checkpoint payload bytes actually sent (post compression/diff).
+    pub payload_bytes_sent: u64,
+    /// Raw (pre-compression) checkpoint bytes that were requested.
+    pub raw_bytes_considered: u64,
+    /// Duplicate-suppressed responses.
+    pub duplicates_suppressed: u64,
+    /// Delta responses sent.
+    pub deltas_sent: u64,
+    /// Nacks issued (pruned range or over the bandwidth budget).
+    pub nacks_issued: u64,
+    /// Nacks received while gathering.
+    pub nacks_received: u64,
+    /// Retry rounds this node's gathers started.
+    pub retries: u64,
+    /// Gathers started.
+    pub gathers_started: u64,
+    /// Gathers that produced a snapshot.
+    pub gathers_completed: u64,
+    /// The configured bandwidth limit, if any (bits/s).
+    pub bandwidth_limit_bps: Option<u64>,
+}
+
+impl SnapshotStats {
+    /// Renders the counters as a JSON object (no serde in this workspace;
+    /// every field is an integer or null, so hand-rolling is total).
+    pub fn to_json(&self) -> String {
+        let SnapshotStats {
+            checkpoints_taken,
+            forced_checkpoints,
+            payload_bytes_sent,
+            raw_bytes_considered,
+            duplicates_suppressed,
+            deltas_sent,
+            nacks_issued,
+            nacks_received,
+            retries,
+            gathers_started,
+            gathers_completed,
+            bandwidth_limit_bps,
+        } = self;
+        let limit = match bandwidth_limit_bps {
+            Some(l) => l.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            concat!(
+                "{{\"checkpoints_taken\":{},\"forced_checkpoints\":{},",
+                "\"payload_bytes_sent\":{},\"raw_bytes_considered\":{},",
+                "\"duplicates_suppressed\":{},\"deltas_sent\":{},",
+                "\"nacks_issued\":{},\"nacks_received\":{},\"retries\":{},",
+                "\"gathers_started\":{},\"gathers_completed\":{},",
+                "\"bandwidth_limit_bps\":{}}}"
+            ),
+            checkpoints_taken,
+            forced_checkpoints,
+            payload_bytes_sent,
+            raw_bytes_considered,
+            duplicates_suppressed,
+            deltas_sent,
+            nacks_issued,
+            nacks_received,
+            retries,
+            gathers_started,
+            gathers_completed,
+            limit,
+        )
+    }
+
+    /// Folds another node's counters into this one (fleet/deployment
+    /// aggregation). The limit is kept only when every contributor agrees.
+    pub fn merge(&mut self, other: &SnapshotStats) {
+        let SnapshotStats {
+            checkpoints_taken,
+            forced_checkpoints,
+            payload_bytes_sent,
+            raw_bytes_considered,
+            duplicates_suppressed,
+            deltas_sent,
+            nacks_issued,
+            nacks_received,
+            retries,
+            gathers_started,
+            gathers_completed,
+            bandwidth_limit_bps,
+        } = other;
+        self.checkpoints_taken += checkpoints_taken;
+        self.forced_checkpoints += forced_checkpoints;
+        self.payload_bytes_sent += payload_bytes_sent;
+        self.raw_bytes_considered += raw_bytes_considered;
+        self.duplicates_suppressed += duplicates_suppressed;
+        self.deltas_sent += deltas_sent;
+        self.nacks_issued += nacks_issued;
+        self.nacks_received += nacks_received;
+        self.retries += retries;
+        self.gathers_started += gathers_started;
+        self.gathers_completed += gathers_completed;
+        if self.bandwidth_limit_bps != *bandwidth_limit_bps {
+            self.bandwidth_limit_bps = None;
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -376,6 +493,7 @@ impl CheckpointManager {
                 Vec::new()
             }
             SnapMsg::Nack { cn } => {
+                self.stats.nacks_received += 1;
                 if let Some(g) = self.gather.as_mut() {
                     if g.waiting.remove(&from) {
                         g.saw_nack = true;
@@ -483,6 +601,7 @@ impl CheckpointManager {
         // initiates another snapshot round." (§3.1)
         let cr = g.nack_max_cn.max(g.cr) + 1;
         let _neighbors = g.neighbors.clone();
+        self.stats.retries += 1;
         self.cn = self.cn.max(cr);
         self.take_checkpoint(self.cn, state_bytes);
         let g = self.gather.as_mut().expect("gather exists");
@@ -519,6 +638,51 @@ impl CheckpointManager {
     /// True if a gather is in progress.
     pub fn gathering(&self) -> bool {
         self.gather.is_some()
+    }
+
+    /// Neighbors the in-progress gather is still waiting on (empty when no
+    /// gather runs). The live runtime uses this to time a stalled gather
+    /// out: each still-waiting peer is declared failed
+    /// ([`CheckpointManager::peer_failed`]) so the snapshot completes
+    /// partially instead of wedging the requester.
+    pub fn waiting_on(&self) -> Vec<NodeId> {
+        self.gather
+            .as_ref()
+            .map(|g| g.waiting.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Times a stalled gather out: every still-waiting neighbor is
+    /// declared failed. If the gather had collected Nacks and not yet
+    /// retried, this *starts the one §3.1 retry round* (returning its
+    /// requests); otherwise the gather completes partially on the next
+    /// [`CheckpointManager::poll_snapshot`]. A second timeout after a
+    /// retry round always completes — retry once, then give up. This is
+    /// the live runtime's defense against a peer that died mid-gather
+    /// (its socket may not even error if the process was SIGKILLed).
+    pub fn timeout_gather(&mut self, state_bytes: &[u8]) -> Vec<(NodeId, SnapMsg)> {
+        for peer in self.waiting_on() {
+            self.peer_failed(peer);
+        }
+        self.maybe_retry(state_bytes)
+    }
+
+    /// The §3.1 bandwidth-budget counters in JSON-able form.
+    pub fn snapshot_stats(&self) -> SnapshotStats {
+        SnapshotStats {
+            checkpoints_taken: self.stats.checkpoints_taken,
+            forced_checkpoints: self.stats.forced_checkpoints,
+            payload_bytes_sent: self.stats.payload_bytes_sent,
+            raw_bytes_considered: self.stats.raw_bytes_considered,
+            duplicates_suppressed: self.stats.duplicates_suppressed,
+            deltas_sent: self.stats.deltas_sent,
+            nacks_issued: self.stats.nacks_sent,
+            nacks_received: self.stats.nacks_received,
+            retries: self.stats.retries,
+            gathers_started: self.stats.gathers_started,
+            gathers_completed: self.stats.gathers_completed,
+            bandwidth_limit_bps: self.config.bandwidth_limit_bps,
+        }
     }
 
     /// Rolling 1-second bandwidth budget check.
@@ -714,6 +878,134 @@ mod tests {
         let snap = g.poll_snapshot().expect("completes partially");
         assert_eq!(snap.states.len(), 1, "only self");
         assert_eq!(snap.missing, vec![NodeId(1)]);
+    }
+
+    /// The §3.1 Nack → single-retry path under a tight bandwidth budget:
+    /// the responder's 1-second window is already spent when the first
+    /// request arrives, so it Nacks; the retry round arrives in the next
+    /// window and succeeds. The bandwidth counters surface the whole story
+    /// in `SnapshotStats`.
+    #[test]
+    fn bandwidth_nack_then_retry_succeeds_in_next_window() {
+        let mut g = mgr(0);
+        let mut limited = CheckpointManager::new(
+            NodeId(1),
+            SnapshotConfig {
+                // Admits one 64-byte checkpoint per 1-second window (the
+                // pre-send check charges the raw state length, 512 bits),
+                // but not a second reply on top of the first one's bytes.
+                bandwidth_limit_bps: Some(600),
+                ..SnapshotConfig::default()
+            },
+        );
+        // Incompressible state so the sent payload actually spends budget.
+        let mut rng = StdRng::seed_from_u64(0xB4D9E7);
+        let pstate: Vec<u8> = (0..64).map(|_| (rng.gen::<u32>() & 0xff) as u8).collect();
+        // Drain this window's budget with an unrelated requester.
+        let warm = limited.handle(
+            SimTime::ZERO,
+            NodeId(9),
+            &SnapMsg::Request { cr: 1 },
+            &pstate,
+        );
+        assert!(matches!(warm[0].1, SnapMsg::Full { .. }), "budget spent");
+        // The gather's request lands in the same window: Nack.
+        let reqs = g.start_gather(&[NodeId(1)], &state(0, 32));
+        let replies = limited.handle(SimTime::ZERO, NodeId(0), &reqs[0].1, &pstate);
+        assert!(matches!(replies[0].1, SnapMsg::Nack { .. }));
+        // The requester starts exactly one retry round.
+        let retry = g.handle(SimTime::ZERO, NodeId(1), &replies[0].1, &state(0, 32));
+        assert_eq!(retry.len(), 1, "one retry request");
+        assert_eq!(g.stats.retries, 1);
+        assert_eq!(g.stats.nacks_received, 1);
+        // The retry arrives two (simulated) seconds later: fresh window.
+        let t2 = SimTime::ZERO + cb_model::SimDuration::from_secs(2);
+        let replies2 = limited.handle(t2, NodeId(0), &retry[0].1, &pstate);
+        assert!(
+            matches!(replies2[0].1, SnapMsg::Full { .. } | SnapMsg::Delta { .. }),
+            "retry served in the next bandwidth window: {:?}",
+            replies2[0].1
+        );
+        let more = g.handle(t2, NodeId(1), &replies2[0].1, &state(0, 32));
+        assert!(more.is_empty(), "no further rounds");
+        let snap = g.poll_snapshot().expect("retry completed the gather");
+        assert_eq!(snap.states.len(), 2, "self + the once-nacked neighbor");
+        assert!(snap.missing.is_empty());
+        // The JSON surface carries the budget story on both sides.
+        let resp_stats = limited.snapshot_stats();
+        assert_eq!(resp_stats.nacks_issued, 1);
+        assert_eq!(resp_stats.bandwidth_limit_bps, Some(600));
+        assert!(resp_stats.payload_bytes_sent > 0);
+        let gather_stats = g.snapshot_stats();
+        assert_eq!(gather_stats.retries, 1);
+        assert_eq!(gather_stats.nacks_received, 1);
+        assert_eq!(gather_stats.gathers_completed, 1);
+        let json = resp_stats.to_json();
+        assert!(json.contains("\"nacks_issued\":1"), "{json}");
+        assert!(json.contains("\"bandwidth_limit_bps\":600"), "{json}");
+        assert!(g.snapshot_stats().to_json().contains("\"retries\":1"));
+    }
+
+    /// `timeout_gather` retries once when the stall follows a Nack, then
+    /// gives up: the second timeout completes the gather partially.
+    #[test]
+    fn timeout_gather_retries_once_then_gives_up() {
+        let mut g = mgr(0);
+        let own = state(0, 16);
+        let reqs = g.start_gather(&[NodeId(1), NodeId(2)], &own);
+        assert_eq!(reqs.len(), 2);
+        // Peer 1 nacks (over budget); peer 2 never answers.
+        let retry_now = g.handle(SimTime::ZERO, NodeId(1), &SnapMsg::Nack { cn: 9 }, &own);
+        assert!(retry_now.is_empty(), "peer 2 still pending: no retry yet");
+        assert!(g.poll_snapshot().is_none());
+        // First timeout: peer 2 declared dead, and the nacked gather gets
+        // its one retry round (aimed at the failed peers).
+        let retry = g.timeout_gather(&own);
+        assert!(!retry.is_empty(), "nacked gather retries once");
+        assert_eq!(g.stats.retries, 1);
+        assert!(g.poll_snapshot().is_none(), "retry round in flight");
+        // Second timeout: nobody answered the retry either — give up.
+        let third = g.timeout_gather(&own);
+        assert!(third.is_empty(), "no third round");
+        let snap = g.poll_snapshot().expect("partial snapshot after give-up");
+        assert_eq!(snap.states.len(), 1, "only self");
+        // A clean (nack-free) stall needs no retry: one timeout completes.
+        let _ = g.start_gather(&[NodeId(3)], &own);
+        assert!(g.timeout_gather(&own).is_empty());
+        let snap2 = g.poll_snapshot().expect("completes without retry");
+        assert_eq!(snap2.missing, vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn snapshot_stats_merge_and_null_limit() {
+        let mut a = mgr(0).snapshot_stats();
+        assert!(a.to_json().contains("\"bandwidth_limit_bps\":null"));
+        let b = SnapshotStats {
+            retries: 2,
+            nacks_issued: 3,
+            ..SnapshotStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.retries, 2);
+        assert_eq!(a.nacks_issued, 3);
+    }
+
+    #[test]
+    fn waiting_on_tracks_gather_progress() {
+        let mut g = mgr(0);
+        let reqs = g.start_gather(&[NodeId(1), NodeId(2)], &state(0, 16));
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(g.waiting_on(), vec![NodeId(1), NodeId(2)]);
+        let mut peer1 = mgr(1);
+        let replies = peer1.handle(SimTime::ZERO, NodeId(0), &reqs[0].1, &state(1, 16));
+        g.handle(SimTime::ZERO, NodeId(1), &replies[0].1, &state(0, 16));
+        assert_eq!(g.waiting_on(), vec![NodeId(2)]);
+        // The live runtime's timeout path: fail everyone still waiting.
+        for n in g.waiting_on() {
+            g.peer_failed(n);
+        }
+        assert!(g.poll_snapshot().is_some());
+        assert!(g.waiting_on().is_empty());
     }
 
     #[test]

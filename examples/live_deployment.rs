@@ -1,0 +1,139 @@
+//! The CrystalBall loop outside the simulator: nodes as real threads on
+//! loopback TCP, a checker reachable only by socket.
+//!
+//! Boots an 8-node RandTree overlay (the paper's R1 bug armed), lets the
+//! nodes gather consistent neighborhood snapshots **over the wire**
+//! (§2.3/§3.1), opens root capacity so consequence prediction finds the
+//! Fig. 2 chain, and churns childless nodes until a wire-installed event
+//! filter demonstrably blocks a live handler — execution steering (§3.3)
+//! delivered by TCP push.
+//!
+//! Run with: `cargo run --release --example live_deployment`
+
+use std::time::Duration;
+
+use crystalball_suite::live::{
+    live_checker_config, randtree_deployment, wait_until, LiveConfig, LiveNodeConfig,
+};
+use crystalball_suite::model::NodeId;
+use crystalball_suite::protocols::randtree::{Action, RandTreeBugs, Status};
+
+fn main() {
+    let config = LiveConfig {
+        seed: 42,
+        node: LiveNodeConfig {
+            checkpoint_interval: Duration::from_millis(80),
+            gather_interval: Duration::from_millis(120),
+            gather_timeout: Duration::from_millis(350),
+            time_scale: 0.02,
+            ..LiveNodeConfig::default()
+        },
+        checker: live_checker_config(8_000, 6, 2),
+        ..LiveConfig::default()
+    };
+    println!("live: booting 8 RandTree nodes as threads over loopback TCP");
+    let mut dep =
+        randtree_deployment(8, RandTreeBugs::only("R1"), config).expect("boot deployment");
+
+    let joined = wait_until(&dep, Duration::from_secs(60), |d| {
+        d.node_ids()
+            .iter()
+            .all(|&n| match d.probe(n, Duration::from_secs(2)) {
+                Some(r) if r.slot.state.status == Status::Joined => true,
+                Some(_) => {
+                    d.inject(n, Action::Join { target: NodeId(0) });
+                    false
+                }
+                None => false,
+            })
+    });
+    println!("live: overlay formed over real sockets (joined={joined})");
+
+    // Open root capacity: a full root forwards joins down and never sends
+    // the UpdateSibling message the Fig. 2 prediction rides on.
+    let root = dep
+        .probe(NodeId(0), Duration::from_secs(5))
+        .expect("probe root");
+    let sacrifice = root
+        .slot
+        .state
+        .children
+        .iter()
+        .copied()
+        .find(|&c| {
+            dep.probe(c, Duration::from_secs(2))
+                .is_some_and(|r| r.slot.state.children.is_empty())
+        })
+        .or_else(|| root.slot.state.children.iter().copied().next())
+        .expect("root has a child");
+    dep.kill(sacrifice);
+    println!("live: killed root child {sacrifice} (capacity opens the prediction)");
+
+    let predicted = wait_until(&dep, Duration::from_secs(60), |d| {
+        d.probe_checker(Duration::from_secs(2))
+            .is_some_and(|c| c.predictions > 0 && c.installs_sent > 0)
+    });
+    let checker = dep.probe_checker(Duration::from_secs(5)).unwrap();
+    println!(
+        "live: checker predicted from wire-gathered snapshots \
+         (predicted={predicted}; {} submissions, {} rounds, {} predictions)",
+        checker.submits_received, checker.rounds_completed, checker.predictions
+    );
+
+    // Churn childless nodes until a wire-installed filter blocks a live
+    // handler.
+    let mut steered = false;
+    for round in 0..15 {
+        let hit = dep.node_ids().iter().any(|&n| {
+            dep.is_up(n)
+                && dep
+                    .probe(n, Duration::from_secs(1))
+                    .is_some_and(|r| r.stats.filter_hits > 0)
+        });
+        if hit {
+            steered = true;
+            break;
+        }
+        let victim = (1..8u32).map(NodeId).find(|&n| {
+            n != sacrifice
+                && dep.is_up(n)
+                && dep
+                    .probe(n, Duration::from_secs(1))
+                    .is_some_and(|r| r.slot.state.children.is_empty() && r.filters.is_empty())
+        });
+        if let Some(v) = victim {
+            dep.kill(v);
+            std::thread::sleep(Duration::from_millis(80));
+            let _ = dep.restart(v);
+            println!("live: churn round {round}: killed and rejoined {v}");
+        }
+        let _ = wait_until(&dep, Duration::from_secs(5), |d| {
+            d.node_ids().iter().any(|&n| {
+                d.is_up(n)
+                    && d.probe(n, Duration::from_secs(1))
+                        .is_some_and(|r| r.stats.filter_hits > 0)
+            })
+        });
+    }
+
+    let report = dep.shutdown();
+    let t = report.stats.totals();
+    println!(
+        "live: steered={steered} — {} filter hits, {} installs over the wire",
+        t.filter_hits, t.installs_received
+    );
+    println!(
+        "live: {} frames, {} snapshot-protocol bytes, {} gathers, {} submits",
+        t.frames_sent + t.frames_received,
+        t.snapshot_wire_bytes,
+        t.snapshots_completed,
+        t.submits_sent
+    );
+    println!(
+        "live: gather-to-install latency avg {}µs (max {}µs, {} samples)",
+        t.install_latency.avg_us(),
+        t.install_latency.max_us,
+        t.install_latency.count
+    );
+    println!("\n{}", report.stats.to_json());
+}

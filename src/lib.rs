@@ -5,6 +5,7 @@
 //! the architecture and `EXPERIMENTS.md` for the paper-reproduction index.
 
 pub use cb_fleet as fleet;
+pub use cb_live as live;
 pub use cb_mc as mc;
 pub use cb_model as model;
 pub use cb_net as net;
