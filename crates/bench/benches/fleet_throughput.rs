@@ -11,25 +11,37 @@
 //!   bytes fleet-wide (deterministic for the fixed scenario, which makes
 //!   it the number `tools/bench-check` gates).
 //!
+//! A second section drives the **repeated-workload mode**: the same few
+//! neighborhood states re-submitted for many rounds against one sharded
+//! controller, once with the prediction cache off and once on. Cold
+//! rounds/sec stay flat; memoized rounds/sec scale with the hit rate —
+//! the number `tools/bench-check` gates structurally (hits > 0, identical
+//! outcomes, warm leg faster).
+//!
 //! Emits one JSON line (`CB_BENCH_JSON=fleet.json cargo bench -p
 //! cb-bench --bench fleet_throughput`).
 
 use std::io::Write;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use cb_bench::harness::{fast_mode, fmt_bytes, fmt_duration, preamble, section};
+use cb_bench::scenarios::{paxos_near_violation, randtree_fig2};
 use cb_fleet::{
     bullet_member, paxos_member, randtree_member, FaultConfig, FaultPlan, Fleet, FleetConfig,
     FleetStats, MemberCommon,
 };
 use cb_mc::SearchConfig;
-use cb_model::{ExploreOptions, SimDuration};
+use cb_model::stable_hash;
+use cb_model::{
+    apply_event, Event, ExploreOptions, GlobalState, NodeId, PropertySet, Protocol, SimDuration,
+    SimTime,
+};
 use cb_protocols::bullet::BulletBugs;
-use cb_protocols::paxos::PaxosBugs;
-use cb_protocols::randtree::RandTreeBugs;
-use crystalball::{CheckerMode, ControllerConfig, Mode};
+use cb_protocols::paxos::{self, PaxosBugs};
+use cb_protocols::randtree::{self, RandTreeBugs};
+use crystalball::{CacheStats, CheckerMode, Controller, ControllerConfig, Mode};
 
-fn controller(max_states: usize, depth: usize, minimal: bool) -> ControllerConfig {
+fn controller(max_states: usize, depth: usize, minimal: bool, cache: bool) -> ControllerConfig {
     ControllerConfig {
         mode: Mode::ExecutionSteering,
         checker: CheckerMode::Sharded { shards: 2 },
@@ -44,11 +56,13 @@ fn controller(max_states: usize, depth: usize, minimal: bool) -> ControllerConfi
             },
             ..SearchConfig::default()
         },
+        // Explicit so the bench ignores the CB_PRED_CACHE env default.
+        prediction_cache: cache,
         ..ControllerConfig::default()
     }
 }
 
-fn run(horizon: SimDuration, budget: usize, seed: u64) -> (FleetStats, String, f64) {
+fn run(horizon: SimDuration, budget: usize, seed: u64, cache: bool) -> (FleetStats, String, f64) {
     let mut fleet = Fleet::new(FleetConfig {
         seed,
         duration: horizon,
@@ -59,7 +73,7 @@ fn run(horizon: SimDuration, budget: usize, seed: u64) -> (FleetStats, String, f
     let rt = fleet.runtime().clone();
     fleet.add_member(randtree_member(
         &rt,
-        MemberCommon::steering("randtree", seed ^ 0xa1, controller(budget, 6, false)),
+        MemberCommon::steering("randtree", seed ^ 0xa1, controller(budget, 6, false, cache)),
         6,
         RandTreeBugs::only("R1"),
         SimDuration::from_secs(25),
@@ -67,14 +81,14 @@ fn run(horizon: SimDuration, budget: usize, seed: u64) -> (FleetStats, String, f
     ));
     fleet.add_member(paxos_member(
         &rt,
-        MemberCommon::steering("paxos", seed ^ 0xb2, controller(budget, 12, true)),
+        MemberCommon::steering("paxos", seed ^ 0xb2, controller(budget, 12, true, cache)),
         PaxosBugs::only("P2"),
         2,
         SimDuration::from_secs(25),
     ));
     fleet.add_member(bullet_member(
         &rt,
-        MemberCommon::steering("bullet", seed ^ 0xc3, controller(budget, 6, true)),
+        MemberCommon::steering("bullet", seed ^ 0xc3, controller(budget, 6, true, cache)),
         5,
         30,
         BulletBugs::only("B1"),
@@ -97,6 +111,139 @@ fn run(horizon: SimDuration, budget: usize, seed: u64) -> (FleetStats, String, f
     (stats, fleet.trace().to_string(), wall)
 }
 
+/// One leg of the repeated-workload mode: `reps` cycles of the same
+/// `states`, one round per (state, node), against a sharded controller.
+struct RepeatedLeg {
+    wall: f64,
+    rounds: u64,
+    predictions: u64,
+    cache: CacheStats,
+    /// Order-independent digest of the reports and final filters — what
+    /// both legs must agree on byte for byte.
+    outcome: u64,
+}
+
+impl RepeatedLeg {
+    fn rounds_per_sec(&self) -> f64 {
+        self.rounds as f64 / self.wall.max(1e-9)
+    }
+
+    fn predictions_per_sec(&self) -> f64 {
+        self.predictions as f64 / self.wall.max(1e-9)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn repeated_leg<P: Protocol>(
+    proto: &P,
+    props: PropertySet<P>,
+    states: &[GlobalState<P>],
+    budget: usize,
+    depth: usize,
+    minimal: bool,
+    reps: usize,
+    cache: bool,
+) -> RepeatedLeg {
+    let mut ctl = Controller::new(
+        proto.clone(),
+        props,
+        controller(budget, depth, minimal, cache),
+    );
+    let nodes: Vec<NodeId> = states[0].nodes.keys().copied().collect();
+    let t0 = Instant::now();
+    let mut t = 0u64;
+    for _ in 0..reps {
+        for gs in states {
+            for &node in &nodes {
+                ctl.run_round(SimTime(t), node, gs);
+                t += 1;
+            }
+        }
+    }
+    ctl.drain_predictions(SimTime(t + 1_000), Duration::from_secs(300));
+    let wall = t0.elapsed().as_secs_f64();
+    assert_eq!(ctl.pending_predictions(), 0, "all rounds drained");
+    let mut lines: Vec<String> = ctl
+        .reports
+        .iter()
+        .map(|r| {
+            format!(
+                "{}|{}|{}|{}",
+                r.node.0, r.violation.property, r.scenario, r.depth
+            )
+        })
+        .collect();
+    lines.extend(
+        ctl.active_filters()
+            .into_iter()
+            .map(|(owner, f)| format!("F{}|{}", owner.0, f)),
+    );
+    lines.sort();
+    RepeatedLeg {
+        wall,
+        rounds: ctl.stats.mc_runs,
+        predictions: ctl.stats.predictions,
+        cache: ctl.checker_cache_stats(),
+        outcome: stable_hash(&lines.join("\n")),
+    }
+}
+
+/// Runs both legs of one repeated-workload scenario and returns its JSON
+/// object (plus prints the human-readable comparison).
+#[allow(clippy::too_many_arguments)]
+fn repeated_workload<P: Protocol>(
+    label: &str,
+    proto: &P,
+    props: fn() -> PropertySet<P>,
+    states: &[GlobalState<P>],
+    budget: usize,
+    depth: usize,
+    minimal: bool,
+    reps: usize,
+) -> String {
+    let cold = repeated_leg(proto, props(), states, budget, depth, minimal, reps, false);
+    let warm = repeated_leg(proto, props(), states, budget, depth, minimal, reps, true);
+    assert_eq!(cold.rounds, warm.rounds, "{label}: same submission count");
+    assert_eq!(
+        cold.outcome, warm.outcome,
+        "{label}: memoized outcome diverged from cold"
+    );
+    assert_eq!(cold.cache, CacheStats::default(), "{label}: cold leg clean");
+    assert!(
+        warm.cache.hits > 0,
+        "{label}: repeated workload must hit the cache: {:?}",
+        warm.cache
+    );
+    let speedup = warm.rounds_per_sec() / cold.rounds_per_sec().max(1e-9);
+    println!(
+        "{label:>9}: {} rounds ×2 legs — cold {:>8.1} rounds/sec, warm {:>8.1} \
+         ({:.2}× at {:.0}% hit rate), outcomes identical",
+        cold.rounds,
+        cold.rounds_per_sec(),
+        warm.rounds_per_sec(),
+        speedup,
+        100.0 * warm.cache.hit_rate(),
+    );
+    format!(
+        "{{\"scenario\":\"{label}\",\"reps\":{reps},\"states\":{},\"rounds\":{},\
+         \"predictions\":{},\"cold_rounds_per_sec\":{:.3},\"warm_rounds_per_sec\":{:.3},\
+         \"cold_predictions_per_sec\":{:.4},\"warm_predictions_per_sec\":{:.4},\
+         \"cache_hits\":{},\"cache_misses\":{},\"cache_hit_rate\":{:.4},\
+         \"speedup\":{speedup:.3},\"outcomes_identical\":{}}}",
+        states.len(),
+        cold.rounds,
+        cold.predictions,
+        cold.rounds_per_sec(),
+        warm.rounds_per_sec(),
+        cold.predictions_per_sec(),
+        warm.predictions_per_sec(),
+        warm.cache.hits,
+        warm.cache.misses,
+        warm.cache.hit_rate(),
+        cold.outcome == warm.outcome,
+    )
+}
+
 fn main() {
     preamble(
         "Fleet throughput — the mixed-protocol harness under load",
@@ -117,7 +264,26 @@ fn main() {
     section(&format!(
         "3-member fleet, {horizon_s}s horizon, {budget}-state search budget"
     ));
-    let (stats, trace, wall) = run(horizon, budget, 42);
+    // Two legs of the same fleet, memoization off then on: the determinism
+    // contract says the cache must be outcome-invisible, so the traces and
+    // the deterministic serializations have to match byte for byte.
+    let (cold_stats, cold_trace, _cold_wall) = run(horizon, budget, 42, false);
+    let (stats, trace, wall) = run(horizon, budget, 42, true);
+    assert_eq!(
+        cold_trace, trace,
+        "prediction cache changed the fleet trace"
+    );
+    assert_eq!(
+        cold_stats.deterministic_json(),
+        stats.deterministic_json(),
+        "prediction cache changed the deterministic stats"
+    );
+    let fleet_cache = stats.cache();
+    println!(
+        "cache determinism: traces byte-identical cache-off vs cache-on \
+         ({} hits, {} misses fleet-wide on the warm leg)",
+        fleet_cache.hits, fleet_cache.misses
+    );
 
     let steps_per_sec = stats.fleet_steps as f64 / wall;
     let mc_runs: u64 = stats.members.iter().map(|m| m.mc_runs).sum();
@@ -160,6 +326,47 @@ fn main() {
         "trace ran to the horizon"
     );
 
+    section("repeated-workload mode — memoization under snapshot re-submission");
+    let reps = if fast_mode() { 4 } else { 6 };
+    let rw_budget = if fast_mode() { 2_000 } else { 4_000 };
+    let (rt_proto, rt_gs) = randtree_fig2(RandTreeBugs::only("R1"));
+    let mut rt_drift = rt_gs.clone();
+    rt_drift
+        .slot_mut(NodeId(9))
+        .expect("fig2 node")
+        .state
+        .recovery_scheduled = false;
+    let rt_states = [rt_gs, rt_drift];
+    let rw_randtree = repeated_workload(
+        "randtree",
+        &rt_proto,
+        randtree::properties::all,
+        &rt_states,
+        rw_budget,
+        7,
+        false,
+        reps,
+    );
+    let (px_proto, px_gs) = paxos_near_violation(PaxosBugs::only("P1"));
+    let mut px_drift = px_gs.clone();
+    if !px_drift.inflight.is_empty() {
+        apply_event(&px_proto, &mut px_drift, &Event::Deliver { index: 0 });
+    }
+    let px_states = [px_gs, px_drift];
+    // The Fig. 14 double choice needs a deeper budget than the RandTree
+    // scenario before `AtMostOneChosen` breaks — without it the leg would
+    // measure only non-predicting rounds.
+    let rw_paxos = repeated_workload(
+        "paxos",
+        &px_proto,
+        paxos::properties::all,
+        &px_states,
+        rw_budget * 6,
+        7,
+        true,
+        reps,
+    );
+
     let members_json: Vec<String> = stats
         .members
         .iter()
@@ -187,11 +394,16 @@ fn main() {
          \"predictions\":{},\"predictions_per_sec\":{preds_per_sec:.4},\
          \"filters_installed\":{},\"faults_applied\":{},\
          \"wire_shipped_bytes\":{shipped},\"wire_full_clone_bytes\":{raw},\
-         \"members\":[{}]}}",
+         \"cache_hits\":{},\"cache_misses\":{},\"cache_hit_rate\":{:.4},\
+         \"cache_determinism_ok\":true,\
+         \"members\":[{}],\"repeated_workload\":[{rw_randtree},{rw_paxos}]}}",
         stats.fleet_steps,
         stats.predictions(),
         stats.filters_installed(),
         stats.faults_applied,
+        fleet_cache.hits,
+        fleet_cache.misses,
+        fleet_cache.hit_rate(),
         members_json.join(",")
     );
     println!("\n{json}");

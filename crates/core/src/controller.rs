@@ -87,6 +87,17 @@ pub struct ControllerConfig {
     /// (simulated time), so the same seed could trace differently across
     /// host speeds and worker counts.
     pub poll_in_hooks: bool,
+    /// Memoize completed round outcomes in the (host-shared)
+    /// [`crate::PredictionCache`], answering repeated neighborhood states
+    /// without re-searching. A hit reproduces the cold round's result
+    /// byte for byte, so this trades only CPU, never outcomes. Defaults
+    /// to the `CB_PRED_CACHE` environment toggle (on unless set to
+    /// `0`/`off`/`false` — the CI determinism matrix runs both legs).
+    pub prediction_cache: bool,
+    /// Entry bound for a *privately* spawned prediction cache (synchronous
+    /// backend, or a background pool given no shared `CheckerHost`).
+    /// Shared hosts size their own cache at construction.
+    pub prediction_cache_capacity: usize,
 }
 
 impl Default for ControllerConfig {
@@ -108,6 +119,8 @@ impl Default for ControllerConfig {
             reset_connection_on_block: true,
             max_known_paths: 16,
             poll_in_hooks: true,
+            prediction_cache: crate::cache::prediction_cache_env_default(),
+            prediction_cache_capacity: crate::cache::DEFAULT_PREDICTION_CACHE_CAPACITY,
         }
     }
 }
@@ -240,6 +253,13 @@ impl<P: Protocol> Controller<P> {
                 props.clone(),
                 config.clone(),
                 pool,
+                // The synchronous backend is single-client by
+                // construction; its cache is private (host sharing is a
+                // background-pool topology).
+                Arc::new(crate::cache::PredictionCache::with_capacity(
+                    config.prediction_cache_capacity,
+                )),
+                Arc::new(crate::cache::CacheCounters::default()),
             ))),
             shards => Backend::Pool(CheckerPool::spawn(
                 &protocol, &props, &config, &pool, shards, host,
@@ -284,6 +304,41 @@ impl<P: Protocol> Controller<P> {
         match &self.backend {
             Backend::Sync(_) => None,
             Backend::Pool(pool) => Some(pool.wire_stats()),
+        }
+    }
+
+    /// This controller's prediction-cache and speculation counters — its
+    /// share of the (possibly host-wide) [`crate::PredictionCache`]
+    /// traffic, reported next to [`Controller::checker_wire_stats`].
+    /// Wall-clock-free but **not** deterministic across runs when the
+    /// cache is shared: which co-deployed member warms a common entry
+    /// first is a race (the outcomes are identical either way).
+    pub fn checker_cache_stats(&self) -> crate::cache::CacheStats {
+        match &self.backend {
+            Backend::Sync(predictor) => predictor.cache_stats(),
+            Backend::Pool(pool) => pool.cache_stats(),
+        }
+    }
+
+    /// Launches one **optimistic** checking round for `node` on a partial
+    /// snapshot state (stragglers still outstanding): the outcome
+    /// pre-warms the prediction cache under the partial state's key but
+    /// produces no report and installs no filter. When the completed
+    /// snapshot arrives, [`Controller::run_round`] reconciles — if it
+    /// hashes to the speculated base the round commits as a cache hit;
+    /// otherwise the speculation is cancelled (counted in
+    /// [`Controller::checker_cache_stats`]) and the round runs cold.
+    /// No-op when memoization is off.
+    pub fn speculate_round(&mut self, now: SimTime, node: NodeId, start: &GlobalState<P>) {
+        let steering = self.config.mode == Mode::ExecutionSteering;
+        let job = PredictionJob {
+            at: now,
+            node,
+            steering,
+        };
+        match &mut self.backend {
+            Backend::Sync(predictor) => predictor.speculate_round(job, start),
+            Backend::Pool(pool) => pool.submit_speculative(now, node, start, steering),
         }
     }
 

@@ -34,9 +34,11 @@
 //! sim.run_for(cb_model::SimDuration::from_secs(1));
 //! ```
 
+pub mod cache;
 pub mod controller;
 pub mod service;
 
+pub use cache::{prediction_cache_env_default, CacheStats, PredictionCache};
 pub use controller::{Controller, ControllerConfig, ControllerStats, Mode, PredictionReport};
 pub use service::{CheckerHost, CheckerMode, WireChecker, WireRound};
 

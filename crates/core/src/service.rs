@@ -41,6 +41,17 @@
 //! different nodes' neighborhoods are not), cutting submission cost for
 //! large neighborhoods the same way §3.1's checkpoint diffs cut gather
 //! bandwidth.
+//!
+//! Rounds are additionally **memoized**: every predictor on a host keys
+//! completed round outcomes into the host's shared
+//! [`crate::PredictionCache`], so a neighborhood state any member of the
+//! deployment has already checked — under the same search configuration,
+//! protocol instance, and remembered-path set — is answered without
+//! re-searching. The same machinery powers **optimistic execution**: a
+//! partial gather can be checked *speculatively*
+//! (`Predictor::speculate_round`) to pre-warm the cache; the real round
+//! on the completed snapshot reconciles against the speculated base and
+//! either commits (hit) or cancels and re-runs cold (miss).
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -52,9 +63,13 @@ use cb_mc::{
     replay_path, EventFilter, FilterSet, FoundViolation, PathStep, ReplayOutcome, SearchConfig,
     Searcher, WorkerPool,
 };
-use cb_model::{apply_event, EventKey, GlobalState, NodeId, PropertySet, Protocol, SimTime};
+use cb_model::hashing::combine;
+use cb_model::{
+    apply_event, stable_hash, EventKey, GlobalState, NodeId, PropertySet, Protocol, SimTime,
+};
 use cb_snapshot::{DeltaDecoder, DeltaEncoder, DeltaError, DeltaStats, StateDelta};
 
+use crate::cache::{CacheCounters, CacheStats, PredictionCache};
 use crate::controller::ControllerConfig;
 
 /// Where prediction rounds execute.
@@ -146,6 +161,21 @@ pub(crate) struct RoundResult<P: Protocol> {
     pub wall: Duration,
 }
 
+/// The cacheable payload of one completed checking round — everything a
+/// round computes that depends only on its inputs (snapshot state,
+/// configuration, remembered paths), and none of the per-submission
+/// envelope (`seq`, `at`, measured wall time). This is what a
+/// [`crate::PredictionCache`] entry holds; replaying it through
+/// [`Predictor::run_round`] yields a `RoundResult` identical to a cold
+/// run's.
+pub(crate) struct CachedRound<P: Protocol> {
+    replays_rediscovered: u64,
+    replay_filters: Vec<EventFilter>,
+    found: Option<FoundViolation<P>>,
+    states_visited: usize,
+    filter: Option<EventFilter>,
+}
+
 /// One CrystalBall checking round: the checker-side half of the
 /// controller, holding the state that belongs to checking (the remembered
 /// error paths) and none of the live-side state (installed filters, ISC).
@@ -163,7 +193,30 @@ pub(crate) struct Predictor<P: Protocol> {
     safety_base: SearchConfig,
     /// The shared pool all of this round's independent searches run on.
     pool: WorkerPool,
-    known_paths: VecDeque<Vec<PathStep<P>>>,
+    /// Remembered error paths, each keyed by its deterministic path hash
+    /// (§3.3 replays). The hash both dedups — an error path rediscovered
+    /// every round must not crowd identical copies into the
+    /// `max_known_paths` replay slots — and makes the set cheap to
+    /// fingerprint into cache keys.
+    known_paths: VecDeque<(u64, Vec<PathStep<P>>)>,
+    /// The shared round-outcome memo (host-wide under a `CheckerHost`;
+    /// private in a synchronous backend).
+    cache: Arc<PredictionCache>,
+    /// This client's share of the cache traffic.
+    counters: Arc<CacheCounters>,
+    /// Memoization toggle ([`ControllerConfig::prediction_cache`]).
+    use_cache: bool,
+    /// Fingerprint of everything round outcomes depend on besides the
+    /// submitted state and the remembered paths: the protocol instance
+    /// (its `Debug` form — the trait is not `Hash`, and two members may
+    /// run the same protocol type with different bug knobs), the property
+    /// set, the engine, and the derived search/safety configs. Computed
+    /// once; folded into every round key.
+    static_key: u64,
+    /// Outstanding speculation per node: the cache key of the partial
+    /// state a speculative round ran on, awaiting reconciliation against
+    /// the node's next real round.
+    spec_keys: HashMap<NodeId, u64>,
 }
 
 impl<P: Protocol> Predictor<P> {
@@ -172,6 +225,8 @@ impl<P: Protocol> Predictor<P> {
         props: PropertySet<P>,
         config: Arc<ControllerConfig>,
         pool: WorkerPool,
+        cache: Arc<PredictionCache>,
+        counters: Arc<CacheCounters>,
     ) -> Self {
         let predict_cfg = SearchConfig {
             prune_local: true,
@@ -182,6 +237,31 @@ impl<P: Protocol> Predictor<P> {
             prune_local: true,
             ..config.search.clone()
         };
+        let static_key = combine(
+            stable_hash(&format!("{protocol:?}")),
+            combine(
+                stable_hash(&props.names()),
+                combine(
+                    stable_hash(&format!("{:?}", config.engine)),
+                    combine(
+                        stable_hash(&format!("{predict_cfg:?}")),
+                        stable_hash(&format!("{safety_base:?}")),
+                    ),
+                ),
+            ),
+        );
+        let static_key = combine(
+            static_key,
+            stable_hash(&(
+                config.replay_known_paths,
+                config.check_filter_safety,
+                config.reset_connection_on_block,
+                config.max_known_paths,
+            )),
+        );
+        // A deadline-bounded search's outcome depends on wall-clock speed;
+        // memoizing it would trade determinism for throughput.
+        let use_cache = config.prediction_cache && predict_cfg.deadline.is_none();
         Predictor {
             protocol,
             props,
@@ -190,21 +270,119 @@ impl<P: Protocol> Predictor<P> {
             safety_base,
             pool,
             known_paths: VecDeque::new(),
+            cache,
+            counters,
+            use_cache,
+            static_key,
+            spec_keys: HashMap::new(),
         }
     }
 
-    /// Runs one full round against a decoded snapshot state. Stage 1
-    /// (known-path replays) and stage 2 (consequence prediction) are
-    /// independent searches and execute concurrently on the shared pool;
-    /// stage 3 (the filter-safety re-check) consumes stage 2's result and
-    /// follows on the same pool.
+    /// The canonical cache key of one round: static fingerprint + the
+    /// submitted neighborhood's state hash + the job identity (node and
+    /// steering decide filter derivation) + the remembered-path set the
+    /// replays will run (order-dependent — replay filters apply in
+    /// `known_paths` order). `None` when memoization is off.
+    fn round_key(&self, job: &PredictionJob, start: &GlobalState<P>) -> Option<u64> {
+        if !self.use_cache {
+            return None;
+        }
+        let mut key = combine(self.static_key, start.state_hash());
+        key = combine(key, stable_hash(&(job.node.0, job.steering)));
+        for (path_hash, _) in &self.known_paths {
+            key = combine(key, *path_hash);
+        }
+        Some(key)
+    }
+
+    /// Runs one full round against a decoded snapshot state, consulting
+    /// the prediction cache first. A hit reproduces the cold round's
+    /// result (and its `remember_path` side effect) without searching; a
+    /// miss computes and memoizes. Either way this is also where an
+    /// outstanding speculation for the node reconciles: same key ⇒ the
+    /// speculative work *commits* (it is the entry being hit), different
+    /// key ⇒ it is *cancelled* — counted, never applied.
     pub(crate) fn run_round(
         &mut self,
         job: PredictionJob,
         start: &GlobalState<P>,
     ) -> RoundResult<P> {
         let t0 = Instant::now();
+        let key = self.round_key(&job, start);
+        if let Some(spec) = self.spec_keys.remove(&job.node) {
+            if key == Some(spec) {
+                self.counters.spec_committed();
+            } else {
+                self.counters.spec_cancelled();
+            }
+        }
+        if let Some(key) = key {
+            if let Some(cached) = self.cache.lookup::<CachedRound<P>>(key, &self.counters) {
+                if let Some(found) = &cached.found {
+                    self.remember_path(found);
+                }
+                return Self::materialize(job, &cached, t0);
+            }
+        }
+        let round = self.compute_round(&job, start);
+        if let Some(found) = &round.found {
+            self.remember_path(found);
+        }
+        let round = Arc::new(round);
+        if let Some(key) = key {
+            self.cache.insert(key, round.clone(), &self.counters);
+        }
+        Self::materialize(job, &round, t0)
+    }
 
+    /// Runs one round **speculatively** on a (typically partial) snapshot
+    /// state: computes the outcome with no side effects — nothing is
+    /// remembered, reported, or turned into installed filters — and
+    /// pre-warms the cache under the partial state's key. The node's next
+    /// real round reconciles: if the completed snapshot hashes to this
+    /// base the round hits the pre-warmed entry (commit), otherwise the
+    /// work is discarded and the round runs cold (cancel).
+    pub(crate) fn speculate_round(&mut self, job: PredictionJob, start: &GlobalState<P>) {
+        let Some(key) = self.round_key(&job, start) else {
+            return;
+        };
+        self.counters.spec_started();
+        self.spec_keys.insert(job.node, key);
+        if self.cache.contains(key) {
+            return;
+        }
+        let round = self.compute_round(&job, start);
+        self.cache.insert(key, Arc::new(round), &self.counters);
+    }
+
+    /// This predictor's prediction-cache and speculation counters.
+    pub(crate) fn cache_stats(&self) -> CacheStats {
+        self.counters.snapshot()
+    }
+
+    /// Dresses a cached outcome in one submission's envelope.
+    fn materialize(job: PredictionJob, round: &CachedRound<P>, t0: Instant) -> RoundResult<P> {
+        RoundResult {
+            seq: 0,
+            at: job.at,
+            node: job.node,
+            steering: job.steering,
+            replays_rediscovered: round.replays_rediscovered,
+            replay_filters: round.replay_filters.clone(),
+            found: round.found.clone(),
+            states_visited: round.states_visited,
+            filter: round.filter.clone(),
+            wall: t0.elapsed(),
+        }
+    }
+
+    /// The three search stages of one round, side-effect free (the caller
+    /// owns `remember_path` and memoization). Stage 1 (known-path
+    /// replays) and stage 2 (consequence prediction) are independent
+    /// searches and execute concurrently on the shared pool; stage 3 (the
+    /// filter-safety re-check) consumes stage 2's result and follows on
+    /// the same pool.
+    fn compute_round(&self, job: &PredictionJob, start: &GlobalState<P>) -> CachedRound<P> {
         // Stages 1 ∥ 2. The replays land in per-path slots so their
         // results are consumed in deterministic (known_paths) order no
         // matter which worker ran them.
@@ -217,7 +395,7 @@ impl<P: Protocol> Predictor<P> {
         let replay_slots: Vec<Mutex<Option<ReplayOutcome>>> =
             (0..n_replays).map(|_| Mutex::new(None)).collect();
         let outcome = this.pool.scope(|scope| {
-            for (slot, path) in replay_slots.iter().zip(this.known_paths.iter()) {
+            for (slot, (_, path)) in replay_slots.iter().zip(this.known_paths.iter()) {
                 scope.spawn(move || {
                     // Fast path: replay previously discovered error paths
                     // (§3.3/§4). "If the problem reappears, CrystalBall
@@ -234,7 +412,7 @@ impl<P: Protocol> Predictor<P> {
 
         let mut replays_rediscovered = 0;
         let mut replay_filters = Vec::new();
-        for (slot, path) in replay_slots.iter().zip(self.known_paths.iter()) {
+        for (slot, (_, path)) in replay_slots.iter().zip(self.known_paths.iter()) {
             let out = slot
                 .lock()
                 .expect("replay slot poisoned")
@@ -253,7 +431,6 @@ impl<P: Protocol> Predictor<P> {
         let found = outcome.first().cloned();
         let mut filter = None;
         if let Some(found) = &found {
-            self.remember_path(found);
             if job.steering {
                 // Stage 3: the safety re-check, on the same shared pool.
                 filter = self
@@ -262,17 +439,12 @@ impl<P: Protocol> Predictor<P> {
             }
         }
 
-        RoundResult {
-            seq: 0,
-            at: job.at,
-            node: job.node,
-            steering: job.steering,
+        CachedRound {
             replays_rediscovered,
             replay_filters,
             found,
             states_visited: outcome.stats.states_visited,
             filter,
-            wall: t0.elapsed(),
         }
     }
 
@@ -288,7 +460,21 @@ impl<P: Protocol> Predictor<P> {
     }
 
     fn remember_path(&mut self, found: &FoundViolation<P>) {
-        self.known_paths.push_back(found.path.clone());
+        // Deterministic path fingerprint: the ordered event sequence (the
+        // `TraceStep`s are derived from the events and need not hash).
+        // `Event<P>`'s derived `Hash` demands `P: Hash`, which `Protocol`
+        // does not promise — the `Debug` form is the stable identity.
+        let h = found.path.iter().fold(0xcb, |acc, step| {
+            combine(acc, stable_hash(&format!("{:?}", step.event)))
+        });
+        if self.known_paths.iter().any(|(k, _)| *k == h) {
+            // The same error path rediscovered on a later round: it is
+            // already in a replay slot, and duplicating it would both
+            // waste `max_known_paths` budget and keep the remembered-path
+            // fingerprint (hence every cache key) churning forever.
+            return;
+        }
+        self.known_paths.push_back((h, found.path.clone()));
         while self.known_paths.len() > self.config.max_known_paths {
             self.known_paths.pop_front();
         }
@@ -378,13 +564,25 @@ pub struct CheckerHost {
     lanes: Vec<mpsc::Sender<HostJob>>,
     handles: Vec<thread::JoinHandle<()>>,
     next_lane: std::sync::atomic::AtomicUsize,
+    /// The host-wide round-outcome memo: every pool on this host keys its
+    /// predictors into one cache, so a state one fleet member already
+    /// checked is a hit for every co-deployed member with the same
+    /// protocol instance and configuration.
+    cache: Arc<PredictionCache>,
 }
 
 type HostJob = Box<dyn FnOnce() + Send + 'static>;
 
 impl CheckerHost {
-    /// Spawns `lanes` checker threads (at least one).
+    /// Spawns `lanes` checker threads (at least one) with the default
+    /// prediction-cache capacity.
     pub fn new(lanes: usize) -> Self {
+        Self::with_cache_capacity(lanes, crate::cache::DEFAULT_PREDICTION_CACHE_CAPACITY)
+    }
+
+    /// Spawns `lanes` checker threads with a prediction cache bounded to
+    /// `cache_capacity` round outcomes.
+    pub fn with_cache_capacity(lanes: usize, cache_capacity: usize) -> Self {
         let n = lanes.max(1);
         let mut txs = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
@@ -405,12 +603,18 @@ impl CheckerHost {
             lanes: txs,
             handles,
             next_lane: std::sync::atomic::AtomicUsize::new(0),
+            cache: Arc::new(PredictionCache::with_capacity(cache_capacity)),
         }
     }
 
     /// Number of lane threads.
     pub fn lanes(&self) -> usize {
         self.lanes.len()
+    }
+
+    /// The host-wide prediction cache (shared by every pool on the host).
+    pub fn prediction_cache(&self) -> &Arc<PredictionCache> {
+        &self.cache
     }
 
     /// Round-robin lane assignment for a new shard (deterministic in
@@ -474,12 +678,17 @@ pub(crate) struct CheckerPool<P: Protocol> {
     shutdown: Arc<AtomicBool>,
     submitted: u64,
     drained: u64,
+    /// This pool's share of the (possibly host-wide) prediction-cache
+    /// traffic — all shards bump one set, so the controller reports a
+    /// per-member view of a fleet-shared cache.
+    counters: Arc<CacheCounters>,
 }
 
 impl<P: Protocol> CheckerPool<P> {
     /// Creates `shards` checker shards, each with its own `Predictor`
     /// sharing `pool` for search parallelism, running on `host` (or on a
-    /// freshly spawned private host when `None`).
+    /// freshly spawned private host when `None`). All predictors memoize
+    /// into the host's shared [`PredictionCache`].
     pub(crate) fn spawn(
         protocol: &P,
         props: &PropertySet<P>,
@@ -489,7 +698,13 @@ impl<P: Protocol> CheckerPool<P> {
         host: Option<Arc<CheckerHost>>,
     ) -> Self {
         let shards_n = shards.max(1);
-        let host = host.unwrap_or_else(|| Arc::new(CheckerHost::new(shards_n)));
+        let host = host.unwrap_or_else(|| {
+            Arc::new(CheckerHost::with_cache_capacity(
+                shards_n,
+                config.prediction_cache_capacity,
+            ))
+        });
+        let counters = Arc::new(CacheCounters::default());
         let (res_tx, res_rx) = mpsc::channel::<RoundResult<P>>();
         let shutdown = Arc::new(AtomicBool::new(false));
         let shards = (0..shards_n)
@@ -502,6 +717,8 @@ impl<P: Protocol> CheckerPool<P> {
                         props.clone(),
                         config.clone(),
                         pool.clone(),
+                        host.prediction_cache().clone(),
+                        counters.clone(),
                     ),
                     decoders: HashMap::new(),
                 })),
@@ -515,6 +732,7 @@ impl<P: Protocol> CheckerPool<P> {
             shutdown,
             submitted: 0,
             drained: 0,
+            counters,
         }
     }
 
@@ -600,6 +818,54 @@ impl<P: Protocol> CheckerPool<P> {
                 let _ = res_tx.send(result); // receiver gone = pool dropped
             }),
         );
+    }
+
+    /// Queues one **speculative** round on a (typically partial) snapshot
+    /// state: the node's shard pre-warms the prediction cache and records
+    /// the speculated base for reconciliation, but no result is produced,
+    /// no sequence number is consumed, and nothing reaches the
+    /// controller's filters. The state is cloned rather than
+    /// diff-shipped — speculative submissions are occasional and must not
+    /// disturb the per-node delta lineages (their byte counts are part of
+    /// the deterministic wire-stats contract).
+    pub(crate) fn submit_speculative(
+        &mut self,
+        at: SimTime,
+        node: NodeId,
+        start: &GlobalState<P>,
+        steering: bool,
+    ) {
+        let ix = (node.0 as usize) % self.shards.len();
+        let shard = &self.shards[ix];
+        let state = shard.state.clone();
+        let stop = self.shutdown.clone();
+        let start = start.clone();
+        self.host.submit(
+            shard.lane,
+            Box::new(move || {
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                // Same panic containment as real rounds — minus the empty
+                // result, since nobody is waiting on a speculation.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut st = state.lock().expect("shard state poisoned");
+                    st.predictor
+                        .speculate_round(PredictionJob { at, node, steering }, &start);
+                }));
+                if outcome.is_err() {
+                    eprintln!(
+                        "crystalball: speculative round for {node} panicked \
+                         (speculation dropped, lane kept alive)"
+                    );
+                }
+            }),
+        );
+    }
+
+    /// This pool's prediction-cache and speculation counters.
+    pub(crate) fn cache_stats(&self) -> CacheStats {
+        self.counters.snapshot()
     }
 
     /// Rounds submitted but not yet drained.
@@ -712,6 +978,10 @@ pub struct WireChecker<P: Protocol> {
     /// Ingress decoder lineages, one per submitting node, mirroring the
     /// node-side [`DeltaEncoder`]s.
     decoders: HashMap<NodeId, DeltaDecoder>,
+    /// Separate ingress lineages for speculative (partial-gather)
+    /// submissions: nodes diff those against a dedicated encoder so the
+    /// real submission stream's bases stay in lockstep.
+    spec_decoders: HashMap<NodeId, DeltaDecoder>,
     steering: bool,
     submitted: u64,
 }
@@ -736,6 +1006,7 @@ impl<P: Protocol> WireChecker<P> {
         WireChecker {
             pool,
             decoders: HashMap::new(),
+            spec_decoders: HashMap::new(),
             steering,
             submitted: 0,
         }
@@ -767,10 +1038,36 @@ impl<P: Protocol> WireChecker<P> {
         Ok(self.submitted)
     }
 
-    /// Drops a node's delta lineage (its connection closed; a reconnect
-    /// starts a fresh encoder, so the decoder must start fresh too).
+    /// Decodes one **speculative** shipped state — a partial gather the
+    /// node submitted before its stragglers answered — and queues an
+    /// optimistic round that pre-warms the prediction cache (see
+    /// `CheckerPool::submit_speculative`). No sequence number is
+    /// returned: speculations produce no [`WireRound`], only a possible
+    /// cache hit for the node's next real submission.
+    pub fn submit_speculative_delta(
+        &mut self,
+        at: SimTime,
+        node: NodeId,
+        delta: &StateDelta,
+    ) -> Result<(), DeltaError> {
+        if delta.seq == 1 {
+            self.spec_decoders.remove(&node);
+        }
+        let start: GlobalState<P> = self
+            .spec_decoders
+            .entry(node)
+            .or_default()
+            .decode_state(delta)?;
+        self.pool
+            .submit_speculative(at, node, &start, self.steering);
+        Ok(())
+    }
+
+    /// Drops a node's delta lineages (its connection closed; a reconnect
+    /// starts fresh encoders, so the decoders must start fresh too).
     pub fn forget_node(&mut self, node: NodeId) {
         self.decoders.remove(&node);
+        self.spec_decoders.remove(&node);
     }
 
     /// Rounds submitted but not yet completed.
@@ -782,6 +1079,12 @@ impl<P: Protocol> WireChecker<P> {
     /// shipped vs what the internal delta channels did ship).
     pub fn wire_stats(&self) -> DeltaStats {
         self.pool.wire_stats()
+    }
+
+    /// Prediction-cache and speculation counters for this checker's
+    /// rounds (its share of the host-wide cache).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.pool.cache_stats()
     }
 
     /// Takes every completed round without blocking, in submission order.

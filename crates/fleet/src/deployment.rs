@@ -53,6 +53,12 @@ pub trait FleetHook<P: Protocol>: Hook<P> {
     fn wire_stats(&self) -> Option<DeltaStats> {
         None
     }
+
+    /// Prediction-cache / speculation counters, if this hook is a
+    /// controller with a memoizing checker.
+    fn cache_stats(&self) -> crystalball::CacheStats {
+        crystalball::CacheStats::default()
+    }
 }
 
 impl<P: Protocol> FleetHook<P> for NoHook {}
@@ -76,6 +82,10 @@ impl<P: Protocol> FleetHook<P> for Controller<P> {
 
     fn wire_stats(&self) -> Option<DeltaStats> {
         self.checker_wire_stats()
+    }
+
+    fn cache_stats(&self) -> crystalball::CacheStats {
+        self.checker_cache_stats()
     }
 }
 
@@ -253,6 +263,7 @@ impl<P: Protocol, H: FleetHook<P>> Deployment for SimDeployment<P, H> {
             m.wire_raw_bytes = w.raw_bytes;
             m.wire_shipped_bytes = w.shipped_bytes;
         }
+        m.cache = self.sim.hook.cache_stats();
         m
     }
 }

@@ -68,6 +68,12 @@ pub struct MemberStats {
     /// Mean measured checking-round wall-clock, milliseconds
     /// (host-dependent; excluded from the deterministic serialization).
     pub avg_mc_latency_ms: f64,
+    /// Prediction-cache and speculation counters for this member's
+    /// controller. Counter *values* can vary across runs when members
+    /// share a checker host (whoever submits first takes the miss), so
+    /// they live next to the latency fields: full JSON only, never the
+    /// deterministic serialization.
+    pub cache: crystalball::CacheStats,
     /// When the first prediction landed (simulated time).
     pub first_prediction_at: Option<SimTime>,
     /// When the first live violation occurred (simulated time).
@@ -171,6 +177,24 @@ impl FleetStats {
             .sum()
     }
 
+    /// Summed prediction-cache / speculation counters across members.
+    /// (Per-member counts can race when a checker host is shared; the sum
+    /// of hits+misses still equals total lookups.)
+    pub fn cache(&self) -> crystalball::CacheStats {
+        self.members
+            .iter()
+            .fold(crystalball::CacheStats::default(), |mut acc, m| {
+                acc.hits += m.cache.hits;
+                acc.misses += m.cache.misses;
+                acc.inserts += m.cache.inserts;
+                acc.evictions += m.cache.evictions;
+                acc.spec_started += m.cache.spec_started;
+                acc.spec_committed += m.cache.spec_committed;
+                acc.spec_cancelled += m.cache.spec_cancelled;
+                acc
+            })
+    }
+
     /// Total checker wire bytes (raw, shipped) across members.
     pub fn wire_bytes(&self) -> (u64, u64) {
         self.members.iter().fold((0, 0), |(r, s), m| {
@@ -206,9 +230,18 @@ impl FleetStats {
             .iter()
             .map(|m| {
                 format!(
-                    "{{{},\"avg_mc_latency_ms\":{:.3}}}",
+                    "{{{},\"avg_mc_latency_ms\":{:.3},\"cache_hits\":{},\
+                     \"cache_misses\":{},\"cache_hit_rate\":{:.4},\
+                     \"spec_started\":{},\"spec_committed\":{},\
+                     \"spec_cancelled\":{}}}",
                     m.deterministic_fields(),
-                    m.avg_mc_latency_ms
+                    m.avg_mc_latency_ms,
+                    m.cache.hits,
+                    m.cache.misses,
+                    m.cache.hit_rate(),
+                    m.cache.spec_started,
+                    m.cache.spec_committed,
+                    m.cache.spec_cancelled,
                 )
             })
             .collect();
@@ -267,10 +300,13 @@ mod tests {
         let d1 = f.deterministic_json();
         assert!(!d1.contains("latency"), "no wall-clock in {d1}");
         assert!(f.to_json().contains("avg_mc_latency_ms"));
-        // Perturbing only the measured latency leaves the deterministic
-        // bytes untouched.
+        // Perturbing only the measured latency or the cache counters
+        // leaves the deterministic bytes untouched.
         f.members[0].avg_mc_latency_ms = 9999.0;
+        f.members[0].cache.hits = 77;
         assert_eq!(f.deterministic_json(), d1);
+        assert!(!d1.contains("cache_hits"), "no cache counters in {d1}");
+        assert!(f.to_json().contains("\"cache_hits\":77"));
         assert!(d1.contains("\"first_prediction_at_us\":5"));
         assert!(d1.contains("\"first_violation_at_us\":null"));
         assert!(d1.contains("\"P\":2"));

@@ -168,6 +168,7 @@ impl<P: Protocol> CheckerSrv<P> {
         let ws = self.checker.wire_stats();
         s.wire_shipped_bytes = ws.shipped_bytes;
         s.wire_raw_bytes = ws.raw_bytes;
+        s.cache = self.checker.cache_stats();
         s
     }
 
@@ -258,6 +259,27 @@ impl<P: Protocol> CheckerSrv<P> {
                 };
                 if let Some(c) = self.conns.get_mut(conn_ix) {
                     c.node = Some(body.node);
+                }
+                if body.speculative {
+                    // Optimistic execution: a partial-gather pre-warm. No
+                    // install push ever answers it, so it never enters
+                    // `inflight`; the outcome lands in the shared
+                    // prediction cache where the full-snapshot round finds
+                    // (or cancels) it.
+                    match self.checker.submit_speculative_delta(
+                        SimTime(body.at_us),
+                        body.node,
+                        &body.delta,
+                    ) {
+                        Ok(()) => self.stats.spec_submits_received += 1,
+                        Err(_) => {
+                            self.stats.submits_rejected += 1;
+                            if let Some(c) = self.conns.get_mut(conn_ix) {
+                                c.dead = true;
+                            }
+                        }
+                    }
+                    return;
                 }
                 match self
                     .checker

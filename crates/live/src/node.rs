@@ -147,6 +147,13 @@ pub struct LiveNodeConfig {
     /// violating samples (the live analogue of the simulator's
     /// `track_violations`).
     pub self_check: bool,
+    /// Optimistic execution: when a gather is still waiting on stragglers
+    /// at half the gather timeout, ship the partial snapshot to the
+    /// checker as a *speculative* submission so prediction starts early
+    /// and the checker's cache is warm if the gather completes on (or
+    /// times out to) the speculated base. Costs one extra submission's
+    /// bandwidth per slow gather; never affects which filters install.
+    pub speculate_partial_gathers: bool,
 }
 
 impl Default for LiveNodeConfig {
@@ -160,6 +167,7 @@ impl Default for LiveNodeConfig {
             time_scale: 0.05,
             max_frame_len: cb_model::MAX_FRAME_LEN,
             self_check: true,
+            speculate_partial_gathers: true,
         }
     }
 }
@@ -301,6 +309,9 @@ struct NodeRt<P: Protocol> {
     listener: TcpListener,
     conns: Vec<Conn>,
     delta_enc: DeltaEncoder,
+    /// Dedicated lineage for speculative (partial-gather) submissions, so
+    /// the real submission stream's delta bases stay untouched.
+    spec_delta_enc: DeltaEncoder,
     /// Hash of the last submitted neighborhood state: a snapshot identical
     /// to the previous round's would re-run the same search to the same
     /// conclusion (the same dedup the in-process controller applies), and
@@ -314,6 +325,9 @@ struct NodeRt<P: Protocol> {
     next_checkpoint: Instant,
     next_gather: Instant,
     gather_deadline: Option<Instant>,
+    /// When to speculate on the in-progress gather (half the gather
+    /// timeout; `None` once fired or when no gather runs).
+    spec_deadline: Option<Instant>,
     ctl: mpsc::Receiver<NodeCtl<P>>,
     stats: NodeStats,
 }
@@ -350,12 +364,14 @@ impl<P: Protocol> NodeRt<P> {
             listener,
             conns: Vec::new(),
             delta_enc: DeltaEncoder::new(),
+            spec_delta_enc: DeltaEncoder::new(),
             last_submit_hash: None,
             filters: Vec::new(),
             timers: HashMap::new(),
             rng: StdRng::seed_from_u64(seed ^ (0x11EE_u64 << 32) ^ u64::from(me.0)),
             epoch: now,
             gather_deadline: None,
+            spec_deadline: None,
             ctl,
             stats: NodeStats::default(),
         };
@@ -592,9 +608,10 @@ impl<P: Protocol> NodeRt<P> {
         };
         for c in dead {
             if c.is_checker {
-                // Lineage broken: the checker forgets us on disconnect,
-                // so the next submit must restart the delta stream.
+                // Lineages broken: the checker forgets us on disconnect,
+                // so the next submits must restart the delta streams.
                 self.delta_enc = DeltaEncoder::new();
+                self.spec_delta_enc = DeltaEncoder::new();
                 continue;
             }
             let Some(peer) = c.peer else { continue };
@@ -690,6 +707,7 @@ impl<P: Protocol> NodeRt<P> {
         push_frame(&mut conn.out, &hello);
         self.stats.frames_sent += 1;
         self.delta_enc = DeltaEncoder::new();
+        self.spec_delta_enc = DeltaEncoder::new();
         self.last_submit_hash = None;
         self.conns.push(conn);
         Some(self.conns.len() - 1)
@@ -997,6 +1015,17 @@ impl<P: Protocol> NodeRt<P> {
                 self.start_gather();
             }
         }
+        if let Some(spec_at) = self.spec_deadline {
+            if now >= spec_at {
+                self.spec_deadline = None;
+                // Half the timeout has passed and stragglers are still
+                // outstanding: odds are decent the gather completes late
+                // or partially, so start the checker on what we have.
+                if self.mgr.gathering() && !self.mgr.waiting_on().is_empty() {
+                    self.speculate_partial();
+                }
+            }
+        }
         if let Some(deadline) = self.gather_deadline {
             if now >= deadline && self.mgr.gathering() {
                 self.stats.gather_timeouts += 1;
@@ -1017,6 +1046,48 @@ impl<P: Protocol> NodeRt<P> {
         }
     }
 
+    /// Ships the in-progress gather's partial state as a speculative
+    /// submission ([`SubmitBody::speculative`]): the checker pre-runs the
+    /// prediction and memoizes it, committing the work if the completed
+    /// snapshot matches this base and discarding it otherwise. Rides its
+    /// own delta lineage; never touches `last_submit_hash` (the partial
+    /// state must not suppress the real submission).
+    fn speculate_partial(&mut self) {
+        if !self.cfg.speculate_partial_gathers {
+            return;
+        }
+        let Some(snap) = self.mgr.partial_snapshot() else {
+            return;
+        };
+        let gs: GlobalState<P> = GlobalState::from_slots(
+            snap.states
+                .iter()
+                .filter_map(|(n, b)| NodeSlot::from_bytes(b).ok().map(|s| (*n, s))),
+        );
+        if gs.node_count() == 0 {
+            return;
+        }
+        let Some(ix) = self.checker_conn() else {
+            return;
+        };
+        let body = SubmitBody {
+            node: self.me,
+            at_us: self.elapsed_us(),
+            speculative: true,
+            delta: self.spec_delta_enc.encode_state(&gs),
+        };
+        let frame = frame_of(self.me, NodeId::DUMMY, 0, FrameKind::Submit, &body);
+        if frame.len() > self.cfg.max_frame_len {
+            // Same oversize defense as the real path: drop and restart
+            // the (speculative) lineage rather than desync the decoder.
+            self.spec_delta_enc = DeltaEncoder::new();
+            return;
+        }
+        self.stats.spec_submits_sent += 1;
+        self.stats.frames_sent += 1;
+        push_frame(&mut self.conns[ix].out, &frame);
+    }
+
     fn start_gather(&mut self) {
         let neighbors: Vec<NodeId> = self
             .proto
@@ -1027,7 +1098,13 @@ impl<P: Protocol> NodeRt<P> {
             .collect();
         let bytes = self.slot.to_bytes();
         let reqs = self.mgr.start_gather(&neighbors, &bytes);
-        self.gather_deadline = Some(Instant::now() + self.cfg.gather_timeout);
+        let now = Instant::now();
+        self.gather_deadline = Some(now + self.cfg.gather_timeout);
+        self.spec_deadline = if self.cfg.speculate_partial_gathers {
+            Some(now + self.cfg.gather_timeout / 2)
+        } else {
+            None
+        };
         for (dst, m) in reqs {
             self.send_snap(dst, &m);
         }
@@ -1041,6 +1118,7 @@ impl<P: Protocol> NodeRt<P> {
         };
         self.stats.snapshots_completed += 1;
         self.gather_deadline = None;
+        self.spec_deadline = None;
         // Decode the wire-gathered checkpoints into a checker-ready
         // neighborhood state; undecodable checkpoints drop to the dummy
         // node (§4).
@@ -1063,6 +1141,7 @@ impl<P: Protocol> NodeRt<P> {
         let body = SubmitBody {
             node: self.me,
             at_us: self.elapsed_us(),
+            speculative: false,
             delta: self.delta_enc.encode_state(&gs),
         };
         let frame = frame_of(self.me, NodeId::DUMMY, 0, FrameKind::Submit, &body);

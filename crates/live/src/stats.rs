@@ -45,6 +45,9 @@ pub struct NodeStats {
     pub gather_timeouts: u64,
     /// Checker submissions shipped.
     pub submits_sent: u64,
+    /// Speculative (partial-gather) submissions shipped — optimistic
+    /// executions started while stragglers were still outstanding.
+    pub spec_submits_sent: u64,
     /// Encoded submit-body bytes shipped to the checker.
     pub submit_bytes: u64,
     /// Filter-install pushes received.
@@ -115,6 +118,7 @@ impl NodeStats {
             snapshots_completed,
             gather_timeouts,
             submits_sent,
+            spec_submits_sent,
             submit_bytes,
             installs_received,
             filters_installed,
@@ -139,6 +143,7 @@ impl NodeStats {
         self.snapshots_completed += snapshots_completed;
         self.gather_timeouts += gather_timeouts;
         self.submits_sent += submits_sent;
+        self.spec_submits_sent += spec_submits_sent;
         self.submit_bytes += submit_bytes;
         self.installs_received += installs_received;
         self.filters_installed += filters_installed;
@@ -172,6 +177,13 @@ pub struct CheckerProcessStats {
     pub wire_shipped_bytes: u64,
     /// Full-clone-equivalent bytes for the same submissions.
     pub wire_raw_bytes: u64,
+    /// Speculative submissions accepted off the wire.
+    pub spec_submits_received: u64,
+    /// Prediction-cache and speculation counters (from
+    /// [`crystalball::WireChecker::cache_stats`]): rounds answered from
+    /// the memo, rounds searched cold, and the fate of optimistic
+    /// partial-gather executions.
+    pub cache: crystalball::CacheStats,
 }
 
 /// The deployment-wide roll-up: every node plus the checker process.
@@ -273,6 +285,14 @@ impl LiveStats {
                 " \"install_latency_max_us\": {},\n",
                 " \"checker_wire_shipped_bytes\": {},\n",
                 " \"checker_wire_raw_bytes\": {},\n",
+                " \"spec_submits_sent\": {},\n",
+                " \"spec_submits_received\": {},\n",
+                " \"cache_hits\": {},\n",
+                " \"cache_misses\": {},\n",
+                " \"cache_hit_rate\": {:.4},\n",
+                " \"spec_started\": {},\n",
+                " \"spec_committed\": {},\n",
+                " \"spec_cancelled\": {},\n",
                 " \"per_node\": [{}]\n}}"
             ),
             self.wall_seconds,
@@ -298,6 +318,14 @@ impl LiveStats {
             t.install_latency.max_us,
             self.checker.wire_shipped_bytes,
             self.checker.wire_raw_bytes,
+            t.spec_submits_sent,
+            self.checker.spec_submits_received,
+            self.checker.cache.hits,
+            self.checker.cache.misses,
+            self.checker.cache.hit_rate(),
+            self.checker.cache.spec_started,
+            self.checker.cache.spec_committed,
+            self.checker.cache.spec_cancelled,
             per_node,
         )
     }

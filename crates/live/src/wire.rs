@@ -63,8 +63,13 @@ pub struct SubmitBody {
     /// Submission timestamp in the *node's* clock (µs since its boot);
     /// echoed back in the install push for latency measurement.
     pub at_us: u64,
+    /// Optimistic-execution marker: the state is a *partial* gather
+    /// (stragglers still outstanding), shipped on a dedicated delta
+    /// lineage so the checker can pre-warm its prediction cache. No
+    /// install push answers a speculative submission.
+    pub speculative: bool,
     /// The neighborhood state, diffed against this node's previous
-    /// submission.
+    /// submission on the same (real or speculative) lineage.
     pub delta: StateDelta,
 }
 
@@ -72,6 +77,7 @@ impl Encode for SubmitBody {
     fn encode(&self, buf: &mut Vec<u8>) {
         self.node.encode(buf);
         self.at_us.encode(buf);
+        buf.push(u8::from(self.speculative));
         self.delta.encode(buf);
     }
 }
@@ -81,6 +87,11 @@ impl Decode for SubmitBody {
         Ok(SubmitBody {
             node: NodeId::decode(r)?,
             at_us: u64::decode(r)?,
+            speculative: match r.byte()? {
+                0 => false,
+                1 => true,
+                t => return Err(DecodeError::BadTag(t)),
+            },
             delta: StateDelta::decode(r)?,
         })
     }
@@ -146,6 +157,7 @@ mod tests {
         let body = SubmitBody {
             node: NodeId(1),
             at_us: 123_456,
+            speculative: true,
             delta: enc.encode_state(&gs),
         };
         assert_eq!(SubmitBody::from_bytes(&body.to_bytes()).unwrap(), body);
