@@ -778,7 +778,15 @@ mod tests {
                 proto,
                 randtree::properties::all(),
                 ControllerConfig {
-                    engine: Engine::Parallel(ParallelConfig { workers: 4 }),
+                    // Sharded merge plus the compacted, spill-budgeted
+                    // explored set, driven through the controller plumbing:
+                    // none of it may change what gets predicted.
+                    engine: Engine::Parallel(ParallelConfig {
+                        workers: 4,
+                        merge_shards: 2,
+                        compact_explored: true,
+                        explored_spill_bytes: Some(1 << 12),
+                    }),
                     ..steering_config()
                 },
             );

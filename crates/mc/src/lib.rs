@@ -46,9 +46,11 @@ pub mod stats;
 
 pub use filter::{EventFilter, FilterSet};
 pub use frontier::{
-    Admission, FifoFrontier, Frontier, FrontierItem, LockFreeExplored, StealQueues,
+    Admission, ExploredBatch, FifoFrontier, Frontier, FrontierItem, LockFreeExplored, StealQueues,
 };
-pub use parallel::{find_consequences_parallel, find_errors_parallel, ParallelConfig};
+pub use parallel::{
+    find_consequences_parallel, find_errors_parallel, ParallelConfig, MAX_MERGE_SHARDS,
+};
 pub use pool::{PoolScope, WorkerPool};
 pub use replay::{replay_path, ReplayOutcome};
 pub use report::{FoundViolation, PathStep, SearchOutcome, StopReason};

@@ -25,13 +25,42 @@
 //! 3. **Expand + merge** (overlapped): every job becomes one pool task —
 //!    enumerate events, clone the state, run the handler, hash the
 //!    successor, and race a single CAS per successor into the
-//!    [`LockFreeExplored`] table (stamped with the successor level). The
+//!    [`LockFreeExplored`] table (stamped with the successor level; the
+//!    segment-chain walk and length updates are batched per task via
+//!    [`ExploredBatch`], so a task's burst of inserts costs one acquire
+//!    edge and one shared-counter update instead of one per state). The
 //!    task streams its edge batch into an order-preserving reorder
 //!    buffer; the coordinator consumes batches in canonical job order
 //!    *while later jobs are still expanding*, so the canonical
 //!    dedup/merge no longer waits for — or buffers — the whole level.
 //!    When the next in-order batch is not ready, the coordinator helps by
 //!    executing one of its own queued jobs instead of sleeping.
+//!
+//! # Sharded merge
+//!
+//! Above one merge shard ([`ParallelConfig::merge_shards`]), the phase-3
+//! merge itself is parallelized: each successor edge is routed by a hash
+//! of its explored-table key to one of `k` shards, each with its own
+//! reorder buffer and its own dedup set. Equal hashes always land in the
+//! same shard, so every per-hash decision — first-canonical-edge wins,
+//! admitted-this-level vs earlier-duplicate, canonical-clone re-derivation
+//! — is taken with exactly the inputs the single coordinator would use;
+//! shards only interleave decisions about *different* hashes. Shard 0 is
+//! streamed by the coordinator as before; shards 1..k run as pool tasks
+//! spawned after every expand task (the pool queue is FIFO, so a blocked
+//! shard only ever waits on expansions that are already running — no
+//! deadlock at any pool size, including zero threads). Each shard emits
+//! its admitted edges tagged with their canonical (job, event) position,
+//! and a sequential k-way recombine merges the per-shard streams —
+//! each already canonically ordered — back into the exact sequential
+//! enqueue order, so arena layout, violations and shallowest paths stay
+//! bit-identical to the sequential engine for every shard count.
+//!
+//! The explored set itself can be compacted to 8-byte entries and spilled
+//! to a sorted on-disk run when a resident-byte budget is exceeded
+//! ([`ParallelConfig::compact_explored`] /
+//! [`ParallelConfig::explored_spill_bytes`]); spills happen only at level
+//! boundaries, the engine's natural quiescent points.
 //!
 //! The merge applies the sequential engine's enqueue-time dedup in
 //! canonical order (job order × event order): the canonically-first edge
@@ -62,19 +91,23 @@
 
 use std::collections::HashSet;
 use std::mem::size_of;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use cb_model::{apply_event, Event, GlobalState, NodeId, Protocol, TraceStep, Violation};
 
-use crate::frontier::{Admission, LockFreeExplored, StealQueues};
+use crate::frontier::{Admission, ExploredBatch, LockFreeExplored, StealQueues};
 use crate::pool::{PoolScope, WorkerPool};
 use crate::report::{FoundViolation, SearchOutcome, StopReason};
 use crate::search::{
     approx_state_bytes, enumerate_gated, reconstruct, ArenaRec, SearchConfig, Searcher,
 };
 use crate::stats::SearchStats;
+
+/// Hard cap on merge shards: past this, per-shard reorder buffers cost
+/// more than the dedup work they split.
+pub const MAX_MERGE_SHARDS: usize = 16;
 
 /// Tuning for the parallel engine.
 #[derive(Clone, Debug)]
@@ -84,6 +117,26 @@ pub struct ParallelConfig {
     /// 1, a search on a shared pool streams its per-job tasks to however
     /// many workers the pool provides.
     pub workers: usize,
+    /// Merge shards for phase 3: the canonical dedup/merge is partitioned
+    /// by successor-hash key range and the shards run concurrently, with
+    /// a deterministic recombine reconstituting the exact sequential
+    /// enqueue order. 0 (the default) picks `workers.min(4)`; 1 disables
+    /// sharding (the PR 3 single-coordinator streamed merge). Any value
+    /// yields bit-identical results — this knob trades merge parallelism
+    /// against per-shard buffer overhead. Defaults from `CB_MERGE_SHARDS`
+    /// (a single integer) when set.
+    pub merge_shards: usize,
+    /// Use the compacted explored-set slot layout (8 bytes/entry instead
+    /// of 16: 48-bit fingerprint + 16-bit level in one word). Halves
+    /// resident bytes per state; widens the accepted hash-collision class
+    /// from 2^-64 to 2^-48 per pair. Defaults from `CB_COMPACT_EXPLORED`
+    /// (`1`/`true`/`on`).
+    pub compact_explored: bool,
+    /// When set, spill the explored set to a sorted on-disk run whenever
+    /// its resident footprint exceeds this many bytes (checked at level
+    /// boundaries), so `max_states` can grow 10–100x without proportional
+    /// RAM. Defaults from `CB_EXPLORED_SPILL_BYTES`.
+    pub explored_spill_bytes: Option<usize>,
 }
 
 impl Default for ParallelConfig {
@@ -93,8 +146,41 @@ impl Default for ParallelConfig {
                 .map(|n| n.get())
                 .unwrap_or(4)
                 .min(8),
+            merge_shards: env_usize("CB_MERGE_SHARDS").unwrap_or(0),
+            compact_explored: env_flag("CB_COMPACT_EXPLORED"),
+            explored_spill_bytes: env_usize("CB_EXPLORED_SPILL_BYTES"),
         }
     }
+}
+
+impl ParallelConfig {
+    /// The merge-shard count a search will actually run with: the
+    /// explicit setting, or `workers.min(4)` when auto (0), clamped to
+    /// [`MAX_MERGE_SHARDS`].
+    pub fn effective_merge_shards(&self) -> usize {
+        let shards = if self.merge_shards == 0 {
+            self.workers.min(4)
+        } else {
+            self.merge_shards
+        };
+        shards.clamp(1, MAX_MERGE_SHARDS)
+    }
+}
+
+fn env_flag(name: &str) -> bool {
+    std::env::var(name).is_ok_and(|v| matches!(v.trim(), "1" | "true" | "on"))
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok().and_then(|v| v.trim().parse().ok())
+}
+
+/// The merge shard a successor hash belongs to. Mixed before reducing
+/// (the same Fibonacci decorrelation the explored table's probe start
+/// uses) so structured hashes spread; equal hashes always co-locate,
+/// which is what keeps each per-hash dedup decision shard-local.
+fn shard_of(hash: u64, shards: usize) -> usize {
+    ((hash.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize) % shards
 }
 
 /// One successor edge emitted by the expand phase.
@@ -125,11 +211,58 @@ struct JobOut<P: Protocol> {
     filtered: usize,
 }
 
-impl<P: Protocol> JobOut<P> {
-    fn empty() -> Self {
+impl<P: Protocol> Default for JobOut<P> {
+    fn default() -> Self {
         JobOut {
             edges: Vec::new(),
             filtered: 0,
+        }
+    }
+}
+
+/// One successor edge routed to a merge shard (sharded phase 3). Same
+/// payload as [`EdgeOut`] plus the edge's position in its job's canonical
+/// enumeration order, which the recombine sorts on.
+struct ShardEdge<P: Protocol> {
+    /// Index within the job's event-enumeration order.
+    ord: u32,
+    /// See [`EdgeOut::state`] — carried iff this edge won the insert race.
+    state: Option<GlobalState<P>>,
+    hash: u64,
+    /// See [`EdgeOut::prior_level`].
+    prior_level: u64,
+    event: Event<P>,
+    step: TraceStep,
+}
+
+/// An edge a merge shard admitted, tagged with its canonical coordinates
+/// for the deterministic recombine.
+struct AdmittedEdge<P: Protocol> {
+    /// Canonical job index within the level.
+    job: u32,
+    /// Canonical event index within the job.
+    ord: u32,
+    state: GlobalState<P>,
+    event: Event<P>,
+    step: TraceStep,
+}
+
+/// One merge shard's output: the edges it admitted (already in canonical
+/// (job, ord) order for its key range) plus its timing split.
+struct ShardMerged<P: Protocol> {
+    admitted: Vec<AdmittedEdge<P>>,
+    duplicates: usize,
+    busy: Duration,
+    wait: Duration,
+}
+
+impl<P: Protocol> ShardMerged<P> {
+    fn new() -> Self {
+        ShardMerged {
+            admitted: Vec::new(),
+            duplicates: 0,
+            busy: Duration::ZERO,
+            wait: Duration::ZERO,
         }
     }
 }
@@ -168,22 +301,24 @@ enum VisitClaims {
     Inline,
 }
 
-/// The order-preserving channel between expand tasks and the coordinator:
-/// a reorder buffer indexed by job, consumed as a contiguous prefix. Peak
-/// residency is the out-of-order window (how far completed jobs run ahead
-/// of the canonical cursor), not the whole level.
-struct MergeChannel<P: Protocol> {
-    inner: Mutex<MergeBuf<P>>,
+/// The order-preserving channel between expand tasks and a merge
+/// consumer: a reorder buffer indexed by job, consumed as a contiguous
+/// prefix. Peak residency is the out-of-order window (how far completed
+/// jobs run ahead of the canonical cursor), not the whole level. Generic
+/// over the payload: whole [`JobOut`] batches in the unsharded merge,
+/// per-shard [`ShardEdge`] slices in the sharded one.
+struct MergeChannel<T> {
+    inner: Mutex<MergeBuf<T>>,
     ready: Condvar,
 }
 
-struct MergeBuf<P: Protocol> {
-    slots: Vec<Option<JobOut<P>>>,
-    /// Next canonical job index the coordinator needs.
+struct MergeBuf<T> {
+    slots: Vec<Option<T>>,
+    /// Next canonical job index the consumer needs.
     next: usize,
 }
 
-impl<P: Protocol> MergeChannel<P> {
+impl<T> MergeChannel<T> {
     fn new(jobs: usize) -> Self {
         MergeChannel {
             inner: Mutex::new(MergeBuf {
@@ -194,9 +329,9 @@ impl<P: Protocol> MergeChannel<P> {
         }
     }
 
-    /// Deposits job `j`'s batch; wakes the coordinator iff `j` is the
-    /// batch it is waiting on.
-    fn deposit(&self, j: usize, out: JobOut<P>) {
+    /// Deposits job `j`'s batch; wakes the consumer iff `j` is the batch
+    /// it is waiting on.
+    fn deposit(&self, j: usize, out: T) {
         let mut b = self.inner.lock().expect("merge buffer poisoned");
         let wake = j == b.next;
         b.slots[j] = Some(out);
@@ -207,14 +342,14 @@ impl<P: Protocol> MergeChannel<P> {
     }
 
     /// Takes the next in-canonical-order batch if it is already there.
-    fn try_next(&self) -> Option<(usize, JobOut<P>)> {
+    fn try_next(&self) -> Option<(usize, T)> {
         let mut b = self.inner.lock().expect("merge buffer poisoned");
         b.take_next()
     }
 
     /// Blocks until the next in-order batch arrives (deposits of that
     /// index notify) or `stop` is raised by a deadline-hitting task.
-    fn wait_next(&self, stop: &AtomicBool) -> Option<(usize, JobOut<P>)> {
+    fn wait_next(&self, stop: &AtomicBool) -> Option<(usize, T)> {
         let mut b = self.inner.lock().expect("merge buffer poisoned");
         loop {
             if let Some(out) = b.take_next() {
@@ -228,8 +363,8 @@ impl<P: Protocol> MergeChannel<P> {
     }
 }
 
-impl<P: Protocol> MergeBuf<P> {
-    fn take_next(&mut self) -> Option<(usize, JobOut<P>)> {
+impl<T> MergeBuf<T> {
+    fn take_next(&mut self) -> Option<(usize, T)> {
         let j = self.next;
         if j < self.slots.len() {
             if let Some(out) = self.slots[j].take() {
@@ -242,18 +377,36 @@ impl<P: Protocol> MergeBuf<P> {
 }
 
 /// Ensures a batch lands for job `j` even if the expand task unwinds:
-/// without a deposit the coordinator would wait forever on a job whose
+/// without a deposit a merge consumer would wait forever on a job whose
 /// panic the pool has already captured for re-raising at scope exit.
-struct DepositGuard<'a, P: Protocol> {
-    chan: &'a MergeChannel<P>,
+struct DepositGuard<'a, T: Default> {
+    chan: &'a MergeChannel<T>,
     j: usize,
     armed: bool,
 }
 
-impl<P: Protocol> Drop for DepositGuard<'_, P> {
+impl<T: Default> Drop for DepositGuard<'_, T> {
     fn drop(&mut self) {
         if self.armed {
-            self.chan.deposit(self.j, JobOut::empty());
+            self.chan.deposit(self.j, T::default());
+        }
+    }
+}
+
+/// [`DepositGuard`] for the sharded merge: every shard's channel must see
+/// a deposit for job `j`, or its consumer would stall on the gap.
+struct ShardDepositGuard<'a, T: Default> {
+    chans: &'a [MergeChannel<T>],
+    j: usize,
+    armed: bool,
+}
+
+impl<T: Default> Drop for ShardDepositGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.armed {
+            for chan in self.chans {
+                chan.deposit(self.j, T::default());
+            }
         }
     }
 }
@@ -287,6 +440,7 @@ impl<P: Protocol> Searcher<'_, P> {
         pool: &WorkerPool,
     ) -> SearchOutcome<P> {
         let workers = par.workers.max(1);
+        let shards = par.effective_merge_shards();
         // Per-level phase timing on stderr, for perf investigation:
         // CB_PAR_TRACE=1 cargo bench -p cb-bench --bench parallel_scaling
         let trace = std::env::var_os("CB_PAR_TRACE").is_some();
@@ -297,15 +451,22 @@ impl<P: Protocol> Searcher<'_, P> {
         // Pre-size the table from the state budget: successor inserts run
         // a few times the visit budget (duplicates included), and linear
         // probing wants headroom. The first segment is capped at 2^20
-        // slots (16 MiB) because it is allocated and zeroed up front even
-        // if a deadline stops the search early — beyond that, segment
-        // chaining (which doubles from the initial size) grows the table
-        // to whatever the search actually reaches.
-        let explored = LockFreeExplored::with_capacity(
-            self.config
-                .max_states
-                .map_or(1 << 16, |m| m.saturating_mul(4).clamp(1 << 12, 1 << 20)),
-        );
+        // slots because it is allocated and zeroed up front even if a
+        // deadline stops the search early — beyond that, segment chaining
+        // (which doubles from the initial size) grows the table to
+        // whatever the search actually reaches. Under a spill budget the
+        // pre-size is further capped at half the budget, so the up-front
+        // allocation alone never triggers (or exceeds) the spill bound.
+        let mut cap_slots = self
+            .config
+            .max_states
+            .map_or(1 << 16, |m| m.saturating_mul(4).clamp(1 << 12, 1 << 20));
+        if let Some(budget) = par.explored_spill_bytes {
+            let entry = if par.compact_explored { 8 } else { 16 };
+            let fit = ((budget / 2) / entry).max(16).next_power_of_two() / 2;
+            cap_slots = cap_slots.min(fit.max(16));
+        }
+        let mut explored = LockFreeExplored::with_options(cap_slots, par.compact_explored);
         let mut local_explored = std::collections::HashSet::new();
         // Hashes already decided (admitted or duplicate) by the merge in
         // the current level; allocation reused across levels.
@@ -328,6 +489,16 @@ impl<P: Protocol> Searcher<'_, P> {
             if over_deadline(self.config.deadline) {
                 stopped = Some(StopReason::Deadline);
                 break 'levels;
+            }
+            // Level boundaries are the engine's quiescent points: every
+            // scope has joined, so the table can be spilled to disk here
+            // under `&mut`. Best-effort — an I/O failure leaves all
+            // entries resident and is simply retried next boundary.
+            if par
+                .explored_spill_bytes
+                .is_some_and(|b| explored.resident_bytes() > b)
+            {
+                let _ = explored.spill_to_disk();
             }
             stats.peak_frontier_bytes = stats.peak_frontier_bytes.max(level_bytes);
 
@@ -356,7 +527,10 @@ impl<P: Protocol> Searcher<'_, P> {
                 // level is consumed by value so each state drops right
                 // after its expansion, matching the sequential engine's
                 // memory rhythm instead of holding two full levels.
+                // Inserts run through one batched handle for the whole
+                // level (one segment-snapshot acquire, one len update).
                 let items = level.len();
+                let mut batch = explored.batch();
                 for (i, item) in std::mem::take(&mut level).into_iter().enumerate() {
                     if i >= budget_left {
                         // Exactly the states the budget admits are
@@ -388,7 +562,7 @@ impl<P: Protocol> Searcher<'_, P> {
                         VisitVerdict::Skip => {}
                         VisitVerdict::Expand(_) => self.expand_merge_fused(
                             &item,
-                            &explored,
+                            &mut batch,
                             stamp,
                             &mut local_explored,
                             &mut arena,
@@ -398,6 +572,7 @@ impl<P: Protocol> Searcher<'_, P> {
                         ),
                     }
                 }
+                drop(batch);
                 if trace {
                     eprintln!("level d={} items={} fused={:?}", depth, items, pt.elapsed(),);
                 }
@@ -448,20 +623,36 @@ impl<P: Protocol> Searcher<'_, P> {
                 // level by a non-canonical edge" from "duplicate of an
                 // earlier level" batch by batch.
                 let pt3 = Instant::now();
-                let deadline_hit = self.expand_and_merge_level(
-                    &level,
-                    &jobs,
-                    &explored,
-                    stamp,
-                    workers,
-                    t0,
-                    pool,
-                    &mut seen_level,
-                    &mut arena,
-                    &mut next_level,
-                    &mut next_bytes,
-                    &mut stats,
-                );
+                let deadline_hit = if shards > 1 && workers > 1 && jobs.len() > 1 {
+                    self.expand_and_merge_level_sharded(
+                        &level,
+                        &jobs,
+                        &explored,
+                        stamp,
+                        shards,
+                        t0,
+                        pool,
+                        &mut arena,
+                        &mut next_level,
+                        &mut next_bytes,
+                        &mut stats,
+                    )
+                } else {
+                    self.expand_and_merge_level(
+                        &level,
+                        &jobs,
+                        &explored,
+                        stamp,
+                        workers,
+                        t0,
+                        pool,
+                        &mut seen_level,
+                        &mut arena,
+                        &mut next_level,
+                        &mut next_bytes,
+                        &mut stats,
+                    )
+                };
                 if deadline_hit {
                     stopped = Some(StopReason::Deadline);
                     break 'levels;
@@ -494,8 +685,12 @@ impl<P: Protocol> Searcher<'_, P> {
             None => StopReason::Exhausted,
         };
         stats.elapsed = t0.elapsed();
+        stats.explored_resident_bytes = explored.resident_bytes();
+        stats.explored_spilled_bytes = explored.spilled_bytes();
+        stats.explored_spills = explored.spill_count();
         stats.tree_bytes = arena.len() * size_of::<ArenaRec<P>>()
-            + (explored.len() + local_explored.len()) * 2 * size_of::<u64>();
+            + explored.len() * explored.entry_bytes()
+            + local_explored.len() * 2 * size_of::<u64>();
         SearchOutcome {
             violations,
             stats,
@@ -568,7 +763,7 @@ impl<P: Protocol> Searcher<'_, P> {
     fn expand_merge_fused(
         &self,
         item: &(GlobalState<P>, Option<usize>),
-        explored: &LockFreeExplored,
+        batch: &mut ExploredBatch<'_>,
         stamp: u64,
         local_explored: &mut std::collections::HashSet<u64>,
         arena: &mut Vec<ArenaRec<P>>,
@@ -604,7 +799,7 @@ impl<P: Protocol> Searcher<'_, P> {
             let mut next = state.clone();
             let step = apply_event(self.protocol, &mut next, &event);
             let hash = next.state_hash();
-            match explored.insert_leveled(hash, stamp) {
+            match batch.insert_leveled(hash, stamp) {
                 Admission::Fresh => {
                     arena.push(ArenaRec {
                         parent: item.1,
@@ -681,7 +876,10 @@ impl<P: Protocol> Searcher<'_, P> {
     }
 
     /// Executes one expansion job: enumerate, clone, apply, hash, and
-    /// race each successor into the explored table with one CAS.
+    /// race each successor into the explored table — one CAS per
+    /// successor through a per-job [`ExploredBatch`], so the segment
+    /// snapshot and the shared-length update cost one synchronization
+    /// edge per batch instead of one per state.
     fn expand_one(
         &self,
         level: &[(GlobalState<P>, Option<usize>)],
@@ -701,12 +899,13 @@ impl<P: Protocol> Searcher<'_, P> {
             ),
             None => enumerate_gated(self.protocol, &self.config, state, |_| true, &mut filtered),
         };
+        let mut batch = explored.batch();
         let mut edges = Vec::with_capacity(events.len());
         for event in events {
             let mut next = state.clone();
             let step = apply_event(self.protocol, &mut next, &event);
             let hash = next.state_hash();
-            let (state, prior_level) = match explored.insert_leveled(hash, stamp) {
+            let (state, prior_level) = match batch.insert_leveled(hash, stamp) {
                 Admission::Fresh => (Some(next), 0),
                 Admission::Seen { level } => (None, level),
             };
@@ -721,6 +920,52 @@ impl<P: Protocol> Searcher<'_, P> {
         JobOut { edges, filtered }
     }
 
+    /// [`Self::expand_one`] for the sharded merge: identical expansion,
+    /// but each successor edge is routed to the merge shard owning its
+    /// hash (tagged with its in-job order for the recombine). Returns the
+    /// per-shard edge lists plus the job's filtered-event count.
+    fn expand_one_sharded(
+        &self,
+        level: &[(GlobalState<P>, Option<usize>)],
+        job: &ExpandJob,
+        explored: &LockFreeExplored,
+        stamp: u64,
+        shards: usize,
+    ) -> (Vec<Vec<ShardEdge<P>>>, usize) {
+        let state = &level[job.item].0;
+        let mut filtered = 0usize;
+        let events = match &job.allowed {
+            Some(nodes) => enumerate_gated(
+                self.protocol,
+                &self.config,
+                state,
+                |n| nodes.contains(&n),
+                &mut filtered,
+            ),
+            None => enumerate_gated(self.protocol, &self.config, state, |_| true, &mut filtered),
+        };
+        let mut per: Vec<Vec<ShardEdge<P>>> = (0..shards).map(|_| Vec::new()).collect();
+        let mut batch = explored.batch();
+        for (ord, event) in events.into_iter().enumerate() {
+            let mut next = state.clone();
+            let step = apply_event(self.protocol, &mut next, &event);
+            let hash = next.state_hash();
+            let (state, prior_level) = match batch.insert_leveled(hash, stamp) {
+                Admission::Fresh => (Some(next), 0),
+                Admission::Seen { level } => (None, level),
+            };
+            per[shard_of(hash, shards)].push(ShardEdge {
+                ord: ord as u32,
+                state,
+                hash,
+                prior_level,
+                event,
+                step,
+            });
+        }
+        (per, filtered)
+    }
+
     /// Applies the canonical enqueue-time dedup to one job's edge batch,
     /// in canonical order. Exactly the bookkeeping the sequential loop
     /// performs at its `explored.insert`: the canonically-first edge to a
@@ -733,7 +978,7 @@ impl<P: Protocol> Searcher<'_, P> {
         level: &[(GlobalState<P>, Option<usize>)],
         item: usize,
         out: JobOut<P>,
-        stamp: u64,
+        stamp_cmp: u64,
         seen_level: &mut HashSet<u64>,
         arena: &mut Vec<ArenaRec<P>>,
         next_level: &mut Vec<(GlobalState<P>, Option<usize>)>,
@@ -748,7 +993,7 @@ impl<P: Protocol> Searcher<'_, P> {
                 stats.duplicates_hit += 1;
                 continue;
             }
-            let admitted_this_level = edge.state.is_some() || edge.prior_level == stamp;
+            let admitted_this_level = edge.state.is_some() || edge.prior_level == stamp_cmp;
             if !admitted_this_level {
                 stats.duplicates_hit += 1;
                 continue;
@@ -800,6 +1045,9 @@ impl<P: Protocol> Searcher<'_, P> {
     ) -> bool {
         let over =
             |limit: Option<std::time::Duration>| limit.is_some_and(|d| search_t0.elapsed() >= d);
+        // The stamp as the table stores it (compact layouts saturate the
+        // level field): what `prior_level` readbacks must be compared to.
+        let stamp_cmp = explored.stored_level(stamp);
 
         if workers == 1 || jobs.len() <= 1 {
             // Inline fast path: expand and merge interleave per job. The
@@ -812,13 +1060,14 @@ impl<P: Protocol> Searcher<'_, P> {
                 }
                 let out = self.expand_one(level, job, explored, stamp);
                 self.merge_job(
-                    level, job.item, out, stamp, seen_level, arena, next_level, next_bytes, stats,
+                    level, job.item, out, stamp_cmp, seen_level, arena, next_level, next_bytes,
+                    stats,
                 );
             }
             return false;
         }
 
-        let chan: MergeChannel<P> = MergeChannel::new(jobs.len());
+        let chan: MergeChannel<JobOut<P>> = MergeChannel::new(jobs.len());
         let stop = AtomicBool::new(false);
         let deadline_hit = AtomicBool::new(false);
         pool.scope(|scope: &PoolScope<'_, '_>| {
@@ -883,7 +1132,7 @@ impl<P: Protocol> Searcher<'_, P> {
                     level,
                     jobs[j].item,
                     out,
-                    stamp,
+                    stamp_cmp,
                     seen_level,
                     arena,
                     next_level,
@@ -902,6 +1151,285 @@ impl<P: Protocol> Searcher<'_, P> {
             // and deposit empty batches) and waits for in-flight ones.
         });
         deadline_hit.load(Ordering::Relaxed)
+    }
+
+    /// The per-shard slice of [`Self::merge_job`]: applies the canonical
+    /// enqueue-time dedup to the shard's share of one job's edges, in
+    /// canonical (job, ord) order. Equal hashes always land in the same
+    /// shard, so every per-hash decision — first-canonical-edge wins,
+    /// admitted-this-level vs earlier-duplicate, canonical-clone
+    /// re-derivation — is taken with exactly the same inputs the
+    /// single-coordinator merge would use; only decisions about
+    /// *different* hashes run concurrently.
+    #[allow(clippy::too_many_arguments)]
+    fn merge_shard_batch(
+        &self,
+        level: &[(GlobalState<P>, Option<usize>)],
+        item: usize,
+        job: u32,
+        edges: Vec<ShardEdge<P>>,
+        stamp_cmp: u64,
+        seen: &mut HashSet<u64>,
+        out: &mut ShardMerged<P>,
+    ) {
+        for edge in edges {
+            if !seen.insert(edge.hash) {
+                out.duplicates += 1;
+                continue;
+            }
+            let admitted_this_level = edge.state.is_some() || edge.prior_level == stamp_cmp;
+            if !admitted_this_level {
+                out.duplicates += 1;
+                continue;
+            }
+            // Canonically first to a hash first reached this level: keep
+            // its clone if it also won the insert race, else re-derive
+            // the canonical clone (see `merge_job` — the rule survives
+            // per shard because the race loser's hash equality guarantee
+            // is shard-independent).
+            let state = match edge.state {
+                Some(state) => state,
+                None => {
+                    let mut s = level[item].0.clone();
+                    apply_event(self.protocol, &mut s, &edge.event);
+                    s
+                }
+            };
+            out.admitted.push(AdmittedEdge {
+                job,
+                ord: edge.ord,
+                state,
+                event: edge.event,
+                step: edge.step,
+            });
+        }
+    }
+
+    /// A tail merge shard: consumes its channel in canonical job order
+    /// and merges its key range. Runs as a pool task spawned *after* all
+    /// expand tasks of the level (see `expand_and_merge_level_sharded`
+    /// for why that ordering makes blocking here deadlock-free).
+    fn merge_shard(
+        &self,
+        level: &[(GlobalState<P>, Option<usize>)],
+        jobs: &[ExpandJob],
+        chan: &MergeChannel<Vec<ShardEdge<P>>>,
+        stamp_cmp: u64,
+        stop: &AtomicBool,
+    ) -> ShardMerged<P> {
+        let mut out = ShardMerged::new();
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut merged = 0usize;
+        while merged < jobs.len() {
+            if stop.load(Ordering::Relaxed) {
+                break; // partial results are discarded on deadline stops
+            }
+            let got = match chan.try_next() {
+                Some(got) => Some(got),
+                None => {
+                    let tw = Instant::now();
+                    let got = chan.wait_next(stop);
+                    out.wait += tw.elapsed();
+                    got
+                }
+            };
+            let Some((j, edges)) = got else {
+                break;
+            };
+            let tb = Instant::now();
+            self.merge_shard_batch(
+                level,
+                jobs[j].item,
+                j as u32,
+                edges,
+                stamp_cmp,
+                &mut seen,
+                &mut out,
+            );
+            out.busy += tb.elapsed();
+            merged += 1;
+        }
+        out
+    }
+
+    /// Phase 3, sharded: expansion tasks route each successor edge to the
+    /// merge shard owning its hash; the shards dedup/merge their key
+    /// ranges concurrently (shard 0 streamed by the coordinator, shards
+    /// 1..k as pool tasks), and a sequential recombine k-way-merges the
+    /// admitted edges back into the exact sequential enqueue order.
+    ///
+    /// Deadlock freedom: tail merge tasks block on deposits, so they are
+    /// spawned *after* every expand task. The pool queue is FIFO — by the
+    /// time any worker (or the helping coordinator) pops a merge task,
+    /// every expand task has already been popped, so a blocked merger
+    /// only ever waits on tasks that are running or finished, never on
+    /// one queued behind it. This holds at any pool size, including a
+    /// zero-thread pool where the coordinator runs everything via
+    /// `help_one` (FIFO again: expands drain first, and a merge task run
+    /// inline then finds all its deposits already present).
+    #[allow(clippy::too_many_arguments)]
+    fn expand_and_merge_level_sharded(
+        &self,
+        level: &[(GlobalState<P>, Option<usize>)],
+        jobs: &[ExpandJob],
+        explored: &LockFreeExplored,
+        stamp: u64,
+        shards: usize,
+        search_t0: Instant,
+        pool: &WorkerPool,
+        arena: &mut Vec<ArenaRec<P>>,
+        next_level: &mut Vec<(GlobalState<P>, Option<usize>)>,
+        next_bytes: &mut usize,
+        stats: &mut SearchStats,
+    ) -> bool {
+        let over =
+            |limit: Option<std::time::Duration>| limit.is_some_and(|d| search_t0.elapsed() >= d);
+        let stamp_cmp = explored.stored_level(stamp);
+        let chans: Vec<MergeChannel<Vec<ShardEdge<P>>>> =
+            (0..shards).map(|_| MergeChannel::new(jobs.len())).collect();
+        let stop = AtomicBool::new(false);
+        let deadline_hit = AtomicBool::new(false);
+        let filtered = AtomicUsize::new(0);
+        let tail_out: Vec<Mutex<Option<ShardMerged<P>>>> =
+            (1..shards).map(|_| Mutex::new(None)).collect();
+        let mut out0 = ShardMerged::new();
+        pool.scope(|scope: &PoolScope<'_, '_>| {
+            for (j, job) in jobs.iter().enumerate() {
+                let chans = &chans;
+                let stop = &stop;
+                let deadline_hit = &deadline_hit;
+                let filtered = &filtered;
+                scope.spawn(move || {
+                    let mut guard = ShardDepositGuard {
+                        chans,
+                        j,
+                        armed: true,
+                    };
+                    if stop.load(Ordering::Relaxed) {
+                        return; // guard deposits empty slices to every shard
+                    }
+                    if over(self.config.deadline) {
+                        deadline_hit.store(true, Ordering::Relaxed);
+                        stop.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                    let (per, f) = self.expand_one_sharded(level, job, explored, stamp, shards);
+                    filtered.fetch_add(f, Ordering::Relaxed);
+                    guard.armed = false;
+                    for (s, edges) in per.into_iter().enumerate() {
+                        chans[s].deposit(j, edges);
+                    }
+                });
+            }
+            // Tail mergers — spawned after every expand task; the FIFO
+            // queue order is load-bearing (see the method docs).
+            for (s, slot) in tail_out.iter().enumerate() {
+                let chans = &chans;
+                let stop = &stop;
+                scope.spawn(move || {
+                    let merged = self.merge_shard(level, jobs, &chans[s + 1], stamp_cmp, stop);
+                    *slot.lock().expect("shard output slot poisoned") = Some(merged);
+                });
+            }
+            // The coordinator streams shard 0, helping with queued work
+            // (expands first, FIFO) when its next batch is not ready.
+            let mut seen: HashSet<u64> = HashSet::new();
+            let mut merged = 0usize;
+            while merged < jobs.len() {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let got = match chans[0].try_next() {
+                    Some(got) => Some(got),
+                    None => {
+                        if scope.help_one() {
+                            continue;
+                        }
+                        let tw = Instant::now();
+                        let got = chans[0].wait_next(&stop);
+                        out0.wait += tw.elapsed();
+                        got
+                    }
+                };
+                let Some((j, edges)) = got else {
+                    break;
+                };
+                let tb = Instant::now();
+                self.merge_shard_batch(
+                    level,
+                    jobs[j].item,
+                    j as u32,
+                    edges,
+                    stamp_cmp,
+                    &mut seen,
+                    &mut out0,
+                );
+                out0.busy += tb.elapsed();
+                merged += 1;
+                if over(self.config.deadline) {
+                    deadline_hit.store(true, Ordering::Relaxed);
+                    stop.store(true, Ordering::Relaxed);
+                    break;
+                }
+            }
+        });
+        if deadline_hit.load(Ordering::Relaxed) {
+            return true;
+        }
+        stats.filtered_events += filtered.load(Ordering::Relaxed);
+
+        // Deterministic recombine: every shard's admitted list is already
+        // sorted by (job, ord) — the canonical order restricted to its
+        // key range — so a k-way merge on (job, ord) reconstitutes the
+        // exact sequential enqueue order, and arena indices / next-level
+        // positions come out bit-identical to the unsharded merge.
+        let t_rec = Instant::now();
+        let mut outs: Vec<ShardMerged<P>> = Vec::with_capacity(shards);
+        outs.push(out0);
+        for slot in tail_out {
+            outs.push(
+                slot.into_inner()
+                    .expect("shard output slot poisoned")
+                    .expect("tail shard merged (scope joined)"),
+            );
+        }
+        if stats.merge_shard_busy.len() < shards {
+            stats.merge_shard_busy.resize(shards, Duration::ZERO);
+        }
+        for (s, merged) in outs.iter().enumerate() {
+            stats.duplicates_hit += merged.duplicates;
+            stats.merge_busy += merged.busy;
+            stats.merge_shard_busy[s] += merged.busy;
+        }
+        stats.merge_wait += outs[0].wait;
+        stats.merge_shards = shards;
+        let mut iters: Vec<_> = outs
+            .into_iter()
+            .map(|m| m.admitted.into_iter().peekable())
+            .collect();
+        loop {
+            let mut best: Option<(usize, (u32, u32))> = None;
+            for (s, it) in iters.iter_mut().enumerate() {
+                if let Some(edge) = it.peek() {
+                    let key = (edge.job, edge.ord);
+                    if best.is_none_or(|(_, bk)| key < bk) {
+                        best = Some((s, key));
+                    }
+                }
+            }
+            let Some((s, _)) = best else { break };
+            let edge = iters[s].next().expect("peeked edge");
+            arena.push(ArenaRec {
+                parent: level[jobs[edge.job as usize].item].1,
+                event: edge.event,
+                step: edge.step,
+            });
+            *next_bytes += approx_state_bytes(&edge.state);
+            next_level.push((edge.state, Some(arena.len() - 1)));
+            stats.states_enqueued += 1;
+        }
+        stats.merge_recombine += t_rec.elapsed();
+        false
     }
 }
 
@@ -988,7 +1516,16 @@ mod tests {
         let pr = props(2);
         let seq = find_errors(&p, &pr, &gs, cfg());
         for workers in [1, 2, 4, 7] {
-            let par = find_errors_parallel(&p, &pr, &gs, cfg(), &ParallelConfig { workers });
+            let par = find_errors_parallel(
+                &p,
+                &pr,
+                &gs,
+                cfg(),
+                &ParallelConfig {
+                    workers,
+                    ..ParallelConfig::default()
+                },
+            );
             assert_eq!(
                 outcome_fingerprint(&seq),
                 outcome_fingerprint(&par),
@@ -1008,8 +1545,16 @@ mod tests {
         };
         let seq = find_consequences(&p, &pr, &gs, base.clone());
         for workers in [1, 4] {
-            let par =
-                find_consequences_parallel(&p, &pr, &gs, base.clone(), &ParallelConfig { workers });
+            let par = find_consequences_parallel(
+                &p,
+                &pr,
+                &gs,
+                base.clone(),
+                &ParallelConfig {
+                    workers,
+                    ..ParallelConfig::default()
+                },
+            );
             assert_eq!(
                 outcome_fingerprint(&seq),
                 outcome_fingerprint(&par),
@@ -1029,7 +1574,16 @@ mod tests {
             ..cfg()
         };
         let seq = find_errors(&p, &pr, &gs, base.clone());
-        let par = find_errors_parallel(&p, &pr, &gs, base, &ParallelConfig { workers: 4 });
+        let par = find_errors_parallel(
+            &p,
+            &pr,
+            &gs,
+            base,
+            &ParallelConfig {
+                workers: 4,
+                ..ParallelConfig::default()
+            },
+        );
         assert_eq!(outcome_fingerprint(&seq), outcome_fingerprint(&par));
         assert_eq!(seq.stopped, par.stopped);
         assert_eq!(seq.stats.per_depth, par.stats.per_depth);
@@ -1044,7 +1598,16 @@ mod tests {
             ..cfg()
         };
         let seq = find_errors(&p, &pr, &gs, base.clone());
-        let par = find_errors_parallel(&p, &pr, &gs, base, &ParallelConfig { workers: 4 });
+        let par = find_errors_parallel(
+            &p,
+            &pr,
+            &gs,
+            base,
+            &ParallelConfig {
+                workers: 4,
+                ..ParallelConfig::default()
+            },
+        );
         assert_eq!(seq.stopped, StopReason::StateLimit);
         assert_eq!(outcome_fingerprint(&seq), outcome_fingerprint(&par));
     }
@@ -1059,7 +1622,16 @@ mod tests {
             ..cfg()
         };
         let seq = find_errors(&p, &pr, &gs, base.clone());
-        let par = find_errors_parallel(&p, &pr, &gs, base, &ParallelConfig { workers: 4 });
+        let par = find_errors_parallel(
+            &p,
+            &pr,
+            &gs,
+            base,
+            &ParallelConfig {
+                workers: 4,
+                ..ParallelConfig::default()
+            },
+        );
         assert!(seq.violations.len() > 1, "multiple violations in budget");
         assert_eq!(outcome_fingerprint(&seq), outcome_fingerprint(&par));
     }
@@ -1077,7 +1649,10 @@ mod tests {
                 max_states: None,
                 ..cfg()
             },
-            &ParallelConfig { workers: 4 },
+            &ParallelConfig {
+                workers: 4,
+                ..ParallelConfig::default()
+            },
         );
         assert_eq!(out.stopped, StopReason::Deadline);
     }
@@ -1093,10 +1668,27 @@ mod tests {
         let seq = find_errors(&p, &pr, &gs, base.clone());
         assert_eq!(seq.stats.merge_busy, std::time::Duration::ZERO);
         assert_eq!(seq.stats.merge_wait, std::time::Duration::ZERO);
-        let inline =
-            find_errors_parallel(&p, &pr, &gs, base.clone(), &ParallelConfig { workers: 1 });
+        let inline = find_errors_parallel(
+            &p,
+            &pr,
+            &gs,
+            base.clone(),
+            &ParallelConfig {
+                workers: 1,
+                ..ParallelConfig::default()
+            },
+        );
         assert_eq!(inline.stats.merge_busy, std::time::Duration::ZERO);
-        let streamed = find_errors_parallel(&p, &pr, &gs, base, &ParallelConfig { workers: 4 });
+        let streamed = find_errors_parallel(
+            &p,
+            &pr,
+            &gs,
+            base,
+            &ParallelConfig {
+                workers: 4,
+                ..ParallelConfig::default()
+            },
+        );
         assert!(
             streamed.stats.merge_busy > std::time::Duration::ZERO,
             "streamed coordinator recorded merge work"
@@ -1104,7 +1696,95 @@ mod tests {
     }
 
     #[test]
+    fn merge_shard_matrix_matches_sequential() {
+        let (p, gs) = sys(4);
+        let pr = props(u32::MAX);
+        let base = SearchConfig {
+            max_depth: Some(5),
+            ..cfg()
+        };
+        let seq = find_errors(&p, &pr, &gs, base.clone());
+        for shards in [1, 2, 4, 7] {
+            let par = find_errors_parallel(
+                &p,
+                &pr,
+                &gs,
+                base.clone(),
+                &ParallelConfig {
+                    workers: 4,
+                    merge_shards: shards,
+                    ..ParallelConfig::default()
+                },
+            );
+            assert_eq!(
+                outcome_fingerprint(&seq),
+                outcome_fingerprint(&par),
+                "shards={shards}"
+            );
+            assert_eq!(seq.stats.per_depth, par.stats.per_depth, "shards={shards}");
+            if shards > 1 {
+                assert_eq!(par.stats.merge_shards, shards, "sharded path ran");
+                assert_eq!(
+                    par.stats.merge_shard_busy.len(),
+                    shards,
+                    "per-shard busy recorded"
+                );
+            } else {
+                assert_eq!(par.stats.merge_shards, 0, "unsharded path at 1 shard");
+            }
+        }
+    }
+
+    #[test]
+    fn compact_and_spill_engine_matches_sequential() {
+        let (p, gs) = sys(4);
+        let pr = props(u32::MAX);
+        let base = SearchConfig {
+            max_depth: Some(5),
+            ..cfg()
+        };
+        let seq = find_errors(&p, &pr, &gs, base.clone());
+        for workers in [1, 4] {
+            // A 1 KiB budget is crossed within the first few levels even
+            // at this test's small state count, so the set spills at
+            // level boundaries throughout the run.
+            let par = find_errors_parallel(
+                &p,
+                &pr,
+                &gs,
+                base.clone(),
+                &ParallelConfig {
+                    workers,
+                    compact_explored: true,
+                    explored_spill_bytes: Some(1 << 10),
+                    ..ParallelConfig::default()
+                },
+            );
+            assert_eq!(
+                outcome_fingerprint(&seq),
+                outcome_fingerprint(&par),
+                "workers={workers}"
+            );
+            assert_eq!(seq.stats.per_depth, par.stats.per_depth);
+            assert!(par.stats.explored_spills >= 1, "budget forced a spill");
+            assert!(par.stats.explored_spilled_bytes > 0);
+            assert!(par.stats.explored_resident_bytes > 0);
+        }
+    }
+
+    #[test]
     fn default_config_has_workers() {
         assert!(ParallelConfig::default().workers >= 1);
+        let auto = ParallelConfig {
+            workers: 6,
+            merge_shards: 0,
+            ..ParallelConfig::default()
+        };
+        assert_eq!(auto.effective_merge_shards(), 4, "auto caps at 4");
+        let wide = ParallelConfig {
+            merge_shards: 99,
+            ..ParallelConfig::default()
+        };
+        assert_eq!(wide.effective_merge_shards(), MAX_MERGE_SHARDS);
     }
 }

@@ -30,6 +30,13 @@
 //! progress never depends on pool capacity — a pool may even have zero
 //! worker threads, in which case every scope degrades to sequential
 //! execution on its owner.
+//!
+//! The queue's FIFO order is a *contract*, not an implementation detail:
+//! the parallel engine's sharded merge spawns tasks that block on the
+//! output of earlier-spawned tasks, and relies on every spawn-order
+//! predecessor having been popped (hence running or finished) before such
+//! a task starts. Replacing the queue with a LIFO or randomized discipline
+//! would deadlock it.
 
 use std::any::Any;
 use std::collections::VecDeque;

@@ -828,7 +828,13 @@ mod tests {
         let props = props(2);
         let searcher = Searcher::new(&cfg, &props, quiet());
         let seq = searcher.search(&gs, &Engine::Sequential);
-        let par = searcher.search(&gs, &Engine::Parallel(ParallelConfig { workers: 2 }));
+        let par = searcher.search(
+            &gs,
+            &Engine::Parallel(ParallelConfig {
+                workers: 2,
+                ..ParallelConfig::default()
+            }),
+        );
         let walk = searcher.search(
             &gs,
             &Engine::RandomWalk {

@@ -40,6 +40,27 @@ pub struct SearchStats {
     /// the coordinator spends *helping* expand is attributed to neither
     /// counter — it is expansion work, not merge cost.
     pub merge_wait: Duration,
+    /// Parallel engine only: number of merge shards the level-3 phase ran
+    /// with (0 when the unsharded/fused path was taken). Sharding splits
+    /// the canonical merge by explored-key range so shards dedup
+    /// concurrently; a deterministic recombine restores sequential order.
+    pub merge_shards: usize,
+    /// Parallel engine only: per-shard busy time (index = shard). The sum
+    /// equals `merge_busy`; the spread shows how evenly `shard_of` split
+    /// the key space — the scaling bench reports it as merge utilization.
+    pub merge_shard_busy: Vec<Duration>,
+    /// Parallel engine only: time spent in the sequential k-way recombine
+    /// that merges per-shard admitted edges back into canonical enqueue
+    /// order. This is the sharded design's residual serial section.
+    pub merge_recombine: Duration,
+    /// Resident bytes of the explored set at search end (open-addressing
+    /// segments plus any spill-tier block index and bloom filter).
+    pub explored_resident_bytes: usize,
+    /// Bytes of explored entries currently parked in the on-disk spill
+    /// run (0 unless `explored_spill_bytes` was set and exceeded).
+    pub explored_spilled_bytes: u64,
+    /// Number of spill-to-disk compactions the explored set performed.
+    pub explored_spills: usize,
     /// Bytes of the search tree: parent-pointer arena entries plus the
     /// explored/localExplored hash entries (what Fig. 15 plots).
     pub tree_bytes: usize,

@@ -170,7 +170,10 @@ where
             &start,
             &mutate,
             CheckerMode::Sharded { shards: 2 },
-            Engine::Parallel(ParallelConfig { workers }),
+            Engine::Parallel(ParallelConfig {
+                workers,
+                ..ParallelConfig::default()
+            }),
         );
         assert_eq!(
             sync, sharded_parallel,

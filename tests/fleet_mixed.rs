@@ -34,7 +34,10 @@ fn engine(workers: usize) -> Engine {
     if workers <= 1 {
         Engine::Sequential
     } else {
-        Engine::Parallel(ParallelConfig { workers })
+        Engine::Parallel(ParallelConfig {
+            workers,
+            ..ParallelConfig::default()
+        })
     }
 }
 

@@ -7,8 +7,10 @@
 //!
 //! The CI determinism matrix drives these tests through an env loop:
 //! `CB_EQ_WORKERS` (comma list, default `1,4`) selects the worker counts
-//! every scenario is checked at, and `CB_EQ_SEED` (default `1213`) picks
-//! the churned live state the seeded scenario starts from.
+//! every scenario is checked at, `CB_MERGE_SHARDS` (comma list, default
+//! `1,2`) the merge-shard counts crossed with them, and `CB_EQ_SEED`
+//! (default `1213`) picks the churned live state the seeded scenario
+//! starts from.
 
 use cb_bench::scenarios;
 use crystalball_suite::mc::{
@@ -40,31 +42,42 @@ fn assert_engines_agree<P: Protocol>(
     let seq_bfs = find_errors(proto, props, gs, config.clone());
     let seq_cp = find_consequences(proto, props, gs, config.clone());
     for workers in cb_bench::matrix::workers() {
-        let par = ParallelConfig { workers };
-        let par_bfs = find_errors_parallel(proto, props, gs, config.clone(), &par);
-        assert_eq!(
-            fingerprint(&seq_bfs),
-            fingerprint(&par_bfs),
-            "{what}: exhaustive search diverged at {workers} workers"
-        );
-        assert_eq!(
-            seq_bfs.stopped, par_bfs.stopped,
-            "{what}: stop reason (bfs, {workers}w)"
-        );
-        let par_cp = find_consequences_parallel(proto, props, gs, config.clone(), &par);
-        assert_eq!(
-            fingerprint(&seq_cp),
-            fingerprint(&par_cp),
-            "{what}: consequence prediction diverged at {workers} workers"
-        );
-        assert_eq!(
-            seq_cp.stopped, par_cp.stopped,
-            "{what}: stop reason (cp, {workers}w)"
-        );
-        assert_eq!(
-            seq_cp.stats.local_prunes, par_cp.stats.local_prunes,
-            "{what}: localExplored pruning count ({workers}w)"
-        );
+        for merge_shards in cb_bench::matrix::merge_shards() {
+            if workers == 1 && merge_shards != 1 {
+                // The fused 1-worker path has no merge to shard; skip the
+                // redundant legs.
+                continue;
+            }
+            let par = ParallelConfig {
+                workers,
+                merge_shards,
+                ..ParallelConfig::default()
+            };
+            let par_bfs = find_errors_parallel(proto, props, gs, config.clone(), &par);
+            assert_eq!(
+                fingerprint(&seq_bfs),
+                fingerprint(&par_bfs),
+                "{what}: exhaustive search diverged at {workers} workers / {merge_shards} shards"
+            );
+            assert_eq!(
+                seq_bfs.stopped, par_bfs.stopped,
+                "{what}: stop reason (bfs, {workers}w/{merge_shards}s)"
+            );
+            let par_cp = find_consequences_parallel(proto, props, gs, config.clone(), &par);
+            assert_eq!(
+                fingerprint(&seq_cp),
+                fingerprint(&par_cp),
+                "{what}: consequence prediction diverged at {workers} workers / {merge_shards} shards"
+            );
+            assert_eq!(
+                seq_cp.stopped, par_cp.stopped,
+                "{what}: stop reason (cp, {workers}w/{merge_shards}s)"
+            );
+            assert_eq!(
+                seq_cp.stats.local_prunes, par_cp.stats.local_prunes,
+                "{what}: localExplored pruning count ({workers}w/{merge_shards}s)"
+            );
+        }
     }
 }
 
@@ -138,7 +151,10 @@ fn paxos_commuting_deliveries_keep_canonical_paths() {
             &props,
             &gs,
             config.clone(),
-            &ParallelConfig { workers: 4 },
+            &ParallelConfig {
+                workers: 4,
+                ..ParallelConfig::default()
+            },
         );
         assert_eq!(
             fingerprint(&seq),

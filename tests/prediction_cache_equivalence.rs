@@ -141,7 +141,10 @@ fn assert_cache_invisible<P, F>(
     for workers in cb_bench::matrix::workers() {
         backends.push((
             CheckerMode::Sharded { shards: 2 },
-            Engine::Parallel(ParallelConfig { workers }),
+            Engine::Parallel(ParallelConfig {
+                workers,
+                ..ParallelConfig::default()
+            }),
         ));
     }
     let mut reference: Option<Outcome> = None;

@@ -101,7 +101,10 @@ fn async_checker_service_steers_without_blocking_the_system() {
         ControllerConfig {
             mode: Mode::ExecutionSteering,
             checker: CheckerMode::Background,
-            engine: Engine::Parallel(ParallelConfig { workers: 4 }),
+            engine: Engine::Parallel(ParallelConfig {
+                workers: 4,
+                ..ParallelConfig::default()
+            }),
             search: SearchConfig {
                 max_states: Some(8_000),
                 max_depth: Some(6),
