@@ -11,10 +11,17 @@
 //!   filter-install as measured on the node's own clock (the live
 //!   counterpart of `mc_latency`, with the wire included).
 //!
+//! A second leg measures the reactor's **nodes-per-host ceiling**: a
+//! 100+-node RandTree deployment multiplexed over ≤ 4 reactor threads
+//! (the poll-driven runtime's whole point — PR 5's thread-per-node shape
+//! topped out at a few dozen nodes per host). Its summary lands in the
+//! JSON as `reactor_scale`.
+//!
 //! Unlike the simulator benches, nothing here is deterministic — counters
 //! depend on real scheduling — so `tools/bench-check` validates structure
 //! and liveness (frames flowed, snapshots moved bytes, installs carried
-//! latency samples) rather than gating numeric regressions.
+//! latency samples, the scale leg held 100+ nodes on its thread budget)
+//! rather than gating numeric regressions.
 //!
 //! Emits one JSON object (`CB_BENCH_JSON=live.json cargo bench -p
 //! cb-bench --bench live_throughput`).
@@ -23,9 +30,85 @@ use std::io::Write;
 use std::time::Duration;
 
 use cb_bench::harness::{fast_mode, fmt_bytes, preamble, section};
-use cb_live::{live_checker_config, randtree_deployment, wait_until, LiveConfig, LiveNodeConfig};
+use cb_live::{
+    live_checker_config, randtree_deployment, randtree_deployment_on, wait_until, LiveConfig,
+    LiveNodeConfig,
+};
 use cb_model::NodeId;
-use cb_protocols::randtree::{RandTreeBugs, Status};
+use cb_protocols::randtree::{Action as RtAction, RandTreeBugs, Status};
+
+/// The scale leg: `nodes` RandTree nodes multiplexed over `threads`
+/// reactor threads for `window_ms`, reporting the fragment spliced into
+/// the bench JSON as `"reactor_scale"`. Stays at 100+ nodes even in fast
+/// mode — the node count *is* the claim; only the window shrinks.
+fn reactor_scale_leg(nodes: usize, threads: usize, window_ms: u64) -> String {
+    let config = LiveConfig {
+        seed: 1042,
+        node: LiveNodeConfig {
+            // Sparse cadence: at 100+ nodes the per-node schedule must
+            // leave the reactors idle time between ticks.
+            checkpoint_interval: Duration::from_millis(300),
+            gather_interval: Duration::from_millis(500),
+            gather_timeout: Duration::from_millis(1_200),
+            time_scale: 0.02,
+            self_check: false,
+            speculate_partial_gathers: false,
+            ..LiveNodeConfig::default()
+        },
+        checker: live_checker_config(2_000, 4, 1),
+        ..LiveConfig::default()
+    };
+    let dep = randtree_deployment_on(nodes, RandTreeBugs::none(), config, threads)
+        .expect("boot scale deployment");
+    let joined = wait_until(&dep, Duration::from_secs(120), |d| {
+        d.node_ids()
+            .iter()
+            .all(|&n| match d.probe(n, Duration::from_secs(2)) {
+                Some(r) if r.slot.state.status == Status::Joined => true,
+                Some(_) => {
+                    d.inject(n, RtAction::Join { target: NodeId(0) });
+                    false
+                }
+                None => false,
+            })
+    });
+    let mut dep = dep;
+    dep.run_for(Duration::from_millis(window_ms));
+    let report = dep.shutdown();
+    let t = report.stats.totals();
+    let frames = t.frames_sent + t.frames_received;
+    let fps = if report.stats.wall_seconds > 0.0 {
+        frames as f64 / report.stats.wall_seconds
+    } else {
+        0.0
+    };
+    println!(
+        "reactor_scale: {nodes} nodes / {threads} threads ({:.1} nodes/thread), \
+         {} joined, {frames} frames ({fps:.0}/sec), {} gathers",
+        nodes as f64 / threads as f64,
+        report.states.len(),
+        t.snapshots_completed
+    );
+    format!(
+        concat!(
+            "\"reactor_scale\": {{\"nodes\": {}, \"reactor_threads\": {}, ",
+            "\"nodes_per_thread\": {:.2}, \"joined\": {}, \"all_joined\": {}, ",
+            "\"wall_seconds\": {:.3}, \"frames_total\": {}, ",
+            "\"frames_per_sec\": {:.1}, \"snapshots_completed\": {}, ",
+            "\"submits_sent\": {}}}"
+        ),
+        nodes,
+        threads,
+        nodes as f64 / threads as f64,
+        report.states.len(),
+        joined,
+        report.stats.wall_seconds,
+        frames,
+        fps,
+        t.snapshots_completed,
+        t.submits_sent,
+    )
+}
 
 fn main() {
     preamble(
@@ -96,7 +179,20 @@ fn main() {
 
     let report = dep.shutdown();
     let t = report.stats.totals();
-    let json = report.stats.to_json();
+
+    let (scale_nodes, scale_threads, scale_window_ms) = if fast_mode() {
+        // The node count is the claim; fast mode shrinks the window only.
+        (104usize, 4usize, 2_000u64)
+    } else {
+        (104, 4, 6_000)
+    };
+    section(&format!(
+        "reactor scale: {scale_nodes}-node RandTree on {scale_threads} reactor \
+         threads, {scale_window_ms}ms wall window"
+    ));
+    let scale_json = reactor_scale_leg(scale_nodes, scale_threads, scale_window_ms);
+
+    let json = report.stats.to_json_with(&scale_json);
 
     let frames = t.frames_sent + t.frames_received;
     println!(

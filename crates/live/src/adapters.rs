@@ -16,7 +16,7 @@ use cb_protocols::paxos::{self, Paxos, PaxosBugs};
 use cb_protocols::randtree::{self, Action as RtAction, RandTree, RandTreeBugs};
 use crystalball::{CheckerMode, ControllerConfig, Mode};
 
-use crate::deployment::{LiveConfig, LiveDeployment};
+use crate::deployment::{DeploymentBuilder, LiveConfig, LiveDeployment};
 
 /// A live-tuned checker configuration: steering on, a budget small enough
 /// that rounds complete within a compressed-time deployment's gather
@@ -43,9 +43,24 @@ pub fn randtree_deployment(
     bugs: RandTreeBugs,
     config: LiveConfig,
 ) -> std::io::Result<LiveDeployment<RandTree>> {
+    randtree_deployment_on(n, bugs, config, 0)
+}
+
+/// [`randtree_deployment`] with explicit reactor sizing: `threads`
+/// reactor threads multiplex the `n` nodes (`0` = one thread per node).
+pub fn randtree_deployment_on(
+    n: usize,
+    bugs: RandTreeBugs,
+    config: LiveConfig,
+    threads: usize,
+) -> std::io::Result<LiveDeployment<RandTree>> {
     let nodes: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
     let proto = RandTree::new(2, vec![NodeId(0)], bugs);
-    let mut dep = LiveDeployment::boot(proto, randtree::properties::all(), &nodes, config)?;
+    let mut dep = DeploymentBuilder::new(proto, randtree::properties::all())
+        .nodes(&nodes)
+        .config(config)
+        .reactor_threads(threads)
+        .boot()?;
     dep.set_rejoin(|_| RtAction::Join { target: NodeId(0) });
     // Bootstrap order matters live: a Join that reaches the designated
     // node before its self-join is dropped by the protocol (a node in
@@ -77,7 +92,10 @@ pub fn paxos_deployment(
     config: LiveConfig,
 ) -> std::io::Result<LiveDeployment<Paxos>> {
     let proto = Paxos::new(members.to_vec(), bugs);
-    LiveDeployment::boot(proto, paxos::properties::all(), members, config)
+    DeploymentBuilder::new(proto, paxos::properties::all())
+        .nodes(members)
+        .config(config)
+        .boot()
 }
 
 /// Repeatedly fires Paxos `Propose` calls at `proposer` with `gap`

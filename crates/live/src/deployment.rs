@@ -1,38 +1,49 @@
-//! The deployment driver: boots N node threads plus the checker process,
-//! injects workload and faults, and tears the whole thing down gracefully.
+//! The deployment driver: boots a reactor pool plus the checker process,
+//! places nodes across reactors, injects workload and faults, and tears
+//! the whole thing down gracefully.
+//!
+//! Deployments are configured through [`DeploymentBuilder`] — reactor
+//! sizing (how many OS threads multiplex the nodes), fault plan, rejoin
+//! policy, and cross-process placement (serve the address registry, or
+//! join a deployment another process is serving) are all builder knobs,
+//! so `boot` signatures stop growing positional parameters.
 //!
 //! The fault model is `cb-fleet`'s [`FaultPlan`] carried over verbatim:
 //! the same seeded, node-index-space schedule that drives the simulated
 //! fleet drives the live deployment — but a partition is now a
 //! socket-level drop in the [`LinkTable`], a degradation a probabilistic
-//! drop, and churn an actual thread kill + relisten on a fresh port.
-//! Fault times are `SimTime`s; the driver maps them onto the wall clock
-//! with the same `time_scale` the nodes use for protocol timers, so a
-//! plan authored for a 120-simulated-second fleet run plays out in
-//! `120 * time_scale` real seconds here.
+//! drop plus a scheduler-level delay ([`LiveFault`] stacks), and churn an
+//! actual node kill + relisten on a fresh port. Fault times are
+//! `SimTime`s; the driver maps them onto the wall clock with the same
+//! `time_scale` the nodes use for protocol timers.
 //!
 //! Determinism contract (and its deliberate absence): the fault
-//! *schedule* is deterministic in `(config, seed)`, but the interleaving
-//! of node threads is real concurrency — two runs differ at the byte
+//! *schedule* is deterministic in `(config, seed)`, but reactor threads
+//! interleave under a real scheduler — two runs differ at the byte
 //! level. Tests therefore assert protocol-level safety outcomes and
 //! steering effects (violations observed, filters installed, filter
 //! hits), never trace equality.
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 use cb_fleet::faults::{FaultEvent, FaultPlan};
 use cb_model::{NodeId, NodeSlot, PropertySet, Protocol};
+use cb_net::LiveFault;
 use crystalball::ControllerConfig;
 
 use crate::checker::{spawn_checker, CheckerHandle};
-use crate::node::{
-    spawn_node, LinkMode, LinkTable, LiveNodeConfig, NodeCtl, NodeHandle, NodeReport, Registry,
-};
+use crate::node::{LinkTable, LiveNodeConfig, NodeCtl, NodeReport, NodeSeed, Registry};
+use crate::reactor::{spawn_reactor, ExitKindFilter, ReactorCtl, ReactorHandle};
+use crate::registry::{Addressing, RegistryServer, RemoteRegistry};
 use crate::stats::LiveStats;
 
-/// Deployment-wide configuration.
+/// Deployment-wide tuning (the value-shaped part of configuration; the
+/// structural knobs — node set, reactor sizing, placement — live on
+/// [`DeploymentBuilder`]).
 #[derive(Clone, Debug)]
 pub struct LiveConfig {
     /// Seed for fault schedules and per-node jitter streams.
@@ -69,15 +80,181 @@ pub struct LiveReport<P: Protocol> {
     pub filters: BTreeMap<NodeId, Vec<cb_mc::EventFilter>>,
 }
 
-/// A running live deployment: real node threads over loopback TCP, one
-/// checker process, a shared address registry and fault table.
+/// Configures and boots a [`LiveDeployment`].
+///
+/// ```ignore
+/// let dep = DeploymentBuilder::new(protocol, props)
+///     .nodes(&ids)
+///     .config(cfg)
+///     .reactor_threads(4)
+///     .boot()?;
+/// ```
+pub struct DeploymentBuilder<P: Protocol> {
+    protocol: P,
+    props: PropertySet<P>,
+    nodes: Vec<NodeId>,
+    config: LiveConfig,
+    reactor_threads: usize,
+    serve_registry: Option<SocketAddr>,
+    join: Option<SocketAddr>,
+}
+
+impl<P: Protocol> DeploymentBuilder<P> {
+    /// Starts a builder for this protocol and property set.
+    pub fn new(protocol: P, props: PropertySet<P>) -> Self {
+        DeploymentBuilder {
+            protocol,
+            props,
+            nodes: Vec::new(),
+            config: LiveConfig::default(),
+            reactor_threads: 0,
+            serve_registry: None,
+            join: None,
+        }
+    }
+
+    /// The node ids this process hosts.
+    pub fn nodes(mut self, nodes: &[NodeId]) -> Self {
+        self.nodes = nodes.to_vec();
+        self
+    }
+
+    /// Replaces the whole tuning block.
+    pub fn config(mut self, config: LiveConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Seed for fault schedules and jitter streams.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Per-node event-loop tuning.
+    pub fn node_config(mut self, node: LiveNodeConfig) -> Self {
+        self.config.node = node;
+        self
+    }
+
+    /// The checker process's controller configuration.
+    pub fn checker_config(mut self, checker: ControllerConfig) -> Self {
+        self.config.checker = checker;
+        self
+    }
+
+    /// How many reactor threads multiplex the nodes. `0` (the default)
+    /// means one thread per node — PR 5's thread-per-node deployment as
+    /// the degenerate case of the reactor.
+    pub fn reactor_threads(mut self, threads: usize) -> Self {
+        self.reactor_threads = threads;
+        self
+    }
+
+    /// Additionally serve the address registry on `bind`, so deployments
+    /// in *other processes* (or on other hosts) can
+    /// [`join`](Self::join) this one. The checker boots in this process.
+    pub fn serve_registry(mut self, bind: SocketAddr) -> Self {
+        self.serve_registry = Some(bind);
+        self
+    }
+
+    /// Join the deployment whose registry is served at `server` instead
+    /// of booting a private one: addresses resolve through the remote
+    /// registry and the *serving* process's checker is used — none boots
+    /// here. Node listeners should bind a routable IP
+    /// ([`LiveNodeConfig::bind_ip`]) when the server is off-host.
+    pub fn join(mut self, server: SocketAddr) -> Self {
+        self.join = Some(server);
+        self
+    }
+
+    /// Boots the reactors, the registry (local, served, or joined), the
+    /// checker (unless joining), and every node.
+    pub fn boot(self) -> std::io::Result<LiveDeployment<P>> {
+        let DeploymentBuilder {
+            protocol,
+            props,
+            nodes,
+            config,
+            reactor_threads,
+            serve_registry,
+            join,
+        } = self;
+        let threads = if reactor_threads == 0 {
+            nodes.len().max(1)
+        } else {
+            reactor_threads
+        };
+        let mut registry_server = None;
+        let mut checker = None;
+        let registry: Arc<dyn Addressing> = match join {
+            Some(server) => Arc::new(RemoteRegistry::connect(server)),
+            None => {
+                let local = Arc::new(Registry::new());
+                if let Some(bind) = serve_registry {
+                    registry_server = Some(RegistryServer::serve(local.clone(), bind)?);
+                }
+                let ch = spawn_checker(
+                    protocol.clone(),
+                    props.clone(),
+                    config.checker.clone(),
+                    config.checker_drain,
+                )?;
+                local.register_checker(ch.addr);
+                checker = Some(ch);
+                local
+            }
+        };
+        let links = Arc::new(LinkTable::new());
+        let reactors = (0..threads)
+            .map(|i| spawn_reactor(i, config.node.tick))
+            .collect();
+        let mut dep = LiveDeployment {
+            protocol,
+            props,
+            config,
+            registry,
+            registry_server,
+            links,
+            reactors,
+            slots: BTreeMap::new(),
+            node_ids: nodes.clone(),
+            incarnations: nodes.iter().map(|n| (*n, 0)).collect(),
+            checker,
+            faults: Vec::new(),
+            next_fault: 0,
+            rejoin: None,
+            epoch: Instant::now(),
+            faults_applied: 0,
+            restarts: 0,
+        };
+        for n in nodes {
+            dep.spawn(n)?;
+        }
+        Ok(dep)
+    }
+}
+
+/// The driver's view of one hosted node.
+struct NodeSlotCtl<P: Protocol> {
+    ctl: mpsc::Sender<NodeCtl<P>>,
+    alive: Arc<AtomicBool>,
+}
+
+/// A running live deployment: a reactor pool multiplexing protocol nodes
+/// over TCP, one checker process, an address registry and a fault table.
 pub struct LiveDeployment<P: Protocol> {
     protocol: P,
     props: PropertySet<P>,
     config: LiveConfig,
-    registry: Arc<Registry>,
+    registry: Arc<dyn Addressing>,
+    /// Held for its lifetime: serving deployments keep the registry
+    /// socket open until shutdown.
+    registry_server: Option<RegistryServer>,
     links: Arc<LinkTable>,
-    nodes: BTreeMap<NodeId, NodeHandle<P>>,
+    reactors: Vec<ReactorHandle<P>>,
+    slots: BTreeMap<NodeId, NodeSlotCtl<P>>,
     node_ids: Vec<NodeId>,
     incarnations: BTreeMap<NodeId, u32>,
     checker: Option<CheckerHandle>,
@@ -93,58 +270,49 @@ pub struct LiveDeployment<P: Protocol> {
 }
 
 impl<P: Protocol> LiveDeployment<P> {
-    /// Boots the checker process and one thread per node id.
+    /// Boots the checker process and one reactor (thread) per node id —
+    /// PR 5's deployment shape.
+    #[deprecated(note = "use `DeploymentBuilder::new(..).nodes(..).config(..).boot()`")]
     pub fn boot(
         protocol: P,
         props: PropertySet<P>,
         nodes: &[NodeId],
         config: LiveConfig,
     ) -> std::io::Result<Self> {
-        let registry = Arc::new(Registry::new());
-        let links = Arc::new(LinkTable::new());
-        let checker = spawn_checker(
-            protocol.clone(),
-            props.clone(),
-            config.checker.clone(),
-            config.checker_drain,
-        )?;
-        registry.register_checker(checker.addr);
-        let mut dep = LiveDeployment {
-            protocol,
-            props,
-            config,
-            registry,
-            links,
-            nodes: BTreeMap::new(),
-            node_ids: nodes.to_vec(),
-            incarnations: nodes.iter().map(|n| (*n, 0)).collect(),
-            checker: Some(checker),
-            faults: Vec::new(),
-            next_fault: 0,
-            rejoin: None,
-            epoch: Instant::now(),
-            faults_applied: 0,
-            restarts: 0,
-        };
-        for &n in nodes {
-            dep.spawn(n)?;
-        }
-        Ok(dep)
+        DeploymentBuilder::new(protocol, props)
+            .nodes(nodes)
+            .config(config)
+            .boot()
     }
 
+    /// Binds + registers a listener for `id` and hands the node seed to
+    /// its reactor (placement: `id mod threads`).
     fn spawn(&mut self, id: NodeId) -> std::io::Result<()> {
         let inc = *self.incarnations.get(&id).unwrap_or(&0);
-        let handle = spawn_node(
-            self.protocol.clone(),
-            self.props.clone(),
+        let listener = TcpListener::bind((self.config.node.bind_ip, 0))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        self.registry.register(id, addr);
+        let (ctl_tx, ctl_rx) = mpsc::channel();
+        let alive = Arc::new(AtomicBool::new(true));
+        let seed = NodeSeed {
+            protocol: self.protocol.clone(),
+            props: self.props.clone(),
             id,
-            inc,
-            self.config.node.clone(),
-            self.registry.clone(),
-            self.links.clone(),
-            self.config.seed,
-        )?;
-        self.nodes.insert(id, handle);
+            incarnation: inc,
+            config: self.config.node.clone(),
+            registry: self.registry.clone(),
+            links: self.links.clone(),
+            listener,
+            ctl: ctl_rx,
+            seed: self.config.seed,
+            alive: alive.clone(),
+        };
+        let rx = &self.reactors[id.0 as usize % self.reactors.len()];
+        rx.ctl
+            .send(ReactorCtl::Add(Box::new(seed)))
+            .map_err(|_| std::io::Error::other("reactor thread gone"))?;
+        self.slots.insert(id, NodeSlotCtl { ctl: ctl_tx, alive });
         Ok(())
     }
 
@@ -174,33 +342,63 @@ impl<P: Protocol> LiveDeployment<P> {
         &self.node_ids
     }
 
+    /// Number of reactor threads multiplexing the nodes.
+    pub fn reactor_threads(&self) -> usize {
+        self.reactors.len()
+    }
+
+    /// The served registry's address, when this deployment was built with
+    /// [`DeploymentBuilder::serve_registry`] — what other processes pass
+    /// to [`DeploymentBuilder::join`].
+    pub fn registry_addr(&self) -> Option<SocketAddr> {
+        self.registry_server.as_ref().map(|s| s.addr())
+    }
+
     /// Sends an application call into a live node.
     pub fn inject(&self, node: NodeId, action: P::Action) {
-        if let Some(h) = self.nodes.get(&node) {
-            let _ = h.ctl.send(NodeCtl::Inject(action));
+        if let Some(s) = self.slots.get(&node) {
+            let _ = s.ctl.send(NodeCtl::Inject(action));
         }
+    }
+
+    /// Installs an arbitrary injector stack on the pair (empty heals).
+    pub fn set_link_faults(&self, a: NodeId, b: NodeId, faults: Vec<LiveFault>) {
+        self.links.set_faults(a, b, faults);
     }
 
     /// Cuts (or heals) the pair at socket level.
     pub fn set_partitioned(&self, a: NodeId, b: NodeId, partitioned: bool) {
-        self.links.set(a, b, partitioned.then_some(LinkMode::Drop));
+        let stack = if partitioned {
+            vec![LiveFault::Drop]
+        } else {
+            Vec::new()
+        };
+        self.links.set_faults(a, b, stack);
     }
 
     /// Installs (or heals) probabilistic loss on the pair.
     pub fn set_loss(&self, a: NodeId, b: NodeId, loss: Option<f64>) {
-        self.links.set(a, b, loss.map(LinkMode::Loss));
+        let stack = match loss {
+            Some(p) => vec![LiveFault::Loss(p)],
+            None => Vec::new(),
+        };
+        self.links.set_faults(a, b, stack);
     }
 
     /// Abruptly kills a node: its listener closes, its sockets break, and
     /// peers discover the death through transport errors — SIGKILL
-    /// semantics, the churn injector's tool. The node's last report (it
-    /// is produced on the way out) is discarded, matching a real crash's
-    /// volatile-state loss.
+    /// semantics, the churn injector's tool. The node's exit report is
+    /// discarded at shutdown, matching a real crash's volatile-state
+    /// loss. Blocks (bounded) until the node has actually exited, so an
+    /// immediate restart cannot race the dying incarnation.
     pub fn kill(&mut self, node: NodeId) {
         self.registry.deregister(node);
-        if let Some(h) = self.nodes.remove(&node) {
-            let _ = h.ctl.send(NodeCtl::Kill);
-            let _ = h.join.join();
+        if let Some(s) = self.slots.remove(&node) {
+            let _ = s.ctl.send(NodeCtl::Kill);
+            let deadline = Instant::now() + Duration::from_secs(2);
+            while s.alive.load(Ordering::Relaxed) && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(1));
+            }
         }
     }
 
@@ -218,14 +416,19 @@ impl<P: Protocol> LiveDeployment<P> {
         Ok(())
     }
 
-    /// True while the node's thread is running.
+    /// True while the node is running on its reactor.
     pub fn is_up(&self, node: NodeId) -> bool {
-        self.nodes.contains_key(&node)
+        self.slots
+            .get(&node)
+            .is_some_and(|s| s.alive.load(Ordering::Relaxed))
     }
 
     /// Probes a node's current state and counters.
     pub fn probe(&self, node: NodeId, timeout: Duration) -> Option<NodeReport<P>> {
-        self.nodes.get(&node)?.probe(timeout)
+        let s = self.slots.get(&node)?;
+        let (tx, rx) = mpsc::channel();
+        s.ctl.send(NodeCtl::Probe(tx)).ok()?;
+        rx.recv_timeout(timeout).ok()
     }
 
     /// Probes the checker process's counters.
@@ -234,7 +437,7 @@ impl<P: Protocol> LiveDeployment<P> {
     }
 
     /// Lets the deployment run for `wall`, applying due fault events along
-    /// the way. Node threads run regardless of this call; `run_for` is
+    /// the way. Reactor threads run regardless of this call; `run_for` is
     /// where the *driver* spends its time.
     pub fn run_for(&mut self, wall: Duration) {
         let deadline = Instant::now() + wall;
@@ -272,9 +475,27 @@ impl<P: Protocol> LiveDeployment<P> {
             FaultEvent::Degrade { a, b, fault } => {
                 let (a, b) = (self.map_index(a), self.map_index(b));
                 if a != b {
-                    // Delay is not modeled at socket level (loopback has
-                    // its own); only the loss component carries over.
-                    self.set_loss(a, b, fault.map(|f| f.extra_loss.max(0.05)));
+                    // Both components of the fleet fault carry over now:
+                    // loss as a probabilistic drop, extra delay as a
+                    // sender-side hold (scaled onto the wall clock like
+                    // every other simulated duration).
+                    let stack = match fault {
+                        Some(f) => {
+                            let mut s = vec![LiveFault::Loss(f.extra_loss.max(0.05))];
+                            let delay = Duration::from_secs_f64(
+                                f.extra_delay.as_secs_f64() * self.config.node.time_scale,
+                            );
+                            if !delay.is_zero() {
+                                s.push(LiveFault::Delay {
+                                    delay,
+                                    jitter: delay / 4,
+                                });
+                            }
+                            s
+                        }
+                        None => Vec::new(),
+                    };
+                    self.set_link_faults(a, b, stack);
                 }
             }
             FaultEvent::Churn { node, notify: _ } => {
@@ -295,31 +516,32 @@ impl<P: Protocol> LiveDeployment<P> {
         }
     }
 
-    /// Graceful teardown: every node drains and reports, the checker
-    /// finishes its in-flight rounds, and the aggregate [`LiveReport`]
-    /// comes back. Nodes that were killed and never restarted are absent
-    /// from the report's state map.
+    /// Graceful teardown: every node drains and reports, the reactors
+    /// wind down, the checker finishes its in-flight rounds, and the
+    /// aggregate [`LiveReport`] comes back. Nodes that were killed and
+    /// never restarted are absent from the report's state map (their
+    /// exits are discarded — crash semantics).
     pub fn shutdown(mut self) -> LiveReport<P> {
         let wall_seconds = self.epoch.elapsed().as_secs_f64();
         let mut stats = LiveStats {
             wall_seconds,
             faults_applied: self.faults_applied,
             restarts: self.restarts,
+            reactor_threads: self.reactors.len(),
             ..LiveStats::default()
         };
         let mut states = BTreeMap::new();
         let mut filters = BTreeMap::new();
-        // Signal everyone first so the drains overlap, then join.
-        for h in self.nodes.values() {
-            let _ = h.ctl.send(NodeCtl::Shutdown);
+        // Signal every node first so the drains overlap, then stop the
+        // reactors and collect the exits they gathered.
+        for s in self.slots.values() {
+            let _ = s.ctl.send(NodeCtl::Shutdown);
         }
-        for (id, h) in std::mem::take(&mut self.nodes) {
-            if let Ok(report) = h.join.join() {
-                stats.nodes.insert(id.0, report.stats);
-                stats.snapshots.insert(id.0, report.snapshot);
-                states.insert(id, report.slot);
-                filters.insert(id, report.filters);
-            }
+        for exit in self.finish_reactors(ExitKindFilter::GracefulOnly) {
+            stats.nodes.insert(exit.id.0, exit.report.stats);
+            stats.snapshots.insert(exit.id.0, exit.report.snapshot);
+            states.insert(exit.id, exit.report.slot);
+            filters.insert(exit.id, exit.report.filters);
         }
         if let Some(checker) = self.checker.take() {
             stats.checker = checker.shutdown();
@@ -329,6 +551,21 @@ impl<P: Protocol> LiveDeployment<P> {
             states,
             filters,
         }
+    }
+
+    /// Stops every reactor and joins it, returning the exits that pass
+    /// `filter`.
+    fn finish_reactors(&mut self, filter: ExitKindFilter) -> Vec<crate::reactor::ReactorExit<P>> {
+        for r in &self.reactors {
+            let _ = r.ctl.send(ReactorCtl::Stop);
+        }
+        let mut exits = Vec::new();
+        for r in std::mem::take(&mut self.reactors) {
+            if let Ok(batch) = r.join.join() {
+                exits.extend(batch.into_iter().filter(|e| filter.keep(e.kind)));
+            }
+        }
+        exits
     }
 
     /// Builds a checker-style global state from a report's final slots
@@ -341,12 +578,11 @@ impl<P: Protocol> LiveDeployment<P> {
 impl<P: Protocol> Drop for LiveDeployment<P> {
     fn drop(&mut self) {
         // A dropped (not shut-down) deployment must not leak threads.
-        for h in self.nodes.values() {
-            let _ = h.ctl.send(NodeCtl::Kill);
+        for s in self.slots.values() {
+            let _ = s.ctl.send(NodeCtl::Kill);
         }
-        for (_, h) in std::mem::take(&mut self.nodes) {
-            let _ = h.join.join();
-        }
+        self.slots.clear();
+        let _ = self.finish_reactors(ExitKindFilter::All);
         if let Some(checker) = self.checker.take() {
             let _ = checker.shutdown();
         }

@@ -39,16 +39,27 @@ pub mod adapters;
 pub mod checker;
 pub mod deployment;
 pub mod node;
+pub mod peer;
+pub mod reactor;
+pub mod registry;
 pub mod stats;
 pub mod wire;
 
 pub use adapters::{
     drive_paxos_rounds, live_checker_config, paxos_deployment, randtree_deployment,
+    randtree_deployment_on,
 };
+pub use cb_net::{FaultDecision, LiveFault};
 pub use checker::{spawn_checker, CheckerHandle};
-pub use deployment::{wait_until, LiveConfig, LiveDeployment, LiveReport};
+pub use deployment::{wait_until, DeploymentBuilder, LiveConfig, LiveDeployment, LiveReport};
+#[allow(deprecated)]
+pub use node::spawn_node;
 pub use node::{
-    spawn_node, LinkMode, LinkTable, LiveNodeConfig, NodeCtl, NodeHandle, NodeReport, Registry,
+    ExitKind, IoReadiness, LinkMode, LinkTable, LiveNode, LiveNodeConfig, NodeCtl, NodeHandle,
+    NodeReport, NodeSeed, PollStatus, Registry,
 };
+pub use peer::{PeerConfig, PeerManager, SendOutcome};
+pub use reactor::{run_single, spawn_reactor, ReactorCtl, ReactorHandle};
+pub use registry::{Addressing, RegistryServer, RemoteRegistry};
 pub use stats::{CheckerProcessStats, LatencySummary, LiveStats, NodeStats};
 pub use wire::{CtrlMsg, InstallBody, SubmitBody};

@@ -1,83 +1,51 @@
-//! The live node: one protocol state machine on one OS thread, with a
-//! wall-clock event loop over non-blocking loopback TCP.
+//! The live node as a **pollable state machine**: no thread of its own,
+//! no blocking calls — a reactor ([`crate::reactor`]) drives many of
+//! these per OS thread through [`LiveNode::poll`].
 //!
 //! Each node owns exactly what a deployed CrystalBall node owns (§4):
-//! its protocol state, its timers, its [`CheckpointManager`], its installed
-//! event filters, and its sockets. Everything it learns about the rest of
-//! the system arrives as bytes — service messages stamped with the
-//! sender's checkpoint number, snapshot requests and replies, and
-//! filter-install pushes from the checker process. The *same handler
-//! code* the simulator and the model checker execute runs here, invoked
-//! from the socket receive path instead of a discrete-event queue.
+//! its protocol state, its timers, its [`cb_snapshot::CheckpointManager`],
+//! its installed event filters, and its sockets (behind a
+//! [`PeerManager`]). Everything it learns about the rest of the system
+//! arrives as bytes — service messages stamped with the sender's
+//! checkpoint number, snapshot requests and replies, and filter-install
+//! pushes from the checker process. The *same handler code* the
+//! simulator and the model checker execute runs here, invoked from the
+//! socket receive path instead of a discrete-event queue.
 //!
-//! The loop is deliberately single-threaded per node: accept, drain
-//! readable sockets, fire due timers, run the checkpoint/gather schedule,
-//! service the control channel, flush writable sockets, sleep one tick.
-//! No locks are held across handler invocations; the only shared state is
-//! the address [`Registry`] and the fault-injection [`LinkTable`], both
-//! read at send time.
+//! One [`LiveNode::poll`] call runs one iteration of what used to be the
+//! thread-per-node loop: accept + drain readable sockets (when the
+//! reactor says they are readable), fire due timers, run the
+//! checkpoint/gather schedule, release fault-delayed frames, service the
+//! control channel, flush writable sockets, reap dead connections — then
+//! report when it next needs waking. Graceful shutdown is a state
+//! (`Draining`), not a blocking flush, so a reactor multiplexing dozens
+//! of nodes never stalls on one node's goodbye.
 
 use std::collections::HashMap;
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{IpAddr, SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
-use std::thread::{self, JoinHandle};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use cb_mc::EventFilter;
 use cb_model::{
-    push_frame, Decode, Encode, EventKey, FrameBuffer, FrameKind, GlobalState, NodeId, NodeSlot,
-    Outbox, PropertySet, Protocol, Schedule, SimTime, WireFrame,
+    Decode, Encode, EventKey, FrameKind, GlobalState, NodeId, NodeSlot, Outbox, PropertySet,
+    Protocol, Schedule, SimTime, WireFrame,
 };
+use cb_net::{decide, FaultDecision, LiveFault};
 use cb_snapshot::{CheckpointManager, DeltaEncoder, SnapMsg, SnapshotConfig, SnapshotStats};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+pub use crate::registry::{Addressing, Registry};
+
+use crate::peer::{DeadConn, InFrame, PeerConfig, PeerManager, SendOutcome};
 use crate::stats::NodeStats;
 use crate::wire::{frame_of, CtrlMsg, InstallBody, SubmitBody};
 
-/// Maps logical node ids to the socket addresses their listeners currently
-/// own. Restarted (churned) nodes re-register under a fresh port, so
-/// peers always dial the *current* incarnation.
-#[derive(Debug, Default)]
-pub struct Registry {
-    addrs: Mutex<HashMap<NodeId, SocketAddr>>,
-    checker: Mutex<Option<SocketAddr>>,
-}
-
-impl Registry {
-    /// An empty registry.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Publishes (or replaces) a node's listen address.
-    pub fn register(&self, node: NodeId, addr: SocketAddr) {
-        self.addrs.lock().expect("registry").insert(node, addr);
-    }
-
-    /// Withdraws a node's address (killed, not yet restarted).
-    pub fn deregister(&self, node: NodeId) {
-        self.addrs.lock().expect("registry").remove(&node);
-    }
-
-    /// Looks a peer up.
-    pub fn lookup(&self, node: NodeId) -> Option<SocketAddr> {
-        self.addrs.lock().expect("registry").get(&node).copied()
-    }
-
-    /// Publishes the checker process's address.
-    pub fn register_checker(&self, addr: SocketAddr) {
-        *self.checker.lock().expect("registry") = Some(addr);
-    }
-
-    /// The checker's address, if one is running.
-    pub fn checker(&self) -> Option<SocketAddr> {
-        *self.checker.lock().expect("registry")
-    }
-}
-
-/// Fault state of one (unordered) node pair.
+/// Fault state of one (unordered) node pair — PR 5's two-mode vocabulary,
+/// kept as a shim over the full [`LiveFault`] stack.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum LinkMode {
     /// Partitioned: every frame between the pair is dropped at the sender.
@@ -86,13 +54,14 @@ pub enum LinkMode {
     Loss(f64),
 }
 
-/// The deployment-wide fault table: socket-level drops keyed by node
-/// pair. This is where `cb-fleet`'s abstract fault model lands in the
-/// live runtime — a partition is not a flag in a simulated network model
-/// but a sender-side refusal to write the frame.
+/// The deployment-wide fault table: socket-level injector stacks keyed by
+/// node pair. This is where `cb-fleet`'s abstract fault model lands in
+/// the live runtime — a partition is not a flag in a simulated network
+/// model but a sender-side refusal to write the frame, a degradation a
+/// probabilistic drop plus a scheduler-level delay before the write.
 #[derive(Debug, Default)]
 pub struct LinkTable {
-    links: Mutex<HashMap<(u32, u32), LinkMode>>,
+    links: Mutex<HashMap<(u32, u32), Vec<LiveFault>>>,
 }
 
 fn pair(a: NodeId, b: NodeId) -> (u32, u32) {
@@ -105,18 +74,45 @@ impl LinkTable {
         Self::default()
     }
 
-    /// Installs (`Some`) or heals (`None`) a fault on the pair.
-    pub fn set(&self, a: NodeId, b: NodeId, mode: Option<LinkMode>) {
+    /// Installs an injector stack on the pair (an empty stack heals it).
+    pub fn set_faults(&self, a: NodeId, b: NodeId, faults: Vec<LiveFault>) {
         let mut l = self.links.lock().expect("links");
-        match mode {
-            Some(m) => l.insert(pair(a, b), m),
-            None => l.remove(&pair(a, b)),
-        };
+        if faults.is_empty() {
+            l.remove(&pair(a, b));
+        } else {
+            l.insert(pair(a, b), faults);
+        }
     }
 
-    /// The pair's current fault, if any.
+    /// The pair's current injector stack (empty when healed).
+    pub fn faults_for(&self, a: NodeId, b: NodeId) -> Vec<LiveFault> {
+        self.links
+            .lock()
+            .expect("links")
+            .get(&pair(a, b))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Installs (`Some`) or heals (`None`) a fault on the pair.
+    #[deprecated(note = "use `set_faults` with a `LiveFault` stack")]
+    pub fn set(&self, a: NodeId, b: NodeId, mode: Option<LinkMode>) {
+        let faults = match mode {
+            Some(LinkMode::Drop) => vec![LiveFault::Drop],
+            Some(LinkMode::Loss(p)) => vec![LiveFault::Loss(p)],
+            None => Vec::new(),
+        };
+        self.set_faults(a, b, faults);
+    }
+
+    /// The pair's fault in PR 5 vocabulary, when it maps onto it.
+    #[deprecated(note = "use `faults_for`")]
     pub fn mode(&self, a: NodeId, b: NodeId) -> Option<LinkMode> {
-        self.links.lock().expect("links").get(&pair(a, b)).copied()
+        self.faults_for(a, b).iter().find_map(|f| match f {
+            LiveFault::Drop => Some(LinkMode::Drop),
+            LiveFault::Loss(p) => Some(LinkMode::Loss(*p)),
+            _ => None,
+        })
     }
 }
 
@@ -137,7 +133,9 @@ pub struct LiveNodeConfig {
     /// peers are declared failed (one retry round if the gather was
     /// nacked, then give up) so a dead peer cannot wedge the requester.
     pub gather_timeout: Duration,
-    /// Event-loop sleep granularity when idle.
+    /// Scheduling granularity: the ceiling a reactor puts on its sleep so
+    /// control-channel traffic (which `poll(2)` cannot watch) is serviced
+    /// promptly.
     pub tick: Duration,
     /// Wall seconds per simulated second for protocol timer periods.
     pub time_scale: f64,
@@ -154,6 +152,11 @@ pub struct LiveNodeConfig {
     /// times out to) the speculated base. Costs one extra submission's
     /// bandwidth per slow gather; never affects which filters install.
     pub speculate_partial_gathers: bool,
+    /// Connection-lifecycle policy (caps, backoff, backpressure).
+    pub peer: PeerConfig,
+    /// Address node listeners bind (loopback by default; set to a
+    /// routable interface for cross-host deployments).
+    pub bind_ip: IpAddr,
 }
 
 impl Default for LiveNodeConfig {
@@ -168,6 +171,8 @@ impl Default for LiveNodeConfig {
             max_frame_len: cb_model::MAX_FRAME_LEN,
             self_check: true,
             speculate_partial_gathers: true,
+            peer: PeerConfig::default(),
+            bind_ip: IpAddr::from([127, 0, 0, 1]),
         }
     }
 }
@@ -199,13 +204,93 @@ pub enum NodeCtl<P: Protocol> {
     Probe(mpsc::Sender<NodeReport<P>>),
 }
 
-/// The driver-side handle of one spawned node.
+/// IO edges the reactor observed for a node since its last poll.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IoReadiness {
+    /// At least one of the node's sockets (listener included) is
+    /// readable. When false, the node skips its accept/read scans — the
+    /// bulk of an idle node's work.
+    pub readable: bool,
+    /// At least one socket with buffered output became writable.
+    pub writable: bool,
+}
+
+impl IoReadiness {
+    /// Assume everything is ready (degenerate/thread-per-node driving,
+    /// platforms without `poll(2)`).
+    pub fn all() -> Self {
+        IoReadiness {
+            readable: true,
+            writable: true,
+        }
+    }
+}
+
+/// How a node left its reactor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExitKind {
+    /// Drained and flushed after a `Shutdown` (or a dropped control
+    /// channel).
+    Graceful,
+    /// Killed abruptly; the report reflects volatile state that a real
+    /// crash would lose.
+    Killed,
+}
+
+/// What one [`LiveNode::poll`] call concluded.
+pub enum PollStatus<P: Protocol> {
+    /// Still running; wake me at `next_wake` (earlier if IO arrives).
+    Running {
+        /// The earliest deadline the node owns (timer, checkpoint tick,
+        /// gather deadline, delayed frame, drain bound).
+        next_wake: Instant,
+    },
+    /// The node exited; remove it from the reactor.
+    Exited {
+        /// Why it exited.
+        kind: ExitKind,
+        /// Its final report.
+        report: Box<NodeReport<P>>,
+    },
+}
+
+/// Everything needed to construct a [`LiveNode`] — built by the
+/// deployment (which binds and registers the listener first, so peers can
+/// dial the address before the reactor ever polls the node) and shipped
+/// to a reactor thread.
+pub struct NodeSeed<P: Protocol> {
+    /// The protocol implementation.
+    pub protocol: P,
+    /// Safety properties for self-checks.
+    pub props: PropertySet<P>,
+    /// The node's id.
+    pub id: NodeId,
+    /// Incarnation number (bumped on churn restarts).
+    pub incarnation: u32,
+    /// Tuning.
+    pub config: LiveNodeConfig,
+    /// Address resolution (in-process or remote).
+    pub registry: Arc<dyn Addressing>,
+    /// The deployment's fault table.
+    pub links: Arc<LinkTable>,
+    /// The already-bound, already-registered, non-blocking listener.
+    pub listener: TcpListener,
+    /// Control channel out of the driver.
+    pub ctl: mpsc::Receiver<NodeCtl<P>>,
+    /// Deployment seed (jitter streams derive from it).
+    pub seed: u64,
+    /// Flipped to false when the node exits (the driver's liveness view).
+    pub alive: Arc<AtomicBool>,
+}
+
+/// The driver-side handle of one spawned node (PR 5 shape, kept for the
+/// deprecated [`spawn_node`] path).
 pub struct NodeHandle<P: Protocol> {
     /// The node's id.
     pub id: NodeId,
     /// Control channel into the event loop.
     pub ctl: mpsc::Sender<NodeCtl<P>>,
-    /// The event-loop thread; yields the node's final report.
+    /// The driving thread; yields the node's final report.
     pub join: JoinHandle<NodeReport<P>>,
     /// The listener address this incarnation owns.
     pub addr: SocketAddr,
@@ -220,8 +305,10 @@ impl<P: Protocol> NodeHandle<P> {
     }
 }
 
-/// Boots one live node: binds its listener (so the address is registered
-/// before the thread runs), then spawns the event loop.
+/// Boots one live node on a dedicated OS thread — the `threads = nodes`
+/// degenerate case, driven through the same [`LiveNode::poll`] API the
+/// reactor uses.
+#[deprecated(note = "use `DeploymentBuilder` (or `reactor::spawn_reactor`) instead")]
 #[allow(clippy::too_many_arguments)]
 pub fn spawn_node<P: Protocol>(
     protocol: P,
@@ -233,28 +320,27 @@ pub fn spawn_node<P: Protocol>(
     links: Arc<LinkTable>,
     seed: u64,
 ) -> std::io::Result<NodeHandle<P>> {
-    let listener = TcpListener::bind(("127.0.0.1", 0))?;
+    let listener = TcpListener::bind((config.bind_ip, 0))?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     registry.register(id, addr);
     let (ctl_tx, ctl_rx) = mpsc::channel();
-    let join = thread::Builder::new()
+    let seed_box = NodeSeed {
+        protocol,
+        props,
+        id,
+        incarnation,
+        config,
+        registry: registry as Arc<dyn Addressing>,
+        links,
+        listener,
+        ctl: ctl_rx,
+        seed,
+        alive: Arc::new(AtomicBool::new(true)),
+    };
+    let join = std::thread::Builder::new()
         .name(format!("cb-live-{id}"))
-        .spawn(move || {
-            let mut rt = NodeRt::new(
-                protocol,
-                props,
-                id,
-                incarnation,
-                config,
-                registry,
-                links,
-                listener,
-                ctl_rx,
-                seed,
-            );
-            rt.run()
-        })
+        .spawn(move || crate::reactor::run_single(LiveNode::new(seed_box)))
         .expect("spawn live node thread");
     Ok(NodeHandle {
         id,
@@ -264,50 +350,43 @@ pub fn spawn_node<P: Protocol>(
     })
 }
 
-struct Conn {
-    stream: TcpStream,
-    inbuf: FrameBuffer,
-    out: Vec<u8>,
-    peer: Option<NodeId>,
-    is_checker: bool,
-    /// The peer announced a graceful close; an EOF here is not a failure.
-    draining: bool,
-    dead: bool,
-}
-
-impl Conn {
-    fn new(stream: TcpStream, max_frame: usize, is_checker: bool) -> Self {
-        let _ = stream.set_nodelay(true);
-        let _ = stream.set_nonblocking(true);
-        Conn {
-            stream,
-            inbuf: FrameBuffer::new(max_frame),
-            out: Vec::new(),
-            peer: None,
-            is_checker,
-            draining: false,
-            dead: false,
-        }
-    }
-}
-
 enum LoopOutcome {
     Continue,
     Graceful,
     Killed,
 }
 
-struct NodeRt<P: Protocol> {
+enum RunState {
+    Running,
+    Draining { deadline: Instant },
+}
+
+/// What a fault-shaped frame is, for stat accounting at delivery time.
+#[derive(Clone, Copy)]
+enum ShipStat {
+    Service,
+    Snap { bytes: u64 },
+}
+
+struct Delayed {
+    release_at: Instant,
+    dst: NodeId,
+    frame: Vec<u8>,
+    stat: ShipStat,
+}
+
+/// One live protocol node as a pollable state machine.
+pub struct LiveNode<P: Protocol> {
     me: NodeId,
     proto: P,
     props: PropertySet<P>,
     slot: NodeSlot<P::State>,
     mgr: CheckpointManager,
     cfg: LiveNodeConfig,
-    registry: Arc<Registry>,
+    registry: Arc<dyn Addressing>,
     links: Arc<LinkTable>,
     listener: TcpListener,
-    conns: Vec<Conn>,
+    peers: PeerManager,
     delta_enc: DeltaEncoder,
     /// Dedicated lineage for speculative (partial-gather) submissions, so
     /// the real submission stream's delta bases stay untouched.
@@ -320,6 +399,8 @@ struct NodeRt<P: Protocol> {
     last_submit_hash: Option<u64>,
     filters: Vec<EventFilter>,
     timers: HashMap<P::Action, Instant>,
+    /// Fault-delayed frames awaiting their release instant.
+    delayed: Vec<Delayed>,
     rng: StdRng,
     epoch: Instant,
     next_checkpoint: Instant,
@@ -329,82 +410,173 @@ struct NodeRt<P: Protocol> {
     /// timeout; `None` once fired or when no gather runs).
     spec_deadline: Option<Instant>,
     ctl: mpsc::Receiver<NodeCtl<P>>,
+    run_state: RunState,
+    alive: Arc<AtomicBool>,
     stats: NodeStats,
+    /// Scratch for frame dispatch (reused across polls).
+    inbox: Vec<InFrame>,
 }
 
-impl<P: Protocol> NodeRt<P> {
-    #[allow(clippy::too_many_arguments)]
-    fn new(
-        proto: P,
-        props: PropertySet<P>,
-        me: NodeId,
-        incarnation: u32,
-        cfg: LiveNodeConfig,
-        registry: Arc<Registry>,
-        links: Arc<LinkTable>,
-        listener: TcpListener,
-        ctl: mpsc::Receiver<NodeCtl<P>>,
-        seed: u64,
-    ) -> Self {
-        let mut slot = NodeSlot::new(proto.init(me));
-        slot.incarnation = incarnation;
-        let mgr = CheckpointManager::new(me, cfg.snapshot.clone());
-        let now = Instant::now();
-        let mut rt = NodeRt {
-            me,
-            proto,
+impl<P: Protocol> LiveNode<P> {
+    /// Builds the state machine from its seed. No IO happens here beyond
+    /// what the seed already did (the listener is bound and registered by
+    /// the deployment before the seed ships).
+    pub fn new(seed: NodeSeed<P>) -> Self {
+        let NodeSeed {
+            protocol,
             props,
-            slot,
-            mgr,
-            next_checkpoint: now + cfg.checkpoint_interval,
-            next_gather: now + cfg.gather_interval,
-            cfg,
+            id,
+            incarnation,
+            config,
             registry,
             links,
             listener,
-            conns: Vec::new(),
+            ctl,
+            seed,
+            alive,
+        } = seed;
+        let mut slot = NodeSlot::new(protocol.init(id));
+        slot.incarnation = incarnation;
+        let mgr = CheckpointManager::new(id, config.snapshot.clone());
+        let now = Instant::now();
+        let mut peer_cfg = config.peer.clone();
+        peer_cfg.max_frame_len = config.max_frame_len;
+        let mut node = LiveNode {
+            me: id,
+            proto: protocol,
+            props,
+            slot,
+            mgr,
+            next_checkpoint: now + config.checkpoint_interval,
+            next_gather: now + config.gather_interval,
+            peers: PeerManager::new(peer_cfg),
+            cfg: config,
+            registry,
+            links,
+            listener,
             delta_enc: DeltaEncoder::new(),
             spec_delta_enc: DeltaEncoder::new(),
             last_submit_hash: None,
             filters: Vec::new(),
             timers: HashMap::new(),
-            rng: StdRng::seed_from_u64(seed ^ (0x11EE_u64 << 32) ^ u64::from(me.0)),
+            delayed: Vec::new(),
+            rng: StdRng::seed_from_u64(seed ^ (0x11EE_u64 << 32) ^ u64::from(id.0)),
             epoch: now,
             gather_deadline: None,
             spec_deadline: None,
             ctl,
+            run_state: RunState::Running,
+            alive,
             stats: NodeStats::default(),
+            inbox: Vec::new(),
         };
-        rt.reconcile_timers();
-        rt
+        node.reconcile_timers();
+        node
     }
 
-    fn run(&mut self) -> NodeReport<P> {
-        loop {
-            let mut worked = false;
-            worked |= self.accept_new();
-            worked |= self.pump_reads();
-            self.fire_timers();
-            self.snapshot_schedule();
-            match self.poll_ctl() {
-                LoopOutcome::Continue => {}
-                LoopOutcome::Graceful => {
-                    self.graceful_close();
-                    return self.report();
-                }
-                LoopOutcome::Killed => {
-                    // Abrupt: sockets drop on the floor; peers see RSTs
-                    // or EOFs and run their failure handlers.
-                    self.conns.clear();
-                    return self.report();
+    /// The node's id.
+    pub fn id(&self) -> NodeId {
+        self.me
+    }
+
+    /// The node's scheduling tick (the ceiling on how long its driver may
+    /// sleep between polls).
+    pub fn tick(&self) -> Duration {
+        self.cfg.tick
+    }
+
+    /// Appends every fd the reactor should watch for this node, paired
+    /// with whether it has buffered output (wants a writability edge).
+    #[cfg(unix)]
+    pub fn io_fds(&self, out: &mut Vec<(std::os::fd::RawFd, bool)>) {
+        use std::os::fd::AsRawFd;
+        out.push((self.listener.as_raw_fd(), false));
+        self.peers.io_fds(out);
+    }
+
+    /// Runs one iteration of the node's event loop and reports when it
+    /// next needs waking. `now` is sampled once by the reactor for the
+    /// whole batch; `io` carries the readiness edges `poll(2)` observed
+    /// for this node's fds (pass [`IoReadiness::all`] when driving
+    /// without a readiness source).
+    pub fn poll(&mut self, now: Instant, io: IoReadiness) -> PollStatus<P> {
+        if let RunState::Draining { deadline } = self.run_state {
+            // Drains still honor Kill (a churn event may land mid-drain);
+            // everything else is ignored — the node is past its last
+            // handler.
+            loop {
+                match self.ctl.try_recv() {
+                    Ok(NodeCtl::Kill) => return self.exit(ExitKind::Killed),
+                    Ok(_) => {}
+                    Err(_) => break,
                 }
             }
-            worked |= self.pump_writes();
-            self.reap_dead();
-            if !worked {
-                thread::sleep(self.cfg.tick);
+            self.peers.flush(&mut self.stats);
+            if now >= deadline || self.peers.outbufs_empty() {
+                return self.exit(ExitKind::Graceful);
             }
+            return PollStatus::Running {
+                next_wake: (now + Duration::from_micros(200)).min(deadline),
+            };
         }
+        if io.readable {
+            self.peers.accept(&self.listener, &mut self.stats);
+            self.pump_reads();
+        }
+        self.fire_timers();
+        self.snapshot_schedule();
+        self.release_delayed(now);
+        match self.poll_ctl() {
+            LoopOutcome::Continue => {}
+            LoopOutcome::Graceful => {
+                self.begin_drain(now);
+                self.peers.flush(&mut self.stats);
+                return PollStatus::Running {
+                    next_wake: now + Duration::from_micros(200),
+                };
+            }
+            LoopOutcome::Killed => return self.exit(ExitKind::Killed),
+        }
+        self.peers.flush(&mut self.stats);
+        self.reap_dead();
+        PollStatus::Running {
+            next_wake: self.next_wake(now),
+        }
+    }
+
+    fn exit(&mut self, kind: ExitKind) -> PollStatus<P> {
+        if matches!(kind, ExitKind::Killed) {
+            // Abrupt: sockets drop on the floor; peers see RSTs or EOFs
+            // and run their failure handlers.
+            self.peers.clear();
+        }
+        self.alive.store(false, Ordering::Relaxed);
+        let report = self.report();
+        PollStatus::Exited {
+            kind,
+            report: Box::new(report),
+        }
+    }
+
+    fn next_wake(&self, now: Instant) -> Instant {
+        let mut w = self.next_checkpoint.min(self.next_gather);
+        if let Some(d) = self.gather_deadline {
+            w = w.min(d);
+        }
+        if let Some(d) = self.spec_deadline {
+            w = w.min(d);
+        }
+        for at in self.timers.values() {
+            w = w.min(*at);
+        }
+        for d in &self.delayed {
+            w = w.min(d.release_at);
+        }
+        if !self.peers.outbufs_empty() {
+            // Unflushed output: retry soon rather than wait out a timer.
+            w = w.min(now + Duration::from_micros(200));
+        }
+        w.max(now)
     }
 
     fn report(&mut self) -> NodeReport<P> {
@@ -436,7 +608,8 @@ impl<P: Protocol> NodeRt<P> {
             match self.ctl.try_recv() {
                 Ok(NodeCtl::Inject(action)) => self.run_action(action, true),
                 Ok(NodeCtl::Probe(tx)) => {
-                    let _ = tx.send(self.report());
+                    let report = self.report();
+                    let _ = tx.send(report);
                 }
                 Ok(NodeCtl::Shutdown) => return LoopOutcome::Graceful,
                 Ok(NodeCtl::Kill) => return LoopOutcome::Killed,
@@ -447,13 +620,11 @@ impl<P: Protocol> NodeRt<P> {
         }
     }
 
-    fn graceful_close(&mut self) {
-        let goodbye_peers: Vec<NodeId> = self
-            .conns
-            .iter()
-            .filter_map(|c| c.peer.filter(|_| !c.dead && !c.is_checker))
-            .collect();
-        for p in goodbye_peers {
+    /// Queues Goodbyes and enters the draining state. The flush itself is
+    /// poll-driven (bounded by the drain deadline), so many nodes on one
+    /// reactor drain concurrently.
+    fn begin_drain(&mut self, now: Instant) {
+        for p in self.peers.goodbye_targets() {
             let f = frame_of(
                 self.me,
                 p,
@@ -461,9 +632,12 @@ impl<P: Protocol> NodeRt<P> {
                 FrameKind::Control,
                 &CtrlMsg::Goodbye,
             );
-            self.queue_to_peer(p, &f, false);
+            // Existing connection by construction; queued uncounted, like
+            // PR 5's goodbye path.
+            self.peers
+                .queue_to_peer(p, &f, now, &mut self.stats, || None, Vec::new);
         }
-        if let Some(c) = self.conns.iter_mut().find(|c| c.is_checker && !c.dead) {
+        if let Some(ix) = self.peers.checker_ix() {
             let f = frame_of(
                 self.me,
                 NodeId::DUMMY,
@@ -471,258 +645,125 @@ impl<P: Protocol> NodeRt<P> {
                 FrameKind::Control,
                 &CtrlMsg::Goodbye,
             );
-            push_frame(&mut c.out, &f);
+            self.peers.push_frame_to(ix, &f);
         }
-        // Bounded flush: drain the send queues, then close.
-        let deadline = Instant::now() + Duration::from_millis(500);
-        while Instant::now() < deadline {
-            if !self.pump_writes() && self.conns.iter().all(|c| c.out.is_empty() || c.dead) {
-                break;
-            }
-            thread::sleep(Duration::from_micros(200));
-        }
+        self.run_state = RunState::Draining {
+            deadline: now + Duration::from_millis(500),
+        };
     }
 
     // ---- sockets --------------------------------------------------------
 
-    fn accept_new(&mut self) -> bool {
-        let mut any = false;
-        loop {
-            match self.listener.accept() {
-                Ok((stream, _)) => {
-                    self.conns
-                        .push(Conn::new(stream, self.cfg.max_frame_len, false));
-                    any = true;
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
-                Err(_) => break,
-            }
+    fn pump_reads(&mut self) {
+        let mut inbox = std::mem::take(&mut self.inbox);
+        inbox.clear();
+        self.peers.read_frames(&mut self.stats, &mut inbox);
+        for f in &inbox {
+            self.on_frame(f.conn, f.frame.clone());
         }
-        any
-    }
-
-    fn pump_reads(&mut self) -> bool {
-        let mut any = false;
-        let mut frames: Vec<(usize, WireFrame)> = Vec::new();
-        let mut buf = [0u8; 4096];
-        for (ix, conn) in self.conns.iter_mut().enumerate() {
-            if conn.dead {
-                continue;
-            }
-            loop {
-                match conn.stream.read(&mut buf) {
-                    Ok(0) => {
-                        conn.dead = true;
-                        break;
-                    }
-                    Ok(n) => {
-                        any = true;
-                        self.stats.bytes_received += n as u64;
-                        conn.inbuf.feed(&buf[..n]);
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
-                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                    Err(_) => {
-                        conn.dead = true;
-                        break;
-                    }
-                }
-            }
-            loop {
-                match conn.inbuf.next_frame() {
-                    // Garbage inside a well-framed payload is dropped
-                    // frame-by-frame; the stream itself stays up (framing
-                    // is intact).
-                    Ok(Some(payload)) => {
-                        if let Ok(frame) = WireFrame::from_bytes(&payload) {
-                            self.stats.frames_received += 1;
-                            if conn.peer.is_none() && !conn.is_checker {
-                                conn.peer = Some(frame.src);
-                            }
-                            frames.push((ix, frame));
-                        }
-                    }
-                    Ok(None) => break,
-                    // Corrupt length prefix: the byte stream cannot be
-                    // resynchronized — drop the connection.
-                    Err(_) => {
-                        conn.dead = true;
-                        break;
-                    }
-                }
-            }
-        }
-        for (ix, frame) in frames {
-            self.on_frame(ix, frame);
-        }
-        any
-    }
-
-    fn pump_writes(&mut self) -> bool {
-        let mut any = false;
-        for conn in &mut self.conns {
-            if conn.dead || conn.out.is_empty() {
-                continue;
-            }
-            loop {
-                if conn.out.is_empty() {
-                    break;
-                }
-                match conn.stream.write(&conn.out) {
-                    Ok(0) => {
-                        conn.dead = true;
-                        break;
-                    }
-                    Ok(n) => {
-                        any = true;
-                        self.stats.bytes_sent += n as u64;
-                        conn.out.drain(..n);
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
-                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                    Err(_) => {
-                        conn.dead = true;
-                        break;
-                    }
-                }
-            }
-        }
-        any
+        self.inbox = inbox;
     }
 
     /// Removes dead connections, running failure handling for peers that
     /// did not announce a graceful close and have no surviving connection.
     fn reap_dead(&mut self) {
-        let dead: Vec<Conn> = {
-            let mut kept = Vec::with_capacity(self.conns.len());
-            let mut dead = Vec::new();
-            for c in self.conns.drain(..) {
-                if c.dead {
-                    dead.push(c);
-                } else {
-                    kept.push(c);
+        for dc in self.peers.take_dead() {
+            match dc {
+                DeadConn::Checker => {
+                    // Lineages broken: the checker forgets us on
+                    // disconnect, so the next submits must restart the
+                    // delta streams.
+                    self.delta_enc = DeltaEncoder::new();
+                    self.spec_delta_enc = DeltaEncoder::new();
+                }
+                DeadConn::Peer { peer, draining } => {
+                    self.mgr.peer_failed(peer);
+                    self.poll_snapshot();
+                    if !draining {
+                        // A broken (not drained) connection is the TCP RST
+                        // signal the protocols' failure-handling code
+                        // reacts to (§3.3).
+                        self.stats.errors_observed += 1;
+                        let mut out = Outbox::new();
+                        self.proto
+                            .on_error(self.me, &mut self.slot.state, peer, &mut out);
+                        self.slot.conns.remove(&peer);
+                        self.apply_outbox(out);
+                        self.self_check();
+                        // The failure transition may have enabled actions
+                        // (e.g. a recovery timer after a parent death).
+                        self.reconcile_timers();
+                    } else {
+                        self.slot.conns.remove(&peer);
+                    }
                 }
             }
-            self.conns = kept;
-            dead
-        };
-        for c in dead {
-            if c.is_checker {
-                // Lineages broken: the checker forgets us on disconnect,
-                // so the next submits must restart the delta streams.
-                self.delta_enc = DeltaEncoder::new();
-                self.spec_delta_enc = DeltaEncoder::new();
-                continue;
-            }
-            let Some(peer) = c.peer else { continue };
-            let still_connected = self.conns.iter().any(|k| k.peer == Some(peer) && !k.dead);
-            if still_connected {
-                continue;
-            }
-            self.mgr.peer_failed(peer);
-            self.poll_snapshot();
-            if !c.draining {
-                // A broken (not drained) connection is the TCP RST signal
-                // the protocols' failure-handling code reacts to (§3.3).
-                self.stats.errors_observed += 1;
-                let mut out = Outbox::new();
-                self.proto
-                    .on_error(self.me, &mut self.slot.state, peer, &mut out);
-                self.slot.conns.remove(&peer);
-                self.apply_outbox(out);
-                self.self_check();
-                // The failure transition may have enabled actions (e.g. a
-                // recovery timer after a parent death) — schedule them.
-                self.reconcile_timers();
-            } else {
-                self.slot.conns.remove(&peer);
-            }
         }
     }
 
-    fn link_drops(&mut self, dst: NodeId) -> bool {
-        match self.links.mode(self.me, dst) {
-            Some(LinkMode::Drop) => true,
-            Some(LinkMode::Loss(p)) => self.rng.gen_bool(p.clamp(0.0, 1.0)),
-            None => false,
-        }
-    }
-
-    /// Finds (or dials) a live connection to `peer` and queues `frame`.
-    /// Returns false when the peer is unreachable (dial failed).
-    fn queue_to_peer(&mut self, peer: NodeId, frame: &[u8], count: bool) -> bool {
-        let ix = self
-            .conns
-            .iter()
-            .position(|c| c.peer == Some(peer) && !c.dead);
-        let ix = match ix {
-            Some(ix) => ix,
-            None => {
-                let Some(addr) = self.registry.lookup(peer) else {
-                    return false;
-                };
-                let Ok(stream) = TcpStream::connect(addr) else {
-                    return false;
-                };
-                let mut conn = Conn::new(stream, self.cfg.max_frame_len, false);
-                conn.peer = Some(peer);
-                let hello = frame_of(
-                    self.me,
+    /// Queues `frame` to `peer` through the manager, wiring the dial-time
+    /// Hello and slot bookkeeping.
+    fn queue_peer_frame(&mut self, peer: NodeId, frame: &[u8]) -> SendOutcome {
+        let now = Instant::now();
+        let registry = &self.registry;
+        let me = self.me;
+        let cn = self.mgr.stamp_out();
+        let outcome = self.peers.queue_to_peer(
+            peer,
+            frame,
+            now,
+            &mut self.stats,
+            || registry.lookup(peer),
+            || {
+                frame_of(
+                    me,
                     peer,
-                    self.mgr.stamp_out(),
+                    cn,
                     FrameKind::Control,
-                    &CtrlMsg::Hello { node: self.me },
-                );
-                push_frame(&mut conn.out, &hello);
-                self.stats.frames_sent += 1;
-                // Opening a connection registers the peer in the slot's
-                // connection table (what the checker's reset exploration
-                // and the neighborhood heuristic read).
-                self.slot.conns.entry(peer).or_insert(0);
-                self.conns.push(conn);
-                self.conns.len() - 1
-            }
-        };
-        push_frame(&mut self.conns[ix].out, frame);
-        if count {
-            self.stats.frames_sent += 1;
+                    &CtrlMsg::Hello { node: me },
+                )
+            },
+        );
+        if outcome == SendOutcome::Dialed {
+            // Opening a connection registers the peer in the slot's
+            // connection table (what the checker's reset exploration and
+            // the neighborhood heuristic read).
+            self.slot.conns.entry(peer).or_insert(0);
         }
-        true
+        outcome
     }
 
+    /// Finds (or dials) the checker connection, restarting the delta
+    /// lineages when the connection is fresh.
     fn checker_conn(&mut self) -> Option<usize> {
-        if let Some(ix) = self.conns.iter().position(|c| c.is_checker && !c.dead) {
-            return Some(ix);
+        let registry = &self.registry;
+        let me = self.me;
+        let (ix, new) = self.peers.ensure_checker(
+            &mut self.stats,
+            || registry.checker(),
+            || {
+                frame_of(
+                    me,
+                    NodeId::DUMMY,
+                    0,
+                    FrameKind::Control,
+                    &CtrlMsg::Hello { node: me },
+                )
+            },
+        )?;
+        if new {
+            self.delta_enc = DeltaEncoder::new();
+            self.spec_delta_enc = DeltaEncoder::new();
+            self.last_submit_hash = None;
         }
-        let addr = self.registry.checker()?;
-        let stream = TcpStream::connect(addr).ok()?;
-        let mut conn = Conn::new(stream, self.cfg.max_frame_len, true);
-        let hello = frame_of(
-            self.me,
-            NodeId::DUMMY,
-            0,
-            FrameKind::Control,
-            &CtrlMsg::Hello { node: self.me },
-        );
-        push_frame(&mut conn.out, &hello);
-        self.stats.frames_sent += 1;
-        self.delta_enc = DeltaEncoder::new();
-        self.spec_delta_enc = DeltaEncoder::new();
-        self.last_submit_hash = None;
-        self.conns.push(conn);
-        Some(self.conns.len() - 1)
+        Some(ix)
     }
 
     /// Closes every connection to `peer`. The peer's next read observes
     /// EOF and runs its transport-error handling — exactly the "reset the
     /// connection" corrective of §3.3.
     fn close_peer(&mut self, peer: NodeId) {
-        for c in &mut self.conns {
-            if c.peer == Some(peer) {
-                c.dead = true;
-                c.draining = true; // our choice to close is not a failure *here*
-            }
-        }
+        self.peers.close_peer(peer);
         self.slot.conns.remove(&peer);
         self.mgr.peer_failed(peer);
         self.poll_snapshot();
@@ -736,16 +777,10 @@ impl<P: Protocol> NodeRt<P> {
                 if let Ok(msg) = CtrlMsg::from_bytes(&frame.body) {
                     match msg {
                         CtrlMsg::Hello { node } => {
-                            if let Some(c) = self.conns.get_mut(conn_ix) {
-                                c.peer = Some(node);
-                            }
+                            self.peers.mark_peer(conn_ix, node);
                             self.slot.conns.entry(node).or_insert(0);
                         }
-                        CtrlMsg::Goodbye => {
-                            if let Some(c) = self.conns.get_mut(conn_ix) {
-                                c.draining = true;
-                            }
-                        }
+                        CtrlMsg::Goodbye => self.peers.mark_draining(conn_ix),
                     }
                 }
             }
@@ -818,8 +853,7 @@ impl<P: Protocol> NodeRt<P> {
     fn on_install(&mut self, conn_ix: usize, frame: WireFrame) {
         // Installs are only honored over the connection this node dialed
         // to the checker; a peer node cannot push filters.
-        let from_checker = self.conns.get(conn_ix).is_some_and(|c| c.is_checker);
-        if frame.dst != self.me || !from_checker {
+        if frame.dst != self.me || !self.peers.is_checker(conn_ix) {
             return;
         }
         let Ok(body) = InstallBody::from_bytes(&frame.body) else {
@@ -873,34 +907,109 @@ impl<P: Protocol> NodeRt<P> {
             self.self_check();
             return;
         }
-        if self.link_drops(dst) {
-            self.stats.frames_dropped_fault += 1;
-            return;
-        }
         let frame = frame_of(self.me, dst, self.mgr.stamp_out(), FrameKind::Service, msg);
-        if self.queue_to_peer(dst, &frame, true) {
-            self.stats.service_sent += 1;
-        } else {
-            // Dial failed: the peer is gone. That is a transport error.
-            self.peer_unreachable(dst);
-        }
+        self.ship(dst, frame, ShipStat::Service);
     }
 
     fn send_snap(&mut self, dst: NodeId, msg: &SnapMsg) {
-        if self.link_drops(dst) {
+        let bytes = msg.encoded_len() as u64;
+        let frame = frame_of(self.me, dst, self.mgr.stamp_out(), FrameKind::Snap, msg);
+        self.ship(dst, frame, ShipStat::Snap { bytes });
+    }
+
+    /// Runs the link's fault stack over one outbound frame: drop it,
+    /// delay it, duplicate it — then deliver whatever survives.
+    fn ship(&mut self, dst: NodeId, mut frame: Vec<u8>, stat: ShipStat) {
+        let faults = self.links.faults_for(self.me, dst);
+        let d = if faults.is_empty() {
+            FaultDecision::pass()
+        } else {
+            decide(&faults, &mut self.rng)
+        };
+        if d.drop {
+            // For snapshots, the gather learns about the black hole via
+            // its timeout.
             self.stats.frames_dropped_fault += 1;
-            // The gather learns about the black hole via its timeout.
             return;
         }
-        let frame = frame_of(self.me, dst, self.mgr.stamp_out(), FrameKind::Snap, msg);
-        if self.queue_to_peer(dst, &frame, true) {
-            // Counted only once actually queued — a failed dial never
-            // touches the socket, and the §3.1 wire-overhead numbers
-            // must not include it.
-            self.stats.snap_frames += 1;
-            self.stats.snapshot_wire_bytes += msg.encoded_len() as u64;
-        } else {
-            self.peer_unreachable(dst);
+        if d.copies > 1 {
+            self.stats.frames_duplicated += u64::from(d.copies - 1);
+        }
+        if d.reordered {
+            self.stats.frames_reordered += 1;
+        }
+        if d.delay.is_zero() {
+            for _ in 0..d.copies {
+                self.deliver(dst, &frame, stat);
+            }
+            return;
+        }
+        self.stats.frames_delayed += 1;
+        let release_at = Instant::now() + d.delay;
+        for copy in 0..d.copies {
+            let payload = if copy + 1 == d.copies {
+                std::mem::take(&mut frame)
+            } else {
+                frame.clone()
+            };
+            self.delayed.push(Delayed {
+                release_at,
+                dst,
+                frame: payload,
+                stat,
+            });
+        }
+    }
+
+    /// Releases fault-delayed frames whose instant has come.
+    fn release_delayed(&mut self, now: Instant) {
+        if self.delayed.is_empty() {
+            return;
+        }
+        let mut held = Vec::with_capacity(self.delayed.len());
+        let due: Vec<Delayed> = std::mem::take(&mut self.delayed)
+            .into_iter()
+            .filter_map(|d| {
+                if d.release_at <= now {
+                    Some(d)
+                } else {
+                    held.push(d);
+                    None
+                }
+            })
+            .collect();
+        self.delayed = held;
+        for d in due {
+            self.deliver(d.dst, &d.frame, d.stat);
+        }
+    }
+
+    /// Queues one frame for real, counting by kind; a failed route runs
+    /// the transport-error path.
+    fn deliver(&mut self, dst: NodeId, frame: &[u8], stat: ShipStat) {
+        match self.queue_peer_frame(dst, frame) {
+            SendOutcome::Queued | SendOutcome::Dialed => {
+                self.stats.frames_sent += 1;
+                match stat {
+                    ShipStat::Service => self.stats.service_sent += 1,
+                    ShipStat::Snap { bytes } => {
+                        // Counted only once actually queued — a failed
+                        // dial never touches the socket, and the §3.1
+                        // wire-overhead numbers must not include it.
+                        self.stats.snap_frames += 1;
+                        self.stats.snapshot_wire_bytes += bytes;
+                    }
+                }
+            }
+            SendOutcome::Backpressured => {
+                // Dropped under backpressure: the link is up but the peer
+                // is not draining its socket. Not a transport error.
+            }
+            SendOutcome::Unreachable => {
+                // Dial failed: the peer is gone. That is a transport
+                // error.
+                self.peer_unreachable(dst);
+            }
         }
     }
 
@@ -1085,7 +1194,7 @@ impl<P: Protocol> NodeRt<P> {
         }
         self.stats.spec_submits_sent += 1;
         self.stats.frames_sent += 1;
-        push_frame(&mut self.conns[ix].out, &frame);
+        self.peers.push_frame_to(ix, &frame);
     }
 
     fn start_gather(&mut self) {
@@ -1160,6 +1269,6 @@ impl<P: Protocol> NodeRt<P> {
         self.stats.submits_sent += 1;
         self.stats.submit_bytes += frame.len() as u64;
         self.stats.frames_sent += 1;
-        push_frame(&mut self.conns[ix].out, &frame);
+        self.peers.push_frame_to(ix, &frame);
     }
 }

@@ -1,0 +1,464 @@
+//! Peer lifecycle for one live node: dial/accept, reconnect backoff,
+//! connection caps, and per-peer backpressure.
+//!
+//! PR 5 kept the connection table as a bare `Vec<Conn>` inside the node's
+//! event loop; at 100+ nodes per process the lifecycle rules (when to
+//! dial, when to refuse, when to give up) need a first-class owner — the
+//! shape `spectrum-network`'s peer manager gives a libp2p swarm, shrunk
+//! to this runtime's needs. The manager owns sockets and buffers only;
+//! every *protocol* consequence of a connection event (failure handlers,
+//! slot bookkeeping, delta-lineage resets) stays in
+//! [`crate::node::LiveNode`], driven by the values these methods return.
+//!
+//! Policies:
+//! * **Dial backoff** — a failed dial marks the peer down for an
+//!   exponentially growing window (capped); sends inside the window fail
+//!   fast without touching the network. Any successful dial clears it.
+//! * **Connection cap** — beyond [`PeerConfig::max_connections`], new
+//!   accepts are refused (the stream is dropped; the dialer observes a
+//!   close and runs its own failure path).
+//! * **Per-peer backpressure** — a peer whose outbuf exceeds
+//!   [`PeerConfig::max_peer_outbuf`] stops accepting frames; the frame is
+//!   dropped and counted. The checker connection is exempt (losing a
+//!   submission desyncs the delta lineage; its traffic is already
+//!   self-limited by the gather cadence).
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use cb_model::{push_frame, Decode, FrameBuffer, NodeId, WireFrame};
+
+use crate::stats::NodeStats;
+
+/// Connection-lifecycle tuning.
+#[derive(Clone, Debug)]
+pub struct PeerConfig {
+    /// Per-frame payload ceiling (defensive decode bound).
+    pub max_frame_len: usize,
+    /// Ceiling on simultaneously open connections (accepts beyond it are
+    /// refused).
+    pub max_connections: usize,
+    /// Per-peer outbound buffer ceiling; frames beyond it are dropped
+    /// (checker connection exempt).
+    pub max_peer_outbuf: usize,
+    /// Bound on one blocking dial attempt.
+    pub dial_timeout: Duration,
+    /// First reconnect-backoff window after a failed dial.
+    pub dial_backoff: Duration,
+    /// Backoff growth ceiling.
+    pub dial_backoff_cap: Duration,
+}
+
+impl Default for PeerConfig {
+    fn default() -> Self {
+        PeerConfig {
+            max_frame_len: cb_model::MAX_FRAME_LEN,
+            max_connections: 256,
+            max_peer_outbuf: 1 << 20,
+            dial_timeout: Duration::from_millis(250),
+            dial_backoff: Duration::from_millis(50),
+            dial_backoff_cap: Duration::from_secs(2),
+        }
+    }
+}
+
+struct Conn {
+    stream: TcpStream,
+    inbuf: FrameBuffer,
+    out: Vec<u8>,
+    peer: Option<NodeId>,
+    is_checker: bool,
+    /// The peer announced a graceful close; an EOF here is not a failure.
+    draining: bool,
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, max_frame: usize, is_checker: bool) -> Self {
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_nonblocking(true);
+        Conn {
+            stream,
+            inbuf: FrameBuffer::new(max_frame),
+            out: Vec::new(),
+            peer: None,
+            is_checker,
+            draining: false,
+            dead: false,
+        }
+    }
+}
+
+/// One frame parsed off a connection, tagged with where it came from.
+pub struct InFrame {
+    /// Index of the connection it arrived on (stable until the next
+    /// [`PeerManager::take_dead`]).
+    pub conn: usize,
+    /// The connection is the node's dialed checker link.
+    pub from_checker: bool,
+    /// The decoded envelope.
+    pub frame: WireFrame,
+}
+
+/// What happened to a frame handed to [`PeerManager::queue_to_peer`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// Queued on an existing connection.
+    Queued,
+    /// A new connection was dialed for it (the caller should record the
+    /// peer in its connection table) and the frame queued behind a Hello.
+    Dialed,
+    /// No route: unknown address, failed dial, or active backoff window.
+    Unreachable,
+    /// The peer's outbuf is over its cap; the frame was dropped.
+    Backpressured,
+}
+
+/// A dead connection surfaced by [`PeerManager::take_dead`], already
+/// filtered down to the events the node must act on.
+pub enum DeadConn {
+    /// The dialed checker connection broke (delta lineages are dead).
+    Checker,
+    /// A peer's *last* connection went away.
+    Peer {
+        /// The peer in question.
+        peer: NodeId,
+        /// It announced a graceful close first (not a failure).
+        draining: bool,
+    },
+}
+
+struct Backoff {
+    until: Instant,
+    next: Duration,
+}
+
+/// The connection table and lifecycle policy of one live node.
+pub struct PeerManager {
+    cfg: PeerConfig,
+    conns: Vec<Conn>,
+    backoff: HashMap<NodeId, Backoff>,
+}
+
+impl PeerManager {
+    /// An empty table under `cfg`.
+    pub fn new(cfg: PeerConfig) -> Self {
+        PeerManager {
+            cfg,
+            conns: Vec::new(),
+            backoff: HashMap::new(),
+        }
+    }
+
+    /// Accepts pending inbound connections (up to the cap). Returns true
+    /// if any arrived.
+    pub fn accept(&mut self, listener: &TcpListener, stats: &mut NodeStats) -> bool {
+        let mut any = false;
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if self.conns.len() >= self.cfg.max_connections {
+                        // Refused: dropping the stream closes it; the
+                        // dialer sees EOF and runs its failure path.
+                        stats.conns_refused += 1;
+                        continue;
+                    }
+                    self.conns
+                        .push(Conn::new(stream, self.cfg.max_frame_len, false));
+                    any = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+        any
+    }
+
+    /// Drains every readable socket, parsing complete frames into `out`.
+    /// Corrupt framing kills the connection; garbage inside a well-framed
+    /// payload drops only that frame.
+    pub fn read_frames(&mut self, stats: &mut NodeStats, out: &mut Vec<InFrame>) -> bool {
+        let mut any = false;
+        let mut buf = [0u8; 4096];
+        for (ix, conn) in self.conns.iter_mut().enumerate() {
+            if conn.dead {
+                continue;
+            }
+            loop {
+                match conn.stream.read(&mut buf) {
+                    Ok(0) => {
+                        conn.dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        any = true;
+                        stats.bytes_received += n as u64;
+                        conn.inbuf.feed(&buf[..n]);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+            loop {
+                match conn.inbuf.next_frame() {
+                    Ok(Some(payload)) => {
+                        if let Ok(frame) = WireFrame::from_bytes(&payload) {
+                            stats.frames_received += 1;
+                            if conn.peer.is_none() && !conn.is_checker {
+                                conn.peer = Some(frame.src);
+                            }
+                            out.push(InFrame {
+                                conn: ix,
+                                from_checker: conn.is_checker,
+                                frame,
+                            });
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+        any
+    }
+
+    /// Writes as much buffered output as the sockets will take.
+    pub fn flush(&mut self, stats: &mut NodeStats) -> bool {
+        let mut any = false;
+        for conn in &mut self.conns {
+            if conn.dead || conn.out.is_empty() {
+                continue;
+            }
+            loop {
+                if conn.out.is_empty() {
+                    break;
+                }
+                match conn.stream.write(&conn.out) {
+                    Ok(0) => {
+                        conn.dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        any = true;
+                        stats.bytes_sent += n as u64;
+                        conn.out.drain(..n);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+        any
+    }
+
+    /// Queues `frame` to `peer`, dialing (with `hello` first on the new
+    /// connection) when no live connection exists. `addr` is consulted
+    /// only when dialing.
+    pub fn queue_to_peer(
+        &mut self,
+        peer: NodeId,
+        frame: &[u8],
+        now: Instant,
+        stats: &mut NodeStats,
+        addr: impl FnOnce() -> Option<SocketAddr>,
+        hello: impl FnOnce() -> Vec<u8>,
+    ) -> SendOutcome {
+        if let Some(ix) = self
+            .conns
+            .iter()
+            .position(|c| c.peer == Some(peer) && !c.dead)
+        {
+            let c = &mut self.conns[ix];
+            if !c.is_checker && c.out.len() + frame.len() > self.cfg.max_peer_outbuf {
+                stats.frames_dropped_backpressure += 1;
+                return SendOutcome::Backpressured;
+            }
+            push_frame(&mut c.out, frame);
+            return SendOutcome::Queued;
+        }
+        if let Some(b) = self.backoff.get(&peer) {
+            if now < b.until {
+                return SendOutcome::Unreachable;
+            }
+        }
+        if self.conns.len() >= self.cfg.max_connections {
+            stats.conns_refused += 1;
+            return SendOutcome::Unreachable;
+        }
+        let Some(addr) = addr() else {
+            self.note_dial_failure(peer, now, stats);
+            return SendOutcome::Unreachable;
+        };
+        let Ok(stream) = TcpStream::connect_timeout(&addr, self.cfg.dial_timeout) else {
+            self.note_dial_failure(peer, now, stats);
+            return SendOutcome::Unreachable;
+        };
+        self.backoff.remove(&peer);
+        let mut conn = Conn::new(stream, self.cfg.max_frame_len, false);
+        conn.peer = Some(peer);
+        push_frame(&mut conn.out, &hello());
+        stats.frames_sent += 1;
+        push_frame(&mut conn.out, frame);
+        self.conns.push(conn);
+        SendOutcome::Dialed
+    }
+
+    fn note_dial_failure(&mut self, peer: NodeId, now: Instant, stats: &mut NodeStats) {
+        stats.dials_failed += 1;
+        let next = self
+            .backoff
+            .get(&peer)
+            .map(|b| (b.next * 2).min(self.cfg.dial_backoff_cap))
+            .unwrap_or(self.cfg.dial_backoff);
+        self.backoff.insert(
+            peer,
+            Backoff {
+                until: now + next,
+                next,
+            },
+        );
+    }
+
+    /// Finds (or dials, sending `hello` first) the checker connection.
+    /// Returns its index plus whether it was just dialed (the caller must
+    /// restart its delta lineages on a fresh connection).
+    pub fn ensure_checker(
+        &mut self,
+        stats: &mut NodeStats,
+        addr: impl FnOnce() -> Option<SocketAddr>,
+        hello: impl FnOnce() -> Vec<u8>,
+    ) -> Option<(usize, bool)> {
+        if let Some(ix) = self.conns.iter().position(|c| c.is_checker && !c.dead) {
+            return Some((ix, false));
+        }
+        let addr = addr()?;
+        let stream = TcpStream::connect_timeout(&addr, self.cfg.dial_timeout).ok()?;
+        let mut conn = Conn::new(stream, self.cfg.max_frame_len, true);
+        push_frame(&mut conn.out, &hello());
+        stats.frames_sent += 1;
+        self.conns.push(conn);
+        Some((self.conns.len() - 1, true))
+    }
+
+    /// The live checker connection's index, if one exists (never dials).
+    pub fn checker_ix(&self) -> Option<usize> {
+        self.conns.iter().position(|c| c.is_checker && !c.dead)
+    }
+
+    /// Queues raw frame bytes on connection `ix` (no backpressure check —
+    /// used for the checker link and drain-time goodbyes).
+    pub fn push_frame_to(&mut self, ix: usize, frame: &[u8]) {
+        push_frame(&mut self.conns[ix].out, frame);
+    }
+
+    /// Binds connection `ix` to a logical peer (Hello received).
+    pub fn mark_peer(&mut self, ix: usize, node: NodeId) {
+        if let Some(c) = self.conns.get_mut(ix) {
+            c.peer = Some(node);
+        }
+    }
+
+    /// Marks connection `ix` as gracefully draining (Goodbye received).
+    pub fn mark_draining(&mut self, ix: usize) {
+        if let Some(c) = self.conns.get_mut(ix) {
+            c.draining = true;
+        }
+    }
+
+    /// Whether connection `ix` is the dialed checker link.
+    pub fn is_checker(&self, ix: usize) -> bool {
+        self.conns.get(ix).is_some_and(|c| c.is_checker)
+    }
+
+    /// Closes every connection to `peer` (our choice, not a failure).
+    pub fn close_peer(&mut self, peer: NodeId) {
+        for c in &mut self.conns {
+            if c.peer == Some(peer) {
+                c.dead = true;
+                c.draining = true;
+            }
+        }
+    }
+
+    /// Peers with a live non-checker connection (drain-time Goodbyes).
+    pub fn goodbye_targets(&self) -> Vec<NodeId> {
+        self.conns
+            .iter()
+            .filter_map(|c| c.peer.filter(|_| !c.dead && !c.is_checker))
+            .collect()
+    }
+
+    /// Removes dead connections, reporting the ones the node must react
+    /// to: a dead checker link, and peers whose *last* connection died.
+    pub fn take_dead(&mut self) -> Vec<DeadConn> {
+        let dead: Vec<Conn> = {
+            let mut kept = Vec::with_capacity(self.conns.len());
+            let mut dead = Vec::new();
+            for c in self.conns.drain(..) {
+                if c.dead {
+                    dead.push(c);
+                } else {
+                    kept.push(c);
+                }
+            }
+            self.conns = kept;
+            dead
+        };
+        let mut out = Vec::new();
+        for c in dead {
+            if c.is_checker {
+                out.push(DeadConn::Checker);
+                continue;
+            }
+            let Some(peer) = c.peer else { continue };
+            if self.conns.iter().any(|k| k.peer == Some(peer) && !k.dead) {
+                continue;
+            }
+            out.push(DeadConn::Peer {
+                peer,
+                draining: c.draining,
+            });
+        }
+        out
+    }
+
+    /// True when every live connection's outbuf is drained.
+    pub fn outbufs_empty(&self) -> bool {
+        self.conns.iter().all(|c| c.out.is_empty() || c.dead)
+    }
+
+    /// Number of connections currently held (dead-but-unreaped included).
+    pub fn conn_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Drops every connection on the floor (abrupt kill).
+    pub fn clear(&mut self) {
+        self.conns.clear();
+    }
+
+    /// Appends `(fd, wants_write)` for the listener-less connection set —
+    /// what the reactor registers with `poll(2)`.
+    #[cfg(unix)]
+    pub fn io_fds(&self, out: &mut Vec<(std::os::fd::RawFd, bool)>) {
+        use std::os::fd::AsRawFd;
+        for c in &self.conns {
+            if !c.dead {
+                out.push((c.stream.as_raw_fd(), !c.out.is_empty()));
+            }
+        }
+    }
+}

@@ -20,6 +20,18 @@ pub struct NodeStats {
     pub frames_received: u64,
     /// Frames dropped by the fault injector before hitting the socket.
     pub frames_dropped_fault: u64,
+    /// Frames held back by a `Delay`/`Reorder` injector before the write.
+    pub frames_delayed: u64,
+    /// Extra copies sent by a `Duplicate` injector.
+    pub frames_duplicated: u64,
+    /// Frames whose injector delay included a reorder hold.
+    pub frames_reordered: u64,
+    /// Frames dropped because the peer's outbound buffer hit its cap.
+    pub frames_dropped_backpressure: u64,
+    /// Peer dials that failed (connect refused or timed out).
+    pub dials_failed: u64,
+    /// Inbound connections refused at the connection cap.
+    pub conns_refused: u64,
     /// Raw socket bytes written (frame payloads plus the 4-byte length
     /// prefix each frame carries).
     pub bytes_sent: u64,
@@ -106,6 +118,12 @@ impl NodeStats {
             frames_sent,
             frames_received,
             frames_dropped_fault,
+            frames_delayed,
+            frames_duplicated,
+            frames_reordered,
+            frames_dropped_backpressure,
+            dials_failed,
+            conns_refused,
             bytes_sent,
             bytes_received,
             service_delivered,
@@ -131,6 +149,12 @@ impl NodeStats {
         self.frames_sent += frames_sent;
         self.frames_received += frames_received;
         self.frames_dropped_fault += frames_dropped_fault;
+        self.frames_delayed += frames_delayed;
+        self.frames_duplicated += frames_duplicated;
+        self.frames_reordered += frames_reordered;
+        self.frames_dropped_backpressure += frames_dropped_backpressure;
+        self.dials_failed += dials_failed;
+        self.conns_refused += conns_refused;
         self.bytes_sent += bytes_sent;
         self.bytes_received += bytes_received;
         self.service_delivered += service_delivered;
@@ -201,6 +225,9 @@ pub struct LiveStats {
     pub faults_applied: u64,
     /// Node restarts (churn) performed.
     pub restarts: u64,
+    /// Reactor threads the deployment multiplexed its nodes over (0 in
+    /// reports assembled outside a deployment).
+    pub reactor_threads: usize,
 }
 
 impl LiveStats {
@@ -229,6 +256,14 @@ impl LiveStats {
     /// Renders the roll-up as JSON (hand-rolled like the other stats
     /// surfaces in this workspace; no serde offline).
     pub fn to_json(&self) -> String {
+        self.to_json_with("")
+    }
+
+    /// [`Self::to_json`] with an extra pre-rendered JSON fragment spliced
+    /// in before `per_node` — e.g. the bench's `"reactor_scale": {...}`
+    /// leg. Pass `""` for none; otherwise pass `"\"key\": value"` pairs
+    /// (comma-joined, no trailing comma).
+    pub fn to_json_with(&self, extra: &str) -> String {
         let t = self.totals();
         let frames = t.frames_sent + t.frames_received;
         let frames_per_sec = if self.wall_seconds > 0.0 {
@@ -293,6 +328,13 @@ impl LiveStats {
                 " \"spec_started\": {},\n",
                 " \"spec_committed\": {},\n",
                 " \"spec_cancelled\": {},\n",
+                " \"reactor_threads\": {},\n",
+                " \"nodes_per_thread\": {:.2},\n",
+                " \"frames_delayed\": {},\n",
+                " \"frames_duplicated\": {},\n",
+                " \"frames_reordered\": {},\n",
+                " \"frames_dropped_backpressure\": {},\n",
+                "{}",
                 " \"per_node\": [{}]\n}}"
             ),
             self.wall_seconds,
@@ -326,6 +368,21 @@ impl LiveStats {
             self.checker.cache.spec_started,
             self.checker.cache.spec_committed,
             self.checker.cache.spec_cancelled,
+            self.reactor_threads,
+            if self.reactor_threads > 0 {
+                self.nodes.len() as f64 / self.reactor_threads as f64
+            } else {
+                0.0
+            },
+            t.frames_delayed,
+            t.frames_duplicated,
+            t.frames_reordered,
+            t.frames_dropped_backpressure,
+            if extra.is_empty() {
+                String::new()
+            } else {
+                format!(" {extra},\n")
+            },
             per_node,
         )
     }
@@ -361,9 +418,18 @@ mod tests {
             ..LiveStats::default()
         };
         stats.nodes.insert(0, a);
+        stats.reactor_threads = 2;
         let json = stats.to_json();
         assert!(json.contains("\"bench\": \"live_throughput\""), "{json}");
         assert!(json.contains("\"frames_total\": 7"), "{json}");
+        assert!(json.contains("\"reactor_threads\": 2"), "{json}");
+        assert!(json.contains("\"nodes_per_thread\": 0.50"), "{json}");
         assert!(json.contains("\"per_node\": [{"), "{json}");
+
+        let with = stats.to_json_with("\"reactor_scale\": {\"nodes\": 104}");
+        assert!(
+            with.contains("\"reactor_scale\": {\"nodes\": 104},"),
+            "{with}"
+        );
     }
 }

@@ -1,0 +1,208 @@
+//! Socket-level fault injectors for the live runtime (`cb-live`).
+//!
+//! The simulated network model ([`crate::NetworkModel`]) owns delay and
+//! loss for *simulated* traffic; a live deployment's frames travel real
+//! sockets, so faults must be injected at the sender before the bytes hit
+//! the kernel. [`LiveFault`] is the per-link injector vocabulary —
+//! mirroring the fault classes `cb-fleet`'s `FaultPlan` emits (partition,
+//! degradation) plus the socket-only ones (reorder, duplicate) — and
+//! [`decide`] folds a link's injector stack into one per-frame
+//! [`FaultDecision`].
+//!
+//! Ordering contract with the PRNG: [`LiveFault::Drop`] short-circuits
+//! before any randomness is consumed, so installing and healing
+//! partitions never perturbs the jitter streams of surviving traffic —
+//! the same stream-preservation rule [`crate::NetworkModel`] keeps for
+//! the simulator.
+
+use std::time::Duration;
+
+use rand::Rng;
+
+/// One injector on one (unordered) link. A link carries a *stack* of
+/// these; every outbound frame consults the whole stack.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LiveFault {
+    /// Partition: every frame is dropped at the sender.
+    Drop,
+    /// Degradation: each frame is dropped with this probability.
+    Loss(f64),
+    /// Added one-way latency: each frame is held at the sender for
+    /// `delay` plus a uniform sample of `[0, jitter]` before it is
+    /// written to the socket.
+    Delay {
+        /// Fixed component of the added latency.
+        delay: Duration,
+        /// Upper bound of the uniform jitter component.
+        jitter: Duration,
+    },
+    /// Reordering: with probability `prob`, the frame is held for `hold`
+    /// so later frames of the same link overtake it. (TCP preserves
+    /// per-connection byte order; reordering live traffic means
+    /// reordering at the *frame* scheduler, before the write.)
+    Reorder {
+        /// Probability a given frame is held back.
+        prob: f64,
+        /// How long a held frame waits before release.
+        hold: Duration,
+    },
+    /// Duplication: with this probability the frame is sent twice (the
+    /// copy travels the same link and the same delay).
+    Duplicate(f64),
+}
+
+/// What a link's injector stack decided for one frame.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultDecision {
+    /// Drop the frame entirely (partition or sampled loss).
+    pub drop: bool,
+    /// Hold the frame this long before writing it (delay + reorder hold).
+    pub delay: Duration,
+    /// How many copies to send (1 normally, 2 when duplicated).
+    pub copies: u32,
+    /// The delay includes a reorder hold (telemetry only).
+    pub reordered: bool,
+}
+
+impl FaultDecision {
+    /// The no-fault decision: send one copy now.
+    pub fn pass() -> Self {
+        FaultDecision {
+            drop: false,
+            delay: Duration::ZERO,
+            copies: 1,
+            reordered: false,
+        }
+    }
+}
+
+/// Folds a link's injector stack into one per-frame decision.
+///
+/// `Drop` wins unconditionally and consumes no randomness; everything
+/// else samples `rng` in stack order, so a fixed stack consumes a fixed
+/// number of draws per frame regardless of outcomes (delays and holds
+/// accumulate, duplication caps at one extra copy).
+pub fn decide<R: Rng>(faults: &[LiveFault], rng: &mut R) -> FaultDecision {
+    let mut d = FaultDecision::pass();
+    if faults.contains(&LiveFault::Drop) {
+        d.drop = true;
+        return d;
+    }
+    for f in faults {
+        match *f {
+            LiveFault::Drop => unreachable!("handled above"),
+            LiveFault::Loss(p) => {
+                if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                    d.drop = true;
+                }
+            }
+            LiveFault::Delay { delay, jitter } => {
+                let j = if jitter.is_zero() {
+                    Duration::ZERO
+                } else {
+                    jitter.mul_f64(rng.gen::<f64>())
+                };
+                d.delay += delay + j;
+            }
+            LiveFault::Reorder { prob, hold } => {
+                if rng.gen_bool(prob.clamp(0.0, 1.0)) {
+                    d.delay += hold;
+                    d.reordered = true;
+                }
+            }
+            LiveFault::Duplicate(p) => {
+                if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                    d.copies = 2;
+                }
+            }
+        }
+    }
+    if d.drop {
+        // Sampled loss: the frame never travels, so neither do copies.
+        d.copies = 1;
+        d.delay = Duration::ZERO;
+        d.reordered = false;
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn drop_short_circuits_without_randomness() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let d = decide(&[LiveFault::Loss(0.5), LiveFault::Drop], &mut a);
+        assert!(d.drop);
+        // `a` consumed nothing: both rngs still agree on the next draw.
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn loss_probability_tracks() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let dropped = (0..10_000)
+            .filter(|_| decide(&[LiveFault::Loss(0.3)], &mut rng).drop)
+            .count();
+        assert!((2500..3500).contains(&dropped), "{dropped}");
+    }
+
+    #[test]
+    fn delay_jitter_bounded_and_reorder_accumulates() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let stack = [
+            LiveFault::Delay {
+                delay: Duration::from_millis(10),
+                jitter: Duration::from_millis(5),
+            },
+            LiveFault::Reorder {
+                prob: 1.0,
+                hold: Duration::from_millis(20),
+            },
+        ];
+        for _ in 0..100 {
+            let d = decide(&stack, &mut rng);
+            assert!(!d.drop);
+            assert!(d.reordered);
+            assert!(d.delay >= Duration::from_millis(30), "{:?}", d.delay);
+            assert!(d.delay <= Duration::from_millis(35), "{:?}", d.delay);
+        }
+    }
+
+    #[test]
+    fn duplicate_caps_at_two_copies() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = decide(
+            &[LiveFault::Duplicate(1.0), LiveFault::Duplicate(1.0)],
+            &mut rng,
+        );
+        assert_eq!(d.copies, 2);
+    }
+
+    #[test]
+    fn sampled_loss_cancels_delay_and_copies() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let stack = [
+            LiveFault::Loss(1.0),
+            LiveFault::Delay {
+                delay: Duration::from_millis(50),
+                jitter: Duration::ZERO,
+            },
+            LiveFault::Duplicate(1.0),
+        ];
+        let d = decide(&stack, &mut rng);
+        assert!(d.drop);
+        assert_eq!(d.copies, 1);
+        assert_eq!(d.delay, Duration::ZERO);
+    }
+
+    #[test]
+    fn empty_stack_passes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(decide(&[], &mut rng), FaultDecision::pass());
+    }
+}

@@ -27,9 +27,11 @@
 //! Determinism: all randomness comes from the seeded [`rand`] PRNG owned by
 //! the model, so a simulation replays bit-identically from its seed.
 
+pub mod fault;
 pub mod link;
 pub mod topology;
 
+pub use fault::{decide, FaultDecision, LiveFault};
 pub use link::{LinkModel, LinkStats};
 pub use topology::{PathInfo, Topology, TopologyConfig};
 

@@ -1,26 +1,40 @@
-//! The CrystalBall loop outside the simulator: nodes as real threads on
-//! loopback TCP, a checker reachable only by socket.
+//! The CrystalBall loop outside the simulator: nodes as poll-driven
+//! state machines multiplexed over reactor threads, talking real TCP,
+//! steered by a checker reachable only by socket.
 //!
-//! Boots an 8-node RandTree overlay (the paper's R1 bug armed), lets the
-//! nodes gather consistent neighborhood snapshots **over the wire**
-//! (§2.3/§3.1), opens root capacity so consequence prediction finds the
-//! Fig. 2 chain, and churns childless nodes until a wire-installed event
-//! filter demonstrably blocks a live handler — execution steering (§3.3)
+//! Default run boots an 8-node RandTree overlay (the paper's R1 bug
+//! armed) on two reactor threads, lets the nodes gather consistent
+//! neighborhood snapshots **over the wire** (§2.3/§3.1), opens root
+//! capacity so consequence prediction finds the Fig. 2 chain, and
+//! churns childless nodes until a wire-installed event filter
+//! demonstrably blocks a live handler — execution steering (§3.3)
 //! delivered by TCP push.
 //!
-//! Run with: `cargo run --release --example live_deployment`
+//! The deployment can also span processes (the registry is itself a TCP
+//! service — no shared memory required):
+//!
+//! ```text
+//! cargo run --release --example live_deployment -- --serve 127.0.0.1:7000
+//! # ...and in another terminal (or on another host on the same network):
+//! cargo run --release --example live_deployment -- --join 127.0.0.1:7000
+//! ```
+//!
+//! `--threads N` sizes the reactor pool (0 = one thread per node, the
+//! pre-reactor shape as a degenerate case).
 
+use std::net::SocketAddr;
 use std::time::Duration;
 
 use crystalball_suite::live::{
-    live_checker_config, randtree_deployment, wait_until, LiveConfig, LiveNodeConfig,
+    live_checker_config, randtree_deployment_on, wait_until, DeploymentBuilder, LiveConfig,
+    LiveNodeConfig,
 };
 use crystalball_suite::model::NodeId;
-use crystalball_suite::protocols::randtree::{Action, RandTreeBugs, Status};
+use crystalball_suite::protocols::randtree::{self, Action, RandTree, RandTreeBugs, Status};
 
-fn main() {
-    let config = LiveConfig {
-        seed: 42,
+fn fast_config(seed: u64) -> LiveConfig {
+    LiveConfig {
+        seed,
         node: LiveNodeConfig {
             checkpoint_interval: Duration::from_millis(80),
             gather_interval: Duration::from_millis(120),
@@ -30,10 +44,103 @@ fn main() {
         },
         checker: live_checker_config(8_000, 6, 2),
         ..LiveConfig::default()
-    };
-    println!("live: booting 8 RandTree nodes as threads over loopback TCP");
-    let mut dep =
-        randtree_deployment(8, RandTreeBugs::only("R1"), config).expect("boot deployment");
+    }
+}
+
+/// Serve half of a two-process deployment: host nodes 0–3 and the
+/// checker, publish the address registry on `bind`, and watch remote
+/// nodes join the tree for a fixed window.
+fn serve(bind: SocketAddr, threads: usize) {
+    let dep = DeploymentBuilder::new(
+        RandTree::new(2, vec![NodeId(0)], RandTreeBugs::none()),
+        randtree::properties::all(),
+    )
+    .nodes(&[NodeId(0), NodeId(1), NodeId(2), NodeId(3)])
+    .config(fast_config(42))
+    .reactor_threads(threads)
+    .serve_registry(bind)
+    .boot()
+    .expect("boot serving half");
+    let reg = dep.registry_addr().expect("registry served");
+    println!("live: serving registry at {reg} — join with `--join {reg}`");
+
+    for &n in dep.node_ids() {
+        dep.inject(n, Action::Join { target: NodeId(0) });
+    }
+    wait_until(&dep, Duration::from_secs(30), |d| {
+        d.node_ids().iter().all(|&n| {
+            d.probe(n, Duration::from_secs(2))
+                .is_some_and(|r| r.slot.state.status == Status::Joined)
+        })
+    });
+    println!("live: local overlay up; waiting 45s for cross-process joiners");
+
+    // Poll during the window: joiners from the other process may leave
+    // again (their deployment shuts down), so catch the adoption live.
+    let adopted = wait_until(&dep, Duration::from_secs(45), |d| {
+        d.node_ids().iter().any(|&n| {
+            d.probe(n, Duration::from_secs(2))
+                .is_some_and(|r| r.slot.state.children.iter().any(|c| c.0 >= 4))
+        })
+    });
+    println!("live: remote joiner adopted by a local node: {adopted}");
+    // Keep serving: later joiners may still be mid-handshake, and tearing
+    // the registry down now would orphan them (their join target and every
+    // address lookup die with this process).
+    let mut dep = dep;
+    dep.run_for(Duration::from_secs(20));
+    let report = dep.shutdown();
+    println!("\n{}", report.stats.to_json());
+}
+
+/// Join half: host nodes 4–7 in this process, resolve every peer through
+/// the remote registry at `server`, and join the served tree.
+fn join(server: SocketAddr, threads: usize) {
+    let mut dep = DeploymentBuilder::new(
+        RandTree::new(2, vec![NodeId(0)], RandTreeBugs::none()),
+        randtree::properties::all(),
+    )
+    .nodes(&[NodeId(4), NodeId(5), NodeId(6), NodeId(7)])
+    .config(fast_config(43))
+    .reactor_threads(threads)
+    .join(server)
+    .boot()
+    .expect("boot joining half");
+    println!("live: joined registry at {server}; hosting nodes 4-7");
+
+    let joined = wait_until(&dep, Duration::from_secs(45), |d| {
+        let mut all = true;
+        for &n in d.node_ids() {
+            match d.probe(n, Duration::from_secs(2)) {
+                Some(r) if r.slot.state.status == Status::Joined => {}
+                Some(_) => {
+                    d.inject(n, Action::Join { target: NodeId(0) });
+                    all = false;
+                }
+                None => all = false,
+            }
+        }
+        all
+    });
+    println!("live: cross-process join complete (joined={joined})");
+    for &n in dep.node_ids() {
+        if let Some(r) = dep.probe(n, Duration::from_secs(2)) {
+            println!(
+                "live:   {n}: status={:?} parent={:?} children={:?}",
+                r.slot.state.status, r.slot.state.parent, r.slot.state.children
+            );
+        }
+    }
+    dep.run_for(Duration::from_secs(8));
+    let report = dep.shutdown();
+    println!("\n{}", report.stats.to_json());
+}
+
+/// The default single-process steering scenario.
+fn steer(threads: usize) {
+    println!("live: booting 8 RandTree nodes on {threads} reactor thread(s) over loopback TCP");
+    let mut dep = randtree_deployment_on(8, RandTreeBugs::only("R1"), fast_config(42), threads)
+        .expect("boot deployment");
 
     let joined = wait_until(&dep, Duration::from_secs(60), |d| {
         d.node_ids()
@@ -123,11 +230,13 @@ fn main() {
         t.filter_hits, t.installs_received
     );
     println!(
-        "live: {} frames, {} snapshot-protocol bytes, {} gathers, {} submits",
+        "live: {} frames, {} snapshot-protocol bytes, {} gathers, {} submits \
+         ({} nodes per reactor thread)",
         t.frames_sent + t.frames_received,
         t.snapshot_wire_bytes,
         t.snapshots_completed,
-        t.submits_sent
+        t.submits_sent,
+        report.states.len() / report.stats.reactor_threads.max(1)
     );
     println!(
         "live: gather-to-install latency avg {}µs (max {}µs, {} samples)",
@@ -136,4 +245,39 @@ fn main() {
         t.install_latency.count
     );
     println!("\n{}", report.stats.to_json());
+}
+
+fn main() {
+    let mut serve_at: Option<SocketAddr> = None;
+    let mut join_at: Option<SocketAddr> = None;
+    let mut threads = 2usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--serve" | "--join" => {
+                let addr: SocketAddr =
+                    args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| {
+                        panic!("{arg} needs a socket address (e.g. 127.0.0.1:7000)")
+                    });
+                if arg == "--serve" {
+                    serve_at = Some(addr);
+                } else {
+                    join_at = Some(addr);
+                }
+            }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|a| a.parse().ok())
+                    .expect("--threads needs a count (0 = thread per node)");
+            }
+            other => panic!("unknown flag {other}; use --serve ADDR | --join ADDR | --threads N"),
+        }
+    }
+    match (serve_at, join_at) {
+        (Some(_), Some(_)) => panic!("--serve and --join are mutually exclusive"),
+        (Some(bind), None) => serve(bind, threads),
+        (None, Some(server)) => join(server, threads),
+        (None, None) => steer(threads),
+    }
 }

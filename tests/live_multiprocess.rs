@@ -1,0 +1,214 @@
+//! Cross-process deployment smoke test: one deployment spanning two OS
+//! processes. The parent serves the address registry (and hosts the
+//! checker plus nodes 0–1); the child process joins via `--join`-style
+//! remote addressing (`DeploymentBuilder::join`) and hosts nodes 2–3.
+//! The overlay must form *across* the process boundary — the loopback
+//! assumption of PR 5 (every peer shares one `Arc<Registry>`) is gone.
+//!
+//! Child-process mechanics: the test binary re-invokes itself with
+//! `CB_LIVE_CHILD_JOIN=<registry addr>` set, filtering to the child
+//! entry test, which is a no-op in normal runs.
+
+use std::process::{Command, Stdio};
+use std::sync::{mpsc, Mutex, MutexGuard, OnceLock};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crystalball_suite::live::{
+    live_checker_config, wait_until, DeploymentBuilder, LiveConfig, LiveNodeConfig,
+};
+use crystalball_suite::model::NodeId;
+use crystalball_suite::protocols::randtree::{self, Action as RtAction, RandTree, RandTreeBugs};
+
+const CHILD_ENV: &str = "CB_LIVE_CHILD_JOIN";
+
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn with_watchdog<T: Send + 'static>(
+    limit: Duration,
+    name: &str,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> T {
+    let (tx, rx) = mpsc::channel();
+    let handle = thread::Builder::new()
+        .name(format!("watchdog-{name}"))
+        .spawn(move || {
+            let _ = tx.send(f());
+        })
+        .expect("spawn watchdog body");
+    let deadline = Instant::now() + limit;
+    loop {
+        match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(v) => {
+                let _ = handle.join();
+                return v;
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if handle.is_finished() {
+                    if let Err(payload) = handle.join() {
+                        std::panic::resume_unwind(payload);
+                    }
+                    panic!("{name}: body exited without a result");
+                }
+                if Instant::now() >= deadline {
+                    panic!("{name}: wedged — did not finish within {limit:?}");
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                if let Err(payload) = handle.join() {
+                    std::panic::resume_unwind(payload);
+                }
+                panic!("{name}: body exited without a result");
+            }
+        }
+    }
+}
+
+fn node_config() -> LiveNodeConfig {
+    LiveNodeConfig {
+        checkpoint_interval: Duration::from_millis(150),
+        gather_interval: Duration::from_millis(250),
+        gather_timeout: Duration::from_millis(600),
+        time_scale: 0.02,
+        ..LiveNodeConfig::default()
+    }
+}
+
+fn proto() -> RandTree {
+    RandTree::new(2, vec![NodeId(0)], RandTreeBugs::none())
+}
+
+/// The parent half: serve the registry, host nodes 0–1 and the checker,
+/// spawn the child process, and observe a cross-process join land.
+#[test]
+fn deployment_spans_two_processes() {
+    if std::env::var(CHILD_ENV).is_ok() {
+        // This *is* the child re-invocation running the whole filter set;
+        // only the child entry should do work there.
+        return;
+    }
+    let _serial = serial();
+    with_watchdog(Duration::from_secs(120), "two-process", || {
+        let config = LiveConfig {
+            seed: 21,
+            node: node_config(),
+            checker: live_checker_config(2_000, 4, 1),
+            ..LiveConfig::default()
+        };
+        let dep = DeploymentBuilder::new(proto(), randtree::properties::all())
+            .nodes(&[NodeId(0), NodeId(1)])
+            .config(config)
+            .serve_registry("127.0.0.1:0".parse().unwrap())
+            .boot()
+            .expect("boot parent half");
+        let reg_addr = dep.registry_addr().expect("registry served");
+
+        // Stand the root up before the child's joiners arrive.
+        dep.inject(NodeId(0), RtAction::Join { target: NodeId(0) });
+        wait_until(&dep, Duration::from_secs(20), |d| {
+            d.probe(NodeId(0), Duration::from_secs(2))
+                .is_some_and(|r| r.slot.state.status == randtree::Status::Joined)
+        });
+        dep.inject(NodeId(1), RtAction::Join { target: NodeId(0) });
+
+        let exe = std::env::current_exe().expect("current test binary");
+        let mut child = Command::new(exe)
+            .args(["child_process_hosts_joined_nodes", "--exact", "--nocapture"])
+            .env(CHILD_ENV, reg_addr.to_string())
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn child process");
+
+        // The cross-process join: some parent-side node adopts a child
+        // the parent process does not host.
+        let remote = [NodeId(2), NodeId(3)];
+        let adopted = wait_until(&dep, Duration::from_secs(60), |d| {
+            [NodeId(0), NodeId(1)].iter().any(|&n| {
+                d.probe(n, Duration::from_secs(2))
+                    .is_some_and(|r| r.slot.state.children.iter().any(|c| remote.contains(c)))
+            })
+        });
+
+        // Reap the child before asserting, so a failure can't leak it.
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let status = loop {
+            match child.try_wait().expect("wait child") {
+                Some(status) => break Some(status),
+                None if Instant::now() >= deadline => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    break None;
+                }
+                None => thread::sleep(Duration::from_millis(100)),
+            }
+        };
+
+        assert!(
+            adopted,
+            "a node hosted by the child process joined the parent's tree"
+        );
+        let status = status.expect("child process wedged past its deadline");
+        assert!(status.success(), "child process exited cleanly: {status:?}");
+
+        let report = dep.shutdown();
+        let totals = report.stats.totals();
+        assert!(
+            totals.service_delivered > 0,
+            "cross-process service traffic flowed"
+        );
+    });
+}
+
+/// The child half: joins the parent's registry and hosts nodes 2–3. A
+/// no-op unless re-invoked by the parent with `CB_LIVE_CHILD_JOIN` set.
+#[test]
+fn child_process_hosts_joined_nodes() {
+    let Ok(addr) = std::env::var(CHILD_ENV) else {
+        return;
+    };
+    let server = addr.parse().expect("registry addr");
+    let config = LiveConfig {
+        seed: 22,
+        node: node_config(),
+        checker: live_checker_config(2_000, 4, 1),
+        ..LiveConfig::default()
+    };
+    let mut dep = DeploymentBuilder::new(proto(), randtree::properties::all())
+        .nodes(&[NodeId(2), NodeId(3)])
+        .config(config)
+        .join(server)
+        .boot()
+        .expect("boot child half");
+    for n in [NodeId(2), NodeId(3)] {
+        dep.inject(n, RtAction::Join { target: NodeId(0) });
+    }
+    // Re-kick stragglers until both child-hosted nodes are in the tree
+    // (joins race the parent-side tree's reshaping).
+    wait_until(&dep, Duration::from_secs(45), |d| {
+        [NodeId(2), NodeId(3)]
+            .iter()
+            .all(|&n| match d.probe(n, Duration::from_secs(2)) {
+                Some(r) if r.slot.state.status == randtree::Status::Joined => true,
+                Some(_) => {
+                    d.inject(n, RtAction::Join { target: NodeId(0) });
+                    false
+                }
+                None => false,
+            })
+    });
+    // Keep serving the overlay briefly so the parent observes the join.
+    dep.run_for(Duration::from_secs(4));
+    let report = dep.shutdown();
+    let joined = report
+        .states
+        .values()
+        .filter(|s| s.state.status == randtree::Status::Joined)
+        .count();
+    assert!(joined >= 1, "child-hosted nodes joined across processes");
+}
