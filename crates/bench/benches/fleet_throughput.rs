@@ -250,6 +250,7 @@ fn main() {
         "three steering deployments multiplexed over one WorkerPool and one \
          CheckerHost, with a uniform fault schedule",
     );
+    let trace_path = cb_bench::harness::trace_arg();
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -411,5 +412,8 @@ fn main() {
         let mut f = std::fs::File::create(&path).expect("open CB_BENCH_JSON output");
         writeln!(f, "{json}").expect("write JSON");
         println!("(written to {path})");
+    }
+    if let Some(path) = trace_path {
+        cb_bench::harness::export_trace(&path);
     }
 }

@@ -116,6 +116,7 @@ fn main() {
         "each node gathers its neighborhood snapshot over the wire \
          (§2.3/§3.1) and ships it to the checker process by TCP",
     );
+    let trace = cb_bench::harness::trace_arg();
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -224,5 +225,8 @@ fn main() {
         let mut f = std::fs::File::create(&path).expect("open CB_BENCH_JSON output");
         writeln!(f, "{json}").expect("write JSON");
         println!("(written to {path})");
+    }
+    if let Some(path) = trace {
+        cb_bench::harness::export_trace(&path);
     }
 }

@@ -29,6 +29,45 @@ pub fn fast_mode() -> bool {
         .unwrap_or(false)
 }
 
+/// Resolves this bench run's trace destination: a `--trace PATH` CLI flag
+/// (cargo passes post-`--` args through to `harness = false` benches) or
+/// the `CB_TRACE=path` environment fallback. Enables the `cb-obs`
+/// recorder when a destination is set; otherwise the run pays one relaxed
+/// atomic load per instrumentation point.
+pub fn trace_arg() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    let mut path = None;
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            path = Some(std::path::PathBuf::from(
+                args.next().expect("--trace needs a file path"),
+            ));
+        } else if let Some(p) = a.strip_prefix("--trace=") {
+            path = Some(std::path::PathBuf::from(p));
+        }
+    }
+    let path = path.or_else(cb_obs::env_trace_path);
+    if path.is_some() {
+        cb_obs::enable();
+    }
+    path
+}
+
+/// Drains the recorder and writes the chrome-trace JSON (plus the
+/// `.jsonl` event log) to `path` — the bench-side export for runs whose
+/// deployments are built through adapters that hide the builder's
+/// `trace` knob. Call after every deployment in the run has shut down.
+pub fn export_trace(path: &std::path::Path) {
+    let trace = cb_obs::drain();
+    cb_obs::chrome::write_files(&trace, path).expect("write trace files");
+    println!(
+        "(trace: {} events, {} threads -> {})",
+        trace.events.len(),
+        trace.threads.len(),
+        path.display()
+    );
+}
+
 /// Formats a duration in adaptive units.
 pub fn fmt_duration(d: Duration) -> String {
     let s = d.as_secs_f64();

@@ -69,23 +69,37 @@ pub struct CacheCounters {
 }
 
 impl CacheCounters {
+    // The bump methods double as the cache's trace-event hooks: every
+    // backend (sync controller, sharded pool, fleet host) funnels through
+    // them, so one instant per bump covers the whole surface. `cb_obs`
+    // is outcome-invisible — a disabled recorder makes these pure
+    // counter increments.
     pub(crate) fn hit(&self) {
         self.hits.fetch_add(1, Ordering::Relaxed);
+        cb_obs::instant("cache.hit", "cache");
     }
     pub(crate) fn miss(&self) {
         self.misses.fetch_add(1, Ordering::Relaxed);
+        cb_obs::instant("cache.miss", "cache");
     }
     pub(crate) fn spec_started(&self) {
         self.spec_started.fetch_add(1, Ordering::Relaxed);
+        cb_obs::instant("cache.spec_started", "cache");
     }
     pub(crate) fn spec_committed(&self) {
         self.spec_committed.fetch_add(1, Ordering::Relaxed);
+        cb_obs::instant("cache.spec_commit", "cache");
     }
     pub(crate) fn spec_cancelled(&self) {
         self.spec_cancelled.fetch_add(1, Ordering::Relaxed);
+        cb_obs::instant("cache.spec_cancel", "cache");
     }
 
-    /// A point-in-time copy of the counters.
+    /// A point-in-time copy of the counters. Each field is read with one
+    /// relaxed load, so a snapshot taken *while shards are bumping* may
+    /// mix before/after values of different counters — fine for the
+    /// full-JSON stats surfaces, not for invariant checks. See
+    /// [`CacheCounters::quiesced_snapshot`].
     pub fn snapshot(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
@@ -96,6 +110,26 @@ impl CacheCounters {
             spec_committed: self.spec_committed.load(Ordering::Relaxed),
             spec_cancelled: self.spec_cancelled.load(Ordering::Relaxed),
         }
+    }
+
+    /// A *consistent* copy of the counters, for callers that have
+    /// quiesced the cache's clients (e.g. after `WireChecker::drain` /
+    /// pool shutdown): reads the whole set repeatedly until two
+    /// consecutive reads agree, so the result is a single point-in-time
+    /// view rather than a mix of per-field instants. At rest this
+    /// converges on the first iteration; under residual concurrent
+    /// bumping it falls back to the last (racy) read after a bounded
+    /// number of attempts rather than spinning forever.
+    pub fn quiesced_snapshot(&self) -> CacheStats {
+        let mut prev = self.snapshot();
+        for _ in 0..64 {
+            let next = self.snapshot();
+            if next == prev {
+                return next;
+            }
+            prev = next;
+        }
+        prev
     }
 }
 
@@ -131,6 +165,21 @@ impl CacheStats {
         } else {
             self.hits as f64 / total as f64
         }
+    }
+
+    /// Compact JSON via the shared [`cb_obs::json::Writer`] (the one
+    /// escaping-correct emitter every stats surface renders through).
+    pub fn to_json(&self) -> String {
+        let mut w = cb_obs::json::Writer::object(cb_obs::json::Style::Compact);
+        w.field_u64("hits", self.hits)
+            .field_u64("misses", self.misses)
+            .field_u64("inserts", self.inserts)
+            .field_u64("evictions", self.evictions)
+            .field_u64("spec_started", self.spec_started)
+            .field_u64("spec_committed", self.spec_committed)
+            .field_u64("spec_cancelled", self.spec_cancelled)
+            .field_f64("hit_rate", self.hit_rate(), 4);
+        w.finish()
     }
 }
 
@@ -300,6 +349,51 @@ mod tests {
         assert!(!cache.contains(2));
         assert!(cache.contains(3));
         assert_eq!(c.snapshot().evictions, 1);
+    }
+
+    #[test]
+    fn quiesced_snapshot_is_stable_at_rest() {
+        let cache = PredictionCache::with_capacity(4);
+        let c = CacheCounters::default();
+        // Drive some movement, with concurrency while it lasts.
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let cache = &cache;
+                let c = &c;
+                s.spawn(move || {
+                    for i in 0..50 {
+                        let key = t * 1000 + i;
+                        let _ = cache.lookup::<u64>(key, c);
+                        cache.insert(key, Arc::new(key), c);
+                        let _ = cache.lookup::<u64>(key, c);
+                    }
+                });
+            }
+        });
+        // All clients joined: the counters are at rest, so repeated
+        // quiesced snapshots must agree exactly — with each other and
+        // with the plain racy read.
+        let first = c.quiesced_snapshot();
+        for _ in 0..10 {
+            assert_eq!(c.quiesced_snapshot(), first);
+            assert_eq!(c.snapshot(), first);
+        }
+        assert_eq!(first.hits + first.misses, 4 * 50 * 2);
+        assert_eq!(first.inserts, 4 * 50);
+    }
+
+    #[test]
+    fn cache_stats_json_is_valid() {
+        let c = CacheCounters::default();
+        c.hit();
+        c.miss();
+        let json = c.snapshot().to_json();
+        let v = cb_obs::json::parse(&json).expect("valid JSON");
+        assert_eq!(v.get("hits").and_then(cb_obs::json::Value::as_u64), Some(1));
+        assert_eq!(
+            v.get("hit_rate").and_then(cb_obs::json::Value::as_f64),
+            Some(0.5)
+        );
     }
 
     #[test]

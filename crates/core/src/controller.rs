@@ -335,10 +335,11 @@ impl<P: Protocol> Controller<P> {
             at: now,
             node,
             steering,
+            tag: 0,
         };
         match &mut self.backend {
             Backend::Sync(predictor) => predictor.speculate_round(job, start),
-            Backend::Pool(pool) => pool.submit_speculative(now, node, start, steering),
+            Backend::Pool(pool) => pool.submit_speculative(now, node, start, steering, 0),
         }
     }
 
@@ -382,6 +383,7 @@ impl<P: Protocol> Controller<P> {
             at: now,
             node,
             steering,
+            tag: 0,
         };
         match &mut self.backend {
             Backend::Sync(predictor) => {
@@ -393,7 +395,7 @@ impl<P: Protocol> Controller<P> {
             }
             Backend::Pool(pool) => {
                 // Diff-shipped: no full-state clone crosses the channel.
-                pool.submit(now, node, start, steering);
+                pool.submit(now, node, start, steering, 0);
                 None
             }
         }

@@ -128,6 +128,11 @@ pub(crate) struct PredictionJob {
     pub node: NodeId,
     /// Whether the round should derive and safety-check filters.
     pub steering: bool,
+    /// Observability round id (`cb_obs` causality tag), minted by the
+    /// submitter and carried through every stage so one
+    /// gather→predict→install round is joinable across threads in a
+    /// trace. 0 = untagged. Never read by any deterministic surface.
+    pub tag: u64,
 }
 
 /// The outcome of one checking round, ready for the controller to apply.
@@ -307,6 +312,7 @@ impl<P: Protocol> Predictor<P> {
         job: PredictionJob,
         start: &GlobalState<P>,
     ) -> RoundResult<P> {
+        let _span = cb_obs::span_id("checker.round", "checker", job.tag);
         let t0 = Instant::now();
         let key = self.round_key(&job, start);
         if let Some(spec) = self.spec_keys.remove(&job.node) {
@@ -343,6 +349,7 @@ impl<P: Protocol> Predictor<P> {
     /// base the round hits the pre-warmed entry (commit), otherwise the
     /// work is discarded and the round runs cold (cancel).
     pub(crate) fn speculate_round(&mut self, job: PredictionJob, start: &GlobalState<P>) {
+        let _span = cb_obs::span_id("checker.spec_round", "checker", job.tag);
         let Some(key) = self.round_key(&job, start) else {
             return;
         };
@@ -400,6 +407,7 @@ impl<P: Protocol> Predictor<P> {
                     // Fast path: replay previously discovered error paths
                     // (§3.3/§4). "If the problem reappears, CrystalBall
                     // immediately reinstalls the appropriate filter."
+                    let _span = cb_obs::span_id("checker.replay", "checker", job.tag);
                     let out = replay_path(&this.protocol, &this.props, start, path, 256);
                     *slot.lock().expect("replay slot poisoned") = Some(out);
                 });
@@ -407,6 +415,7 @@ impl<P: Protocol> Predictor<P> {
             // The main consequence-prediction run (Fig. 8) on the calling
             // thread, which also lends a hand to queued pool work via the
             // engine's own scopes.
+            let _span = cb_obs::span_id("checker.predict", "checker", job.tag);
             this.stage_predict(start)
         });
 
@@ -433,6 +442,7 @@ impl<P: Protocol> Predictor<P> {
         if let Some(found) = &found {
             if job.steering {
                 // Stage 3: the safety re-check, on the same shared pool.
+                let _span = cb_obs::span_id("checker.safety", "checker", job.tag);
                 filter = self
                     .derive_filter(job.node, start, &found.path)
                     .filter(|f| self.filter_is_safe(start, f, found.depth));
@@ -747,6 +757,7 @@ impl<P: Protocol> CheckerPool<P> {
         node: NodeId,
         start: &GlobalState<P>,
         steering: bool,
+        tag: u64,
     ) {
         let ix = (node.0 as usize) % self.shards.len();
         let shard = &mut self.shards[ix];
@@ -785,8 +796,15 @@ impl<P: Protocol> CheckerPool<P> {
                         .or_default()
                         .decode_state(&delta)
                         .expect("shard delta decodes against in-sync base");
-                    st.predictor
-                        .run_round(PredictionJob { at, node, steering }, &start)
+                    st.predictor.run_round(
+                        PredictionJob {
+                            at,
+                            node,
+                            steering,
+                            tag,
+                        },
+                        &start,
+                    )
                 }));
                 let mut result = match outcome {
                     Ok(r) => r,
@@ -834,6 +852,7 @@ impl<P: Protocol> CheckerPool<P> {
         node: NodeId,
         start: &GlobalState<P>,
         steering: bool,
+        tag: u64,
     ) {
         let ix = (node.0 as usize) % self.shards.len();
         let shard = &self.shards[ix];
@@ -850,8 +869,15 @@ impl<P: Protocol> CheckerPool<P> {
                 // result, since nobody is waiting on a speculation.
                 let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     let mut st = state.lock().expect("shard state poisoned");
-                    st.predictor
-                        .speculate_round(PredictionJob { at, node, steering }, &start);
+                    st.predictor.speculate_round(
+                        PredictionJob {
+                            at,
+                            node,
+                            steering,
+                            tag,
+                        },
+                        &start,
+                    );
                 }));
                 if outcome.is_err() {
                     eprintln!(
@@ -1029,11 +1055,26 @@ impl<P: Protocol> WireChecker<P> {
         node: NodeId,
         delta: &StateDelta,
     ) -> Result<u64, DeltaError> {
+        self.submit_delta_tagged(at, node, delta, 0)
+    }
+
+    /// [`WireChecker::submit_delta`] carrying the submitter's
+    /// observability round id (`cb_obs` causality tag): the checker's
+    /// replay/predict/safety spans for this round are recorded under
+    /// `tag`, joining them to the node-side gather and install spans in
+    /// an exported trace. The tag has no effect on the round's outcome.
+    pub fn submit_delta_tagged(
+        &mut self,
+        at: SimTime,
+        node: NodeId,
+        delta: &StateDelta,
+        tag: u64,
+    ) -> Result<u64, DeltaError> {
         if delta.seq == 1 {
             self.decoders.remove(&node);
         }
         let start: GlobalState<P> = self.decoders.entry(node).or_default().decode_state(delta)?;
-        self.pool.submit(at, node, &start, self.steering);
+        self.pool.submit(at, node, &start, self.steering, tag);
         self.submitted += 1;
         Ok(self.submitted)
     }
@@ -1050,6 +1091,19 @@ impl<P: Protocol> WireChecker<P> {
         node: NodeId,
         delta: &StateDelta,
     ) -> Result<(), DeltaError> {
+        self.submit_speculative_delta_tagged(at, node, delta, 0)
+    }
+
+    /// [`WireChecker::submit_speculative_delta`] carrying the
+    /// submitter's observability round id (see
+    /// [`WireChecker::submit_delta_tagged`]).
+    pub fn submit_speculative_delta_tagged(
+        &mut self,
+        at: SimTime,
+        node: NodeId,
+        delta: &StateDelta,
+        tag: u64,
+    ) -> Result<(), DeltaError> {
         if delta.seq == 1 {
             self.spec_decoders.remove(&node);
         }
@@ -1059,7 +1113,7 @@ impl<P: Protocol> WireChecker<P> {
             .or_default()
             .decode_state(delta)?;
         self.pool
-            .submit_speculative(at, node, &start, self.steering);
+            .submit_speculative(at, node, &start, self.steering, tag);
         Ok(())
     }
 

@@ -224,6 +224,7 @@ impl Fleet {
     /// its results apply at simulated time `t`; the trace records a
     /// deterministic per-member snapshot.
     fn drain_at(&mut self, t: SimTime) {
+        let _span = cb_obs::span_id("fleet.drain", "fleet", self.drains + 1);
         self.drains += 1;
         let _ = writeln!(self.trace, "drain t={}", t.0);
         for (i, m) in self.members.iter_mut().enumerate() {

@@ -17,6 +17,7 @@
 use std::collections::BTreeMap;
 
 use cb_model::SimTime;
+use cb_obs::json::{self, Style, Writer};
 
 /// The roll-up of one fleet member (one co-deployed simulation).
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -83,56 +84,46 @@ pub struct MemberStats {
 }
 
 impl MemberStats {
-    /// The member's deterministic JSON object (no wall-clock fields).
-    fn deterministic_fields(&self) -> String {
-        let viols: Vec<String> = self
-            .violations_by_property
-            .iter()
-            .map(|(k, v)| format!("\"{k}\":{v}"))
-            .collect();
-        format!(
-            "\"name\":\"{}\",\"protocol\":\"{}\",\"steps\":{},\"faults_applied\":{},\
-             \"actions_executed\":{},\"messages_delivered\":{},\"messages_lost\":{},\
-             \"deliveries_blocked\":{},\"actions_blocked\":{},\"resets_applied\":{},\
-             \"snapshots_completed\":{},\"violating_states\":{},\
-             \"violations_by_property\":{{{}}},\"mc_runs\":{},\"predictions\":{},\
-             \"filters_installed\":{},\"steering_unhelpful\":{},\"filter_hits\":{},\
-             \"isc_vetoes\":{},\"uncaught_violations\":{},\"wire_raw_bytes\":{},\
-             \"wire_shipped_bytes\":{},\"first_prediction_at_us\":{},\
-             \"first_violation_at_us\":{},\"state_hash\":\"{:016x}\"",
-            self.name,
-            self.protocol,
-            self.steps,
-            self.faults_applied,
-            self.actions_executed,
-            self.messages_delivered,
-            self.messages_lost,
-            self.deliveries_blocked,
-            self.actions_blocked,
-            self.resets_applied,
-            self.snapshots_completed,
-            self.violating_states,
-            viols.join(","),
-            self.mc_runs,
-            self.predictions,
-            self.filters_installed,
-            self.steering_unhelpful,
-            self.filter_hits,
-            self.isc_vetoes,
-            self.uncaught_violations,
-            self.wire_raw_bytes,
-            self.wire_shipped_bytes,
-            opt_time(self.first_prediction_at),
-            opt_time(self.first_violation_at),
-            self.state_hash,
-        )
-    }
-}
-
-fn opt_time(t: Option<SimTime>) -> String {
-    match t {
-        Some(t) => t.0.to_string(),
-        None => "null".into(),
+    /// Writes the member's deterministic fields (no wall-clock counters)
+    /// into an open object. Byte-identical to the pre-`Writer` emitter
+    /// for escape-free inputs; names/protocols containing `"` or `\` now
+    /// escape correctly instead of corrupting the document.
+    fn write_deterministic(&self, w: &mut Writer) {
+        let mut viols = Writer::object(Style::Compact);
+        for (k, v) in &self.violations_by_property {
+            viols.field_u64(k, *v);
+        }
+        w.field_str("name", &self.name)
+            .field_str("protocol", &self.protocol)
+            .field_u64("steps", self.steps)
+            .field_u64("faults_applied", self.faults_applied)
+            .field_u64("actions_executed", self.actions_executed)
+            .field_u64("messages_delivered", self.messages_delivered)
+            .field_u64("messages_lost", self.messages_lost)
+            .field_u64("deliveries_blocked", self.deliveries_blocked)
+            .field_u64("actions_blocked", self.actions_blocked)
+            .field_u64("resets_applied", self.resets_applied)
+            .field_u64("snapshots_completed", self.snapshots_completed)
+            .field_u64("violating_states", self.violating_states)
+            .field_raw("violations_by_property", &viols.finish())
+            .field_u64("mc_runs", self.mc_runs)
+            .field_u64("predictions", self.predictions)
+            .field_u64("filters_installed", self.filters_installed)
+            .field_u64("steering_unhelpful", self.steering_unhelpful)
+            .field_u64("filter_hits", self.filter_hits)
+            .field_u64("isc_vetoes", self.isc_vetoes)
+            .field_u64("uncaught_violations", self.uncaught_violations)
+            .field_u64("wire_raw_bytes", self.wire_raw_bytes)
+            .field_u64("wire_shipped_bytes", self.wire_shipped_bytes)
+            .field_opt_u64(
+                "first_prediction_at_us",
+                self.first_prediction_at.map(|t| t.0),
+            )
+            .field_opt_u64(
+                "first_violation_at_us",
+                self.first_violation_at.map(|t| t.0),
+            )
+            .field_str("state_hash", &format!("{:016x}", self.state_hash));
     }
 }
 
@@ -208,53 +199,47 @@ impl FleetStats {
         let members: Vec<String> = self
             .members
             .iter()
-            .map(|m| format!("{{{}}}", m.deterministic_fields()))
+            .map(|m| {
+                let mut w = Writer::object(Style::Compact);
+                m.write_deterministic(&mut w);
+                w.finish()
+            })
             .collect();
-        format!(
-            "{{\"fleet_seed\":{},\"sim_seconds\":{:.3},\"fleet_steps\":{},\
-             \"faults_applied\":{},\"drains\":{},\"members\":[{}]}}",
-            self.seed,
-            self.sim_seconds,
-            self.fleet_steps,
-            self.faults_applied,
-            self.drains,
-            members.join(",")
-        )
+        self.envelope(&members)
     }
 
     /// The full serialization: the deterministic fields plus measured
-    /// wall-clock checker latency per member.
+    /// wall-clock checker latency and cache counters per member.
     pub fn to_json(&self) -> String {
         let members: Vec<String> = self
             .members
             .iter()
             .map(|m| {
-                format!(
-                    "{{{},\"avg_mc_latency_ms\":{:.3},\"cache_hits\":{},\
-                     \"cache_misses\":{},\"cache_hit_rate\":{:.4},\
-                     \"spec_started\":{},\"spec_committed\":{},\
-                     \"spec_cancelled\":{}}}",
-                    m.deterministic_fields(),
-                    m.avg_mc_latency_ms,
-                    m.cache.hits,
-                    m.cache.misses,
-                    m.cache.hit_rate(),
-                    m.cache.spec_started,
-                    m.cache.spec_committed,
-                    m.cache.spec_cancelled,
-                )
+                let mut w = Writer::object(Style::Compact);
+                m.write_deterministic(&mut w);
+                w.field_f64("avg_mc_latency_ms", m.avg_mc_latency_ms, 3)
+                    .field_u64("cache_hits", m.cache.hits)
+                    .field_u64("cache_misses", m.cache.misses)
+                    .field_f64("cache_hit_rate", m.cache.hit_rate(), 4)
+                    .field_u64("spec_started", m.cache.spec_started)
+                    .field_u64("spec_committed", m.cache.spec_committed)
+                    .field_u64("spec_cancelled", m.cache.spec_cancelled);
+                w.finish()
             })
             .collect();
-        format!(
-            "{{\"fleet_seed\":{},\"sim_seconds\":{:.3},\"fleet_steps\":{},\
-             \"faults_applied\":{},\"drains\":{},\"members\":[{}]}}",
-            self.seed,
-            self.sim_seconds,
-            self.fleet_steps,
-            self.faults_applied,
-            self.drains,
-            members.join(",")
-        )
+        self.envelope(&members)
+    }
+
+    /// The shared top-level object around a rendered member list.
+    fn envelope(&self, members: &[String]) -> String {
+        let mut w = Writer::object(Style::Compact);
+        w.field_u64("fleet_seed", self.seed)
+            .field_f64("sim_seconds", self.sim_seconds, 3)
+            .field_u64("fleet_steps", self.fleet_steps)
+            .field_u64("faults_applied", self.faults_applied)
+            .field_u64("drains", self.drains)
+            .field_raw("members", &json::array(members));
+        w.finish()
     }
 }
 
@@ -310,5 +295,17 @@ mod tests {
         assert!(d1.contains("\"first_prediction_at_us\":5"));
         assert!(d1.contains("\"first_violation_at_us\":null"));
         assert!(d1.contains("\"P\":2"));
+    }
+
+    #[test]
+    fn member_names_escape_correctly() {
+        let f = FleetStats {
+            members: vec![member("quo\"ted")],
+            ..FleetStats::default()
+        };
+        let d = f.deterministic_json();
+        assert!(d.contains("\"name\":\"quo\\\"ted\""), "{d}");
+        cb_obs::json::parse(&d).expect("deterministic JSON parses");
+        cb_obs::json::parse(&f.to_json()).expect("full JSON parses");
     }
 }

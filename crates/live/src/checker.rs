@@ -93,8 +93,9 @@ struct CheckerSrv<P: Protocol> {
     checker: WireChecker<P>,
     listener: TcpListener,
     conns: Vec<CheckerConn>,
-    /// seq → (receipt instant, node, node-clock submission stamp).
-    inflight: HashMap<u64, (Instant, NodeId, u64)>,
+    /// seq → (receipt instant, node, node-clock submission stamp,
+    /// observability round id).
+    inflight: HashMap<u64, (Instant, NodeId, u64, u64)>,
     stats: CheckerProcessStats,
     drain_timeout: Duration,
 }
@@ -266,10 +267,11 @@ impl<P: Protocol> CheckerSrv<P> {
                     // `inflight`; the outcome lands in the shared
                     // prediction cache where the full-snapshot round finds
                     // (or cancels) it.
-                    match self.checker.submit_speculative_delta(
+                    match self.checker.submit_speculative_delta_tagged(
                         SimTime(body.at_us),
                         body.node,
                         &body.delta,
+                        body.round,
                     ) {
                         Ok(()) => self.stats.spec_submits_received += 1,
                         Err(_) => {
@@ -281,14 +283,17 @@ impl<P: Protocol> CheckerSrv<P> {
                     }
                     return;
                 }
-                match self
-                    .checker
-                    .submit_delta(SimTime(body.at_us), body.node, &body.delta)
-                {
+                match self.checker.submit_delta_tagged(
+                    SimTime(body.at_us),
+                    body.node,
+                    &body.delta,
+                    body.round,
+                ) {
                     Ok(seq) => {
+                        cb_obs::instant_id("checker.submit_received", "checker", body.round);
                         self.stats.submits_received += 1;
                         self.inflight
-                            .insert(seq, (Instant::now(), body.node, body.at_us));
+                            .insert(seq, (Instant::now(), body.node, body.at_us, body.round));
                     }
                     Err(_) => {
                         // Out-of-order / corrupt lineage: protocol error
@@ -321,21 +326,23 @@ impl<P: Protocol> CheckerSrv<P> {
             if round.violation.is_some() {
                 self.stats.predictions += 1;
             }
-            let (node, at_us) = match self.inflight.remove(&round.seq) {
-                Some((recv, node, at_us)) => {
+            let (node, at_us, obs_round) = match self.inflight.remove(&round.seq) {
+                Some((recv, node, at_us, obs_round)) => {
                     self.stats
                         .round_latency
                         .record(recv.elapsed().as_micros() as u64);
-                    (node, at_us)
+                    (node, at_us, obs_round)
                 }
-                None => (round.node, 0),
+                None => (round.node, 0, 0),
             };
+            cb_obs::instant_id("checker.install_push", "checker", obs_round);
             // Push the round's outcome — including an empty filter set,
             // which tells the node to expire the previous round's filters
             // (§3.3).
             let body = InstallBody {
                 seq: round.seq,
                 at_us,
+                round: obs_round,
                 filters: round.filters.to_bytes(),
             };
             let frame = frame_of(NodeId::DUMMY, node, 0, FrameKind::FilterInstall, &body);

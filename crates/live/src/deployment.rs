@@ -97,6 +97,7 @@ pub struct DeploymentBuilder<P: Protocol> {
     reactor_threads: usize,
     serve_registry: Option<SocketAddr>,
     join: Option<SocketAddr>,
+    trace: Option<std::path::PathBuf>,
 }
 
 impl<P: Protocol> DeploymentBuilder<P> {
@@ -110,6 +111,7 @@ impl<P: Protocol> DeploymentBuilder<P> {
             reactor_threads: 0,
             serve_registry: None,
             join: None,
+            trace: None,
         }
     }
 
@@ -169,6 +171,17 @@ impl<P: Protocol> DeploymentBuilder<P> {
         self
     }
 
+    /// Enables the `cb-obs` recorder for this deployment and exports the
+    /// collected trace to `path` (chrome trace-event JSON, plus a
+    /// `.jsonl` event log next to it) at [`LiveDeployment::shutdown`].
+    /// Without this knob (or the `CB_TRACE=path` environment fallback)
+    /// the recorder stays disabled and every instrumentation point
+    /// degrades to one relaxed atomic load.
+    pub fn trace(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.trace = Some(path.into());
+        self
+    }
+
     /// Boots the reactors, the registry (local, served, or joined), the
     /// checker (unless joining), and every node.
     pub fn boot(self) -> std::io::Result<LiveDeployment<P>> {
@@ -180,7 +193,12 @@ impl<P: Protocol> DeploymentBuilder<P> {
             reactor_threads,
             serve_registry,
             join,
+            trace,
         } = self;
+        let trace = trace.or_else(cb_obs::env_trace_path);
+        if trace.is_some() {
+            cb_obs::enable();
+        }
         let threads = if reactor_threads == 0 {
             nodes.len().max(1)
         } else {
@@ -228,6 +246,7 @@ impl<P: Protocol> DeploymentBuilder<P> {
             epoch: Instant::now(),
             faults_applied: 0,
             restarts: 0,
+            trace,
         };
         for n in nodes {
             dep.spawn(n)?;
@@ -267,6 +286,9 @@ pub struct LiveDeployment<P: Protocol> {
     epoch: Instant,
     faults_applied: u64,
     restarts: u64,
+    /// Where to export the collected `cb-obs` trace at shutdown (chrome
+    /// trace-event JSON + `.jsonl`); `None` leaves the recorder alone.
+    trace: Option<std::path::PathBuf>,
 }
 
 impl<P: Protocol> LiveDeployment<P> {
@@ -545,6 +567,15 @@ impl<P: Protocol> LiveDeployment<P> {
         }
         if let Some(checker) = self.checker.take() {
             stats.checker = checker.shutdown();
+        }
+        // Export after every reactor and checker thread has joined: their
+        // thread-exit drops flushed the per-thread rings, so the drain
+        // below sees the whole deployment's events.
+        if let Some(path) = self.trace.take() {
+            let trace = cb_obs::drain();
+            if let Err(e) = cb_obs::chrome::write_files(&trace, &path) {
+                eprintln!("cb-obs: trace export to {} failed: {e}", path.display());
+            }
         }
         LiveReport {
             stats,

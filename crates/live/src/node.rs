@@ -397,6 +397,14 @@ pub struct LiveNode<P: Protocol> {
     /// live it would also *flood* the checker — gathers run on a wall
     /// clock regardless of whether anything changed.
     last_submit_hash: Option<u64>,
+    /// Gather-start timestamps of the in-progress gather: node-clock µs
+    /// plus obs-clock µs (0 when tracing is off). Claimed by the
+    /// completing `poll_snapshot`.
+    gather_started: Option<(u64, u64)>,
+    /// Start timestamps of rounds whose submission is in flight, keyed by
+    /// the round id the install push echoes back — what turns the
+    /// checker's answer into a measured gather→install latency sample.
+    round_started: HashMap<u64, (u64, u64)>,
     filters: Vec<EventFilter>,
     timers: HashMap<P::Action, Instant>,
     /// Fault-delayed frames awaiting their release instant.
@@ -457,6 +465,8 @@ impl<P: Protocol> LiveNode<P> {
             delta_enc: DeltaEncoder::new(),
             spec_delta_enc: DeltaEncoder::new(),
             last_submit_hash: None,
+            gather_started: None,
+            round_started: HashMap::new(),
             filters: Vec::new(),
             timers: HashMap::new(),
             delayed: Vec::new(),
@@ -880,6 +890,20 @@ impl<P: Protocol> LiveNode<P> {
         self.stats.filters_installed = self.filters.len() as u64;
         let latency = self.elapsed_us().saturating_sub(body.at_us);
         self.stats.install_latency.record(latency);
+        cb_obs::instant_id("node.install", "live", body.round);
+        // Close the paper's whole loop: the matching gather's start was
+        // stashed under this round id at submit time, so the install
+        // receipt turns into one gather→install latency sample (and,
+        // when tracing, one end-to-end span joined to the checker's
+        // round spans by the id).
+        if let Some((start_us, obs_start)) = self.round_started.remove(&body.round) {
+            self.stats
+                .gather_to_install
+                .record(self.elapsed_us().saturating_sub(start_us));
+            if obs_start != 0 {
+                cb_obs::complete_span("round.gather_to_install", "live", body.round, obs_start);
+            }
+        }
     }
 
     // ---- handlers and timers -------------------------------------------
@@ -1179,10 +1203,12 @@ impl<P: Protocol> LiveNode<P> {
         let Some(ix) = self.checker_conn() else {
             return;
         };
+        let round = (u64::from(self.me.0) << 32) | snap.cr;
         let body = SubmitBody {
             node: self.me,
             at_us: self.elapsed_us(),
             speculative: true,
+            round,
             delta: self.spec_delta_enc.encode_state(&gs),
         };
         let frame = frame_of(self.me, NodeId::DUMMY, 0, FrameKind::Submit, &body);
@@ -1192,6 +1218,7 @@ impl<P: Protocol> LiveNode<P> {
             self.spec_delta_enc = DeltaEncoder::new();
             return;
         }
+        cb_obs::instant_id("node.spec_submit", "live", round);
         self.stats.spec_submits_sent += 1;
         self.stats.frames_sent += 1;
         self.peers.push_frame_to(ix, &frame);
@@ -1208,6 +1235,14 @@ impl<P: Protocol> LiveNode<P> {
         let bytes = self.slot.to_bytes();
         let reqs = self.mgr.start_gather(&neighbors, &bytes);
         let now = Instant::now();
+        self.gather_started = Some((
+            self.elapsed_us(),
+            if cb_obs::enabled() {
+                cb_obs::now_us()
+            } else {
+                0
+            },
+        ));
         self.gather_deadline = Some(now + self.cfg.gather_timeout);
         self.spec_deadline = if self.cfg.speculate_partial_gathers {
             Some(now + self.cfg.gather_timeout / 2)
@@ -1228,6 +1263,19 @@ impl<P: Protocol> LiveNode<P> {
         self.stats.snapshots_completed += 1;
         self.gather_deadline = None;
         self.spec_deadline = None;
+        // The round id joining this gather's node/wire/checker spans in a
+        // trace: the node is the high half, the gather's checkpoint
+        // number the low half — deterministic, unique per node per
+        // gather, and minted whether or not tracing is on (it rides the
+        // wire either way, so trace-on and trace-off runs ship identical
+        // bytes).
+        let round = (u64::from(self.me.0) << 32) | snap.cr;
+        let started = self.gather_started.take();
+        if let Some((_, obs_start)) = started {
+            if obs_start != 0 {
+                cb_obs::complete_span("node.gather", "live", round, obs_start);
+            }
+        }
         // Decode the wire-gathered checkpoints into a checker-ready
         // neighborhood state; undecodable checkpoints drop to the dummy
         // node (§4).
@@ -1251,6 +1299,7 @@ impl<P: Protocol> LiveNode<P> {
             node: self.me,
             at_us: self.elapsed_us(),
             speculative: false,
+            round,
             delta: self.delta_enc.encode_state(&gs),
         };
         let frame = frame_of(self.me, NodeId::DUMMY, 0, FrameKind::Submit, &body);
@@ -1266,6 +1315,15 @@ impl<P: Protocol> LiveNode<P> {
             self.last_submit_hash = None;
             return;
         }
+        if let Some(started) = started {
+            self.round_started.insert(round, started);
+            if self.round_started.len() > 1024 {
+                // Rounds whose install never arrived (checker died,
+                // filters went elsewhere): stop them pinning memory.
+                self.round_started.clear();
+            }
+        }
+        cb_obs::instant_id("node.submit", "live", round);
         self.stats.submits_sent += 1;
         self.stats.submit_bytes += frame.len() as u64;
         self.stats.frames_sent += 1;

@@ -170,7 +170,10 @@ fn reactor_loop<P: Protocol>(
         for (i, mut node) in nodes.drain(..).enumerate() {
             let io = ready.get(i).copied().unwrap_or_else(IoReadiness::all);
             let id = node.id();
-            match node.poll(now, io) {
+            let span = cb_obs::span_id("reactor.node_poll", "live", u64::from(id.0));
+            let status = node.poll(now, io);
+            drop(span);
+            match status {
                 PollStatus::Running { next_wake } => {
                     min_wake = min_wake.min(next_wake);
                     still.push(node);
@@ -188,6 +191,18 @@ fn reactor_loop<P: Protocol>(
         }
         let timeout = min_wake.saturating_duration_since(Instant::now()).min(tick);
         ready = wait_io(&nodes, timeout);
+        // Wake lag: how far past the earliest requested deadline the loop
+        // actually resumed — scheduling latency every node's timers sit
+        // behind. (poll(2) returning early on IO readiness reads as 0.)
+        if cb_obs::enabled() {
+            let lag = Instant::now().saturating_duration_since(min_wake);
+            cb_obs::counter("reactor.wake_lag_us", "live", lag.as_micros() as i64);
+            // The reactor is long-lived and chatty (one poll span per node
+            // per iteration); without a periodic flush its ring wraps and
+            // drops most of the run. Flushing here keeps the ring small
+            // and rides the iteration boundary, off every node's hot path.
+            cb_obs::flush_thread();
+        }
     }
 }
 

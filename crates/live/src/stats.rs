@@ -78,6 +78,12 @@ pub struct NodeStats {
     /// Count / total / max of gather-to-install latency in µs, measured on
     /// this node's clock (submission timestamp echoed by the checker).
     pub install_latency: LatencySummary,
+    /// Full gather-start → install-receipt latency distribution in µs,
+    /// keyed by observability round id (always measured, on this node's
+    /// clock — not gated on `cb_obs` tracing). This is the paper's
+    /// latency race: the window the checker has to predict and steer
+    /// before live execution outruns it.
+    pub gather_to_install: cb_obs::Histogram,
 }
 
 /// Running (count, total, max) summary for a latency series.
@@ -145,6 +151,7 @@ impl NodeStats {
             violating_samples,
             violations_by_property,
             install_latency,
+            gather_to_install,
         } = other;
         self.frames_sent += frames_sent;
         self.frames_received += frames_received;
@@ -178,6 +185,7 @@ impl NodeStats {
             *self.violations_by_property.entry(k.clone()).or_default() += v;
         }
         self.install_latency.merge(install_latency);
+        self.gather_to_install.merge(gather_to_install);
     }
 }
 
@@ -253,8 +261,8 @@ impl LiveStats {
         t
     }
 
-    /// Renders the roll-up as JSON (hand-rolled like the other stats
-    /// surfaces in this workspace; no serde offline).
+    /// Renders the roll-up as JSON via the shared
+    /// [`cb_obs::json::Writer`] (no serde offline).
     pub fn to_json(&self) -> String {
         self.to_json_with("")
     }
@@ -264,6 +272,7 @@ impl LiveStats {
     /// leg. Pass `""` for none; otherwise pass `"\"key\": value"` pairs
     /// (comma-joined, no trailing comma).
     pub fn to_json_with(&self, extra: &str) -> String {
+        use cb_obs::json::{self, Style, Writer};
         let t = self.totals();
         let frames = t.frames_sent + t.frames_received;
         let frames_per_sec = if self.wall_seconds > 0.0 {
@@ -271,120 +280,79 @@ impl LiveStats {
         } else {
             0.0
         };
-        let mut per_node = String::new();
-        for (id, n) in &self.nodes {
-            if !per_node.is_empty() {
-                per_node.push(',');
-            }
-            per_node.push_str(&format!(
-                concat!(
-                    "{{\"node\":{},\"frames_sent\":{},\"frames_received\":{},",
-                    "\"service_delivered\":{},\"snapshots_completed\":{},",
-                    "\"submits_sent\":{},\"installs_received\":{},",
-                    "\"filter_hits\":{},\"violating_samples\":{}}}"
-                ),
-                id,
-                n.frames_sent,
-                n.frames_received,
-                n.service_delivered,
-                n.snapshots_completed,
-                n.submits_sent,
-                n.installs_received,
-                n.filter_hits,
-                n.violating_samples,
-            ));
-        }
-        format!(
-            concat!(
-                "{{\n \"bench\": \"live_throughput\",\n",
-                " \"wall_seconds\": {:.3},\n",
-                " \"nodes\": {},\n",
-                " \"frames_total\": {},\n",
-                " \"frames_per_sec\": {:.1},\n",
-                " \"socket_bytes_total\": {},\n",
-                " \"service_delivered\": {},\n",
-                " \"snapshot_wire_bytes\": {},\n",
-                " \"snapshots_completed\": {},\n",
-                " \"gather_timeouts\": {},\n",
-                " \"submits_sent\": {},\n",
-                " \"submit_bytes\": {},\n",
-                " \"checker_rounds\": {},\n",
-                " \"predictions\": {},\n",
-                " \"installs_sent\": {},\n",
-                " \"filter_hits\": {},\n",
-                " \"violating_samples\": {},\n",
-                " \"faults_applied\": {},\n",
-                " \"restarts\": {},\n",
-                " \"install_latency_samples\": {},\n",
-                " \"install_latency_avg_us\": {},\n",
-                " \"install_latency_max_us\": {},\n",
-                " \"checker_wire_shipped_bytes\": {},\n",
-                " \"checker_wire_raw_bytes\": {},\n",
-                " \"spec_submits_sent\": {},\n",
-                " \"spec_submits_received\": {},\n",
-                " \"cache_hits\": {},\n",
-                " \"cache_misses\": {},\n",
-                " \"cache_hit_rate\": {:.4},\n",
-                " \"spec_started\": {},\n",
-                " \"spec_committed\": {},\n",
-                " \"spec_cancelled\": {},\n",
-                " \"reactor_threads\": {},\n",
-                " \"nodes_per_thread\": {:.2},\n",
-                " \"frames_delayed\": {},\n",
-                " \"frames_duplicated\": {},\n",
-                " \"frames_reordered\": {},\n",
-                " \"frames_dropped_backpressure\": {},\n",
-                "{}",
-                " \"per_node\": [{}]\n}}"
-            ),
-            self.wall_seconds,
-            self.nodes.len(),
-            frames,
-            frames_per_sec,
-            t.bytes_sent + t.bytes_received,
-            t.service_delivered,
-            t.snapshot_wire_bytes,
-            t.snapshots_completed,
-            t.gather_timeouts,
-            t.submits_sent,
-            t.submit_bytes,
-            self.checker.rounds_completed,
-            self.checker.predictions,
-            self.checker.installs_sent,
-            t.filter_hits,
-            t.violating_samples,
-            self.faults_applied,
-            self.restarts,
-            t.install_latency.count,
-            t.install_latency.avg_us(),
-            t.install_latency.max_us,
-            self.checker.wire_shipped_bytes,
-            self.checker.wire_raw_bytes,
-            t.spec_submits_sent,
-            self.checker.spec_submits_received,
-            self.checker.cache.hits,
-            self.checker.cache.misses,
-            self.checker.cache.hit_rate(),
-            self.checker.cache.spec_started,
-            self.checker.cache.spec_committed,
-            self.checker.cache.spec_cancelled,
-            self.reactor_threads,
-            if self.reactor_threads > 0 {
-                self.nodes.len() as f64 / self.reactor_threads as f64
-            } else {
-                0.0
-            },
-            t.frames_delayed,
-            t.frames_duplicated,
-            t.frames_reordered,
-            t.frames_dropped_backpressure,
-            if extra.is_empty() {
-                String::new()
-            } else {
-                format!(" {extra},\n")
-            },
-            per_node,
-        )
+        let per_node: Vec<String> = self
+            .nodes
+            .iter()
+            .map(|(id, n)| {
+                let mut w = Writer::object(Style::Compact);
+                w.field_u64("node", u64::from(*id))
+                    .field_u64("frames_sent", n.frames_sent)
+                    .field_u64("frames_received", n.frames_received)
+                    .field_u64("service_delivered", n.service_delivered)
+                    .field_u64("snapshots_completed", n.snapshots_completed)
+                    .field_u64("submits_sent", n.submits_sent)
+                    .field_u64("installs_received", n.installs_received)
+                    .field_u64("filter_hits", n.filter_hits)
+                    .field_u64("violating_samples", n.violating_samples);
+                w.finish()
+            })
+            .collect();
+        let mut w = Writer::object(Style::Pretty);
+        w.field_str("bench", "live_throughput")
+            .field_f64("wall_seconds", self.wall_seconds, 3)
+            .field_usize("nodes", self.nodes.len())
+            .field_u64("frames_total", frames)
+            .field_f64("frames_per_sec", frames_per_sec, 1)
+            .field_u64("socket_bytes_total", t.bytes_sent + t.bytes_received)
+            .field_u64("service_delivered", t.service_delivered)
+            .field_u64("snapshot_wire_bytes", t.snapshot_wire_bytes)
+            .field_u64("snapshots_completed", t.snapshots_completed)
+            .field_u64("gather_timeouts", t.gather_timeouts)
+            .field_u64("submits_sent", t.submits_sent)
+            .field_u64("submit_bytes", t.submit_bytes)
+            .field_u64("checker_rounds", self.checker.rounds_completed)
+            .field_u64("predictions", self.checker.predictions)
+            .field_u64("installs_sent", self.checker.installs_sent)
+            .field_u64("filter_hits", t.filter_hits)
+            .field_u64("violating_samples", t.violating_samples)
+            .field_u64("faults_applied", self.faults_applied)
+            .field_u64("restarts", self.restarts)
+            .field_u64("install_latency_samples", t.install_latency.count)
+            .field_u64("install_latency_avg_us", t.install_latency.avg_us())
+            .field_u64("install_latency_max_us", t.install_latency.max_us)
+            .field_u64("gather_to_install_p50", t.gather_to_install.quantile(0.50))
+            .field_u64("gather_to_install_p95", t.gather_to_install.quantile(0.95))
+            .field_u64("gather_to_install_p99", t.gather_to_install.quantile(0.99))
+            .field_u64(
+                "checker_wire_shipped_bytes",
+                self.checker.wire_shipped_bytes,
+            )
+            .field_u64("checker_wire_raw_bytes", self.checker.wire_raw_bytes)
+            .field_u64("spec_submits_sent", t.spec_submits_sent)
+            .field_u64("spec_submits_received", self.checker.spec_submits_received)
+            .field_u64("cache_hits", self.checker.cache.hits)
+            .field_u64("cache_misses", self.checker.cache.misses)
+            .field_f64("cache_hit_rate", self.checker.cache.hit_rate(), 4)
+            .field_u64("spec_started", self.checker.cache.spec_started)
+            .field_u64("spec_committed", self.checker.cache.spec_committed)
+            .field_u64("spec_cancelled", self.checker.cache.spec_cancelled)
+            .field_usize("reactor_threads", self.reactor_threads)
+            .field_f64(
+                "nodes_per_thread",
+                if self.reactor_threads > 0 {
+                    self.nodes.len() as f64 / self.reactor_threads as f64
+                } else {
+                    0.0
+                },
+                2,
+            )
+            .field_u64("frames_delayed", t.frames_delayed)
+            .field_u64("frames_duplicated", t.frames_duplicated)
+            .field_u64("frames_reordered", t.frames_reordered)
+            .field_u64("frames_dropped_backpressure", t.frames_dropped_backpressure)
+            .fragment(extra)
+            .field_raw("per_node", &json::array(&per_node));
+        w.finish()
     }
 }
 
@@ -400,15 +368,18 @@ mod tests {
         };
         a.violations_by_property.insert("P".into(), 2);
         a.install_latency.record(100);
+        a.gather_to_install.record(100);
         let mut b = NodeStats {
             frames_sent: 4,
             ..NodeStats::default()
         };
         b.violations_by_property.insert("P".into(), 1);
         b.install_latency.record(300);
+        b.gather_to_install.record(300);
         a.merge(&b);
         assert_eq!(a.frames_sent, 7);
         assert_eq!(a.violations_by_property["P"], 3);
+        assert_eq!(a.gather_to_install.count(), 2);
         assert_eq!(a.install_latency.count, 2);
         assert_eq!(a.install_latency.avg_us(), 200);
         assert_eq!(a.install_latency.max_us, 300);
@@ -424,7 +395,11 @@ mod tests {
         assert!(json.contains("\"frames_total\": 7"), "{json}");
         assert!(json.contains("\"reactor_threads\": 2"), "{json}");
         assert!(json.contains("\"nodes_per_thread\": 0.50"), "{json}");
+        assert!(json.contains("\"gather_to_install_p50\": "), "{json}");
+        assert!(json.contains("\"gather_to_install_p95\": "), "{json}");
+        assert!(json.contains("\"gather_to_install_p99\": "), "{json}");
         assert!(json.contains("\"per_node\": [{"), "{json}");
+        cb_obs::json::parse(&json).expect("LiveStats JSON parses");
 
         let with = stats.to_json_with("\"reactor_scale\": {\"nodes\": 104}");
         assert!(

@@ -68,6 +68,12 @@ pub struct SubmitBody {
     /// lineage so the checker can pre-warm its prediction cache. No
     /// install push answers a speculative submission.
     pub speculative: bool,
+    /// Observability round id: `(node << 32) | gather checkpoint number`,
+    /// minted when the gather completed. Echoed back in the install push
+    /// so node- and checker-side trace spans of one gather→predict→install
+    /// round share a causality tag. Never read by the deterministic
+    /// checking path (0 when tracing is off).
+    pub round: u64,
     /// The neighborhood state, diffed against this node's previous
     /// submission on the same (real or speculative) lineage.
     pub delta: StateDelta,
@@ -78,6 +84,7 @@ impl Encode for SubmitBody {
         self.node.encode(buf);
         self.at_us.encode(buf);
         buf.push(u8::from(self.speculative));
+        self.round.encode(buf);
         self.delta.encode(buf);
     }
 }
@@ -92,6 +99,7 @@ impl Decode for SubmitBody {
                 1 => true,
                 t => return Err(DecodeError::BadTag(t)),
             },
+            round: u64::decode(r)?,
             delta: StateDelta::decode(r)?,
         })
     }
@@ -104,6 +112,9 @@ pub struct InstallBody {
     pub seq: u64,
     /// The submission timestamp this round was fed from, echoed verbatim.
     pub at_us: u64,
+    /// The submission's observability round id, echoed verbatim (see
+    /// [`SubmitBody::round`]).
+    pub round: u64,
     /// `Vec<EventFilter>` encoding (decoded with
     /// [`cb_mc::EventFilter::decode_list`] against the receiving
     /// protocol's kind tables). An empty list is a valid push: it means
@@ -116,6 +127,7 @@ impl Encode for InstallBody {
     fn encode(&self, buf: &mut Vec<u8>) {
         self.seq.encode(buf);
         self.at_us.encode(buf);
+        self.round.encode(buf);
         self.filters.len().encode(buf);
         buf.extend_from_slice(&self.filters);
     }
@@ -125,10 +137,12 @@ impl Decode for InstallBody {
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
         let seq = u64::decode(r)?;
         let at_us = u64::decode(r)?;
+        let round = u64::decode(r)?;
         let n = r.length()?;
         Ok(InstallBody {
             seq,
             at_us,
+            round,
             filters: r.take(n)?.to_vec(),
         })
     }
@@ -158,12 +172,14 @@ mod tests {
             node: NodeId(1),
             at_us: 123_456,
             speculative: true,
+            round: (1u64 << 32) | 42,
             delta: enc.encode_state(&gs),
         };
         assert_eq!(SubmitBody::from_bytes(&body.to_bytes()).unwrap(), body);
         let install = InstallBody {
             seq: 9,
             at_us: 123_456,
+            round: (1u64 << 32) | 42,
             filters: vec![1, 2, 3],
         };
         assert_eq!(

@@ -498,6 +498,7 @@ impl<P: Protocol> Searcher<'_, P> {
                 .explored_spill_bytes
                 .is_some_and(|b| explored.resident_bytes() > b)
             {
+                let _span = cb_obs::span("mc.spill_flush", "mc");
                 let _ = explored.spill_to_disk();
             }
             stats.peak_frontier_bytes = stats.peak_frontier_bytes.max(level_bytes);
@@ -1043,6 +1044,7 @@ impl<P: Protocol> Searcher<'_, P> {
         next_bytes: &mut usize,
         stats: &mut SearchStats,
     ) -> bool {
+        let _span = cb_obs::span("mc.expand", "mc");
         let over =
             |limit: Option<std::time::Duration>| limit.is_some_and(|d| search_t0.elapsed() >= d);
         // The stamp as the table stores it (compact layouts saturate the
@@ -1217,6 +1219,7 @@ impl<P: Protocol> Searcher<'_, P> {
         stamp_cmp: u64,
         stop: &AtomicBool,
     ) -> ShardMerged<P> {
+        let _span = cb_obs::span("mc.merge_shard", "mc");
         let mut out = ShardMerged::new();
         let mut seen: HashSet<u64> = HashSet::new();
         let mut merged = 0usize;
@@ -1282,6 +1285,7 @@ impl<P: Protocol> Searcher<'_, P> {
         next_bytes: &mut usize,
         stats: &mut SearchStats,
     ) -> bool {
+        let _span = cb_obs::span("mc.expand", "mc");
         let over =
             |limit: Option<std::time::Duration>| limit.is_some_and(|d| search_t0.elapsed() >= d);
         let stamp_cmp = explored.stored_level(stamp);
@@ -1383,6 +1387,7 @@ impl<P: Protocol> Searcher<'_, P> {
         // key range — so a k-way merge on (job, ord) reconstitutes the
         // exact sequential enqueue order, and arena indices / next-level
         // positions come out bit-identical to the unsharded merge.
+        let _rec_span = cb_obs::span("mc.recombine", "mc");
         let t_rec = Instant::now();
         let mut outs: Vec<ShardMerged<P>> = Vec::with_capacity(shards);
         outs.push(out0);

@@ -1,0 +1,173 @@
+//! Per-thread event rings.
+//!
+//! Every recording thread owns exactly one ring: a fixed-capacity
+//! `Vec<Event>` it alone writes, so the hot path is a `thread_local`
+//! borrow and a slot store — no locks, no shared atomics. When the ring
+//! is full the *oldest* event is overwritten (drop-oldest bounds memory
+//! and keeps the most recent window, which is the one a latency
+//! investigation wants) and a drop counter ticks. Rings flush into the
+//! global sink when the thread exits (the `thread_local` destructor),
+//! on [`flush_current`], and implicitly on `drain`.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::Event;
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+struct ThreadRing {
+    tid: u64,
+    buf: Vec<Event>,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    dropped: u64,
+    cap: usize,
+}
+
+impl ThreadRing {
+    fn new() -> ThreadRing {
+        let g = crate::global();
+        let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        let name = std::thread::current()
+            .name()
+            .unwrap_or("unnamed")
+            .to_string();
+        g.threads
+            .lock()
+            .expect("obs threads poisoned")
+            .push((tid, name));
+        let cap = g.ring_capacity.load(Ordering::Relaxed).max(1);
+        ThreadRing {
+            tid,
+            buf: Vec::with_capacity(cap.min(1024)),
+            head: 0,
+            dropped: 0,
+            cap,
+        }
+    }
+
+    fn push(&mut self, mut event: Event) {
+        event.tid = self.tid;
+        if self.buf.len() < self.cap {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    fn flush(&mut self) {
+        let g = crate::global();
+        if self.dropped > 0 {
+            g.dropped.fetch_add(self.dropped, Ordering::Relaxed);
+            self.dropped = 0;
+        }
+        if self.buf.is_empty() {
+            return;
+        }
+        let mut sink = g.sink.lock().expect("obs sink poisoned");
+        // Oldest-first: after wraparound the oldest live event is at
+        // `head`, so rotate the tail segment out first.
+        sink.extend_from_slice(&self.buf[self.head..]);
+        sink.extend_from_slice(&self.buf[..self.head]);
+        self.buf.clear();
+        self.head = 0;
+    }
+}
+
+impl Drop for ThreadRing {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static RING: RefCell<Option<ThreadRing>> = const { RefCell::new(None) };
+}
+
+/// Appends an event to the calling thread's ring (creating and
+/// registering the ring on first use). Only called when recording is
+/// enabled, so disabled runs never touch the `thread_local`.
+pub(crate) fn push(event: Event) {
+    let _ = RING.try_with(|cell| {
+        let mut slot = cell.borrow_mut();
+        slot.get_or_insert_with(ThreadRing::new).push(event);
+    });
+}
+
+/// Flushes the calling thread's ring into the global sink, if it has one.
+pub(crate) fn flush_current() {
+    let _ = RING.try_with(|cell| {
+        if let Some(ring) = cell.borrow_mut().as_mut() {
+            ring.flush();
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{drain, enable_with_capacity, instant, span, EventKind};
+
+    // Process-global recorder: the enabled-path tests must not interleave,
+    // so they share one test body.
+    #[test]
+    fn wraparound_and_cross_thread_collection() {
+        enable_with_capacity(4);
+        let _ = drain(); // discard anything a prior test in this binary left
+
+        // -- wraparound: 7 instants through a 4-slot ring keeps the last 4.
+        for i in 0..7u64 {
+            crate::instant_id("wrap", "test", i);
+        }
+        let trace = drain();
+        let ids: Vec<u64> = trace
+            .events
+            .iter()
+            .filter(|e| e.name == "wrap")
+            .map(|e| e.id)
+            .collect();
+        assert_eq!(ids, vec![3, 4, 5, 6], "drop-oldest keeps the newest window");
+        assert_eq!(trace.dropped, 3);
+
+        // -- cross-thread: spans recorded on worker threads flush on exit
+        // and land in one drain, each under its own tid.
+        let workers: Vec<_> = (0..2)
+            .map(|i| {
+                std::thread::Builder::new()
+                    .name(format!("obs-worker-{i}"))
+                    .spawn(move || {
+                        let g = span("worker.body", "test");
+                        instant("worker.mark", "test");
+                        drop(g);
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("join worker");
+        }
+        let trace = drain();
+        let spans: Vec<_> = trace
+            .events
+            .iter()
+            .filter(|e| e.name == "worker.body")
+            .collect();
+        assert_eq!(spans.len(), 2);
+        assert!(spans
+            .iter()
+            .all(|e| matches!(e.kind, EventKind::Span { .. })));
+        let tids: std::collections::BTreeSet<u64> = spans.iter().map(|e| e.tid).collect();
+        assert_eq!(tids.len(), 2, "each worker records under its own tid");
+        for tid in &tids {
+            assert!(
+                trace
+                    .threads
+                    .iter()
+                    .any(|(t, name)| t == tid && name.starts_with("obs-worker-")),
+                "worker tid registered with its thread name"
+            );
+        }
+    }
+}

@@ -240,9 +240,10 @@ pub struct SnapshotStats {
 }
 
 impl SnapshotStats {
-    /// Renders the counters as a JSON object (no serde in this workspace;
-    /// every field is an integer or null, so hand-rolling is total).
+    /// Renders the counters as a JSON object via the workspace's shared
+    /// [`cb_obs::json::Writer`].
     pub fn to_json(&self) -> String {
+        use cb_obs::json::{Style, Writer};
         let SnapshotStats {
             checkpoints_taken,
             forced_checkpoints,
@@ -257,32 +258,20 @@ impl SnapshotStats {
             gathers_completed,
             bandwidth_limit_bps,
         } = self;
-        let limit = match bandwidth_limit_bps {
-            Some(l) => l.to_string(),
-            None => "null".to_string(),
-        };
-        format!(
-            concat!(
-                "{{\"checkpoints_taken\":{},\"forced_checkpoints\":{},",
-                "\"payload_bytes_sent\":{},\"raw_bytes_considered\":{},",
-                "\"duplicates_suppressed\":{},\"deltas_sent\":{},",
-                "\"nacks_issued\":{},\"nacks_received\":{},\"retries\":{},",
-                "\"gathers_started\":{},\"gathers_completed\":{},",
-                "\"bandwidth_limit_bps\":{}}}"
-            ),
-            checkpoints_taken,
-            forced_checkpoints,
-            payload_bytes_sent,
-            raw_bytes_considered,
-            duplicates_suppressed,
-            deltas_sent,
-            nacks_issued,
-            nacks_received,
-            retries,
-            gathers_started,
-            gathers_completed,
-            limit,
-        )
+        let mut w = Writer::object(Style::Compact);
+        w.field_u64("checkpoints_taken", *checkpoints_taken)
+            .field_u64("forced_checkpoints", *forced_checkpoints)
+            .field_u64("payload_bytes_sent", *payload_bytes_sent)
+            .field_u64("raw_bytes_considered", *raw_bytes_considered)
+            .field_u64("duplicates_suppressed", *duplicates_suppressed)
+            .field_u64("deltas_sent", *deltas_sent)
+            .field_u64("nacks_issued", *nacks_issued)
+            .field_u64("nacks_received", *nacks_received)
+            .field_u64("retries", *retries)
+            .field_u64("gathers_started", *gathers_started)
+            .field_u64("gathers_completed", *gathers_completed)
+            .field_opt_u64("bandwidth_limit_bps", *bandwidth_limit_bps);
+        w.finish()
     }
 
     /// Folds another node's counters into this one (fleet/deployment

@@ -251,6 +251,7 @@ fn main() {
     let mut serve_at: Option<SocketAddr> = None;
     let mut join_at: Option<SocketAddr> = None;
     let mut threads = 2usize;
+    let mut trace: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -271,13 +272,30 @@ fn main() {
                     .and_then(|a| a.parse().ok())
                     .expect("--threads needs a count (0 = thread per node)");
             }
-            other => panic!("unknown flag {other}; use --serve ADDR | --join ADDR | --threads N"),
+            "--trace" => {
+                trace = Some(args.next().expect("--trace needs a file path").into());
+            }
+            other => panic!(
+                "unknown flag {other}; use --serve ADDR | --join ADDR | --threads N | --trace PATH"
+            ),
         }
+    }
+    let trace = trace.or_else(crystalball_suite::obs::env_trace_path);
+    if trace.is_some() {
+        crystalball_suite::obs::enable();
     }
     match (serve_at, join_at) {
         (Some(_), Some(_)) => panic!("--serve and --join are mutually exclusive"),
         (Some(bind), None) => serve(bind, threads),
         (None, Some(server)) => join(server, threads),
         (None, None) => steer(threads),
+    }
+    // Export once the chosen flow's deployment has fully shut down:
+    // chrome trace-event JSON at PATH plus a compact .jsonl next to it,
+    // loadable in about:tracing / Perfetto.
+    if let Some(path) = trace {
+        let t = crystalball_suite::obs::drain();
+        crystalball_suite::obs::chrome::write_files(&t, &path).expect("write trace files");
+        println!("live: trace written to {}", path.display());
     }
 }

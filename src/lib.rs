@@ -9,6 +9,7 @@ pub use cb_live as live;
 pub use cb_mc as mc;
 pub use cb_model as model;
 pub use cb_net as net;
+pub use cb_obs as obs;
 pub use cb_protocols as protocols;
 pub use cb_runtime as runtime;
 pub use cb_snapshot as snapshot;
