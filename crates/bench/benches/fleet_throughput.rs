@@ -251,6 +251,7 @@ fn main() {
          CheckerHost, with a uniform fault schedule",
     );
     let trace_path = cb_bench::harness::trace_arg();
+    let _metrics = cb_bench::harness::metrics_arg();
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);

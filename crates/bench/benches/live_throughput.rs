@@ -117,6 +117,11 @@ fn main() {
          (§2.3/§3.1) and ships it to the checker process by TCP",
     );
     let trace = cb_bench::harness::trace_arg();
+    let metrics = cb_bench::harness::metrics_arg();
+    // Scrape dumps for `tools/metrics-check`: `CB_METRICS_DUMP=prefix`
+    // writes `prefix.1.prom` mid-run and `prefix.2.prom` at the end, so
+    // CI can assert counter monotonicity between two live scrapes.
+    let dump_prefix = std::env::var("CB_METRICS_DUMP").ok().filter(|_| metrics.is_some());
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -163,7 +168,15 @@ fn main() {
     // submission dedup otherwise idles the checker) without collapsing
     // the tree structure predictions ride on.
     let per_churn = Duration::from_millis(window_ms / churns as u64);
-    for _ in 0..churns {
+    for round in 0..churns {
+        if round == churns / 2 {
+            if let (Some(server), Some(prefix)) = (&metrics, &dump_prefix) {
+                cb_bench::harness::dump_metrics(
+                    server,
+                    std::path::Path::new(&format!("{prefix}.1.prom")),
+                );
+            }
+        }
         let victim = (1..nodes as u32).map(NodeId).find(|&n| {
             dep.is_up(n)
                 && dep
@@ -226,6 +239,13 @@ fn main() {
         writeln!(f, "{json}").expect("write JSON");
         println!("(written to {path})");
     }
+    if let (Some(server), Some(prefix)) = (&metrics, &dump_prefix) {
+        cb_bench::harness::dump_metrics(server, std::path::Path::new(&format!("{prefix}.2.prom")));
+    }
+    // Stop the endpoint before exporting: scrape-time counter mirrors sit
+    // in the server thread's trace ring, which flushes on thread exit —
+    // exporting first would hand trace-check a trace missing them.
+    drop(metrics);
     if let Some(path) = trace {
         cb_bench::harness::export_trace(&path);
     }

@@ -66,6 +66,7 @@ fn main() {
         "the checker runs 'as a separate thread'; throughput bounds how far ahead \
          of the live system the predictions reach",
     );
+    let trace = cb_bench::harness::trace_arg();
 
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -292,5 +293,8 @@ fn main() {
         let mut f = std::fs::File::create(&path).expect("open CB_BENCH_JSON output");
         writeln!(f, "{json}").expect("write JSON");
         println!("(written to {path})");
+    }
+    if let Some(path) = trace {
+        cb_bench::harness::export_trace(&path);
     }
 }

@@ -53,6 +53,42 @@ pub fn trace_arg() -> Option<std::path::PathBuf> {
     path
 }
 
+/// Resolves this bench run's metrics bind address: a `--metrics ADDR`
+/// (or `--metrics` alone, defaulting to a free loopback port) CLI flag,
+/// or the `CB_METRICS=addr` environment fallback. Starts the scrape
+/// server — which enables the metrics registry — when an address is set;
+/// the returned server carries the bound address and stops on drop.
+pub fn metrics_arg() -> Option<cb_obs::MetricsServer> {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut bind: Option<String> = None;
+    while let Some(a) = args.next() {
+        if a == "--metrics" {
+            // The address operand is optional: a bare `--metrics` serves
+            // on an ephemeral loopback port (printed below).
+            bind = Some(match args.peek() {
+                Some(next) if !next.starts_with("--") => args.next().unwrap(),
+                _ => "127.0.0.1:0".to_string(),
+            });
+        } else if let Some(addr) = a.strip_prefix("--metrics=") {
+            bind = Some(addr.to_string());
+        }
+    }
+    let bind = bind.or_else(cb_obs::metrics::env_metrics_bind)?;
+    let server = cb_obs::MetricsServer::bind(bind.as_str()).expect("bind metrics endpoint");
+    println!("(metrics: serving Prometheus text on http://{})", server.addr());
+    Some(server)
+}
+
+/// Scrapes `server` through its real TCP endpoint and writes the
+/// exposition to `path` — how benches produce the scrape files
+/// `tools/metrics-check` diffs for monotonicity.
+pub fn dump_metrics(server: &cb_obs::MetricsServer, path: &std::path::Path) {
+    let body = cb_obs::metrics::fetch(server.addr(), Duration::from_secs(5))
+        .expect("scrape own metrics endpoint");
+    std::fs::write(path, &body).expect("write metrics dump");
+    println!("(metrics: scrape -> {})", path.display());
+}
+
 /// Drains the recorder and writes the chrome-trace JSON (plus the
 /// `.jsonl` event log) to `path` — the bench-side export for runs whose
 /// deployments are built through adapters that hide the builder's

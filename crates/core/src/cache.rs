@@ -68,31 +68,67 @@ pub struct CacheCounters {
     spec_cancelled: AtomicU64,
 }
 
+// Scrapeable mirrors of the cache counters: the `cb-obs` metrics plane
+// aggregates per-process (all clients of the host-wide cache sum into
+// one family), which is what a hit-rate health rule wants.
+static M_HITS: cb_obs::metrics::Counter =
+    cb_obs::metrics::Counter::new("cb_cache_hits_total", "prediction-cache lookups served");
+static M_MISSES: cb_obs::metrics::Counter =
+    cb_obs::metrics::Counter::new("cb_cache_misses_total", "prediction-cache lookups missed");
+static M_SPEC_STARTED: cb_obs::metrics::Counter = cb_obs::metrics::Counter::new(
+    "cb_cache_spec_started_total",
+    "speculative (partial-gather) rounds started",
+);
+static M_SPEC_COMMITS: cb_obs::metrics::Counter = cb_obs::metrics::Counter::new(
+    "cb_cache_spec_commits_total",
+    "speculative rounds whose pre-warmed entry the real round hit",
+);
+static M_SPEC_CANCELS: cb_obs::metrics::Counter = cb_obs::metrics::Counter::new(
+    "cb_cache_spec_cancels_total",
+    "speculative rounds discarded (completed snapshot diverged)",
+);
+
+/// Registers the cache families without recording, so scrapes taken
+/// before the first lookup (or on a run whose speculation never fires)
+/// still expose them at 0. Called from checker construction.
+pub(crate) fn touch_metric_families() {
+    M_HITS.touch();
+    M_MISSES.touch();
+    M_SPEC_STARTED.touch();
+    M_SPEC_COMMITS.touch();
+    M_SPEC_CANCELS.touch();
+}
+
 impl CacheCounters {
-    // The bump methods double as the cache's trace-event hooks: every
-    // backend (sync controller, sharded pool, fleet host) funnels through
-    // them, so one instant per bump covers the whole surface. `cb_obs`
-    // is outcome-invisible — a disabled recorder makes these pure
-    // counter increments.
+    // The bump methods double as the cache's trace-event and metrics
+    // hooks: every backend (sync controller, sharded pool, fleet host)
+    // funnels through them, so one instant + one family bump covers the
+    // whole surface. `cb_obs` is outcome-invisible — disabled recorders
+    // make these pure counter increments.
     pub(crate) fn hit(&self) {
         self.hits.fetch_add(1, Ordering::Relaxed);
         cb_obs::instant("cache.hit", "cache");
+        M_HITS.inc();
     }
     pub(crate) fn miss(&self) {
         self.misses.fetch_add(1, Ordering::Relaxed);
         cb_obs::instant("cache.miss", "cache");
+        M_MISSES.inc();
     }
     pub(crate) fn spec_started(&self) {
         self.spec_started.fetch_add(1, Ordering::Relaxed);
         cb_obs::instant("cache.spec_started", "cache");
+        M_SPEC_STARTED.inc();
     }
     pub(crate) fn spec_committed(&self) {
         self.spec_committed.fetch_add(1, Ordering::Relaxed);
         cb_obs::instant("cache.spec_commit", "cache");
+        M_SPEC_COMMITS.inc();
     }
     pub(crate) fn spec_cancelled(&self) {
         self.spec_cancelled.fetch_add(1, Ordering::Relaxed);
         cb_obs::instant("cache.spec_cancel", "cache");
+        M_SPEC_CANCELS.inc();
     }
 
     /// A point-in-time copy of the counters. Each field is read with one

@@ -224,6 +224,22 @@ pub(crate) struct Predictor<P: Protocol> {
     spec_keys: HashMap<NodeId, u64>,
 }
 
+// Scrapeable round timings. These sit below every backend (fleet hosts,
+// the live checker process, sync controllers), so one set of families
+// covers "how long do checking rounds take" everywhere.
+static M_ROUND_US: cb_obs::metrics::Hist = cb_obs::metrics::Hist::new(
+    "cb_checker_round_us",
+    "whole checking round wall time (replay + prediction + safety), microseconds",
+);
+static M_REPLAY_US: cb_obs::metrics::Hist = cb_obs::metrics::Hist::new(
+    "cb_checker_replay_us",
+    "known-path replay wall time, microseconds",
+);
+static M_PREDICT_US: cb_obs::metrics::Hist = cb_obs::metrics::Hist::new(
+    "cb_checker_predict_us",
+    "consequence-prediction search wall time, microseconds",
+);
+
 impl<P: Protocol> Predictor<P> {
     pub(crate) fn new(
         protocol: P,
@@ -233,6 +249,10 @@ impl<P: Protocol> Predictor<P> {
         cache: Arc<PredictionCache>,
         counters: Arc<CacheCounters>,
     ) -> Self {
+        M_ROUND_US.touch();
+        M_REPLAY_US.touch();
+        M_PREDICT_US.touch();
+        crate::cache::touch_metric_families();
         let predict_cfg = SearchConfig {
             prune_local: true,
             ..config.search.clone()
@@ -327,7 +347,9 @@ impl<P: Protocol> Predictor<P> {
                 if let Some(found) = &cached.found {
                     self.remember_path(found);
                 }
-                return Self::materialize(job, &cached, t0);
+                let out = Self::materialize(job, &cached, t0);
+                M_ROUND_US.observe(out.wall.as_micros() as u64);
+                return out;
             }
         }
         let round = self.compute_round(&job, start);
@@ -338,7 +360,9 @@ impl<P: Protocol> Predictor<P> {
         if let Some(key) = key {
             self.cache.insert(key, round.clone(), &self.counters);
         }
-        Self::materialize(job, &round, t0)
+        let out = Self::materialize(job, &round, t0);
+        M_ROUND_US.observe(out.wall.as_micros() as u64);
+        out
     }
 
     /// Runs one round **speculatively** on a (typically partial) snapshot
@@ -408,7 +432,11 @@ impl<P: Protocol> Predictor<P> {
                     // (§3.3/§4). "If the problem reappears, CrystalBall
                     // immediately reinstalls the appropriate filter."
                     let _span = cb_obs::span_id("checker.replay", "checker", job.tag);
+                    let t = cb_obs::metrics::enabled().then(Instant::now);
                     let out = replay_path(&this.protocol, &this.props, start, path, 256);
+                    if let Some(t) = t {
+                        M_REPLAY_US.observe(t.elapsed().as_micros() as u64);
+                    }
                     *slot.lock().expect("replay slot poisoned") = Some(out);
                 });
             }
@@ -416,7 +444,12 @@ impl<P: Protocol> Predictor<P> {
             // thread, which also lends a hand to queued pool work via the
             // engine's own scopes.
             let _span = cb_obs::span_id("checker.predict", "checker", job.tag);
-            this.stage_predict(start)
+            let t = cb_obs::metrics::enabled().then(Instant::now);
+            let out = this.stage_predict(start);
+            if let Some(t) = t {
+                M_PREDICT_US.observe(t.elapsed().as_micros() as u64);
+            }
+            out
         });
 
         let mut replays_rediscovered = 0;
@@ -972,6 +1005,10 @@ pub struct WireRound {
     pub violation: Option<cb_model::Violation>,
     /// The paper-style numbered event path to the violation.
     pub scenario: Option<String>,
+    /// The shallowest predicted path's length in events (present iff
+    /// `violation` is) — what the predicted-violation alert reports as
+    /// how close the deployment is to the bad state.
+    pub depth: Option<usize>,
     /// Replay-reinstated filters plus the round's safety-checked
     /// corrective filter — everything the node should install, in
     /// application order.
@@ -1165,6 +1202,7 @@ impl<P: Protocol> WireChecker<P> {
             at: r.at,
             violation: r.found.as_ref().map(|f| f.violation.clone()),
             scenario: r.found.as_ref().map(|f| f.scenario()),
+            depth: r.found.as_ref().map(|f| f.depth),
             filters,
             replays_rediscovered: r.replays_rediscovered,
             states_visited: r.states_visited,

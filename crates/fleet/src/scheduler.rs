@@ -41,6 +41,11 @@ use crate::deployment::Deployment;
 use crate::faults::{FaultEvent, FaultPlan};
 use crate::stats::FleetStats;
 
+static M_DRAINS: cb_obs::metrics::Counter = cb_obs::metrics::Counter::new(
+    "cb_fleet_drains_total",
+    "fleet checker drain boundaries executed",
+);
+
 /// Fleet-wide configuration.
 #[derive(Clone, Debug)]
 pub struct FleetConfig {
@@ -225,6 +230,7 @@ impl Fleet {
     /// deterministic per-member snapshot.
     fn drain_at(&mut self, t: SimTime) {
         let _span = cb_obs::span_id("fleet.drain", "fleet", self.drains + 1);
+        M_DRAINS.inc();
         self.drains += 1;
         let _ = writeln!(self.trace, "drain t={}", t.0);
         for (i, m) in self.members.iter_mut().enumerate() {
@@ -262,6 +268,9 @@ impl Fleet {
             fleet_steps: self.fleet_steps,
             faults_applied: self.faults_applied,
             drains: self.drains,
+            // Observability metadata, full-JSON-only (never part of the
+            // deterministic surface): how much trace the run lost.
+            trace_ring_dropped: cb_obs::dropped_events(),
             members: self.members.iter().map(|m| m.stats()).collect(),
         }
     }

@@ -140,6 +140,10 @@ pub struct FleetStats {
     pub faults_applied: u64,
     /// Checker drain boundaries executed.
     pub drains: u64,
+    /// `cb-obs` trace events lost to ring wraparound by the end of the
+    /// run (full JSON only — observability metadata, never part of the
+    /// deterministic surface).
+    pub trace_ring_dropped: u64,
     /// Per-member roll-ups, in deployment order.
     pub members: Vec<MemberStats>,
 }
@@ -205,7 +209,7 @@ impl FleetStats {
                 w.finish()
             })
             .collect();
-        self.envelope(&members)
+        self.envelope(&members, false)
     }
 
     /// The full serialization: the deterministic fields plus measured
@@ -227,18 +231,23 @@ impl FleetStats {
                 w.finish()
             })
             .collect();
-        self.envelope(&members)
+        self.envelope(&members, true)
     }
 
-    /// The shared top-level object around a rendered member list.
-    fn envelope(&self, members: &[String]) -> String {
+    /// The shared top-level object around a rendered member list. `full`
+    /// adds the observability-metadata fields the deterministic surface
+    /// must not carry.
+    fn envelope(&self, members: &[String], full: bool) -> String {
         let mut w = Writer::object(Style::Compact);
         w.field_u64("fleet_seed", self.seed)
             .field_f64("sim_seconds", self.sim_seconds, 3)
             .field_u64("fleet_steps", self.fleet_steps)
             .field_u64("faults_applied", self.faults_applied)
-            .field_u64("drains", self.drains)
-            .field_raw("members", &json::array(members));
+            .field_u64("drains", self.drains);
+        if full {
+            w.field_u64("trace_ring_dropped", self.trace_ring_dropped);
+        }
+        w.field_raw("members", &json::array(members));
         w.finish()
     }
 }

@@ -54,13 +54,27 @@ pub fn randtree_deployment_on(
     config: LiveConfig,
     threads: usize,
 ) -> std::io::Result<LiveDeployment<RandTree>> {
+    randtree_deployment_with(n, bugs, config, threads, |b| b)
+}
+
+/// [`randtree_deployment_on`] with a builder hook: `customize` sees the
+/// configured [`DeploymentBuilder`] right before boot, for the knobs the
+/// positional adapters do not carry (`metrics`, `trace`,
+/// `serve_registry`, ...).
+pub fn randtree_deployment_with(
+    n: usize,
+    bugs: RandTreeBugs,
+    config: LiveConfig,
+    threads: usize,
+    customize: impl FnOnce(DeploymentBuilder<RandTree>) -> DeploymentBuilder<RandTree>,
+) -> std::io::Result<LiveDeployment<RandTree>> {
     let nodes: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
     let proto = RandTree::new(2, vec![NodeId(0)], bugs);
-    let mut dep = DeploymentBuilder::new(proto, randtree::properties::all())
+    let builder = DeploymentBuilder::new(proto, randtree::properties::all())
         .nodes(&nodes)
         .config(config)
-        .reactor_threads(threads)
-        .boot()?;
+        .reactor_threads(threads);
+    let mut dep = customize(builder).boot()?;
     dep.set_rejoin(|_| RtAction::Join { target: NodeId(0) });
     // Bootstrap order matters live: a Join that reaches the designated
     // node before its self-join is dropped by the protocol (a node in

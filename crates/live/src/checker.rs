@@ -28,6 +28,23 @@ use crystalball::{ControllerConfig, WireChecker};
 use crate::stats::CheckerProcessStats;
 use crate::wire::{frame_of, CtrlMsg, InstallBody, SubmitBody};
 
+static M_SUBMITS: cb_obs::metrics::Counter = cb_obs::metrics::Counter::new(
+    "cb_checker_submits_total",
+    "full-snapshot submissions accepted by the checker process",
+);
+static M_ROUNDS: cb_obs::metrics::Counter = cb_obs::metrics::Counter::new(
+    "cb_checker_rounds_total",
+    "checking rounds completed by the checker process",
+);
+static M_PREDICTIONS: cb_obs::metrics::Counter = cb_obs::metrics::Counter::new(
+    "cb_checker_predictions_total",
+    "completed rounds that predicted a future inconsistency",
+);
+static M_BACKLOG: cb_obs::metrics::Gauge = cb_obs::metrics::Gauge::new(
+    "cb_checker_backlog",
+    "rounds submitted to the checker but not yet completed",
+);
+
 /// The driver-side handle of the checker process.
 pub struct CheckerHandle {
     /// Listener address (nodes discover it via the registry).
@@ -119,6 +136,10 @@ impl<P: Protocol> CheckerSrv<P> {
             cb_mc::WorkerPool::new(pool_workers),
             None,
         );
+        M_SUBMITS.touch();
+        M_ROUNDS.touch();
+        M_PREDICTIONS.touch();
+        M_BACKLOG.touch();
         CheckerSrv {
             checker,
             listener,
@@ -140,6 +161,7 @@ impl<P: Protocol> CheckerSrv<P> {
             worked |= self.push_completed(false);
             worked |= self.pump_writes();
             self.reap_dead();
+            M_BACKLOG.set(self.checker.pending());
             while let Ok(tx) = probe_rx.try_recv() {
                 let _ = tx.send(self.snapshot_stats());
             }
@@ -291,6 +313,7 @@ impl<P: Protocol> CheckerSrv<P> {
                 ) {
                     Ok(seq) => {
                         cb_obs::instant_id("checker.submit_received", "checker", body.round);
+                        M_SUBMITS.inc();
                         self.stats.submits_received += 1;
                         self.inflight
                             .insert(seq, (Instant::now(), body.node, body.at_us, body.round));
@@ -322,8 +345,10 @@ impl<P: Protocol> CheckerSrv<P> {
         let mut any = false;
         for round in rounds {
             any = true;
+            M_ROUNDS.inc();
             self.stats.rounds_completed += 1;
             if round.violation.is_some() {
+                M_PREDICTIONS.inc();
                 self.stats.predictions += 1;
             }
             let (node, at_us, obs_round) = match self.inflight.remove(&round.seq) {
@@ -336,6 +361,17 @@ impl<P: Protocol> CheckerSrv<P> {
                 None => (round.node, 0, 0),
             };
             cb_obs::instant_id("checker.install_push", "checker", obs_round);
+            // §2's operator notification, as a first-class alert: a
+            // predicted (not yet occurred) violation, joinable to the
+            // chrome trace by the shared round id.
+            if let Some(v) = round.violation.as_ref() {
+                cb_obs::health::predicted_violation(
+                    obs_round,
+                    node.0,
+                    &v.property,
+                    round.depth.map(|d| d as u64),
+                );
+            }
             // Push the round's outcome — including an empty filter set,
             // which tells the node to expire the previous round's filters
             // (§3.3).

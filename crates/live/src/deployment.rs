@@ -98,6 +98,7 @@ pub struct DeploymentBuilder<P: Protocol> {
     serve_registry: Option<SocketAddr>,
     join: Option<SocketAddr>,
     trace: Option<std::path::PathBuf>,
+    metrics: Option<String>,
 }
 
 impl<P: Protocol> DeploymentBuilder<P> {
@@ -112,6 +113,7 @@ impl<P: Protocol> DeploymentBuilder<P> {
             serve_registry: None,
             join: None,
             trace: None,
+            metrics: None,
         }
     }
 
@@ -182,6 +184,19 @@ impl<P: Protocol> DeploymentBuilder<P> {
         self
     }
 
+    /// Enables the `cb-obs` metrics plane and serves it on `bind`
+    /// (`"127.0.0.1:0"` picks a free port — read it back through
+    /// [`LiveDeployment::metrics_addr`]). Any HTTP GET against the bound
+    /// port answers with a Prometheus text-format 0.0.4 exposition of
+    /// every family the deployment touches. Without this knob (or the
+    /// `CB_METRICS=addr` environment fallback) the registry stays
+    /// disabled and every recording point degrades to one relaxed atomic
+    /// load — the deterministic surfaces are byte-identical either way.
+    pub fn metrics(mut self, bind: impl Into<String>) -> Self {
+        self.metrics = Some(bind.into());
+        self
+    }
+
     /// Boots the reactors, the registry (local, served, or joined), the
     /// checker (unless joining), and every node.
     pub fn boot(self) -> std::io::Result<LiveDeployment<P>> {
@@ -194,11 +209,16 @@ impl<P: Protocol> DeploymentBuilder<P> {
             serve_registry,
             join,
             trace,
+            metrics,
         } = self;
         let trace = trace.or_else(cb_obs::env_trace_path);
         if trace.is_some() {
             cb_obs::enable();
         }
+        let metrics_server = match metrics.or_else(cb_obs::metrics::env_metrics_bind) {
+            Some(bind) => Some(cb_obs::MetricsServer::bind(bind.as_str())?),
+            None => None,
+        };
         let threads = if reactor_threads == 0 {
             nodes.len().max(1)
         } else {
@@ -247,6 +267,7 @@ impl<P: Protocol> DeploymentBuilder<P> {
             faults_applied: 0,
             restarts: 0,
             trace,
+            metrics_server,
         };
         for n in nodes {
             dep.spawn(n)?;
@@ -289,6 +310,9 @@ pub struct LiveDeployment<P: Protocol> {
     /// Where to export the collected `cb-obs` trace at shutdown (chrome
     /// trace-event JSON + `.jsonl`); `None` leaves the recorder alone.
     trace: Option<std::path::PathBuf>,
+    /// The scrape endpoint, held for the deployment's lifetime so the
+    /// operator can curl it mid-run; stopped at shutdown.
+    metrics_server: Option<cb_obs::MetricsServer>,
 }
 
 impl<P: Protocol> LiveDeployment<P> {
@@ -374,6 +398,14 @@ impl<P: Protocol> LiveDeployment<P> {
     /// to [`DeploymentBuilder::join`].
     pub fn registry_addr(&self) -> Option<SocketAddr> {
         self.registry_server.as_ref().map(|s| s.addr())
+    }
+
+    /// The metrics endpoint's bound address, when this deployment was
+    /// built with [`DeploymentBuilder::metrics`] (or `CB_METRICS`) — what
+    /// an operator curls, or a test passes to
+    /// [`cb_obs::metrics::fetch`].
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_server.as_ref().map(|s| s.addr())
     }
 
     /// Sends an application call into a live node.
@@ -567,6 +599,12 @@ impl<P: Protocol> LiveDeployment<P> {
         }
         if let Some(checker) = self.checker.take() {
             stats.checker = checker.shutdown();
+        }
+        stats.trace_ring_dropped = cb_obs::dropped_events();
+        // One last exposition-state refresh, then close the scrape port.
+        if let Some(server) = self.metrics_server.take() {
+            cb_obs::metrics::scrape();
+            server.stop();
         }
         // Export after every reactor and checker thread has joined: their
         // thread-exit drops flushed the per-thread rings, so the drain

@@ -47,7 +47,7 @@ pub mod wire;
 
 pub use adapters::{
     drive_paxos_rounds, live_checker_config, paxos_deployment, randtree_deployment,
-    randtree_deployment_on,
+    randtree_deployment_on, randtree_deployment_with,
 };
 pub use cb_net::{FaultDecision, LiveFault};
 pub use checker::{spawn_checker, CheckerHandle};

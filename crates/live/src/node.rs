@@ -44,6 +44,19 @@ use crate::peer::{DeadConn, InFrame, PeerConfig, PeerManager, SendOutcome};
 use crate::stats::NodeStats;
 use crate::wire::{frame_of, CtrlMsg, InstallBody, SubmitBody};
 
+static M_SUBMITS: cb_obs::metrics::Counter = cb_obs::metrics::Counter::new(
+    "cb_node_submits_total",
+    "neighborhood-snapshot submissions nodes queued to the checker",
+);
+static M_INSTALLS: cb_obs::metrics::Counter = cb_obs::metrics::Counter::new(
+    "cb_node_installs_total",
+    "filter-install pushes nodes received from the checker",
+);
+static M_GATHER_INSTALL_US: cb_obs::metrics::Hist = cb_obs::metrics::Hist::new(
+    "cb_node_gather_install_us",
+    "microseconds from gather start to the matching install receipt",
+);
+
 /// Fault state of one (unordered) node pair — PR 5's two-mode vocabulary,
 /// kept as a shim over the full [`LiveFault`] stack.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -430,6 +443,9 @@ impl<P: Protocol> LiveNode<P> {
     /// what the seed already did (the listener is bound and registered by
     /// the deployment before the seed ships).
     pub fn new(seed: NodeSeed<P>) -> Self {
+        M_SUBMITS.touch();
+        M_INSTALLS.touch();
+        M_GATHER_INSTALL_US.touch();
         let NodeSeed {
             protocol,
             props,
@@ -886,6 +902,7 @@ impl<P: Protocol> LiveNode<P> {
                 self.filters.push(f);
             }
         }
+        M_INSTALLS.inc();
         self.stats.installs_received += 1;
         self.stats.filters_installed = self.filters.len() as u64;
         let latency = self.elapsed_us().saturating_sub(body.at_us);
@@ -897,9 +914,9 @@ impl<P: Protocol> LiveNode<P> {
         // when tracing, one end-to-end span joined to the checker's
         // round spans by the id).
         if let Some((start_us, obs_start)) = self.round_started.remove(&body.round) {
-            self.stats
-                .gather_to_install
-                .record(self.elapsed_us().saturating_sub(start_us));
+            let us = self.elapsed_us().saturating_sub(start_us);
+            M_GATHER_INSTALL_US.observe(us);
+            self.stats.gather_to_install.record(us);
             if obs_start != 0 {
                 cb_obs::complete_span("round.gather_to_install", "live", body.round, obs_start);
             }
@@ -1324,6 +1341,7 @@ impl<P: Protocol> LiveNode<P> {
             }
         }
         cb_obs::instant_id("node.submit", "live", round);
+        M_SUBMITS.inc();
         self.stats.submits_sent += 1;
         self.stats.submit_bytes += frame.len() as u64;
         self.stats.frames_sent += 1;

@@ -32,6 +32,19 @@ use cb_model::{push_frame, Decode, FrameBuffer, NodeId, WireFrame};
 
 use crate::stats::NodeStats;
 
+static M_BACKPRESSURE_DROPS: cb_obs::metrics::Counter = cb_obs::metrics::Counter::new(
+    "cb_peer_backpressure_drops_total",
+    "frames dropped because a peer's outbuf exceeded its cap",
+);
+static M_DIAL_FAILURES: cb_obs::metrics::Counter = cb_obs::metrics::Counter::new(
+    "cb_peer_dial_failures_total",
+    "failed peer dials (each starts or grows a backoff window)",
+);
+static M_RECONNECTS: cb_obs::metrics::Counter = cb_obs::metrics::Counter::new(
+    "cb_peer_reconnects_total",
+    "successful dials to a peer that had a backoff entry (recoveries)",
+);
+
 /// Connection-lifecycle tuning.
 #[derive(Clone, Debug)]
 pub struct PeerConfig {
@@ -145,6 +158,12 @@ pub struct PeerManager {
 impl PeerManager {
     /// An empty table under `cfg`.
     pub fn new(cfg: PeerConfig) -> Self {
+        // Register the peer-plane families up front: a healthy run never
+        // drops or redials, and an absent family is indistinguishable
+        // from a lost recording point on the scrape side.
+        M_BACKPRESSURE_DROPS.touch();
+        M_DIAL_FAILURES.touch();
+        M_RECONNECTS.touch();
         PeerManager {
             cfg,
             conns: Vec::new(),
@@ -283,6 +302,7 @@ impl PeerManager {
         {
             let c = &mut self.conns[ix];
             if !c.is_checker && c.out.len() + frame.len() > self.cfg.max_peer_outbuf {
+                M_BACKPRESSURE_DROPS.inc();
                 stats.frames_dropped_backpressure += 1;
                 return SendOutcome::Backpressured;
             }
@@ -306,7 +326,9 @@ impl PeerManager {
             self.note_dial_failure(peer, now, stats);
             return SendOutcome::Unreachable;
         };
-        self.backoff.remove(&peer);
+        if self.backoff.remove(&peer).is_some() {
+            M_RECONNECTS.inc();
+        }
         let mut conn = Conn::new(stream, self.cfg.max_frame_len, false);
         conn.peer = Some(peer);
         push_frame(&mut conn.out, &hello());
@@ -317,6 +339,7 @@ impl PeerManager {
     }
 
     fn note_dial_failure(&mut self, peer: NodeId, now: Instant, stats: &mut NodeStats) {
+        M_DIAL_FAILURES.inc();
         stats.dials_failed += 1;
         let next = self
             .backoff

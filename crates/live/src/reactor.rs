@@ -25,6 +25,19 @@ use cb_model::{NodeId, Protocol};
 
 use crate::node::{ExitKind, IoReadiness, LiveNode, NodeReport, NodeSeed, PollStatus};
 
+static M_POLLS: cb_obs::metrics::Counter = cb_obs::metrics::Counter::new(
+    "cb_reactor_polls_total",
+    "reactor loop iterations (one poll(2) wait each)",
+);
+static M_POLL_BUSY: cb_obs::metrics::Counter = cb_obs::metrics::Counter::new(
+    "cb_reactor_poll_busy_total",
+    "reactor iterations that woke with at least one fd ready",
+);
+static M_WAKE_LAG_US: cb_obs::metrics::Hist = cb_obs::metrics::Hist::new(
+    "cb_reactor_wake_lag_us",
+    "microseconds the reactor resumed past its earliest requested deadline",
+);
+
 /// Minimal `poll(2)` binding. `std` links libc on unix targets, so the
 /// symbol is already in the process; declaring it here avoids an external
 /// crate for one syscall.
@@ -133,6 +146,9 @@ fn reactor_loop<P: Protocol>(
     ctl: mpsc::Receiver<ReactorCtl<P>>,
     tick: Duration,
 ) -> Vec<ReactorExit<P>> {
+    M_POLLS.touch();
+    M_POLL_BUSY.touch();
+    M_WAKE_LAG_US.touch();
     let mut nodes: Vec<LiveNode<P>> = Vec::new();
     // `ready[i]` pairs with `nodes[i]`: the IO edges observed for that
     // node since its last poll. Fresh adopts start all-ready so their
@@ -191,11 +207,16 @@ fn reactor_loop<P: Protocol>(
         }
         let timeout = min_wake.saturating_duration_since(Instant::now()).min(tick);
         ready = wait_io(&nodes, timeout);
+        M_POLLS.inc();
+        if ready.iter().any(|io| io.readable || io.writable) {
+            M_POLL_BUSY.inc();
+        }
         // Wake lag: how far past the earliest requested deadline the loop
         // actually resumed — scheduling latency every node's timers sit
         // behind. (poll(2) returning early on IO readiness reads as 0.)
+        let lag = Instant::now().saturating_duration_since(min_wake);
+        M_WAKE_LAG_US.observe(lag.as_micros() as u64);
         if cb_obs::enabled() {
-            let lag = Instant::now().saturating_duration_since(min_wake);
             cb_obs::counter("reactor.wake_lag_us", "live", lag.as_micros() as i64);
             // The reactor is long-lived and chatty (one poll span per node
             // per iteration); without a periodic flush its ring wraps and

@@ -236,6 +236,10 @@ pub struct LiveStats {
     /// Reactor threads the deployment multiplexed its nodes over (0 in
     /// reports assembled outside a deployment).
     pub reactor_threads: usize,
+    /// `cb-obs` trace events lost to ring wraparound by shutdown —
+    /// observability metadata about the run's own instrumentation, not a
+    /// protocol outcome.
+    pub trace_ring_dropped: u64,
 }
 
 impl LiveStats {
@@ -350,6 +354,7 @@ impl LiveStats {
             .field_u64("frames_duplicated", t.frames_duplicated)
             .field_u64("frames_reordered", t.frames_reordered)
             .field_u64("frames_dropped_backpressure", t.frames_dropped_backpressure)
+            .field_u64("trace_ring_dropped", self.trace_ring_dropped)
             .fragment(extra)
             .field_raw("per_node", &json::array(&per_node));
         w.finish()

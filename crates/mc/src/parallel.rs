@@ -105,6 +105,27 @@ use crate::search::{
 };
 use crate::stats::SearchStats;
 
+// Scrapeable search-layer families: the explored set's memory shape
+// (gauges reflect the most recently finished search — what "is the
+// checker's memory budget holding" means mid-deployment) and cumulative
+// visit/spill counters.
+static M_EXPLORED_RESIDENT: cb_obs::metrics::Gauge = cb_obs::metrics::Gauge::new(
+    "cb_mc_explored_resident_bytes",
+    "explored-set bytes resident in memory after the last search",
+);
+static M_EXPLORED_SPILLED: cb_obs::metrics::Gauge = cb_obs::metrics::Gauge::new(
+    "cb_mc_explored_spilled_bytes",
+    "explored-set bytes spilled to disk by the last search",
+);
+static M_SPILLS: cb_obs::metrics::Counter = cb_obs::metrics::Counter::new(
+    "cb_mc_explored_spills_total",
+    "explored-set spill flushes across all searches",
+);
+static M_STATES_VISITED: cb_obs::metrics::Counter = cb_obs::metrics::Counter::new(
+    "cb_mc_states_visited_total",
+    "states visited across all searches",
+);
+
 /// Hard cap on merge shards: past this, per-shard reorder buffers cost
 /// more than the dedup work they split.
 pub const MAX_MERGE_SHARDS: usize = 16;
@@ -689,6 +710,12 @@ impl<P: Protocol> Searcher<'_, P> {
         stats.explored_resident_bytes = explored.resident_bytes();
         stats.explored_spilled_bytes = explored.spilled_bytes();
         stats.explored_spills = explored.spill_count();
+        // Search-layer metrics: last-search gauges (explored-set memory
+        // shape) and a cumulative visit counter, one bump per search.
+        M_EXPLORED_RESIDENT.set(stats.explored_resident_bytes as u64);
+        M_EXPLORED_SPILLED.set(stats.explored_spilled_bytes);
+        M_SPILLS.add(stats.explored_spills as u64);
+        M_STATES_VISITED.add(stats.states_visited as u64);
         stats.tree_bytes = arena.len() * size_of::<ArenaRec<P>>()
             + explored.len() * explored.entry_bytes()
             + local_explored.len() * 2 * size_of::<u64>();

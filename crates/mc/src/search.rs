@@ -43,6 +43,19 @@ use crate::parallel::ParallelConfig;
 use crate::report::{FoundViolation, PathStep, SearchOutcome, StopReason};
 use crate::stats::SearchStats;
 
+// The same scrapeable families the parallel engine records (the registry
+// deduplicates by name, so both engines feed one core): live deployments
+// default to the sequential engine, and its searches must show up on the
+// metrics plane too.
+static M_STATES_VISITED: cb_obs::metrics::Counter = cb_obs::metrics::Counter::new(
+    "cb_mc_states_visited_total",
+    "states visited across all searches",
+);
+static M_EXPLORED_RESIDENT: cb_obs::metrics::Gauge = cb_obs::metrics::Gauge::new(
+    "cb_mc_explored_resident_bytes",
+    "explored-set bytes resident in memory after the last search",
+);
+
 /// Stop criteria and exploration options for one search run — the paper's
 /// `StopCriterion` plus CrystalBall-specific knobs.
 #[derive(Clone, Debug)]
@@ -223,6 +236,8 @@ pub(crate) fn enumerate_gated<P: Protocol>(
 impl<'a, P: Protocol> Searcher<'a, P> {
     /// Creates a searcher.
     pub fn new(protocol: &'a P, props: &'a PropertySet<P>, config: SearchConfig) -> Self {
+        M_STATES_VISITED.touch();
+        M_EXPLORED_RESIDENT.touch();
         Searcher {
             protocol,
             props,
@@ -381,6 +396,9 @@ impl<'a, P: Protocol> Searcher<'a, P> {
         stats.elapsed = t0.elapsed();
         stats.tree_bytes = arena.len() * size_of::<ArenaRec<P>>()
             + (explored.len() + local_explored.len()) * 2 * size_of::<u64>();
+        M_STATES_VISITED.add(stats.states_visited as u64);
+        M_EXPLORED_RESIDENT
+            .set(((explored.len() + local_explored.len()) * 2 * size_of::<u64>()) as u64);
         SearchOutcome {
             violations,
             stats,
@@ -449,6 +467,7 @@ impl<'a, P: Protocol> Searcher<'a, P> {
             }
         }
         stats.elapsed = t0.elapsed();
+        M_STATES_VISITED.add(stats.states_visited as u64);
         SearchOutcome {
             violations,
             stats,

@@ -29,10 +29,19 @@
 //!   (loadable in `about:tracing` / Perfetto) and as a compact JSONL
 //!   event log; [`json`] is the shared escaping-correct JSON writer the
 //!   workspace's stats surfaces render through.
+//! * **Live metrics**: [`metrics`] is the *online* counterpart —
+//!   counters/gauges/histograms scrapeable in Prometheus text format
+//!   while the deployment runs ([`MetricsServer`]) — and [`health`]
+//!   turns them into threshold-rule alerts, including the first-class
+//!   predicted-violation alert joinable to the trace by round id.
 
 pub mod chrome;
+pub mod health;
 pub mod json;
+pub mod metrics;
 mod ring;
+
+pub use metrics::{Histogram, MetricsServer};
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -267,6 +276,14 @@ pub fn flush_thread() {
     ring::flush_current();
 }
 
+/// Trace events lost to ring-buffer wraparound, as counted by flushed
+/// rings (live threads' unflushed drops are not yet visible). Stats
+/// surfaces report this so trace loss is never silent; the
+/// `trace_ring_drops` health rule alerts on it.
+pub fn dropped_events() -> u64 {
+    global().dropped.load(Ordering::Relaxed)
+}
+
 /// Flushes the calling thread and takes everything the sink holds.
 /// Other *live* threads' rings are not visible — drain after joining the
 /// workers whose events you want (thread exit flushes their rings).
@@ -283,104 +300,12 @@ pub fn drain() -> Trace {
     }
 }
 
-// ---- histogram ----------------------------------------------------------
-
-const HIST_BUCKETS: usize = 65;
-
-/// A log2-bucketed latency histogram: bucket *k* counts samples whose
-/// bit length is *k* (so bucket 0 holds the value 0, bucket k holds
-/// `[2^(k-1), 2^k)`). 65 buckets cover all of `u64`; recording is one
-/// increment, and quantiles come back as the bucket's inclusive upper
-/// bound — ±2× resolution, which is what a latency budget needs.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Histogram {
-    buckets: [u64; HIST_BUCKETS],
-    count: u64,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Histogram {
-            buckets: [0; HIST_BUCKETS],
-            count: 0,
-        }
-    }
-}
-
-impl Histogram {
-    /// Folds one sample in.
-    pub fn record(&mut self, value: u64) {
-        let idx = (64 - value.leading_zeros()) as usize;
-        self.buckets[idx] += 1;
-        self.count += 1;
-    }
-
-    /// Number of samples recorded.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Folds another histogram in.
-    pub fn merge(&mut self, other: &Histogram) {
-        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *a += b;
-        }
-        self.count += other.count;
-    }
-
-    /// The value at quantile `q` (clamped to `[0, 1]`): the inclusive
-    /// upper bound of the bucket containing the `ceil(q·count)`-th
-    /// sample. 0 with no samples.
-    pub fn quantile(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let q = q.clamp(0.0, 1.0);
-        let rank = ((q * self.count as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (idx, n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                return bucket_upper(idx);
-            }
-        }
-        bucket_upper(HIST_BUCKETS - 1)
-    }
-}
-
-fn bucket_upper(idx: usize) -> u64 {
-    if idx == 0 {
-        0
-    } else if idx >= 64 {
-        u64::MAX
-    } else {
-        (1u64 << idx) - 1
-    }
-}
+// The log2 `Histogram` lives in [`metrics`] now (promoted alongside its
+// atomic registry form); the root re-export keeps existing users working.
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn histogram_buckets_and_quantiles() {
-        let mut h = Histogram::default();
-        assert_eq!(h.quantile(0.5), 0);
-        for v in [0, 1, 2, 3, 4, 100, 1000, 100_000] {
-            h.record(v);
-        }
-        assert_eq!(h.count(), 8);
-        // 0 lands in bucket 0; 1 in bucket 1 (upper 1); 2,3 in bucket 2
-        // (upper 3); 4 in bucket 3 (upper 7); 100 in bucket 7 (upper 127).
-        assert_eq!(h.quantile(0.0), 0);
-        assert_eq!(h.quantile(0.5), 3);
-        assert_eq!(h.quantile(1.0), (1u64 << 17) - 1);
-        let mut other = Histogram::default();
-        other.record(u64::MAX);
-        h.merge(&other);
-        assert_eq!(h.count(), 9);
-        assert_eq!(h.quantile(1.0), u64::MAX);
-    }
 
     #[test]
     fn disabled_recorder_hands_out_inert_guards() {

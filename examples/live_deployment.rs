@@ -252,6 +252,7 @@ fn main() {
     let mut join_at: Option<SocketAddr> = None;
     let mut threads = 2usize;
     let mut trace: Option<std::path::PathBuf> = None;
+    let mut metrics: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -275,8 +276,15 @@ fn main() {
             "--trace" => {
                 trace = Some(args.next().expect("--trace needs a file path").into());
             }
+            "--metrics" => {
+                metrics = Some(
+                    args.next()
+                        .expect("--metrics needs a bind address (e.g. 127.0.0.1:9400)"),
+                );
+            }
             other => panic!(
-                "unknown flag {other}; use --serve ADDR | --join ADDR | --threads N | --trace PATH"
+                "unknown flag {other}; use --serve ADDR | --join ADDR | --threads N \
+                 | --trace PATH | --metrics ADDR"
             ),
         }
     }
@@ -284,6 +292,16 @@ fn main() {
     if trace.is_some() {
         crystalball_suite::obs::enable();
     }
+    // Held for the whole run: `curl http://ADDR/metrics` (any GET path
+    // works) answers with the Prometheus text exposition.
+    let metrics = metrics
+        .or_else(crystalball_suite::obs::metrics::env_metrics_bind)
+        .map(|bind| {
+            let server = crystalball_suite::obs::MetricsServer::bind(bind.as_str())
+                .expect("bind metrics endpoint");
+            println!("live: metrics on http://{}", server.addr());
+            server
+        });
     match (serve_at, join_at) {
         (Some(_), Some(_)) => panic!("--serve and --join are mutually exclusive"),
         (Some(bind), None) => serve(bind, threads),
@@ -298,4 +316,21 @@ fn main() {
         crystalball_suite::obs::chrome::write_files(&t, &path).expect("write trace files");
         println!("live: trace written to {}", path.display());
     }
+    // The steering scenario lasts only a couple of wall-clock seconds;
+    // hold the endpoint open afterwards so a second terminal's `curl`
+    // has a window (final counter values keep serving).
+    if let Some(server) = &metrics {
+        let hold = std::env::var("CB_METRICS_HOLD")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(30);
+        if hold > 0 {
+            println!(
+                "live: holding metrics endpoint http://{} for {hold}s (CB_METRICS_HOLD=0 skips)",
+                server.addr()
+            );
+            std::thread::sleep(Duration::from_secs(hold));
+        }
+    }
+    drop(metrics);
 }

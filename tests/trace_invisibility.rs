@@ -10,6 +10,11 @@
 //! The recorder enable is process-global, so all three scenarios run
 //! inside one test body (off legs first, then on legs); a separate test
 //! binary keeps the toggle from racing the other suites.
+//!
+//! The metrics plane (`obs::metrics`) carries the same contract — its
+//! registry is only ever read through `scrape()` — so a final set of
+//! legs reruns the scenarios with metric recording enabled on top of
+//! tracing and demands the same bytes again.
 
 use std::collections::BTreeSet;
 use std::time::Duration;
@@ -224,5 +229,33 @@ fn tracing_is_outcome_invisible() {
     assert_eq!(
         fleet_off, fleet_on,
         "fleet deterministic JSON changed under tracing"
+    );
+
+    // Metrics leg: turn the metrics registry on (recording plus a live
+    // scrape mid-flight) and demand byte identity again — the scrape
+    // path only *reads* the registry, and recording points never feed
+    // back into deterministic state.
+    obs::metrics::enable();
+    let mc_metrics = mc_leg();
+    let scrape = obs::metrics::scrape();
+    assert!(
+        scrape.contains("cb_mc_states_visited_total"),
+        "metrics leg really recorded: {scrape}"
+    );
+    let cache_metrics = cache_leg();
+    let fleet_metrics = fleet_leg();
+    obs::metrics::disable();
+
+    assert_eq!(
+        mc_off, mc_metrics,
+        "parallel search fingerprint changed under metrics"
+    );
+    assert_eq!(
+        cache_off, cache_metrics,
+        "memoized controller outcome changed under metrics"
+    );
+    assert_eq!(
+        fleet_off, fleet_metrics,
+        "fleet deterministic JSON changed under metrics"
     );
 }
